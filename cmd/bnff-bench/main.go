@@ -1,0 +1,85 @@
+// bnff-bench regenerates the paper's tables and figures from the analytical
+// machine model and prints paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	bnff-bench                 # run everything at the paper's batch size
+//	bnff-bench -exp fig7       # one experiment
+//	bnff-bench -exp headline -batch 64
+//
+// Experiment identifiers: table1, fig1, fig3, fig4, fig6, fig7, fig8, gpu,
+// headline, or "all".
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+
+	"bnff/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1, fig1..fig8, gpu, headline, ext-mobilenet, all)")
+	batch := flag.Int("batch", experiments.DefaultBatch, "mini-batch size for the simulated training iteration")
+	format := flag.String("format", "text", "output format: text, csv")
+	flag.Parse()
+
+	if err := run(*exp, *batch, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "bnff-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func collect(exp string, batch int) ([]*experiments.Experiment, error) {
+	if exp == "all" {
+		return experiments.All(batch)
+	}
+	e, err := experiments.ByID(exp, batch)
+	if err != nil {
+		return nil, err
+	}
+	return []*experiments.Experiment{e}, nil
+}
+
+func run(exp string, batch int, format string) error {
+	all, err := collect(exp, batch)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "text":
+		for _, e := range all {
+			fmt.Println(e)
+		}
+		return nil
+	case "csv":
+		return writeCSV(os.Stdout, all)
+	default:
+		return fmt.Errorf("unknown format %q (want text, csv)", format)
+	}
+}
+
+func writeCSV(f *os.File, all []*experiments.Experiment) error {
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"experiment", "metric", "measured", "paper", "unit"}); err != nil {
+		return err
+	}
+	for _, e := range all {
+		for _, mt := range e.Metrics {
+			paper := ""
+			if !math.IsNaN(mt.Paper) {
+				paper = strconv.FormatFloat(mt.Paper, 'g', 6, 64)
+			}
+			if err := w.Write([]string{e.ID, mt.Name,
+				strconv.FormatFloat(mt.Measured, 'g', 6, 64), paper, mt.Unit}); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

@@ -1,0 +1,221 @@
+// bnff-train trains a scaled-down model numerically with a chosen
+// restructuring scenario and, with -compare, runs the baseline side by side
+// on identical batches to demonstrate loss parity and per-step wall-clock.
+//
+// Usage:
+//
+//	bnff-train -model tiny-densenet -restructure bnff -steps 100
+//	bnff-train -model tiny-cnn -restructure bnff -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bnff/internal/core"
+	"bnff/internal/graph"
+	"bnff/internal/layers"
+	"bnff/internal/models"
+	"bnff/internal/train"
+	"bnff/internal/workload"
+)
+
+func main() {
+	model := flag.String("model", "tiny-densenet", fmt.Sprintf("model: one of %v (tiny-* train quickly)", models.Names()))
+	scen := flag.String("restructure", "bnff", "scenario: baseline, rcf, rcf+mvf, bnff, bnff+icf")
+	steps := flag.Int("steps", 60, "training steps")
+	batch := flag.Int("batch", 16, "mini-batch size")
+	lr := flag.Float64("lr", 0.01, "learning rate")
+	seed := flag.Uint64("seed", 42, "parameter and data seed")
+	compare := flag.Bool("compare", false, "also train the baseline on identical batches and report parity")
+	every := flag.Int("log-every", 10, "print metrics every N steps")
+	workers := flag.Int("workers", 1, "goroutines for convolution layers")
+	save := flag.String("save", "", "write a checkpoint to this path after training")
+	load := flag.String("load", "", "restore a checkpoint from this path before training")
+	schedule := flag.String("schedule", "constant", "learning-rate schedule: constant, step, cosine")
+	flag.Parse()
+
+	layers.SetConvWorkers(*workers)
+	if err := run(runConfig{
+		model: *model, scen: *scen, steps: *steps, batch: *batch, lr: *lr,
+		seed: *seed, compare: *compare, every: *every,
+		save: *save, load: *load, schedule: *schedule,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "bnff-train:", err)
+		os.Exit(1)
+	}
+}
+
+type runConfig struct {
+	model, scen          string
+	steps, batch, every  int
+	lr                   float64
+	seed                 uint64
+	compare              bool
+	save, load, schedule string
+}
+
+func scheduleOf(name string, base float64, steps int) (train.Schedule, error) {
+	switch name {
+	case "constant":
+		return train.ConstantLR(base), nil
+	case "step":
+		return train.StepDecay{Base: base, Gamma: 0.1, Every: steps / 3}, nil
+	case "cosine":
+		return train.CosineDecay{Base: base, Floor: base / 100, Total: steps}, nil
+	default:
+		return nil, fmt.Errorf("unknown schedule %q", name)
+	}
+}
+
+func buildGraph(model string, batch int) (*graph.Graph, int, error) {
+	g, err := models.Build(model, batch)
+	if err != nil {
+		return nil, 0, err
+	}
+	return g, g.Output.OutShape[1], nil
+}
+
+func parseScenario(s string) (core.Scenario, error) {
+	switch s {
+	case "baseline":
+		return core.Baseline, nil
+	case "rcf":
+		return core.RCF, nil
+	case "rcf+mvf", "mvf":
+		return core.RCFMVF, nil
+	case "bnff":
+		return core.BNFF, nil
+	case "bnff+icf", "icf":
+		return core.BNFFICF, nil
+	default:
+		return 0, fmt.Errorf("unknown scenario %q", s)
+	}
+}
+
+func newTrainer(model string, scenario core.Scenario, batch int, lr float64, seed uint64) (*train.Trainer, error) {
+	g, classes, err := buildGraph(model, batch)
+	if err != nil {
+		return nil, err
+	}
+	if err := core.Restructure(g, scenario.Options()); err != nil {
+		return nil, err
+	}
+	exec, err := core.NewExecutor(g, seed)
+	if err != nil {
+		return nil, err
+	}
+	size := g.Nodes[0].OutShape[2]
+	data, err := workload.New(workload.Config{
+		Classes: classes, Channels: 3, Size: size, Noise: 0.3, Seed: seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return train.NewTrainer(exec, train.NewSGD(lr, 0.9, 1e-4), data, batch)
+}
+
+func run(cfg runConfig) error {
+	scenario, err := parseScenario(cfg.scen)
+	if err != nil {
+		return err
+	}
+	tr, err := newTrainer(cfg.model, scenario, cfg.batch, cfg.lr, cfg.seed)
+	if err != nil {
+		return err
+	}
+	sched, err := scheduleOf(cfg.schedule, cfg.lr, cfg.steps)
+	if err != nil {
+		return err
+	}
+	tr.UseSchedule(sched)
+	if cfg.load != "" {
+		if err := tr.Exec.LoadFile(cfg.load); err != nil {
+			return fmt.Errorf("load checkpoint: %w", err)
+		}
+		fmt.Printf("restored checkpoint %s\n", cfg.load)
+	}
+	fmt.Printf("model=%s scenario=%v batch=%d steps=%d lr=%g schedule=%s workers=%d\n",
+		cfg.model, scenario, cfg.batch, cfg.steps, cfg.lr, cfg.schedule, layers.ConvWorkers())
+
+	var base *train.Trainer
+	if cfg.compare && scenario != core.Baseline {
+		base, err = newTrainer(cfg.model, core.Baseline, cfg.batch, cfg.lr, cfg.seed)
+		if err != nil {
+			return err
+		}
+		base.UseSchedule(sched)
+		// Identical starting weights so the trajectories are comparable.
+		if err := tr.Exec.CopyParamsFrom(base.Exec); err != nil {
+			return err
+		}
+	}
+
+	data, err := workload.New(workload.Config{
+		Classes: classesOf(cfg.model), Channels: 3, Size: tr.Exec.G.Nodes[0].OutShape[2],
+		Noise: 0.3, Seed: cfg.seed + 2,
+	})
+	if err != nil {
+		return err
+	}
+
+	var tScenario, tBase time.Duration
+	for i := 0; i < cfg.steps; i++ {
+		x, labels, err := data.Batch(cfg.batch)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		res, err := tr.StepOn(x, labels)
+		if err != nil {
+			return err
+		}
+		tScenario += time.Since(t0)
+
+		if base != nil {
+			t0 = time.Now()
+			resB, err := base.StepOn(x, labels)
+			if err != nil {
+				return err
+			}
+			tBase += time.Since(t0)
+			if (i+1)%cfg.every == 0 {
+				fmt.Printf("step %4d  loss %.4f (baseline %.4f, |Δ| %.2g)  acc %.3f\n",
+					i+1, res.Loss, resB.Loss, abs(res.Loss-resB.Loss), res.Accuracy)
+			}
+			continue
+		}
+		if (i+1)%cfg.every == 0 {
+			fmt.Printf("step %4d  loss %.4f  acc %.3f  lr %.4g\n", i+1, res.Loss, res.Accuracy, tr.Opt.LR)
+		}
+	}
+	fmt.Printf("%v wall-clock: %.1f ms/step\n", scenario, float64(tScenario.Milliseconds())/float64(cfg.steps))
+	if base != nil {
+		fmt.Printf("baseline wall-clock: %.1f ms/step\n", float64(tBase.Milliseconds())/float64(cfg.steps))
+		fmt.Printf("final mean loss: %v %.4f vs baseline %.4f\n", scenario, tr.MeanLoss(10), base.MeanLoss(10))
+	}
+	if cfg.save != "" {
+		if err := tr.Exec.SaveFile(cfg.save); err != nil {
+			return fmt.Errorf("save checkpoint: %w", err)
+		}
+		fmt.Printf("saved checkpoint to %s\n", cfg.save)
+	}
+	return nil
+}
+
+func classesOf(model string) int {
+	c, err := models.Classes(model, 1)
+	if err != nil {
+		return 10
+	}
+	return c
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

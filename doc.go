@@ -1,0 +1,13 @@
+// Package bnff reproduces "Restructuring Batch Normalization to Accelerate
+// CNN Training" (Jung et al., SysML/MLSys 2019) as a pure-Go library: the
+// BN Fission-n-Fusion graph restructuring (internal/core), the numeric layer
+// and fused-kernel substrates it rewrites between (internal/layers,
+// internal/kernels), the CNN model zoo the paper evaluates
+// (internal/models), the analytical memory/timing machine model standing in
+// for the paper's Skylake/KNL/GPU testbed (internal/memsim), and one
+// experiment generator per table and figure (internal/experiments).
+//
+// The root package holds the benchmark harness: one testing.B benchmark per
+// paper table/figure plus real-kernel and ablation benchmarks. See README.md
+// for the map and EXPERIMENTS.md for paper-vs-measured results.
+package bnff

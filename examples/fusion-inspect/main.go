@@ -1,0 +1,116 @@
+// Fusion inspect: walk one DenseNet composite layer (BN-ReLU-1×1 CONV-
+// BN-ReLU-3×3 CONV) through fission and fusion, printing the Figure 5
+// memory-sweep accounting at each stage — the paper's "3 sweeps -> 1" and
+// "5 sweeps -> 2" collapse, made concrete.
+//
+// Run: go run ./examples/fusion-inspect
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bnff/internal/core"
+	"bnff/internal/graph"
+	"bnff/internal/layers"
+	"bnff/internal/tensor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// buildCPL builds CONV1 -> BN -> ReLU -> CONV2 -> BN -> ReLU -> CONV3, the
+// overlapping-windows chain at the heart of every DenseNet composite layer.
+func buildCPL() (*graph.Graph, error) {
+	g := graph.New("cpl")
+	in := g.Input("in", tensor.Shape{120, 64, 28, 28})
+	c1, err := g.Conv("conv1", in, layers.NewConv2D(64, 128, 1, 1, 0), 0)
+	if err != nil {
+		return nil, err
+	}
+	b1, err := g.BN("bn1", c1, 0)
+	if err != nil {
+		return nil, err
+	}
+	r1 := g.ReLU("relu1", b1, 0)
+	c2, err := g.Conv("conv2", r1, layers.NewConv2D(128, 128, 3, 1, 1), 0)
+	if err != nil {
+		return nil, err
+	}
+	b2, err := g.BN("bn2", c2, 0)
+	if err != nil {
+		return nil, err
+	}
+	r2 := g.ReLU("relu2", b2, 0)
+	c3, err := g.Conv("conv3", r2, layers.NewConv2D(128, 32, 3, 1, 1), 0)
+	if err != nil {
+		return nil, err
+	}
+	g.Output = c3
+	return g, g.Validate()
+}
+
+func show(g *graph.Graph, dir graph.Direction) error {
+	costs, err := g.PassCosts(dir)
+	if err != nil {
+		return err
+	}
+	totalSweeps := 0
+	var totalGB float64
+	for _, c := range costs {
+		r, w := 0, 0
+		var gb float64
+		for _, s := range c.Sweeps {
+			if s.Kind != graph.SweepFeatureMap {
+				continue
+			}
+			if s.Write {
+				w++
+			} else {
+				r++
+			}
+			gb += float64(s.Bytes) / 1e9
+		}
+		name := c.Node.Name
+		kind := c.Node.Kind.String()
+		if c.Synthetic {
+			name += ".split"
+			kind = "Split"
+		} else if c.Node.StatsOut != nil {
+			kind += "+stats"
+		}
+		fmt.Printf("    %-10s %-16s reads %d  writes %d  (%.2f GB)\n", name, kind, r, w, gb)
+		totalSweeps += r + w
+		totalGB += gb
+	}
+	fmt.Printf("    %-10s %-16s total sweeps %d  (%.2f GB)\n", "", "", totalSweeps, totalGB)
+	return nil
+}
+
+func run() error {
+	for _, s := range []core.Scenario{core.Baseline, core.RCF, core.BNFF} {
+		g, err := buildCPL()
+		if err != nil {
+			return err
+		}
+		if err := core.Restructure(g, s.Options()); err != nil {
+			return err
+		}
+		fmt.Printf("== %v ==\n", s)
+		fmt.Println("  forward (Figure 5a):")
+		if err := show(g, graph.Forward); err != nil {
+			return err
+		}
+		fmt.Println("  backward (Figure 5b):")
+		if err := show(g, graph.Backward); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	fmt.Println("paper: fission+fusion turns the first fused layer's 3 sweeps into 1 (O1')")
+	fmt.Println("and the second's 5 into 2 (I2', O2'); backward loses 5 sweeps per BN.")
+	return nil
+}

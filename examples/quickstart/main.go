@@ -1,0 +1,129 @@
+// Quickstart: build a small CNN, restructure it with BN Fission-n-Fusion,
+// and verify the paper's two central claims at laptop scale —
+//
+//  1. the restructured network computes the same function (identical losses
+//     while training on identical batches), and
+//  2. it sweeps far fewer feature-map bytes through main memory per
+//     training iteration (the source of the paper's 25.7% speedup).
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bnff/internal/core"
+	"bnff/internal/graph"
+	"bnff/internal/models"
+	"bnff/internal/train"
+	"bnff/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func featureGB(g *graph.Graph) (float64, error) {
+	costs, err := g.TrainingCosts()
+	if err != nil {
+		return 0, err
+	}
+	var b int64
+	for _, c := range costs {
+		for _, s := range c.Sweeps {
+			if s.Kind == graph.SweepFeatureMap {
+				b += s.Bytes
+			}
+		}
+	}
+	return float64(b) / 1e9, nil
+}
+
+func run() error {
+	const batch, size, classes = 16, 8, 4
+
+	// One graph per configuration: the passes rewrite in place.
+	baseGraph, err := models.TinyCNN(batch, size, classes)
+	if err != nil {
+		return err
+	}
+	bnffGraph, err := models.TinyCNN(batch, size, classes)
+	if err != nil {
+		return err
+	}
+	if err := core.Restructure(bnffGraph, core.BNFF.Options()); err != nil {
+		return err
+	}
+
+	fmt.Println("graph after BN Fission-n-Fusion:")
+	for _, n := range bnffGraph.Live() {
+		tag := ""
+		if n.StatsOut != nil {
+			tag = "  (+sub-BN1 statistics epilogue)"
+		}
+		fmt.Printf("  %-12s %v%s\n", n.Name, n.Kind, tag)
+	}
+
+	gbBase, err := featureGB(baseGraph)
+	if err != nil {
+		return err
+	}
+	gbBNFF, err := featureGB(bnffGraph)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nfeature-map sweep volume per iteration: baseline %.4f GB -> BNFF %.4f GB (-%.1f%%)\n\n",
+		gbBase, gbBNFF, 100*(1-gbBNFF/gbBase))
+
+	// Train both on identical batches from identical weights.
+	baseExec, err := core.NewExecutor(baseGraph, 42)
+	if err != nil {
+		return err
+	}
+	bnffExec, err := core.NewExecutor(bnffGraph, 7)
+	if err != nil {
+		return err
+	}
+	if err := bnffExec.CopyParamsFrom(baseExec); err != nil {
+		return err
+	}
+	data, err := workload.New(workload.Config{Classes: classes, Channels: 3, Size: size, Noise: 0.3, Seed: 5})
+	if err != nil {
+		return err
+	}
+	baseTr, err := train.NewTrainer(baseExec, train.NewSGD(0.01, 0.9, 1e-4), data, batch)
+	if err != nil {
+		return err
+	}
+	bnffTr, err := train.NewTrainer(bnffExec, train.NewSGD(0.01, 0.9, 1e-4), data, batch)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("training on identical batches:")
+	for step := 1; step <= 50; step++ {
+		x, labels, err := data.Batch(batch)
+		if err != nil {
+			return err
+		}
+		rb, err := baseTr.StepOn(x, labels)
+		if err != nil {
+			return err
+		}
+		rf, err := bnffTr.StepOn(x, labels)
+		if err != nil {
+			return err
+		}
+		if step%10 == 0 {
+			fmt.Printf("  step %3d  baseline loss %.5f  BNFF loss %.5f  acc %.2f\n",
+				step, rb.Loss, rf.Loss, rf.Accuracy)
+		}
+	}
+	fmt.Printf("\nmean loss over last 10 steps: baseline %.5f, BNFF %.5f\n",
+		baseTr.MeanLoss(10), bnffTr.MeanLoss(10))
+	fmt.Println("-> same function, fewer memory sweeps.")
+	return nil
+}

@@ -1,0 +1,3 @@
+module bnff
+
+go 1.22

@@ -1,0 +1,194 @@
+// Package cachesim is a trace-driven set-associative cache simulator. It
+// exists to validate, from first principles, the central assumption the
+// paper's sweep accounting (and our internal/memsim pricing) rests on: that
+// a mini-batch of 100+ feature maps cannot be filtered by MB-scale on-chip
+// buffers, so every sweep of such a map reaches DRAM — while per-channel
+// statistics, filter weights, and sub-capacity tensors are served on chip.
+//
+// The simulator models a single cache level (the LLC; upper levels are
+// strictly smaller and change nothing about the spill/fit question) with LRU
+// replacement and write-allocate/write-back semantics, consuming address
+// traces generated from operator access patterns (see trace.go).
+package cachesim
+
+import "fmt"
+
+// Cache is a set-associative, write-allocate, write-back cache with LRU
+// replacement.
+type Cache struct {
+	lineSize int
+	sets     int
+	ways     int
+
+	// tags[set][way]; lru[set][way] holds a recency counter (higher = more
+	// recent); dirty marks modified lines.
+	tags  [][]uint64
+	valid [][]bool
+	dirty [][]bool
+	lru   [][]uint64
+	clock uint64
+
+	stats Stats
+}
+
+// Stats aggregates the access outcomes.
+type Stats struct {
+	Accesses   int64
+	Hits       int64
+	Misses     int64
+	Writebacks int64
+	NTStores   int64 // non-temporal store lines sent straight to DRAM
+}
+
+// MissRate returns misses/accesses (0 for an untouched cache).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// DRAMBytes returns the main-memory traffic implied by the stats: one line
+// fill per miss, one line per writeback, one line per non-temporal store.
+func (s Stats) DRAMBytes(lineSize int) int64 {
+	return (s.Misses + s.Writebacks + s.NTStores) * int64(lineSize)
+}
+
+// New constructs a cache of the given total capacity in bytes. Capacity must
+// equal lineSize·sets·ways exactly.
+func New(capacity, lineSize, ways int) (*Cache, error) {
+	if lineSize <= 0 || ways <= 0 || capacity <= 0 {
+		return nil, fmt.Errorf("cachesim: non-positive geometry (capacity %d, line %d, ways %d)", capacity, lineSize, ways)
+	}
+	if lineSize&(lineSize-1) != 0 {
+		return nil, fmt.Errorf("cachesim: line size %d not a power of two", lineSize)
+	}
+	if capacity%(lineSize*ways) != 0 {
+		return nil, fmt.Errorf("cachesim: capacity %d not divisible by line*ways (%d)", capacity, lineSize*ways)
+	}
+	sets := capacity / (lineSize * ways)
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cachesim: set count %d not a power of two", sets)
+	}
+	c := &Cache{lineSize: lineSize, sets: sets, ways: ways}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.dirty = make([][]bool, sets)
+	c.lru = make([][]uint64, sets)
+	for i := 0; i < sets; i++ {
+		c.tags[i] = make([]uint64, ways)
+		c.valid[i] = make([]bool, ways)
+		c.dirty[i] = make([]bool, ways)
+		c.lru[i] = make([]uint64, ways)
+	}
+	return c, nil
+}
+
+// Capacity returns the cache size in bytes.
+func (c *Cache) Capacity() int { return c.lineSize * c.sets * c.ways }
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() int { return c.lineSize }
+
+// Stats returns the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the counters but keeps cache contents (so a warm-up
+// phase can be excluded from measurement).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Access performs one read or write of the byte at addr. It returns true on
+// a hit.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.stats.Accesses++
+	c.clock++
+	line := addr / uint64(c.lineSize)
+	set := int(line % uint64(c.sets))
+	tag := line / uint64(c.sets)
+
+	ways := c.tags[set]
+	for w := range ways {
+		if c.valid[set][w] && ways[w] == tag {
+			c.stats.Hits++
+			c.lru[set][w] = c.clock
+			if write {
+				c.dirty[set][w] = true
+			}
+			return true
+		}
+	}
+	c.stats.Misses++
+	// Choose victim: first invalid way, else least recently used.
+	victim := 0
+	var oldest uint64 = ^uint64(0)
+	for w := range ways {
+		if !c.valid[set][w] {
+			victim = w
+			oldest = 0
+			break
+		}
+		if c.lru[set][w] < oldest {
+			oldest, victim = c.lru[set][w], w
+		}
+	}
+	if c.valid[set][victim] && c.dirty[set][victim] {
+		c.stats.Writebacks++
+	}
+	c.tags[set][victim] = tag
+	c.valid[set][victim] = true
+	c.dirty[set][victim] = write
+	c.lru[set][victim] = c.clock
+	return false
+}
+
+// WriteNT performs a non-temporal (streaming) store of the line containing
+// addr: on a hit the cached copy is updated in place; on a miss the line is
+// written straight to DRAM without allocation — the store idiom production
+// kernels (MKL-DNN, CUTLASS) use for large ofmaps precisely so that output
+// sweeps cost one transfer instead of a read-for-ownership fill plus a
+// writeback.
+func (c *Cache) WriteNT(addr uint64) {
+	c.stats.Accesses++
+	c.clock++
+	line := addr / uint64(c.lineSize)
+	set := int(line % uint64(c.sets))
+	tag := line / uint64(c.sets)
+	for w := range c.tags[set] {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.stats.Hits++
+			c.dirty[set][w] = true
+			c.lru[set][w] = c.clock
+			return
+		}
+	}
+	c.stats.NTStores++
+}
+
+// WriteRangeNT streams a non-temporal store over [addr, addr+bytes).
+func (c *Cache) WriteRangeNT(addr uint64, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	start := addr / uint64(c.lineSize)
+	end := (addr + uint64(bytes) - 1) / uint64(c.lineSize)
+	for line := start; line <= end; line++ {
+		c.WriteNT(line * uint64(c.lineSize))
+	}
+}
+
+// AccessRange touches every line of [addr, addr+bytes) once, in order —
+// a streaming sweep. Returns the number of misses incurred.
+func (c *Cache) AccessRange(addr uint64, bytes int64, write bool) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	start := addr / uint64(c.lineSize)
+	end := (addr + uint64(bytes) - 1) / uint64(c.lineSize)
+	var misses int64
+	for line := start; line <= end; line++ {
+		if !c.Access(line*uint64(c.lineSize), write) {
+			misses++
+		}
+	}
+	return misses
+}

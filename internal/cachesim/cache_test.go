@@ -1,0 +1,290 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustCache(t *testing.T, capacity, line, ways int) *Cache {
+	t.Helper()
+	c, err := New(capacity, line, ways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGeometryValidation(t *testing.T) {
+	cases := []struct{ capacity, line, ways int }{
+		{0, 64, 8},
+		{1 << 20, 0, 8},
+		{1 << 20, 64, 0},
+		{1 << 20, 60, 8},    // line not power of two
+		{1000, 64, 8},       // capacity not divisible
+		{64 * 8 * 3, 64, 8}, // set count 3, not power of two
+	}
+	for _, c := range cases {
+		if _, err := New(c.capacity, c.line, c.ways); err == nil {
+			t.Errorf("accepted geometry %+v", c)
+		}
+	}
+	c := mustCache(t, 1<<20, 64, 8)
+	if c.Capacity() != 1<<20 || c.LineSize() != 64 {
+		t.Errorf("capacity/line = %d/%d", c.Capacity(), c.LineSize())
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := mustCache(t, 4096, 64, 4)
+	if c.Access(0, false) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0, false) {
+		t.Error("second access missed")
+	}
+	if !c.Access(63, false) {
+		t.Error("same-line access missed")
+	}
+	if c.Access(64, false) {
+		t.Error("next-line cold access hit")
+	}
+	st := c.Stats()
+	if st.Accesses != 4 || st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Direct-mapped-ish: 2 ways, 1 set (capacity 2 lines).
+	c := mustCache(t, 128, 64, 2)
+	c.Access(0, false)   // line A
+	c.Access(64, false)  // line B
+	c.Access(0, false)   // touch A (B is now LRU)
+	c.Access(128, false) // line C evicts B
+	if !c.Access(0, false) {
+		t.Error("A evicted despite being MRU")
+	}
+	if c.Access(64, false) {
+		t.Error("B survived despite being LRU victim")
+	}
+}
+
+func TestWritebackAccounting(t *testing.T) {
+	c := mustCache(t, 128, 64, 2)
+	c.Access(0, true)    // dirty A
+	c.Access(64, false)  // clean B
+	c.Access(128, false) // evicts A (LRU, dirty) -> writeback
+	st := c.Stats()
+	if st.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", st.Writebacks)
+	}
+	// DRAM traffic: 3 fills + 1 writeback = 4 lines.
+	if got := st.DRAMBytes(64); got != 4*64 {
+		t.Errorf("DRAM bytes = %d, want 256", got)
+	}
+}
+
+func TestAccessRangeLineCount(t *testing.T) {
+	c := mustCache(t, 1<<20, 64, 8)
+	misses := c.AccessRange(0, 640, false) // 10 lines
+	if misses != 10 {
+		t.Errorf("streaming misses = %d, want 10", misses)
+	}
+	if again := c.AccessRange(0, 640, false); again != 0 {
+		t.Errorf("resident re-read missed %d lines", again)
+	}
+	if c.AccessRange(0, 0, false) != 0 {
+		t.Error("empty range accessed something")
+	}
+	// Unaligned range spanning two lines.
+	c2 := mustCache(t, 1<<20, 64, 8)
+	if m := c2.AccessRange(60, 8, false); m != 2 {
+		t.Errorf("unaligned 8-byte access misses = %d, want 2", m)
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	c := mustCache(t, 4096, 64, 4)
+	c.Access(0, false)
+	c.ResetStats()
+	if !c.Access(0, false) {
+		t.Error("contents lost after ResetStats")
+	}
+	if st := c.Stats(); st.Accesses != 1 || st.Hits != 1 {
+		t.Errorf("stats after reset %+v", st)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	if (Stats{}).MissRate() != 0 {
+		t.Error("empty stats miss rate not 0")
+	}
+	s := Stats{Accesses: 4, Misses: 1}
+	if s.MissRate() != 0.25 {
+		t.Errorf("miss rate = %v", s.MissRate())
+	}
+}
+
+// The paper's core claim: sweeping a mini-batch feature map that exceeds the
+// cache provides no inter-sweep reuse — k sweeps cost k full DRAM transfers.
+func TestSpillingMapHasNoReuse(t *testing.T) {
+	const capacity = 1 << 20 // 1 MiB cache
+	c := mustCache(t, capacity, 64, 16)
+	var alloc Allocator
+	m := alloc.Alloc(4 << 20) // 4 MiB map
+
+	SweepRead(c, m)
+	first := c.Stats().Misses
+	c.ResetStats()
+	SweepRead(c, m)
+	second := c.Stats().Misses
+	if second != first {
+		t.Errorf("second sweep misses %d, want %d (no reuse when spilled)", second, first)
+	}
+	if got, want := second*64, int64(4<<20); got != want {
+		t.Errorf("sweep DRAM bytes %d, want %d", got, want)
+	}
+}
+
+// Sub-capacity tensors are filtered after the first touch — the basis for
+// treating weights and statistics as free.
+func TestFittingTensorIsFiltered(t *testing.T) {
+	c := mustCache(t, 1<<20, 64, 16)
+	var alloc Allocator
+	w := alloc.Alloc(256 << 10) // 256 KiB "weights"
+	SweepRead(c, w)
+	c.ResetStats()
+	for i := 0; i < 5; i++ {
+		SweepRead(c, w)
+	}
+	if mr := c.Stats().MissRate(); mr > 0.01 {
+		t.Errorf("resident tensor miss rate %.3f, want ~0", mr)
+	}
+}
+
+// Validate the Figure 5 forward accounting against the cache: baseline
+// BN forward must move 4 map-sized transfers of DRAM traffic, MVF 3, and the
+// fully fused form 2 (I2' + O2') — exactly the sweep counts the cost model
+// charges.
+func TestFigure5ForwardCounts(t *testing.T) {
+	const mapBytes = 4 << 20
+	run := func(f func(c *Cache, alloc *Allocator)) int64 {
+		c := mustCache(t, 1<<20, 64, 16)
+		var alloc Allocator
+		f(c, &alloc)
+		return c.Stats().DRAMBytes(64)
+	}
+	baseline := run(func(c *Cache, alloc *Allocator) {
+		in, out := alloc.Alloc(mapBytes), alloc.Alloc(mapBytes)
+		BNForwardTrace(c, in, out, false)
+	})
+	mvf := run(func(c *Cache, alloc *Allocator) {
+		in, out := alloc.Alloc(mapBytes), alloc.Alloc(mapBytes)
+		BNForwardTrace(c, in, out, true)
+	})
+	fused := run(func(c *Cache, alloc *Allocator) {
+		in, xhat := alloc.Alloc(mapBytes), alloc.Alloc(mapBytes)
+		FusedBNReLUConvTrace(c, in, xhat)
+	})
+	// Writebacks of the final dirty lines stay resident (no later eviction),
+	// so totals are close to exact multiples of the map size.
+	approx := func(got int64, sweeps int) bool {
+		want := int64(sweeps) * mapBytes
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= mapBytes/8 // allow partial writeback noise
+	}
+	if !approx(baseline, 4) {
+		t.Errorf("baseline BN forward DRAM = %d, want ~4 maps", baseline)
+	}
+	if !approx(mvf, 3) {
+		t.Errorf("MVF BN forward DRAM = %d, want ~3 maps", mvf)
+	}
+	if !approx(fused, 2) {
+		t.Errorf("fused forward DRAM = %d, want ~2 maps", fused)
+	}
+	if !(fused < mvf && mvf < baseline) {
+		t.Errorf("ordering violated: fused %d, mvf %d, baseline %d", fused, mvf, baseline)
+	}
+}
+
+// BN backward moves five map-sized transfers, the amount BNFF removes.
+func TestFigure5BackwardCounts(t *testing.T) {
+	const mapBytes = 4 << 20
+	c := mustCache(t, 1<<20, 64, 16)
+	var alloc Allocator
+	dy, saved, dx := alloc.Alloc(mapBytes), alloc.Alloc(mapBytes), alloc.Alloc(mapBytes)
+	BNBackwardTrace(c, dy, saved, dx)
+	got := c.Stats().DRAMBytes(64)
+	want := int64(5) * mapBytes
+	if got < want || got > want+mapBytes/8 {
+		t.Errorf("BN backward DRAM = %d, want ~%d (5 sweeps)", got, want)
+	}
+}
+
+// The Figure 4 hack: folding the BN/ReLU address stream into a cache-sized
+// window makes the traffic disappear after warm-up — reproducing the
+// paper's "hypothetical machine with infinite bandwidth".
+func TestFigure4AddressRemapping(t *testing.T) {
+	c := mustCache(t, 1<<20, 64, 16)
+	RemappedSweeps(c, 64<<20, 512<<10, 1) // warm-up sweep
+	c.ResetStats()
+	RemappedSweeps(c, 64<<20, 512<<10, 3)
+	if mr := c.Stats().MissRate(); mr > 0.001 {
+		t.Errorf("remapped sweeps miss rate %.4f, want ~0", mr)
+	}
+	// Without remapping, the same three sweeps all miss.
+	c2 := mustCache(t, 1<<20, 64, 16)
+	var alloc Allocator
+	m := alloc.Alloc(64 << 20)
+	for i := 0; i < 3; i++ {
+		SweepRead(c2, m)
+	}
+	if mr := c2.Stats().MissRate(); mr < 0.99 {
+		t.Errorf("unmapped sweeps miss rate %.4f, want ~1", mr)
+	}
+}
+
+// Property: for any spilled map size, k sweeps produce k× the DRAM traffic
+// of one sweep (linearity the sweep accounting assumes).
+func TestQuickSweepLinearity(t *testing.T) {
+	f := func(sizeKB uint16, kBits uint8) bool {
+		size := int64(sizeKB%64+32) * 1024 * 64 // 2–6 MiB, line multiple
+		k := int(kBits%3) + 2
+		c, err := New(1<<20, 64, 16)
+		if err != nil {
+			return false
+		}
+		var alloc Allocator
+		m := alloc.Alloc(size)
+		SweepRead(c, m)
+		one := c.Stats().Misses
+		c.ResetStats()
+		for i := 0; i < k; i++ {
+			SweepRead(c, m)
+		}
+		return c.Stats().Misses == int64(k)*one
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Allocator regions must never overlap.
+func TestAllocatorDisjoint(t *testing.T) {
+	var alloc Allocator
+	a := alloc.Alloc(1000)
+	b := alloc.Alloc(5000)
+	cr := alloc.Alloc(1)
+	if a.Base+uint64(a.Bytes) > b.Base {
+		t.Error("regions a and b overlap")
+	}
+	if b.Base+uint64(b.Bytes) > cr.Base {
+		t.Error("regions b and c overlap")
+	}
+	if a.Base%4096 != 0 || b.Base%4096 != 0 {
+		t.Error("regions not page aligned")
+	}
+}

@@ -1,0 +1,228 @@
+package cachesim
+
+import (
+	"fmt"
+
+	"bnff/internal/graph"
+)
+
+// ReplayTraining replays one full training iteration of a graph through the
+// cache as an address trace: every operator's reads and writes of activation,
+// gradient, and x̂ buffers, in execution order, with non-temporal stores for
+// streaming writes. It is an independent implementation of the Figure 5
+// sweep semantics — written directly against the operator definitions, not
+// derived from graph.TrainingCosts — so comparing its DRAM traffic against
+// the cost model's sweep totals cross-validates both.
+//
+// Blocking re-reads (memsim's ConvReadFactor) are a pricing refinement, not
+// part of the one-sweep-per-pass semantics, and are deliberately absent.
+func ReplayTraining(c *Cache, g *graph.Graph) error {
+	live := g.Live()
+	cons := g.Consumers()
+
+	var alloc Allocator
+	acts := map[int]Region{}  // node ID → activation region
+	grads := map[int]Region{} // node ID → gradient region (of its output)
+	xhats := map[int]Region{} // normalize-owner node ID → x̂ region
+
+	actOf := func(n *graph.Node) Region {
+		r, ok := acts[n.ID]
+		if !ok {
+			r = alloc.Alloc(featureBytes(n))
+			acts[n.ID] = r
+		}
+		return r
+	}
+	gradOf := func(n *graph.Node) Region {
+		r, ok := grads[n.ID]
+		if !ok {
+			r = alloc.Alloc(featureBytes(n))
+			grads[n.ID] = r
+		}
+		return r
+	}
+	xhatOf := func(owner *graph.Node, model *graph.Node) Region {
+		r, ok := xhats[owner.ID]
+		if !ok {
+			r = alloc.Alloc(featureBytes(model))
+			xhats[owner.ID] = r
+		}
+		return r
+	}
+	// store writes a region with the store idiom a real kernel would pick:
+	// non-temporal for outputs that exceed the cache (avoiding RFO fills),
+	// ordinary cached stores for outputs that fit (preserving reuse).
+	store := func(r Region) {
+		if r.Bytes > int64(c.Capacity()) {
+			SweepWriteNT(c, r)
+		} else {
+			SweepWrite(c, r)
+		}
+	}
+	masks := map[int]Region{}
+	maskOf := func(n *graph.Node) Region {
+		r, ok := masks[n.ID]
+		if !ok {
+			r = alloc.Alloc(featureBytes(n))
+			masks[n.ID] = r
+		}
+		return r
+	}
+	// statsXHat resolves the x̂ the stats producer n re-reads in its fused
+	// backward. If the normalize side materialized one (BNReLUConv), use it;
+	// a standalone SubBN2 partner recomputes x̂ from n's own output.
+	statsXHat := func(n *graph.Node) Region {
+		if r, ok := xhats[n.ID]; ok {
+			return r
+		}
+		return actOf(n)
+	}
+
+	// ---- forward ----
+	for _, n := range live {
+		switch n.Kind {
+		case graph.OpInput, graph.OpFlatten:
+			// free
+		case graph.OpConv, graph.OpReLUConv:
+			SweepRead(c, actOf(n.Inputs[0]))
+			store(actOf(n))
+		case graph.OpBN:
+			in := actOf(n.Inputs[0])
+			reads := 3
+			if n.BN.MVF {
+				reads = 2
+			}
+			for i := 0; i < reads; i++ {
+				SweepRead(c, in)
+			}
+			store(actOf(n))
+		case graph.OpSubBN1:
+			if !n.BN.ICF {
+				SweepRead(c, actOf(n.Inputs[0]))
+				if !n.BN.MVF {
+					SweepRead(c, actOf(n.Inputs[0]))
+				}
+			}
+		case graph.OpSubBN2:
+			SweepRead(c, actOf(n.Inputs[0]))
+			store(actOf(n))
+		case graph.OpBNReLUConv:
+			SweepRead(c, actOf(n.Inputs[0]))
+			store(xhatOf(n.StatsFrom, n.Inputs[0])) // O2'
+			store(actOf(n))
+		case graph.OpReLU, graph.OpPool, graph.OpGlobalPool, graph.OpFC:
+			SweepRead(c, actOf(n.Inputs[0]))
+			store(actOf(n))
+		case graph.OpDropout:
+			SweepRead(c, actOf(n.Inputs[0]))
+			store(actOf(n))
+			store(maskOf(n))
+		case graph.OpConcat:
+			for _, in := range n.Inputs {
+				SweepRead(c, actOf(in))
+			}
+			store(actOf(n))
+		case graph.OpEWS:
+			SweepRead(c, actOf(n.Inputs[0]))
+			SweepRead(c, actOf(n.Inputs[1]))
+			store(actOf(n))
+		default:
+			return fmt.Errorf("cachesim: replay has no forward trace for %v", n.Kind)
+		}
+	}
+
+	// ---- backward ----
+	for i := len(live) - 1; i >= 0; i-- {
+		n := live[i]
+		// Implicit Split gradient reduction where data-edge fan-in > 1.
+		fanIn := 0
+		for _, cn := range cons[n.ID] {
+			switch cn.Kind {
+			case graph.OpSubBN2, graph.OpBNReLUConv:
+			default:
+				fanIn++
+			}
+		}
+		if fanIn > 1 {
+			for k := 0; k < fanIn; k++ {
+				SweepRead(c, gradOf(n))
+			}
+			store(gradOf(n))
+		}
+
+		switch n.Kind {
+		case graph.OpInput, graph.OpFlatten:
+		case graph.OpConv, graph.OpReLUConv:
+			SweepRead(c, gradOf(n))          // dY for dX
+			SweepRead(c, actOf(n.Inputs[0])) // saved ifmap for dW
+			SweepRead(c, gradOf(n))          // dY again for dW
+			store(gradOf(n.Inputs[0]))
+			if n.StatsOut != nil {
+				SweepRead(c, statsXHat(n)) // sub-BN1' x̂ read
+			}
+		case graph.OpBN:
+			SweepRead(c, gradOf(n))
+			SweepRead(c, actOf(n.Inputs[0]))
+			SweepRead(c, gradOf(n))
+			SweepRead(c, actOf(n.Inputs[0]))
+			store(gradOf(n.Inputs[0]))
+		case graph.OpSubBN1:
+			if !n.BN.ICF {
+				SweepRead(c, gradOf(n))          // dv
+				SweepRead(c, actOf(n.Inputs[0])) // x̂ source
+				store(gradOf(n.Inputs[0]))
+			}
+		case graph.OpSubBN2:
+			SweepRead(c, gradOf(n))
+			SweepRead(c, actOf(n.Inputs[0]))
+		case graph.OpBNReLUConv:
+			SweepRead(c, gradOf(n))
+			SweepRead(c, xhatOf(n.StatsFrom, n.Inputs[0]))
+			SweepRead(c, gradOf(n))
+			store(gradOf(n.Inputs[0])) // dv
+			if n.StatsOut != nil {
+				SweepRead(c, statsXHat(n))
+			}
+		case graph.OpReLU:
+			SweepRead(c, gradOf(n))
+			SweepRead(c, actOf(n.Inputs[0]))
+			store(gradOf(n.Inputs[0]))
+		case graph.OpDropout:
+			SweepRead(c, gradOf(n))
+			SweepRead(c, maskOf(n))
+			store(gradOf(n.Inputs[0]))
+		case graph.OpPool:
+			SweepRead(c, gradOf(n))
+			if n.Pool.Max {
+				SweepRead(c, gradOf(n)) // argmax indices, same volume class
+			}
+			store(gradOf(n.Inputs[0]))
+		case graph.OpGlobalPool, graph.OpFC:
+			SweepRead(c, gradOf(n))
+			if n.Kind == graph.OpFC {
+				SweepRead(c, actOf(n.Inputs[0]))
+			}
+			store(gradOf(n.Inputs[0]))
+		case graph.OpConcat:
+			SweepRead(c, gradOf(n))
+			for _, in := range n.Inputs {
+				store(gradOf(in))
+			}
+		case graph.OpEWS:
+			SweepRead(c, gradOf(n))
+			store(gradOf(n.Inputs[0]))
+			store(gradOf(n.Inputs[1]))
+		default:
+			return fmt.Errorf("cachesim: replay has no backward trace for %v", n.Kind)
+		}
+	}
+	return nil
+}
+
+func featureBytes(n *graph.Node) int64 {
+	b := int64(4)
+	for _, d := range n.OutShape {
+		b *= int64(d)
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+package cachesim
+
+import (
+	"math"
+	"testing"
+
+	"bnff/internal/core"
+	"bnff/internal/graph"
+	"bnff/internal/models"
+)
+
+func featureSweepBytes(t *testing.T, g *graph.Graph) int64 {
+	t.Helper()
+	costs, err := g.TrainingCosts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b int64
+	for _, c := range costs {
+		for _, sw := range c.Sweeps {
+			if sw.Kind == graph.SweepFeatureMap {
+				b += sw.Bytes
+			}
+		}
+	}
+	return b
+}
+
+func replayDRAM(t *testing.T, g *graph.Graph, cacheBytes int) int64 {
+	t.Helper()
+	c, err := New(cacheBytes, 64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ReplayTraining(c, g); err != nil {
+		t.Fatal(err)
+	}
+	return c.Stats().DRAMBytes(64)
+}
+
+// At a scale where every feature map spills the cache, the independent
+// trace replay must agree with the cost model's sweep totals — the central
+// cross-validation between the two implementations of Figure 5.
+func TestReplayMatchesSweepAccountingWhenSpilling(t *testing.T) {
+	for _, build := range []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return models.TinyDenseNet(256) },
+		func() (*graph.Graph, error) { return models.TinyResNet(256) },
+	} {
+		for _, s := range []core.Scenario{core.Baseline, core.BNFF} {
+			g, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := core.Restructure(g, s.Options()); err != nil {
+				t.Fatal(err)
+			}
+			want := featureSweepBytes(t, g)
+			got := replayDRAM(t, g, 256<<10) // 256 KiB: everything spills
+			rel := math.Abs(float64(got-want)) / float64(want)
+			if rel > 0.03 {
+				t.Errorf("%s %v: replay %d vs sweeps %d (rel err %.3f)", g.Name, s, got, want, rel)
+			}
+		}
+	}
+}
+
+// With a cache large enough to hold the working set, the replay's DRAM
+// traffic collapses well below the sweep totals — the regime memsim's
+// OnChip filter models and the reason the paper requires 100+ mini-batches
+// for BN to be a bottleneck.
+func TestReplayCacheFilteringAtSmallBatch(t *testing.T) {
+	g, err := models.TinyDenseNet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := featureSweepBytes(t, g)
+	got := replayDRAM(t, g, 16<<20) // 16 MiB dwarfs the tiny model
+	if float64(got) > 0.6*float64(want) {
+		t.Errorf("small-batch replay %d not filtered below 60%% of %d", got, want)
+	}
+}
+
+// The restructured graph must move less real DRAM traffic than the baseline
+// under the trace replay, not just under the analytic accounting.
+func TestReplayBNFFReducesTraffic(t *testing.T) {
+	base, err := models.TinyDenseNet(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bnff, err := models.TinyDenseNet(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Restructure(bnff, core.BNFF.Options()); err != nil {
+		t.Fatal(err)
+	}
+	baseBytes := replayDRAM(t, base, 256<<10)
+	bnffBytes := replayDRAM(t, bnff, 256<<10)
+	red := 1 - float64(bnffBytes)/float64(baseBytes)
+	if red < 0.15 {
+		t.Errorf("replayed BNFF traffic reduction = %.3f, want >= 0.15", red)
+	}
+}
+
+func TestReplayCoversAllModels(t *testing.T) {
+	for _, build := range []func() (*graph.Graph, error){
+		func() (*graph.Graph, error) { return models.TinyCNN(8, 8, 4) },
+		func() (*graph.Graph, error) { return models.TinyMobileNet(8) },
+		func() (*graph.Graph, error) { return models.TinyInception(8) },
+	} {
+		for _, s := range core.Scenarios() {
+			g, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := core.Restructure(g, s.Options()); err != nil {
+				t.Fatal(err)
+			}
+			c, err := New(1<<20, 64, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ReplayTraining(c, g); err != nil {
+				t.Errorf("%s %v: %v", g.Name, s, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"bnff/internal/tensor"
+)
+
+// Checkpointing: executors serialize their parameters and BN running
+// statistics to a small self-describing binary format, so training runs can
+// be suspended/resumed and so a baseline-trained model can be loaded into a
+// restructured executor (parameter names survive restructuring by design).
+//
+// Format (little endian):
+//
+//	magic "BNFF" | uint32 version | uint32 entry count |
+//	per entry: uint32 name length | name | uint32 rank | int64 dims… |
+//	           float32 data…
+
+const (
+	checkpointMagic   = "BNFF"
+	checkpointVersion = 1
+)
+
+type entry struct {
+	name string
+	t    *tensor.Tensor
+}
+
+// Save writes all parameters and running statistics to w.
+func (e *Executor) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var entries []entry
+	for name, t := range e.Params {
+		entries = append(entries, entry{name, t})
+	}
+	for name, t := range e.Running {
+		entries = append(entries, entry{name, t})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	if _, err := bw.WriteString(checkpointMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(checkpointVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(entries))); err != nil {
+		return err
+	}
+	for _, en := range entries {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(en.name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(en.name); err != nil {
+			return err
+		}
+		shape := en.t.Shape()
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(shape))); err != nil {
+			return err
+		}
+		for _, d := range shape {
+			if err := binary.Write(bw, binary.LittleEndian, int64(d)); err != nil {
+				return err
+			}
+		}
+		for _, v := range en.t.Data {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float32bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load restores parameters and running statistics previously written by
+// Save. Every entry must match an existing tensor by name and shape; extra
+// or missing entries are errors (a checkpoint for a different model must not
+// load silently).
+func (e *Executor) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("core: checkpoint header: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return fmt.Errorf("core: bad checkpoint magic %q", magic)
+	}
+	var version, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return err
+	}
+	if version != checkpointVersion {
+		return fmt.Errorf("core: unsupported checkpoint version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	want := len(e.Params) + len(e.Running)
+	if int(count) != want {
+		return fmt.Errorf("core: checkpoint has %d entries, executor expects %d", count, want)
+	}
+	seen := make(map[string]bool, count)
+	for i := uint32(0); i < count; i++ {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return err
+		}
+		if nameLen > 4096 {
+			return fmt.Errorf("core: implausible checkpoint name length %d", nameLen)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return err
+		}
+		name := string(nameBuf)
+		if seen[name] {
+			return fmt.Errorf("core: duplicate checkpoint entry %q", name)
+		}
+		seen[name] = true
+
+		var rank uint32
+		if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
+			return err
+		}
+		if rank > 8 {
+			return fmt.Errorf("core: implausible rank %d for %q", rank, name)
+		}
+		shape := make(tensor.Shape, rank)
+		for d := range shape {
+			var dim int64
+			if err := binary.Read(br, binary.LittleEndian, &dim); err != nil {
+				return err
+			}
+			shape[d] = int(dim)
+		}
+		dst := e.Params[name]
+		if dst == nil {
+			dst = e.Running[name]
+		}
+		if dst == nil {
+			return fmt.Errorf("core: checkpoint entry %q unknown to this executor", name)
+		}
+		if !dst.Shape().Equal(shape) {
+			return fmt.Errorf("core: checkpoint entry %q shape %v, executor has %v", name, shape, dst.Shape())
+		}
+		for j := range dst.Data {
+			var bits uint32
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return fmt.Errorf("core: checkpoint data of %q: %w", name, err)
+			}
+			dst.Data[j] = math.Float32frombits(bits)
+		}
+	}
+	return nil
+}
+
+// SaveFile writes a checkpoint to path, creating or truncating it.
+func (e *Executor) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := e.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile restores a checkpoint from path.
+func (e *Executor) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return e.Load(f)
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"bnff/internal/models"
+	"bnff/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	g, err := models.TinyCNN(2, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewExecutor(g, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb running stats so they are non-trivial.
+	for _, r := range src.Running {
+		tensor.NewRNG(3).FillUniform(r, 0, 2)
+	}
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	g2, err := models.TinyCNN(2, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewExecutor(g2, 99) // different init
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for name, p := range src.Params {
+		if d, _ := tensor.MaxAbsDiff(p, dst.Params[name]); d != 0 {
+			t.Errorf("parameter %q not restored exactly (diff %v)", name, d)
+		}
+	}
+	for name, r := range src.Running {
+		if d, _ := tensor.MaxAbsDiff(r, dst.Running[name]); d != 0 {
+			t.Errorf("running stat %q not restored exactly (diff %v)", name, d)
+		}
+	}
+}
+
+// A checkpoint written by a baseline executor must load into a BNFF
+// executor — the parameter-name stability the restructuring guarantees.
+func TestCheckpointAcrossRestructuring(t *testing.T) {
+	gBase, _ := models.TinyDenseNet(2)
+	base, err := NewExecutor(gBase, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := base.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	gBNFF, _ := models.TinyDenseNet(2)
+	if err := Restructure(gBNFF, BNFF.Options()); err != nil {
+		t.Fatal(err)
+	}
+	fused, err := NewExecutor(gBNFF, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fused.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Outputs must now match the baseline's.
+	in := tensor.New(2, 3, 16, 16)
+	tensor.NewRNG(5).FillNormal(in, 0, 1)
+	yBase, err := base.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yFused, err := fused.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(yBase, yFused, 1e-3, 1e-3) {
+		t.Error("checkpoint-restored BNFF executor diverges from baseline")
+	}
+}
+
+func TestCheckpointRejectsWrongModel(t *testing.T) {
+	g1, _ := models.TinyCNN(2, 8, 4)
+	e1, err := NewExecutor(g1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e1.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := models.TinyResNet(2)
+	e2, err := NewExecutor(g2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("loaded a checkpoint from a different model")
+	}
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	g, _ := models.TinyCNN(2, 8, 4)
+	e, err := NewExecutor(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, data...)
+	bad[0] = 'X'
+	if err := e.Load(bytes.NewReader(bad)); err == nil {
+		t.Error("accepted bad magic")
+	}
+	// Truncated.
+	if err := e.Load(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("accepted truncated checkpoint")
+	}
+	// Bad version.
+	bad = append([]byte{}, data...)
+	bad[4] = 0xFF
+	if err := e.Load(bytes.NewReader(bad)); err == nil {
+		t.Error("accepted bad version")
+	}
+	// Empty stream.
+	if err := e.Load(bytes.NewReader(nil)); err == nil {
+		t.Error("accepted empty stream")
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.bnff")
+	g, _ := models.TinyCNN(2, 8, 4)
+	e, err := NewExecutor(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := models.TinyCNN(2, 8, 4)
+	e2, err := NewExecutor(g2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	for name, p := range e.Params {
+		if d, _ := tensor.MaxAbsDiff(p, e2.Params[name]); d != 0 {
+			t.Errorf("file round trip changed %q", name)
+		}
+	}
+	if err := e2.LoadFile(filepath.Join(dir, "missing.bnff")); err == nil {
+		t.Error("loaded a missing file")
+	}
+}

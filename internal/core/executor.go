@@ -1,0 +1,549 @@
+package core
+
+import (
+	"fmt"
+
+	"bnff/internal/graph"
+	"bnff/internal/kernels"
+	"bnff/internal/layers"
+	"bnff/internal/tensor"
+)
+
+// Executor runs a graph numerically — baseline or restructured — against
+// real tensors. It owns the parameters (keyed by stable names that survive
+// restructuring, so baseline and restructured executors can share weights
+// for equivalence checks) and retains whatever each node's backward pass
+// needs from the last forward pass.
+type Executor struct {
+	G      *graph.Graph
+	Params map[string]*tensor.Tensor
+
+	// TrackRunning enables running-statistics updates ("<bn>.rmean",
+	// "<bn>.rvar" in Running) during Forward, as training would.
+	TrackRunning bool
+	Running      map[string]*tensor.Tensor
+
+	// Inference switches every BN (monolithic or restructured) to the
+	// running statistics instead of mini-batch statistics — the deployment
+	// mode in which BN is element-wise and the classic inference-time
+	// CONV+BN folding (the related work the paper contrasts with) applies.
+	// Backward is unavailable in inference mode.
+	Inference bool
+
+	// PreciseStats switches the MVF accumulators to float64 — the paper's
+	// §3.2 fallback for when E(X²) cancellation would hurt accuracy ("we can
+	// use higher-precision representations to store intermediate data...
+	// using higher-precision representations and arithmetic does not impact
+	// training performance" since BN stays bandwidth-bound).
+	PreciseStats bool
+
+	vals    map[int]*tensor.Tensor
+	stats   map[int]*layers.BNStats // keyed by statistics-producer node ID
+	xhats   map[int]*tensor.Tensor  // keyed by normalize-owner node ID
+	poolCtx map[int]*layers.PoolContext
+	masks   map[int]*tensor.Tensor // dropout masks, keyed by node ID
+
+	dropRNG *tensor.RNG
+}
+
+// SetDropoutSeed resets the dropout mask stream. Two executors given the
+// same seed draw identical masks, which is how the equivalence tests compare
+// stochastic models across restructuring.
+func (e *Executor) SetDropoutSeed(seed uint64) { e.dropRNG = tensor.NewRNG(seed) }
+
+// bnStash carries the sub-BN2' results (dv, dγ, dβ, x̂) from the
+// normalize-side backward to the statistics-side backward, keyed by the
+// statistics producer's node ID.
+type bnStash struct {
+	dv, xhat      *tensor.Tensor
+	dgamma, dbeta *tensor.Tensor
+}
+
+// NewExecutor validates the graph and allocates initialized parameters:
+// He-normal convolution and FC weights, γ=1, β=0, zeroed running statistics.
+func NewExecutor(g *graph.Graph, seed uint64) (*Executor, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if g.Output == nil {
+		return nil, fmt.Errorf("core: graph %q has no designated output node", g.Name)
+	}
+	e := &Executor{
+		G:       g,
+		Params:  make(map[string]*tensor.Tensor),
+		Running: make(map[string]*tensor.Tensor),
+	}
+	rng := tensor.NewRNG(seed)
+	for _, n := range g.Live() {
+		if n.Conv != nil {
+			w := tensor.New(n.Conv.WeightShape()...)
+			rng.FillHe(w, n.Conv.InChannels*n.Conv.KernelH*n.Conv.KernelW)
+			e.Params[n.Name+".w"] = w
+		}
+		if n.FC != nil {
+			w := tensor.New(n.FC.WeightShape()...)
+			rng.FillHe(w, n.FC.In)
+			e.Params[n.Name+".w"] = w
+			e.Params[n.Name+".b"] = tensor.New(n.FC.Out)
+		}
+		if n.BN != nil {
+			gname := n.BN.ParamName + ".gamma"
+			if _, ok := e.Params[gname]; !ok {
+				gamma := tensor.New(n.BN.Channels)
+				gamma.Fill(1)
+				e.Params[gname] = gamma
+				e.Params[n.BN.ParamName+".beta"] = tensor.New(n.BN.Channels)
+				e.Running[n.BN.ParamName+".rmean"] = tensor.New(n.BN.Channels)
+				rv := tensor.New(n.BN.Channels)
+				rv.Fill(1)
+				e.Running[n.BN.ParamName+".rvar"] = rv
+			}
+		}
+	}
+	return e, nil
+}
+
+// CopyParamsFrom overwrites this executor's parameters with o's values.
+// Both graphs must have been built from the same model so the names align;
+// restructuring never renames parameters, so baseline ↔ restructured copies
+// always work.
+func (e *Executor) CopyParamsFrom(o *Executor) error {
+	for name, p := range e.Params {
+		src, ok := o.Params[name]
+		if !ok {
+			return fmt.Errorf("core: source executor missing parameter %q", name)
+		}
+		if !p.Shape().Equal(src.Shape()) {
+			return fmt.Errorf("core: parameter %q shape %v vs %v", name, p.Shape(), src.Shape())
+		}
+		copy(p.Data, src.Data)
+	}
+	return nil
+}
+
+func (e *Executor) bnOf(n *graph.Node) layers.BatchNorm {
+	return layers.NewBatchNorm(n.BN.Channels)
+}
+
+func bnOfAttr(a *graph.BNAttr) layers.BatchNorm { return layers.NewBatchNorm(a.Channels) }
+
+func (e *Executor) gamma(n *graph.Node) *tensor.Tensor { return e.Params[n.BN.ParamName+".gamma"] }
+func (e *Executor) beta(n *graph.Node) *tensor.Tensor  { return e.Params[n.BN.ParamName+".beta"] }
+
+func (e *Executor) gammaOf(a *graph.BNAttr) *tensor.Tensor { return e.Params[a.ParamName+".gamma"] }
+
+// epilogueStats computes the StatsOut statistics of a conv-like node's fresh
+// output — the sub-BN1 epilogue of the fused kernel, which always uses the
+// single-sweep MVF accumulation (float64 under PreciseStats).
+func (e *Executor) epilogueStats(n *graph.Node, y *tensor.Tensor) (*layers.BNStats, error) {
+	if e.PreciseStats {
+		return bnOfAttr(n.StatsOut).ComputeStatsMVF64(y)
+	}
+	return bnOfAttr(n.StatsOut).ComputeStatsMVF(y)
+}
+
+// computeStats dispatches between the MVF single-sweep and the baseline
+// two-pass statistics according to the node's BN attributes. In inference
+// mode the stored running statistics are returned instead.
+func (e *Executor) computeStats(n *graph.Node, x *tensor.Tensor) (*layers.BNStats, error) {
+	if e.Inference {
+		return e.runningStats(n.BN)
+	}
+	bn := e.bnOf(n)
+	if n.BN.MVF {
+		if e.PreciseStats {
+			return bn.ComputeStatsMVF64(x)
+		}
+		return bn.ComputeStatsMVF(x)
+	}
+	return bn.ComputeStats(x)
+}
+
+// runningStats returns the inference-time statistics for a BN identity.
+func (e *Executor) runningStats(attr *graph.BNAttr) (*layers.BNStats, error) {
+	rm := e.Running[attr.ParamName+".rmean"]
+	rv := e.Running[attr.ParamName+".rvar"]
+	if rm == nil || rv == nil {
+		return nil, fmt.Errorf("core: no running statistics for %q", attr.ParamName)
+	}
+	return &layers.BNStats{Mean: rm, Var: rv}, nil
+}
+
+// statsFor resolves the statistics a normalize-side node should use: the
+// producer's mini-batch statistics in training, the running statistics in
+// inference.
+func (e *Executor) statsFor(n *graph.Node) (*layers.BNStats, error) {
+	if e.Inference {
+		return e.runningStats(n.BN)
+	}
+	st := e.stats[n.StatsFrom.ID]
+	if st == nil {
+		return nil, fmt.Errorf("core: node %q has no statistics from %q", n.Name, n.StatsFrom.Name)
+	}
+	return st, nil
+}
+
+// Forward executes one forward pass and returns the output node's value.
+// The input must match the graph's input shape.
+func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	e.vals = make(map[int]*tensor.Tensor)
+	e.stats = make(map[int]*layers.BNStats)
+	e.xhats = make(map[int]*tensor.Tensor)
+	e.poolCtx = make(map[int]*layers.PoolContext)
+	e.masks = make(map[int]*tensor.Tensor)
+	if e.dropRNG == nil {
+		e.dropRNG = tensor.NewRNG(0x5eed)
+	}
+
+	for _, n := range e.G.Live() {
+		var err error
+		switch n.Kind {
+		case graph.OpInput:
+			if !x.Shape().Equal(n.OutShape) {
+				return nil, fmt.Errorf("core: input shape %v, graph expects %v", x.Shape(), n.OutShape)
+			}
+			e.vals[n.ID] = x
+
+		case graph.OpConv:
+			switch {
+			case n.StatsOut != nil && !e.Inference && !e.PreciseStats:
+				var st *layers.BNStats
+				e.vals[n.ID], st, err = kernels.ConvForwardStats(*n.Conv, e.in(n, 0), e.Params[n.Name+".w"])
+				e.stats[n.ID] = st
+			case n.StatsOut != nil && !e.Inference:
+				e.vals[n.ID], err = n.Conv.Forward(e.in(n, 0), e.Params[n.Name+".w"])
+				if err == nil {
+					e.stats[n.ID], err = e.epilogueStats(n, e.vals[n.ID])
+				}
+			default:
+				e.vals[n.ID], err = n.Conv.Forward(e.in(n, 0), e.Params[n.Name+".w"])
+			}
+
+		case graph.OpBN:
+			var st *layers.BNStats
+			st, err = e.computeStats(n, e.in(n, 0))
+			if err != nil {
+				break
+			}
+			var y, xhat *tensor.Tensor
+			y, xhat, err = e.bnOf(n).Normalize(e.in(n, 0), st, e.gamma(n), e.beta(n))
+			e.vals[n.ID], e.stats[n.ID], e.xhats[n.ID] = y, st, xhat
+
+		case graph.OpSubBN1:
+			if !e.Inference { // inference needs no mini-batch statistics
+				e.stats[n.ID], err = e.computeStats(n, e.in(n, 0))
+			}
+			// SubBN1 produces statistics only; it has no data output.
+
+		case graph.OpSubBN2:
+			var st *layers.BNStats
+			st, err = e.statsFor(n)
+			if err != nil {
+				break
+			}
+			var y, xhat *tensor.Tensor
+			y, xhat, err = e.bnOf(n).Normalize(e.in(n, 0), st, e.gamma(n), e.beta(n))
+			e.vals[n.ID], e.xhats[n.ID] = y, xhat
+
+		case graph.OpReLU:
+			e.vals[n.ID] = layers.ReLUForward(e.in(n, 0))
+
+		case graph.OpReLUConv:
+			e.vals[n.ID], err = kernels.ReLUConvForward(*n.Conv, e.in(n, 0), e.Params[n.Name+".w"])
+			if err == nil && n.StatsOut != nil && !e.Inference {
+				e.stats[n.ID], err = e.epilogueStats(n, e.vals[n.ID])
+			}
+
+		case graph.OpBNReLUConv:
+			var st *layers.BNStats
+			st, err = e.statsFor(n)
+			if err != nil {
+				break
+			}
+			var y, xhat *tensor.Tensor
+			y, xhat, err = kernels.FusedBNReLUConvForward(*n.Conv, e.bnOf(n), e.in(n, 0), st,
+				e.gamma(n), e.beta(n), e.Params[n.Name+".w"])
+			e.vals[n.ID], e.xhats[n.ID] = y, xhat
+			if err == nil && n.StatsOut != nil && !e.Inference {
+				e.stats[n.ID], err = e.epilogueStats(n, y)
+			}
+
+		case graph.OpPool:
+			var y *tensor.Tensor
+			var ctx *layers.PoolContext
+			y, ctx, err = n.Pool.Forward(e.in(n, 0))
+			e.vals[n.ID], e.poolCtx[n.ID] = y, ctx
+
+		case graph.OpGlobalPool:
+			e.vals[n.ID], err = layers.GlobalAvgPoolForward(e.in(n, 0))
+
+		case graph.OpFC:
+			e.vals[n.ID], err = n.FC.Forward(e.in(n, 0), e.Params[n.Name+".w"], e.Params[n.Name+".b"])
+
+		case graph.OpConcat:
+			ins := make([]*tensor.Tensor, len(n.Inputs))
+			for i := range n.Inputs {
+				ins[i] = e.in(n, i)
+			}
+			e.vals[n.ID], err = layers.ConcatForward(ins...)
+
+		case graph.OpEWS:
+			e.vals[n.ID], err = layers.EWSForward(e.in(n, 0), e.in(n, 1))
+
+		case graph.OpFlatten:
+			e.vals[n.ID], err = e.in(n, 0).Reshape(n.OutShape...)
+
+		case graph.OpDropout:
+			if e.Inference {
+				e.vals[n.ID] = e.in(n, 0) // inverted dropout: inference is identity
+				break
+			}
+			var y, mask *tensor.Tensor
+			y, mask, err = n.Dropout.Forward(e.in(n, 0), e.dropRNG)
+			e.vals[n.ID], e.masks[n.ID] = y, mask
+
+		default:
+			return nil, fmt.Errorf("core: executor cannot run kind %v (node %q)", n.Kind, n.Name)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: forward of node %q: %w", n.Name, err)
+		}
+	}
+
+	if e.TrackRunning {
+		if err := e.updateRunning(); err != nil {
+			return nil, err
+		}
+	}
+	out := e.vals[e.G.Output.ID]
+	if out == nil {
+		return nil, fmt.Errorf("core: output node %q produced no value", e.G.Output.Name)
+	}
+	return out, nil
+}
+
+func (e *Executor) updateRunning() error {
+	for _, n := range e.G.Live() {
+		st := e.stats[n.ID]
+		if st == nil {
+			continue
+		}
+		attr := n.StatsOut
+		if attr == nil {
+			attr = n.BN
+		}
+		if attr == nil {
+			continue
+		}
+		bn := bnOfAttr(attr)
+		rm := e.Running[attr.ParamName+".rmean"]
+		rv := e.Running[attr.ParamName+".rvar"]
+		if err := bn.UpdateRunning(rm, rv, st); err != nil {
+			return fmt.Errorf("core: running stats of %q: %w", attr.ParamName, err)
+		}
+	}
+	return nil
+}
+
+// in fetches input i's forward value, which must exist because the graph is
+// topologically ordered.
+func (e *Executor) in(n *graph.Node, i int) *tensor.Tensor {
+	return e.vals[n.Inputs[i].ID]
+}
+
+// accumGrad folds a fresh gradient contribution into the per-node map.
+// The first contribution takes ownership of the tensor (every producer
+// returns a fresh tensor, so no aliasing).
+func accumGrad(gmap map[int]*tensor.Tensor, n *graph.Node, g *tensor.Tensor) error {
+	if cur := gmap[n.ID]; cur != nil {
+		return cur.AddInPlace(g)
+	}
+	gmap[n.ID] = g
+	return nil
+}
+
+// Backward propagates dOut (gradient w.r.t. the output node's value)
+// through the graph and returns parameter gradients keyed like Params.
+// Forward must have been called first.
+func (e *Executor) Backward(dOut *tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	if e.Inference {
+		return nil, fmt.Errorf("core: Backward unavailable in inference mode")
+	}
+	if e.vals == nil {
+		return nil, fmt.Errorf("core: Backward before Forward")
+	}
+	if !dOut.Shape().Equal(e.G.Output.OutShape) {
+		return nil, fmt.Errorf("core: dOut shape %v, output is %v", dOut.Shape(), e.G.Output.OutShape)
+	}
+	grads := make(map[string]*tensor.Tensor)
+	gmap := map[int]*tensor.Tensor{e.G.Output.ID: dOut}
+	stash := make(map[int]*bnStash)
+
+	live := e.G.Live()
+	for i := len(live) - 1; i >= 0; i-- {
+		n := live[i]
+		if n.Kind == graph.OpInput {
+			continue
+		}
+		if err := e.backwardNode(n, gmap, grads, stash); err != nil {
+			return nil, fmt.Errorf("core: backward of node %q: %w", n.Name, err)
+		}
+	}
+	return grads, nil
+}
+
+func (e *Executor) backwardNode(n *graph.Node, gmap map[int]*tensor.Tensor,
+	grads map[string]*tensor.Tensor, stash map[int]*bnStash) error {
+
+	dy := gmap[n.ID]
+	// Conv-like nodes with a StatsOut epilogue receive their upstream
+	// gradient through the sub-BN2' stash instead of the gradient map: the
+	// following BN's element-wise input gradient (sub-BN1') is produced in
+	// the same fused sweep this CONV's backward consumes.
+	if n.Kind.IsConvLike() && n.StatsOut != nil {
+		st := stash[n.ID]
+		if st == nil {
+			return fmt.Errorf("no sub-BN2' stash for statistics producer")
+		}
+		var err error
+		dy, err = bnOfAttr(n.StatsOut).BackwardInput(st.dv, st.xhat, e.gammaOf(n.StatsOut),
+			e.stats[n.ID], st.dgamma, st.dbeta)
+		if err != nil {
+			return err
+		}
+	} else if n.Kind != graph.OpSubBN1 && dy == nil {
+		return fmt.Errorf("no gradient reached node (kind %v)", n.Kind)
+	}
+
+	switch n.Kind {
+	case graph.OpConv:
+		dx, dw, err := n.Conv.Backward(dy, e.in(n, 0), e.Params[n.Name+".w"])
+		if err != nil {
+			return err
+		}
+		grads[n.Name+".w"] = dw
+		return accumGrad(gmap, n.Inputs[0], dx)
+
+	case graph.OpBN:
+		ctx := &layers.BNContext{XHat: e.xhats[n.ID], Stats: e.stats[n.ID]}
+		dx, dgamma, dbeta, err := e.bnOf(n).Backward(dy, ctx, e.gamma(n))
+		if err != nil {
+			return err
+		}
+		grads[n.BN.ParamName+".gamma"] = dgamma
+		grads[n.BN.ParamName+".beta"] = dbeta
+		return accumGrad(gmap, n.Inputs[0], dx)
+
+	case graph.OpSubBN1:
+		st := stash[n.ID]
+		if st == nil {
+			return fmt.Errorf("no sub-BN2' stash for statistics producer")
+		}
+		du, err := e.bnOf(n).BackwardInput(st.dv, st.xhat, e.gamma(n), e.stats[n.ID], st.dgamma, st.dbeta)
+		if err != nil {
+			return err
+		}
+		return accumGrad(gmap, n.Inputs[0], du)
+
+	case graph.OpSubBN2:
+		bn := e.bnOf(n)
+		dgamma, dbeta, err := bn.BackwardReduce(dy, e.xhats[n.ID])
+		if err != nil {
+			return err
+		}
+		grads[n.BN.ParamName+".gamma"] = dgamma
+		grads[n.BN.ParamName+".beta"] = dbeta
+		stash[n.StatsFrom.ID] = &bnStash{dv: dy, xhat: e.xhats[n.ID], dgamma: dgamma, dbeta: dbeta}
+		return nil
+
+	case graph.OpReLU:
+		dx, err := layers.ReLUBackward(dy, e.in(n, 0))
+		if err != nil {
+			return err
+		}
+		return accumGrad(gmap, n.Inputs[0], dx)
+
+	case graph.OpReLUConv:
+		dx, dw, err := kernels.ReLUConvBackward(*n.Conv, dy, e.in(n, 0), e.Params[n.Name+".w"])
+		if err != nil {
+			return err
+		}
+		grads[n.Name+".w"] = dw
+		return accumGrad(gmap, n.Inputs[0], dx)
+
+	case graph.OpBNReLUConv:
+		dv, dw, dgamma, dbeta, err := kernels.FusedConvBackwardReLUBNReduce(*n.Conv, e.bnOf(n),
+			dy, e.xhats[n.ID], e.gamma(n), e.beta(n), e.Params[n.Name+".w"])
+		if err != nil {
+			return err
+		}
+		grads[n.Name+".w"] = dw
+		grads[n.BN.ParamName+".gamma"] = dgamma
+		grads[n.BN.ParamName+".beta"] = dbeta
+		stash[n.StatsFrom.ID] = &bnStash{dv: dv, xhat: e.xhats[n.ID], dgamma: dgamma, dbeta: dbeta}
+		return nil
+
+	case graph.OpPool:
+		dx, err := n.Pool.Backward(dy, e.poolCtx[n.ID])
+		if err != nil {
+			return err
+		}
+		return accumGrad(gmap, n.Inputs[0], dx)
+
+	case graph.OpGlobalPool:
+		dx, err := layers.GlobalAvgPoolBackward(dy, n.Inputs[0].OutShape)
+		if err != nil {
+			return err
+		}
+		return accumGrad(gmap, n.Inputs[0], dx)
+
+	case graph.OpFC:
+		dx, dw, db, err := n.FC.Backward(dy, e.in(n, 0), e.Params[n.Name+".w"])
+		if err != nil {
+			return err
+		}
+		grads[n.Name+".w"] = dw
+		grads[n.Name+".b"] = db
+		return accumGrad(gmap, n.Inputs[0], dx)
+
+	case graph.OpConcat:
+		channels := make([]int, len(n.Inputs))
+		for i, in := range n.Inputs {
+			channels[i] = in.OutShape[1]
+		}
+		parts, err := layers.ConcatBackward(dy, channels)
+		if err != nil {
+			return err
+		}
+		for i, p := range parts {
+			if err := accumGrad(gmap, n.Inputs[i], p); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case graph.OpEWS:
+		da, db := layers.EWSBackward(dy)
+		if err := accumGrad(gmap, n.Inputs[0], da); err != nil {
+			return err
+		}
+		return accumGrad(gmap, n.Inputs[1], db)
+
+	case graph.OpFlatten:
+		dx, err := dy.Reshape(n.Inputs[0].OutShape...)
+		if err != nil {
+			return err
+		}
+		return accumGrad(gmap, n.Inputs[0], dx.Clone())
+
+	case graph.OpDropout:
+		dx, err := n.Dropout.Backward(dy, e.masks[n.ID])
+		if err != nil {
+			return err
+		}
+		return accumGrad(gmap, n.Inputs[0], dx)
+
+	default:
+		return fmt.Errorf("executor cannot differentiate kind %v", n.Kind)
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"bnff/internal/layers"
+	"bnff/internal/models"
+	"bnff/internal/tensor"
+)
+
+// endToEndLoss runs forward + softmax cross-entropy for the current
+// parameters.
+func endToEndLoss(t *testing.T, ex *Executor, x *tensor.Tensor, labels []int) float64 {
+	t.Helper()
+	logits, err := ex.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss, _, err := layers.SoftmaxCrossEntropy(logits, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loss
+}
+
+// TestExecutorGradientsEndToEnd verifies the whole executor backward —
+// through conv, BN (or its fused restructuring), ReLU, pooling, concat, and
+// the loss — against central finite differences on sampled parameter
+// entries. This is the strongest correctness statement the numeric plane
+// makes: not layer-local gradients, but d(loss)/d(θ) for the assembled
+// system, in both the baseline and the restructured world.
+func TestExecutorGradientsEndToEnd(t *testing.T) {
+	for _, s := range []Scenario{Baseline, BNFF} {
+		g, err := models.TinyCNN(4, 8, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Restructure(g, s.Options()); err != nil {
+			t.Fatal(err)
+		}
+		ex, err := NewExecutor(g, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := tensor.New(4, 3, 8, 8)
+		tensor.NewRNG(7).FillNormal(x, 0, 1)
+		labels := []int{0, 1, 2, 3}
+
+		logits, err := ex.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, dlogits, err := layers.SoftmaxCrossEntropy(logits, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grads, err := ex.Backward(dlogits)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Sample a handful of entries from every parameter tensor and check
+		// them by central differences.
+		names := make([]string, 0, len(ex.Params))
+		for name := range ex.Params {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		rng := tensor.NewRNG(99)
+		const eps = 1e-2
+		for _, name := range names {
+			p := ex.Params[name]
+			gr := grads[name]
+			if gr == nil {
+				t.Fatalf("%v: no gradient for %q", s, name)
+			}
+			for k := 0; k < 3; k++ {
+				i := rng.Intn(p.NumElems())
+				orig := p.Data[i]
+				p.Data[i] = orig + eps
+				lp := endToEndLoss(t, ex, x, labels)
+				p.Data[i] = orig - eps
+				lm := endToEndLoss(t, ex, x, labels)
+				p.Data[i] = orig
+				numeric := (lp - lm) / (2 * eps)
+				analytic := float64(gr.Data[i])
+				// Scale-aware tolerance: fp32 forward noise over fd step.
+				tol := 2e-2*math.Max(math.Abs(numeric), math.Abs(analytic)) + 3e-3
+				if math.Abs(numeric-analytic) > tol {
+					t.Errorf("%v %s[%d]: analytic %.5f vs numeric %.5f", s, name, i, analytic, numeric)
+				}
+			}
+		}
+	}
+}

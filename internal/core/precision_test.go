@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"bnff/internal/models"
+	"bnff/internal/tensor"
+)
+
+// The paper's §3.2 precision discussion: single-precision E(X²) suffices,
+// and the float64 fallback must track a two-pass (baseline) reference at
+// least as closely as float32 does.
+func TestPreciseStatsTracksBaselineTighter(t *testing.T) {
+	build := func() *Executor {
+		g, err := models.TinyDenseNet(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Restructure(g, BNFF.Options()); err != nil {
+			t.Fatal(err)
+		}
+		ex, err := NewExecutor(g, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ex
+	}
+	gBase, err := models.TinyDenseNet(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewExecutor(gBase, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fused32 := build()
+	fused64 := build()
+	fused64.PreciseStats = true
+	if err := fused32.CopyParamsFrom(base); err != nil {
+		t.Fatal(err)
+	}
+	if err := fused64.CopyParamsFrom(base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shift activations far from zero — the adversarial regime for E(X²).
+	in := tensor.New(4, 3, 16, 16)
+	tensor.NewRNG(7).FillNormal(in, 8, 0.05)
+
+	yBase, err := base.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y32, err := fused32.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y64, err := fused64.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d32, _ := tensor.MaxAbsDiff(yBase, y32)
+	d64, _ := tensor.MaxAbsDiff(yBase, y64)
+	if d64 > d32*1.5 {
+		t.Errorf("float64 MVF drift %v exceeds float32 drift %v", d64, d32)
+	}
+	// Both must still be functionally equivalent to the baseline.
+	if !tensor.AllClose(yBase, y64, 1e-3, 1e-3) {
+		t.Errorf("precise-stats logits diverge from baseline by %v", d64)
+	}
+}
+
+func TestPreciseStatsBackwardWorks(t *testing.T) {
+	g, err := models.TinyCNN(4, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Restructure(g, BNFF.Options()); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExecutor(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.PreciseStats = true
+	in := tensor.New(4, 3, 8, 8)
+	tensor.NewRNG(5).FillNormal(in, 0, 1)
+	y, err := ex.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dOut := tensor.New(y.Shape()...)
+	dOut.Fill(0.1)
+	if _, err := ex.Backward(dOut); err != nil {
+		t.Fatal(err)
+	}
+}

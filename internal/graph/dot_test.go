@@ -1,0 +1,59 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"bnff/internal/tensor"
+)
+
+func TestDOTRendersStructure(t *testing.T) {
+	g, nodes := buildChain(t)
+	g.Output = nodes[4]
+	dot := g.DOT()
+	for _, want := range []string{
+		"digraph \"chain\"",
+		"conv1", "bn", "relu", "conv2",
+		"->",
+		"peripheries=2", // output marked
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	// One edge per input relation: 4 edges in the chain.
+	if got := strings.Count(dot, "->"); got != 4 {
+		t.Errorf("DOT has %d edges, want 4", got)
+	}
+	if !strings.HasSuffix(dot, "}\n") {
+		t.Error("DOT not terminated")
+	}
+}
+
+func TestDOTMarksStatsEdges(t *testing.T) {
+	g := New("stats")
+	in := g.Input("in", tensor.Shape{2, 4, 8, 8})
+	s := g.AddNode(&Node{Kind: OpSubBN1, Name: "stats", Inputs: []*Node{in},
+		OutShape: in.OutShape.Clone(), BN: &BNAttr{Channels: 4, ParamName: "bn"}, CPL: -1})
+	n := g.AddNode(&Node{Kind: OpSubBN2, Name: "norm", Inputs: []*Node{in},
+		OutShape: in.OutShape.Clone(), BN: &BNAttr{Channels: 4, ParamName: "bn"},
+		StatsFrom: s, CPL: -1})
+	g.Output = n
+	dot := g.DOT()
+	if !strings.Contains(dot, "style=dashed") || !strings.Contains(dot, "stats") {
+		t.Error("DOT missing dashed statistics edge")
+	}
+	if !strings.Contains(dot, "lightyellow") {
+		t.Error("DOT missing sub-BN shading")
+	}
+}
+
+func TestDOTSkipsDeadNodes(t *testing.T) {
+	g, nodes := buildChain(t)
+	nodes[2].Dead = true
+	nodes[3].Inputs = []*Node{nodes[1]} // rewire past the dead node
+	dot := g.DOT()
+	if strings.Contains(dot, "\"bn\\n") {
+		t.Error("DOT rendered a dead node")
+	}
+}

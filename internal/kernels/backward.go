@@ -1,0 +1,162 @@
+package kernels
+
+import (
+	"fmt"
+
+	"bnff/internal/layers"
+	"bnff/internal/tensor"
+)
+
+// FusedConvBackwardReLUBNReduce is the backward half of the
+// (sub-BN2)-ReLU-CONV2 fusion. Given the upstream gradient dy of CONV2 and
+// the saved normalized map x̂ (O2'), it:
+//
+//  1. regenerates CONV2's saved ifmap z = ReLU(γ·x̂+β) from x̂ on the fly —
+//     the rectified activations were never stored;
+//  2. runs CONV2's backward, producing dz and dW2;
+//  3. applies the ReLU mask inline to turn dz into BN's upstream gradient dv;
+//  4. accumulates dγ = Σ dv·x̂ and dβ = Σ dv (sub-BN2') in the same sweep
+//     that writes dv.
+//
+// Returned dv feeds FusedBNInputConvBackward on the other side of the BN.
+func FusedConvBackwardReLUBNReduce(conv layers.Conv2D, bn layers.BatchNorm,
+	dy, xhat, gamma, beta, w *tensor.Tensor) (dv, dw, dgamma, dbeta *tensor.Tensor, err error) {
+	if xhat.Rank() != 4 || xhat.Dim(1) != bn.Channels {
+		return nil, nil, nil, nil, fmt.Errorf("kernels: xhat %v, want rank 4 with %d channels", xhat.Shape(), bn.Channels)
+	}
+	if err := convCheck(conv, xhat, w); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if !dy.Shape().Equal(conv.OutShape(xhat.Shape())) {
+		return nil, nil, nil, nil, fmt.Errorf("kernels: dy %v, want %v", dy.Shape(), conv.OutShape(xhat.Shape()))
+	}
+	n, c, h, wd := xhat.Dims4()
+
+	// Regenerate z from x̂ (register-resident tile in the real kernel; a
+	// scratch buffer here — the arithmetic matches the stored-z baseline
+	// bit for bit because it is the same expression).
+	z := tensor.New(xhat.Shape()...)
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			base := (in*c + ic) * h * wd
+			g, b := gamma.Data[ic], beta.Data[ic]
+			for i := 0; i < h*wd; i++ {
+				if v := g*xhat.Data[base+i] + b; v > 0 {
+					z.Data[base+i] = v
+				}
+			}
+		}
+	}
+
+	dz := tensor.New(xhat.Shape()...)
+	dw = tensor.New(w.Shape()...)
+	if err := conv.BackwardInto(dy, z, w, dz, dw); err != nil {
+		return nil, nil, nil, nil, err
+	}
+
+	// Fused epilogue: ReLU mask + dγ/dβ reductions in the dv-writing sweep.
+	dv = dz // reuse the buffer: dv is dz masked in place
+	dgamma = tensor.New(c)
+	dbeta = tensor.New(c)
+	dg := make([]float64, c)
+	db := make([]float64, c)
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			base := (in*c + ic) * h * wd
+			var sg, sb float64
+			for i := 0; i < h*wd; i++ {
+				if z.Data[base+i] <= 0 {
+					dv.Data[base+i] = 0
+					continue
+				}
+				g := float64(dv.Data[base+i])
+				sg += g * float64(xhat.Data[base+i])
+				sb += g
+			}
+			dg[ic] += sg
+			db[ic] += sb
+		}
+	}
+	for ic := 0; ic < c; ic++ {
+		dgamma.Data[ic] = float32(dg[ic])
+		dbeta.Data[ic] = float32(db[ic])
+	}
+	return dv, dw, dgamma, dbeta, nil
+}
+
+// FusedBNInputConvBackward is the backward half of the CONV1-(sub-BN1)
+// fusion. BN's element-wise input gradient
+//
+//	du = γ·invstd/M · (M·dv − dβ − x̂·dγ)
+//
+// is produced in the same pass that CONV1's backward consumes as its
+// upstream gradient, so du never makes a standalone DRAM round trip.
+// x and w are CONV1's saved input and weights; returns dx (gradient into
+// whatever precedes CONV1), dW1, and du for callers that need the BN input
+// gradient itself (e.g. the ICF path across a Concat).
+func FusedBNInputConvBackward(conv layers.Conv2D, bn layers.BatchNorm,
+	dv, xhat, gamma *tensor.Tensor, stats *layers.BNStats, dgamma, dbeta *tensor.Tensor,
+	x, w *tensor.Tensor) (dx, dw, du *tensor.Tensor, err error) {
+	if err := convCheck(conv, x, w); err != nil {
+		return nil, nil, nil, err
+	}
+	if !dv.Shape().Equal(xhat.Shape()) {
+		return nil, nil, nil, fmt.Errorf("kernels: dv %v vs xhat %v", dv.Shape(), xhat.Shape())
+	}
+	if !dv.Shape().Equal(conv.OutShape(x.Shape())) {
+		return nil, nil, nil, fmt.Errorf("kernels: dv %v, want conv out %v", dv.Shape(), conv.OutShape(x.Shape()))
+	}
+	n, c, h, wd := dv.Dims4()
+	m := float32(n * h * wd)
+	inv := bn.InvStd(stats)
+	du = tensor.New(dv.Shape()...)
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			base := (in*c + ic) * h * wd
+			coef := gamma.Data[ic] * inv[ic] / m
+			dg, db := dgamma.Data[ic], dbeta.Data[ic]
+			for i := 0; i < h*wd; i++ {
+				du.Data[base+i] = coef * (m*dv.Data[base+i] - db - xhat.Data[base+i]*dg)
+			}
+		}
+	}
+	dx = tensor.New(x.Shape()...)
+	dw = tensor.New(w.Shape()...)
+	if err := conv.BackwardInto(du, x, w, dx, dw); err != nil {
+		return nil, nil, nil, err
+	}
+	return dx, dw, du, nil
+}
+
+// ReLUConvBackward is RCF's backward: CONV's backward with the ReLU mask
+// (recovered from the saved pre-activation x) applied inline to the input
+// gradient, so the rectified tensor is never materialized in either pass.
+// Returns the gradient w.r.t. the pre-activation x and dW.
+func ReLUConvBackward(conv layers.Conv2D, dy, x, w *tensor.Tensor) (dx, dw *tensor.Tensor, err error) {
+	if err := convCheck(conv, x, w); err != nil {
+		return nil, nil, err
+	}
+	if !dy.Shape().Equal(conv.OutShape(x.Shape())) {
+		return nil, nil, fmt.Errorf("kernels: dy %v, want %v", dy.Shape(), conv.OutShape(x.Shape()))
+	}
+	// Regenerate z = ReLU(x) for the weight gradient, as the forward never
+	// stored it.
+	z := tensor.New(x.Shape()...)
+	for i, v := range x.Data {
+		if v > 0 {
+			z.Data[i] = v
+		}
+	}
+	dz := tensor.New(x.Shape()...)
+	dw = tensor.New(w.Shape()...)
+	if err := conv.BackwardInto(dy, z, w, dz, dw); err != nil {
+		return nil, nil, err
+	}
+	dx = dz // mask in place
+	for i := range dx.Data {
+		if x.Data[i] <= 0 {
+			dx.Data[i] = 0
+		}
+	}
+	return dx, dw, nil
+}

@@ -1,0 +1,117 @@
+package kernels
+
+import (
+	"fmt"
+
+	"bnff/internal/layers"
+	"bnff/internal/tensor"
+)
+
+// This file implements Inter-Composite-layer Fusion (ICF) numerically — the
+// part of the paper left as future work ("We estimate additional performance
+// enhancement enabled by ICF, leaving implementation for future work").
+// ICF extends the fission result across composite-layer boundaries: a
+// boundary BN's statistics sub-layer fuses with the Concat that produces its
+// input, and its backward input-gradient sub-layer fuses with the Split
+// gradient reduction on the same boundary.
+
+// ConcatForwardStats concatenates the inputs along the channel axis and, in
+// the same pass that writes each output element, accumulates the per-channel
+// Σx and Σx² of the result (MVF) — the ICF forward fusion. The boundary BN's
+// statistics therefore cost no sweep beyond the Concat's own copy.
+func ConcatForwardStats(bn layers.BatchNorm, xs ...*tensor.Tensor) (*tensor.Tensor, *layers.BNStats, error) {
+	if len(xs) == 0 {
+		return nil, nil, fmt.Errorf("kernels: concat-stats with no inputs")
+	}
+	n, _, h, w := xs[0].Dims4()
+	totalC := 0
+	for _, x := range xs {
+		xn, xc, xh, xw := x.Dims4()
+		if xn != n || xh != h || xw != w {
+			return nil, nil, fmt.Errorf("kernels: concat-stats incompatible input %v vs %v", x.Shape(), xs[0].Shape())
+		}
+		totalC += xc
+	}
+	if totalC != bn.Channels {
+		return nil, nil, fmt.Errorf("kernels: concat produces %d channels, BN expects %d", totalC, bn.Channels)
+	}
+	y := tensor.New(n, totalC, h, w)
+	sum := make([]float32, totalC)
+	sumsq := make([]float32, totalC)
+	hw := h * w
+	for in := 0; in < n; in++ {
+		cOff := 0
+		for _, x := range xs {
+			xc := x.Dim(1)
+			for ic := 0; ic < xc; ic++ {
+				src := x.Data[(in*xc+ic)*hw : (in*xc+ic+1)*hw]
+				dst := y.Data[(in*totalC+cOff+ic)*hw : (in*totalC+cOff+ic+1)*hw]
+				var s, sq float32
+				for i, v := range src {
+					dst[i] = v
+					s += v
+					sq += v * v
+				}
+				sum[cOff+ic] += s
+				sumsq[cOff+ic] += sq
+			}
+			cOff += xc
+		}
+	}
+	m := float32(n * hw)
+	mean := tensor.New(totalC)
+	variance := tensor.New(totalC)
+	for ic := 0; ic < totalC; ic++ {
+		mu := sum[ic] / m
+		mean.Data[ic] = mu
+		v := sumsq[ic]/m - mu*mu
+		if v < 0 {
+			v = 0
+		}
+		variance.Data[ic] = v
+	}
+	return y, &layers.BNStats{Mean: mean, Var: variance}, nil
+}
+
+// FusedSplitBNInputBackward is the ICF backward fusion: the boundary BN's
+// element-wise input gradient
+//
+//	du = γ·invstd/M · (M·dv − dβ − x̂·dγ)
+//
+// is produced in the same sweep that performs the Split gradient reduction
+// (summing the other consumers' gradient maps), so du never makes a
+// standalone round trip. others may be empty (fan-out of one).
+func FusedSplitBNInputBackward(bn layers.BatchNorm, dv, xhat, gamma *tensor.Tensor,
+	stats *layers.BNStats, dgamma, dbeta *tensor.Tensor, others []*tensor.Tensor) (*tensor.Tensor, error) {
+	if dv.Rank() != 4 || dv.Dim(1) != bn.Channels {
+		return nil, fmt.Errorf("kernels: dv %v, want rank 4 with %d channels", dv.Shape(), bn.Channels)
+	}
+	if !dv.Shape().Equal(xhat.Shape()) {
+		return nil, fmt.Errorf("kernels: dv %v vs xhat %v", dv.Shape(), xhat.Shape())
+	}
+	for i, o := range others {
+		if !o.Shape().Equal(dv.Shape()) {
+			return nil, fmt.Errorf("kernels: split contribution %d shape %v vs %v", i, o.Shape(), dv.Shape())
+		}
+	}
+	n, c, h, w := dv.Dims4()
+	m := float32(n * h * w)
+	inv := bn.InvStd(stats)
+	out := tensor.New(dv.Shape()...)
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			base := (in*c + ic) * h * w
+			coef := gamma.Data[ic] * inv[ic] / m
+			dg, db := dgamma.Data[ic], dbeta.Data[ic]
+			for i := 0; i < h*w; i++ {
+				du := coef * (m*dv.Data[base+i] - db - xhat.Data[base+i]*dg)
+				acc := du
+				for _, o := range others {
+					acc += o.Data[base+i]
+				}
+				out.Data[base+i] = acc
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,238 @@
+// Package kernels implements the fused numeric kernels that BN
+// Fission-n-Fusion substitutes for baseline layer sequences:
+//
+//   - ConvForwardStats — CONV1-(sub-BN1): the convolution accumulates Σx and
+//     Σx² of its own outputs per channel while writing them, then closes the
+//     statistics with the MVF identity V(X) = E(X²) − E(X)². One sweep
+//     instead of three (paper Figure 5a: O1, I2, I3 → O1').
+//
+//   - FusedBNReLUConvForward — (sub-BN2)-ReLU-CONV2: normalization and ReLU
+//     clipping are applied while the following convolution reads its ifmap.
+//     The normalized map x̂ is written once (Figure 5a's O2') because the
+//     backward pass re-reads it; everything else stays in registers.
+//
+//   - ReLUConvForward — RCF alone: ReLU applied on the CONV ifmap read,
+//     for the RCF-only evaluation scenario.
+//
+//   - FusedConvBackwardReLUBNReduce — CONV2-ReLU-(sub-BN2') backward: the
+//     convolution's backward-data pass regenerates its saved ifmap from x̂
+//     (so z=ReLU(γx̂+β) is never stored), applies the ReLU mask inline, and
+//     accumulates dγ/dβ in the same sweep that writes BN's upstream gradient.
+//
+//   - FusedBNInputConvBackward — (sub-BN1')-CONV1 backward: BN's element-wise
+//     input gradient is produced in the same pass that feeds CONV1's backward.
+//
+// Every kernel is bit-compatible (to float32 round-off) with the baseline
+// composition in internal/layers; internal/core's equivalence tests enforce
+// this, which is the paper's correctness claim for the restructuring.
+package kernels
+
+import (
+	"fmt"
+
+	"bnff/internal/layers"
+	"bnff/internal/tensor"
+)
+
+// ConvForwardStats computes y = conv(x, w) and, in the same output sweep,
+// the per-channel mini-batch statistics of y via the MVF identity. The
+// accumulators are float32, mirroring the paper's observation that single
+// precision suffices for E(X²) on activation-scale data.
+func ConvForwardStats(conv layers.Conv2D, x, w *tensor.Tensor) (*tensor.Tensor, *layers.BNStats, error) {
+	y, err := conv.Forward(x, w)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, c, h, wd := y.Dims4()
+	m := float32(n * h * wd)
+	sum := make([]float32, c)
+	sumsq := make([]float32, c)
+	// Epilogue over the freshly written ofmap tile. In the MKL-DNN
+	// implementation this happens before the tile leaves registers; here it
+	// is a separate loop over data that is still cache-resident, which keeps
+	// the arithmetic identical.
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			base := (in*c + ic) * h * wd
+			var s, sq float32
+			for i := 0; i < h*wd; i++ {
+				v := y.Data[base+i]
+				s += v
+				sq += v * v
+			}
+			sum[ic] += s
+			sumsq[ic] += sq
+		}
+	}
+	mean := tensor.New(c)
+	variance := tensor.New(c)
+	for ic := 0; ic < c; ic++ {
+		mu := sum[ic] / m
+		mean.Data[ic] = mu
+		v := sumsq[ic]/m - mu*mu
+		if v < 0 {
+			v = 0
+		}
+		variance.Data[ic] = v
+	}
+	return y, &layers.BNStats{Mean: mean, Var: variance}, nil
+}
+
+// ReLUConvForward computes y = conv(ReLU(x), w) without materializing the
+// rectified tensor: the clipping happens as the convolution loads each input
+// element (the paper's RCF). Returns only y; the backward pass recovers the
+// ReLU mask from the saved pre-activation x.
+func ReLUConvForward(conv layers.Conv2D, x, w *tensor.Tensor) (*tensor.Tensor, error) {
+	if err := convCheck(conv, x, w); err != nil {
+		return nil, err
+	}
+	y := tensor.New(conv.OutShape(x.Shape())...)
+	n, cin, h, wd := x.Dims4()
+	_, cout, oh, ow := y.Dims4()
+	kh, kw, s, p := conv.KernelH, conv.KernelW, conv.Stride, conv.Pad
+	grp := convGroups(conv)
+	cinG, coutG := cin/grp, cout/grp
+	xd, wdat, yd := x.Data, w.Data, y.Data
+	for in := 0; in < n; in++ {
+		for oc := 0; oc < cout; oc++ {
+			icLo := (oc / coutG) * cinG
+			wBase := oc * cinG * kh * kw
+			outBase := (in*cout + oc) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				iy0 := oy*s - p
+				for ox := 0; ox < ow; ox++ {
+					ix0 := ox*s - p
+					var acc float32
+					for ig := 0; ig < cinG; ig++ {
+						inBase := (in*cin + icLo + ig) * h * wd
+						wcBase := wBase + ig*kh*kw
+						for ky := 0; ky < kh; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							row := inBase + iy*wd
+							wrow := wcBase + ky*kw
+							for kx := 0; kx < kw; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= wd {
+									continue
+								}
+								v := xd[row+ix]
+								if v > 0 { // inline ReLU on the ifmap read
+									acc += v * wdat[wrow+kx]
+								}
+							}
+						}
+					}
+					yd[outBase+oy*ow+ox] = acc
+				}
+			}
+		}
+	}
+	return y, nil
+}
+
+// convGroups mirrors Conv2D's zero-value-means-dense convention.
+func convGroups(c layers.Conv2D) int {
+	if c.Groups <= 1 {
+		return 1
+	}
+	return c.Groups
+}
+
+// FusedBNReLUConvForward computes y = conv(ReLU(BN(x)), w) for the
+// restructured graph. It performs exactly two feature-map-sized sweeps:
+// read x / write x̂ (the surviving O2' of Figure 5a), with the convolution
+// consuming the normalized, rectified values from an on-chip-sized
+// per-sample tile — the full-batch rectified tensor never exists. Each
+// element is normalized exactly once as it enters the tile, matching how the
+// MKL-DNN fused kernel normalizes per register block, so the arithmetic is
+// identical to the baseline composition. Returns y and x̂.
+func FusedBNReLUConvForward(conv layers.Conv2D, bn layers.BatchNorm, x *tensor.Tensor,
+	stats *layers.BNStats, gamma, beta, w *tensor.Tensor) (y, xhat *tensor.Tensor, err error) {
+	if x.Rank() != 4 || x.Dim(1) != bn.Channels {
+		return nil, nil, fmt.Errorf("kernels: bn input %v, want rank 4 with %d channels", x.Shape(), bn.Channels)
+	}
+	if err := convCheck(conv, x, w); err != nil {
+		return nil, nil, err
+	}
+	n, c, h, wd := x.Dims4()
+	inv := bn.InvStd(stats)
+	xhat = tensor.New(x.Shape()...)
+	y = tensor.New(conv.OutShape(x.Shape())...)
+	_, cout, oh, ow := y.Dims4()
+	kh, kw, s, p := conv.KernelH, conv.KernelW, conv.Stride, conv.Pad
+	wdat, yd := w.Data, y.Data
+	g, b := gamma.Data, beta.Data
+
+	// Per-sample tile of rectified normalized activations; 1/N of a batch
+	// tensor, reused across samples (the cache-resident working set).
+	tile := make([]float32, c*h*wd)
+	for in := 0; in < n; in++ {
+		// One pass: read x, write x̂ (O2'), fill the tile with ReLU(γx̂+β).
+		for ic := 0; ic < c; ic++ {
+			base := (in*c + ic) * h * wd
+			tbase := ic * h * wd
+			mu, is, gc, bc := stats.Mean.Data[ic], inv[ic], g[ic], b[ic]
+			for i := 0; i < h*wd; i++ {
+				xh := (x.Data[base+i] - mu) * is
+				xhat.Data[base+i] = xh
+				if z := gc*xh + bc; z > 0 {
+					tile[tbase+i] = z
+				} else {
+					tile[tbase+i] = 0
+				}
+			}
+		}
+		// Convolve this sample from the tile.
+		grp := convGroups(conv)
+		cinG, coutG := c/grp, cout/grp
+		for oc := 0; oc < cout; oc++ {
+			icLo := (oc / coutG) * cinG
+			wBase := oc * cinG * kh * kw
+			outBase := (in*cout + oc) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				iy0 := oy*s - p
+				for ox := 0; ox < ow; ox++ {
+					ix0 := ox*s - p
+					var acc float32
+					for ig := 0; ig < cinG; ig++ {
+						tbase := (icLo + ig) * h * wd
+						wcBase := wBase + ig*kh*kw
+						for ky := 0; ky < kh; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							row := tbase + iy*wd
+							wrow := wcBase + ky*kw
+							for kx := 0; kx < kw; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= wd {
+									continue
+								}
+								acc += tile[row+ix] * wdat[wrow+kx]
+							}
+						}
+					}
+					yd[outBase+oy*ow+ox] = acc
+				}
+			}
+		}
+	}
+	return y, xhat, nil
+}
+
+func convCheck(conv layers.Conv2D, x, w *tensor.Tensor) error {
+	if x.Rank() != 4 {
+		return fmt.Errorf("kernels: conv input must be rank 4, got %v", x.Shape())
+	}
+	if x.Dim(1) != conv.InChannels {
+		return fmt.Errorf("kernels: conv input has %d channels, want %d", x.Dim(1), conv.InChannels)
+	}
+	if !w.Shape().Equal(conv.WeightShape()) {
+		return fmt.Errorf("kernels: conv weight %v, want %v", w.Shape(), conv.WeightShape())
+	}
+	return nil
+}

@@ -1,0 +1,329 @@
+package layers
+
+import (
+	"fmt"
+	"math"
+
+	"bnff/internal/tensor"
+)
+
+// BatchNorm describes a batch-normalization layer in training mode: it
+// normalizes each channel by statistics computed over the whole mini-batch
+// (N×H×W samples per channel), then applies the learned scale γ and shift β.
+//
+// The methods deliberately expose the paper's fission decomposition:
+//
+//	Forward  = ComputeStats (sub-BN1)  ∘  Normalize (sub-BN2)
+//	Backward = BackwardReduce (sub-BN2': dγ, dβ)  ∘  BackwardInput (sub-BN1': dX)
+//
+// so that internal/core can fuse each sub-layer into its neighboring CONV.
+// ComputeStatsMVF implements the paper's Mean/Variance Fusion,
+// V(X) = E(X²) − E(X)², producing both statistics from a single sweep.
+type BatchNorm struct {
+	Channels int
+	Eps      float32
+	Momentum float32 // running-statistics update rate, e.g. 0.1
+}
+
+// NewBatchNorm returns a BatchNorm with the conventional ε=1e-5, momentum 0.1.
+func NewBatchNorm(channels int) BatchNorm {
+	return BatchNorm{Channels: channels, Eps: 1e-5, Momentum: 0.1}
+}
+
+// BNStats holds per-channel mini-batch statistics (rank-1, length C).
+// Var is the biased variance (divided by the sample count M), matching the
+// normalization denominator of the original BN formulation.
+type BNStats struct {
+	Mean *tensor.Tensor
+	Var  *tensor.Tensor
+}
+
+// BNContext is what the baseline backward pass needs: the normalized
+// activations x̂ and the batch statistics.
+type BNContext struct {
+	XHat  *tensor.Tensor
+	Stats *BNStats
+}
+
+func (b BatchNorm) check(x *tensor.Tensor) error {
+	if x.Rank() != 4 {
+		return fmt.Errorf("batchnorm: input must be rank 4, got %v", x.Shape())
+	}
+	if x.Dim(1) != b.Channels {
+		return fmt.Errorf("batchnorm: input has %d channels, layer expects %d", x.Dim(1), b.Channels)
+	}
+	if x.Dim(0)*x.Dim(2)*x.Dim(3) == 0 {
+		return fmt.Errorf("batchnorm: empty mini-batch %v", x.Shape())
+	}
+	return nil
+}
+
+func (b BatchNorm) checkParam(name string, p *tensor.Tensor) error {
+	if p.Rank() != 1 || p.Dim(0) != b.Channels {
+		return fmt.Errorf("batchnorm: %s shape %v, want [%d]", name, p.Shape(), b.Channels)
+	}
+	return nil
+}
+
+// ComputeStats evaluates per-channel mean and variance with the baseline
+// two-pass algorithm: one full sweep for the mean, a second for the variance.
+// This is the strict-dependency form the paper's Figure 5 charges two memory
+// sweeps (I2, I3) for.
+func (b BatchNorm) ComputeStats(x *tensor.Tensor) (*BNStats, error) {
+	if err := b.check(x); err != nil {
+		return nil, err
+	}
+	n, c, h, w := x.Dims4()
+	m := float64(n * h * w)
+	mean := tensor.New(c)
+	variance := tensor.New(c)
+
+	// Pass 1: mean.
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			base := (in*c + ic) * h * w
+			var s float64
+			for i := 0; i < h*w; i++ {
+				s += float64(x.Data[base+i])
+			}
+			mean.Data[ic] += float32(s / m)
+		}
+	}
+	// Pass 2: variance around the mean.
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			base := (in*c + ic) * h * w
+			mu := float64(mean.Data[ic])
+			var s float64
+			for i := 0; i < h*w; i++ {
+				d := float64(x.Data[base+i]) - mu
+				s += d * d
+			}
+			variance.Data[ic] += float32(s / m)
+		}
+	}
+	return &BNStats{Mean: mean, Var: variance}, nil
+}
+
+// ComputeStatsMVF evaluates the same statistics in a single sweep using
+// V(X) = E(X²) − E(X)², with float32 accumulators to mirror what the fused
+// CONV epilogue does in hardware. The paper observes (and our property tests
+// confirm) that single precision suffices for CNN activations.
+func (b BatchNorm) ComputeStatsMVF(x *tensor.Tensor) (*BNStats, error) {
+	if err := b.check(x); err != nil {
+		return nil, err
+	}
+	n, c, h, w := x.Dims4()
+	m := float32(n * h * w)
+	sum := make([]float32, c)
+	sumsq := make([]float32, c)
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			base := (in*c + ic) * h * w
+			var s, sq float32
+			for i := 0; i < h*w; i++ {
+				v := x.Data[base+i]
+				s += v
+				sq += v * v
+			}
+			sum[ic] += s
+			sumsq[ic] += sq
+		}
+	}
+	mean := tensor.New(c)
+	variance := tensor.New(c)
+	for ic := 0; ic < c; ic++ {
+		mu := sum[ic] / m
+		mean.Data[ic] = mu
+		v := sumsq[ic]/m - mu*mu
+		if v < 0 { // guard fp cancellation for near-constant channels
+			v = 0
+		}
+		variance.Data[ic] = v
+	}
+	return &BNStats{Mean: mean, Var: variance}, nil
+}
+
+// ComputeStatsMVF64 is ComputeStatsMVF with float64 accumulators — the
+// higher-precision fallback the paper mentions for when E(X²) cancellation
+// would hurt accuracy. Used by the precision ablation.
+func (b BatchNorm) ComputeStatsMVF64(x *tensor.Tensor) (*BNStats, error) {
+	if err := b.check(x); err != nil {
+		return nil, err
+	}
+	n, c, h, w := x.Dims4()
+	m := float64(n * h * w)
+	sum := make([]float64, c)
+	sumsq := make([]float64, c)
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			base := (in*c + ic) * h * w
+			for i := 0; i < h*w; i++ {
+				v := float64(x.Data[base+i])
+				sum[ic] += v
+				sumsq[ic] += v * v
+			}
+		}
+	}
+	mean := tensor.New(c)
+	variance := tensor.New(c)
+	for ic := 0; ic < c; ic++ {
+		mu := sum[ic] / m
+		mean.Data[ic] = float32(mu)
+		v := sumsq[ic]/m - mu*mu
+		if v < 0 {
+			v = 0
+		}
+		variance.Data[ic] = float32(v)
+	}
+	return &BNStats{Mean: mean, Var: variance}, nil
+}
+
+// InvStd returns per-channel 1/sqrt(var+ε) for the given statistics.
+func (b BatchNorm) InvStd(stats *BNStats) []float32 {
+	inv := make([]float32, b.Channels)
+	for i, v := range stats.Var.Data {
+		inv[i] = float32(1 / math.Sqrt(float64(v)+float64(b.Eps)))
+	}
+	return inv
+}
+
+// Normalize is sub-BN2: y = γ·(x−μ)/√(σ²+ε) + β. It also returns x̂, which
+// the backward pass consumes (this is the O2' sweep of Figure 5 that survives
+// fusion because backward needs it).
+func (b BatchNorm) Normalize(x *tensor.Tensor, stats *BNStats, gamma, beta *tensor.Tensor) (y, xhat *tensor.Tensor, err error) {
+	if err := b.check(x); err != nil {
+		return nil, nil, err
+	}
+	if err := b.checkParam("gamma", gamma); err != nil {
+		return nil, nil, err
+	}
+	if err := b.checkParam("beta", beta); err != nil {
+		return nil, nil, err
+	}
+	n, c, h, w := x.Dims4()
+	inv := b.InvStd(stats)
+	y = tensor.New(x.Shape()...)
+	xhat = tensor.New(x.Shape()...)
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			base := (in*c + ic) * h * w
+			mu, is, g, be := stats.Mean.Data[ic], inv[ic], gamma.Data[ic], beta.Data[ic]
+			for i := 0; i < h*w; i++ {
+				xh := (x.Data[base+i] - mu) * is
+				xhat.Data[base+i] = xh
+				y.Data[base+i] = g*xh + be
+			}
+		}
+	}
+	return y, xhat, nil
+}
+
+// Forward is the baseline composition: two-pass statistics, then normalize.
+func (b BatchNorm) Forward(x, gamma, beta *tensor.Tensor) (*tensor.Tensor, *BNContext, error) {
+	stats, err := b.ComputeStats(x)
+	if err != nil {
+		return nil, nil, err
+	}
+	y, xhat, err := b.Normalize(x, stats, gamma, beta)
+	if err != nil {
+		return nil, nil, err
+	}
+	return y, &BNContext{XHat: xhat, Stats: stats}, nil
+}
+
+// BackwardReduce is sub-BN2': the mini-batch reductions dγ = Σ dy·x̂ and
+// dβ = Σ dy. In the restructured graph this runs as an epilogue of the
+// following CONV's backward, which already sweeps dy.
+func (b BatchNorm) BackwardReduce(dy, xhat *tensor.Tensor) (dgamma, dbeta *tensor.Tensor, err error) {
+	if err := b.check(dy); err != nil {
+		return nil, nil, err
+	}
+	if !dy.Shape().Equal(xhat.Shape()) {
+		return nil, nil, fmt.Errorf("batchnorm: dy %v vs xhat %v", dy.Shape(), xhat.Shape())
+	}
+	n, c, h, w := dy.Dims4()
+	dgamma = tensor.New(c)
+	dbeta = tensor.New(c)
+	dg := make([]float64, c)
+	db := make([]float64, c)
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			base := (in*c + ic) * h * w
+			var sg, sb float64
+			for i := 0; i < h*w; i++ {
+				g := float64(dy.Data[base+i])
+				sg += g * float64(xhat.Data[base+i])
+				sb += g
+			}
+			dg[ic] += sg
+			db[ic] += sb
+		}
+	}
+	for ic := 0; ic < c; ic++ {
+		dgamma.Data[ic] = float32(dg[ic])
+		dbeta.Data[ic] = float32(db[ic])
+	}
+	return dgamma, dbeta, nil
+}
+
+// BackwardInput is sub-BN1': given the reductions from BackwardReduce it
+// computes the element-wise input gradient
+//
+//	dx = γ·invstd/M · (M·dy − dβ − x̂·dγ)
+//
+// which carries no further cross-batch dependency and therefore fuses into
+// the preceding CONV's backward sweep.
+func (b BatchNorm) BackwardInput(dy, xhat, gamma *tensor.Tensor, stats *BNStats, dgamma, dbeta *tensor.Tensor) (*tensor.Tensor, error) {
+	if err := b.check(dy); err != nil {
+		return nil, err
+	}
+	if err := b.checkParam("gamma", gamma); err != nil {
+		return nil, err
+	}
+	n, c, h, w := dy.Dims4()
+	m := float32(n * h * w)
+	inv := b.InvStd(stats)
+	dx := tensor.New(dy.Shape()...)
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			base := (in*c + ic) * h * w
+			coef := gamma.Data[ic] * inv[ic] / m
+			dg, db := dgamma.Data[ic], dbeta.Data[ic]
+			for i := 0; i < h*w; i++ {
+				dx.Data[base+i] = coef * (m*dy.Data[base+i] - db - xhat.Data[base+i]*dg)
+			}
+		}
+	}
+	return dx, nil
+}
+
+// Backward is the baseline composition of the two backward sub-layers.
+func (b BatchNorm) Backward(dy *tensor.Tensor, ctx *BNContext, gamma *tensor.Tensor) (dx, dgamma, dbeta *tensor.Tensor, err error) {
+	dgamma, dbeta, err = b.BackwardReduce(dy, ctx.XHat)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	dx, err = b.BackwardInput(dy, ctx.XHat, gamma, ctx.Stats, dgamma, dbeta)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return dx, dgamma, dbeta, nil
+}
+
+// UpdateRunning folds the batch statistics into the running (inference)
+// statistics in place: r ← (1−momentum)·r + momentum·batch.
+func (b BatchNorm) UpdateRunning(runningMean, runningVar *tensor.Tensor, stats *BNStats) error {
+	if err := b.checkParam("runningMean", runningMean); err != nil {
+		return err
+	}
+	if err := b.checkParam("runningVar", runningVar); err != nil {
+		return err
+	}
+	mom := b.Momentum
+	for i := 0; i < b.Channels; i++ {
+		runningMean.Data[i] = (1-mom)*runningMean.Data[i] + mom*stats.Mean.Data[i]
+		runningVar.Data[i] = (1-mom)*runningVar.Data[i] + mom*stats.Var.Data[i]
+	}
+	return nil
+}

@@ -1,0 +1,317 @@
+package layers
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bnff/internal/tensor"
+)
+
+func randomBNInput(seed uint64, n, c, h, w int, scale float64) *tensor.Tensor {
+	x := tensor.New(n, c, h, w)
+	tensor.NewRNG(seed).FillNormal(x, 0.5, scale)
+	return x
+}
+
+func TestBNStatsKnownValues(t *testing.T) {
+	bn := NewBatchNorm(1)
+	x := tensor.MustFromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	stats, err := bn.ComputeStats(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(stats.Mean.Data[0])-2.5) > 1e-6 {
+		t.Errorf("mean = %v, want 2.5", stats.Mean.Data[0])
+	}
+	// biased variance of {1,2,3,4} = 1.25
+	if math.Abs(float64(stats.Var.Data[0])-1.25) > 1e-6 {
+		t.Errorf("var = %v, want 1.25", stats.Var.Data[0])
+	}
+}
+
+func TestBNStatsPerChannel(t *testing.T) {
+	bn := NewBatchNorm(2)
+	// channel 0 all 3s, channel 1 alternating 0/2 (mean 1, var 1)
+	x := tensor.MustFromSlice([]float32{
+		3, 3, 3, 3, // n0 c0
+		0, 2, 0, 2, // n0 c1
+		3, 3, 3, 3, // n1 c0
+		2, 0, 2, 0, // n1 c1
+	}, 2, 2, 2, 2)
+	stats, err := bn.ComputeStats(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Mean.Data[0] != 3 || stats.Var.Data[0] != 0 {
+		t.Errorf("c0 stats = (%v,%v), want (3,0)", stats.Mean.Data[0], stats.Var.Data[0])
+	}
+	if stats.Mean.Data[1] != 1 || stats.Var.Data[1] != 1 {
+		t.Errorf("c1 stats = (%v,%v), want (1,1)", stats.Mean.Data[1], stats.Var.Data[1])
+	}
+}
+
+// The MVF identity V(X) = E(X²) − E(X)² must agree with the two-pass
+// algorithm to float32 round-off for activation-scale data. This is the
+// paper's §3.2 claim that single precision suffices.
+func TestMVFMatchesTwoPass(t *testing.T) {
+	bn := NewBatchNorm(8)
+	x := randomBNInput(42, 16, 8, 12, 12, 1.5)
+	twoPass, err := bn.ComputeStats(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onePass, err := bn.ComputeStatsMVF(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(twoPass.Mean, onePass.Mean, 1e-5, 1e-5) {
+		t.Error("MVF mean diverges from two-pass mean")
+	}
+	if !tensor.AllClose(twoPass.Var, onePass.Var, 1e-3, 1e-4) {
+		t.Error("MVF variance diverges from two-pass variance")
+	}
+}
+
+func TestMVF64TracksTwoPassTighter(t *testing.T) {
+	bn := NewBatchNorm(4)
+	// Large mean relative to spread — the adversarial case for E(X²).
+	x := randomBNInput(7, 8, 4, 8, 8, 0.01)
+	for i := range x.Data {
+		x.Data[i] += 100
+	}
+	twoPass, _ := bn.ComputeStats(x)
+	one32, _ := bn.ComputeStatsMVF(x)
+	one64, _ := bn.ComputeStatsMVF64(x)
+	err32, _ := tensor.MaxAbsDiff(twoPass.Var, one32.Var)
+	err64, _ := tensor.MaxAbsDiff(twoPass.Var, one64.Var)
+	if err64 > err32 {
+		t.Errorf("float64 MVF error %v should not exceed float32 MVF error %v", err64, err32)
+	}
+	if err64 > 1e-4 {
+		t.Errorf("float64 MVF error %v too large", err64)
+	}
+}
+
+func TestMVFVarianceNonNegative(t *testing.T) {
+	bn := NewBatchNorm(1)
+	x := tensor.New(4, 1, 3, 3)
+	x.Fill(123.456) // constant channel: catastrophically cancels in E(X²)−E(X)²
+	stats, err := bn.ComputeStatsMVF(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Var.Data[0] < 0 {
+		t.Errorf("MVF produced negative variance %v", stats.Var.Data[0])
+	}
+}
+
+func TestBNForwardNormalizes(t *testing.T) {
+	bn := NewBatchNorm(4)
+	x := randomBNInput(3, 8, 4, 6, 6, 2.0)
+	gamma := tensor.New(4)
+	gamma.Fill(1)
+	beta := tensor.New(4)
+	y, _, err := bn.Forward(x, gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := bn.ComputeStats(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 4; c++ {
+		if math.Abs(float64(stats.Mean.Data[c])) > 1e-4 {
+			t.Errorf("normalized mean[%d] = %v, want ~0", c, stats.Mean.Data[c])
+		}
+		if math.Abs(float64(stats.Var.Data[c])-1) > 1e-2 {
+			t.Errorf("normalized var[%d] = %v, want ~1", c, stats.Var.Data[c])
+		}
+	}
+}
+
+func TestBNGammaBetaApplied(t *testing.T) {
+	bn := NewBatchNorm(2)
+	x := randomBNInput(5, 4, 2, 4, 4, 1)
+	gamma := tensor.MustFromSlice([]float32{2, 3}, 2)
+	beta := tensor.MustFromSlice([]float32{-1, 5}, 2)
+	y, ctx, err := bn.Forward(x, gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y must equal gamma*xhat + beta element-wise.
+	n, c, h, w := x.Dims4()
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			for i := 0; i < h*w; i++ {
+				idx := (in*c+ic)*h*w + i
+				want := gamma.Data[ic]*ctx.XHat.Data[idx] + beta.Data[ic]
+				if math.Abs(float64(y.Data[idx]-want)) > 1e-6 {
+					t.Fatalf("y[%d] = %v, want %v", idx, y.Data[idx], want)
+				}
+			}
+		}
+	}
+}
+
+func TestBNGradients(t *testing.T) {
+	bn := NewBatchNorm(3)
+	rng := tensor.NewRNG(21)
+	x := tensor.New(4, 3, 3, 3)
+	rng.FillNormal(x, 0, 1)
+	gamma := tensor.New(3)
+	beta := tensor.New(3)
+	rng.FillUniform(gamma, 0.5, 1.5)
+	rng.FillUniform(beta, -0.5, 0.5)
+
+	dy, lossOf := weightedSumLoss(x.Shape(), 8)
+	loss := func() float64 {
+		y, _, err := bn.Forward(x, gamma, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lossOf(y)
+	}
+	_, ctx, err := bn.Forward(x, gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dx, dgamma, dbeta, err := bn.Backward(dy, ctx, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGrad(t, "bn dX", dx, numericGrad(x, 1e-2, loss), 3e-2)
+	checkGrad(t, "bn dGamma", dgamma, numericGrad(gamma, 1e-2, loss), 3e-2)
+	checkGrad(t, "bn dBeta", dbeta, numericGrad(beta, 1e-2, loss), 3e-2)
+}
+
+func TestBNBackwardSplitEqualsComposed(t *testing.T) {
+	// The fission decomposition (BackwardReduce ∘ BackwardInput) must equal
+	// the monolithic Backward exactly — they are the same arithmetic.
+	bn := NewBatchNorm(5)
+	rng := tensor.NewRNG(31)
+	x := tensor.New(6, 5, 4, 4)
+	rng.FillNormal(x, 0, 1)
+	gamma := tensor.New(5)
+	rng.FillUniform(gamma, 0.5, 2)
+	beta := tensor.New(5)
+	_, ctx, err := bn.Forward(x, gamma, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dy := tensor.New(x.Shape()...)
+	rng.FillUniform(dy, -1, 1)
+
+	dx1, dg1, db1, err := bn.Backward(dy, ctx, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg2, db2, err := bn.BackwardReduce(dy, ctx.XHat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dx2, err := bn.BackwardInput(dy, ctx.XHat, gamma, ctx.Stats, dg2, db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, pair := range map[string][2]*tensor.Tensor{
+		"dX": {dx1, dx2}, "dGamma": {dg1, dg2}, "dBeta": {db1, db2},
+	} {
+		if d, _ := tensor.MaxAbsDiff(pair[0], pair[1]); d != 0 {
+			t.Errorf("%s: fission backward differs from monolithic by %v", name, d)
+		}
+	}
+}
+
+func TestBNUpdateRunning(t *testing.T) {
+	bn := NewBatchNorm(2)
+	bn.Momentum = 0.5
+	rm := tensor.MustFromSlice([]float32{0, 10}, 2)
+	rv := tensor.MustFromSlice([]float32{1, 1}, 2)
+	stats := &BNStats{
+		Mean: tensor.MustFromSlice([]float32{2, 20}, 2),
+		Var:  tensor.MustFromSlice([]float32{3, 5}, 2),
+	}
+	if err := bn.UpdateRunning(rm, rv, stats); err != nil {
+		t.Fatal(err)
+	}
+	if rm.Data[0] != 1 || rm.Data[1] != 15 {
+		t.Errorf("running mean = %v, want [1 15]", rm.Data)
+	}
+	if rv.Data[0] != 2 || rv.Data[1] != 3 {
+		t.Errorf("running var = %v, want [2 3]", rv.Data)
+	}
+}
+
+func TestBNShapeErrors(t *testing.T) {
+	bn := NewBatchNorm(3)
+	if _, err := bn.ComputeStats(tensor.New(2, 4, 3, 3)); err == nil {
+		t.Error("accepted wrong channel count")
+	}
+	if _, err := bn.ComputeStats(tensor.New(2, 3)); err == nil {
+		t.Error("accepted rank-2 input")
+	}
+	x := tensor.New(2, 3, 4, 4)
+	stats, _ := bn.ComputeStats(x)
+	if _, _, err := bn.Normalize(x, stats, tensor.New(4), tensor.New(3)); err == nil {
+		t.Error("accepted wrong gamma shape")
+	}
+	if _, _, err := bn.Normalize(x, stats, tensor.New(3), tensor.New(2)); err == nil {
+		t.Error("accepted wrong beta shape")
+	}
+	if err := bn.UpdateRunning(tensor.New(2), tensor.New(3), stats); err == nil {
+		t.Error("accepted wrong running-mean shape")
+	}
+}
+
+// Property: for any finite activation tensor, MVF statistics stay within
+// float32 round-off of the two-pass statistics (scaled by data magnitude).
+func TestQuickMVFIdentity(t *testing.T) {
+	bn := NewBatchNorm(2)
+	f := func(seed uint64, scaleBits uint8) bool {
+		scale := 0.1 + float64(scaleBits%50)/10 // 0.1 .. 5.0
+		x := randomBNInput(seed, 4, 2, 5, 5, scale)
+		two, err1 := bn.ComputeStats(x)
+		one, err2 := bn.ComputeStatsMVF(x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// tolerance scales with magnitude² because E(X²) dominates error
+		tol := 1e-3 * (1 + scale*scale)
+		dv, _ := tensor.MaxAbsDiff(two.Var, one.Var)
+		dm, _ := tensor.MaxAbsDiff(two.Mean, one.Mean)
+		return dv < tol && dm < 1e-4*(1+scale)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: normalize output is invariant to an affine shift of the input —
+// BN's defining invariance: BN(a·x + b) == BN(x) for a>0 (per channel).
+func TestQuickBNAffineInvariance(t *testing.T) {
+	bn := NewBatchNorm(2)
+	gamma := tensor.MustFromSlice([]float32{1, 1}, 2)
+	beta := tensor.New(2)
+	f := func(seed uint64, shiftBits, scaleBits uint8) bool {
+		shift := float32(shiftBits%20) - 10
+		scale := 0.5 + float32(scaleBits%30)/10
+		x := randomBNInput(seed, 4, 2, 4, 4, 1)
+		y1, _, err := bn.Forward(x, gamma, beta)
+		if err != nil {
+			return false
+		}
+		x2 := x.Clone()
+		for i := range x2.Data {
+			x2.Data[i] = x2.Data[i]*scale + shift
+		}
+		y2, _, err := bn.Forward(x2, gamma, beta)
+		if err != nil {
+			return false
+		}
+		return tensor.AllClose(y1, y2, 1e-2, 1e-2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

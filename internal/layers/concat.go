@@ -1,0 +1,97 @@
+package layers
+
+import (
+	"fmt"
+
+	"bnff/internal/tensor"
+)
+
+// ConcatForward concatenates feature maps along the channel axis — the
+// DenseNet dense-connectivity primitive. All inputs must agree on N, H, W.
+//
+// In a pointer-passing implementation this is free on the forward pass
+// (the paper's reference treats it so); the numeric implementation here
+// materializes the result because downstream layers index it densely.
+func ConcatForward(xs ...*tensor.Tensor) (*tensor.Tensor, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("concat: no inputs")
+	}
+	n, _, h, w := xs[0].Dims4()
+	totalC := 0
+	for _, x := range xs {
+		xn, xc, xh, xw := x.Dims4()
+		if xn != n || xh != h || xw != w {
+			return nil, fmt.Errorf("concat: incompatible shape %v vs %v", x.Shape(), xs[0].Shape())
+		}
+		totalC += xc
+	}
+	y := tensor.New(n, totalC, h, w)
+	hw := h * w
+	for in := 0; in < n; in++ {
+		cOff := 0
+		for _, x := range xs {
+			xc := x.Dim(1)
+			src := x.Data[in*xc*hw : (in+1)*xc*hw]
+			dst := y.Data[(in*totalC+cOff)*hw : (in*totalC+cOff+xc)*hw]
+			copy(dst, src)
+			cOff += xc
+		}
+	}
+	return y, nil
+}
+
+// ConcatBackward slices the upstream gradient back into per-input gradients
+// with the given channel counts.
+func ConcatBackward(dy *tensor.Tensor, channels []int) ([]*tensor.Tensor, error) {
+	n, c, h, w := dy.Dims4()
+	total := 0
+	for _, ch := range channels {
+		total += ch
+	}
+	if total != c {
+		return nil, fmt.Errorf("concat: channel split %v sums to %d, dy has %d", channels, total, c)
+	}
+	hw := h * w
+	out := make([]*tensor.Tensor, len(channels))
+	for i, ch := range channels {
+		out[i] = tensor.New(n, ch, h, w)
+	}
+	for in := 0; in < n; in++ {
+		cOff := 0
+		for i, ch := range channels {
+			src := dy.Data[(in*c+cOff)*hw : (in*c+cOff+ch)*hw]
+			dst := out[i].Data[in*ch*hw : (in+1)*ch*hw]
+			copy(dst, src)
+			cOff += ch
+		}
+	}
+	return out, nil
+}
+
+// SplitForward fans one tensor out to k consumers. Forward is pointer
+// passing (the paper prices it at zero sweeps); we return the same tensor k
+// times — consumers must not mutate activations, which the executor enforces
+// by construction.
+func SplitForward(x *tensor.Tensor, k int) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, k)
+	for i := range out {
+		out[i] = x
+	}
+	return out
+}
+
+// SplitBackward sums the k upstream gradients — a real reduction with real
+// memory traffic, matching the paper's observation that Split in the
+// backward pass is no longer free.
+func SplitBackward(dys []*tensor.Tensor) (*tensor.Tensor, error) {
+	if len(dys) == 0 {
+		return nil, fmt.Errorf("split: no gradients")
+	}
+	dx := dys[0].Clone()
+	for _, d := range dys[1:] {
+		if err := dx.AddInPlace(d); err != nil {
+			return nil, err
+		}
+	}
+	return dx, nil
+}

@@ -1,0 +1,265 @@
+package layers
+
+import (
+	"fmt"
+
+	"bnff/internal/tensor"
+)
+
+// Conv2D holds the hyper-parameters of a 2-D convolution layer. Weights are
+// laid out (Cout, Cin/groups, KH, KW); the layer has no bias term because
+// every convolution in the studied models is immediately followed by BN,
+// whose β subsumes it (the paper's models follow the same convention).
+//
+// Groups partitions the channels into independent convolutions (Groups == 0
+// or 1 means dense). Groups == InChannels == OutChannels is a depthwise
+// convolution, the MobileNet building block.
+type Conv2D struct {
+	InChannels  int
+	OutChannels int
+	KernelH     int
+	KernelW     int
+	Stride      int
+	Pad         int
+	Groups      int
+}
+
+// NewConv2D builds a square-kernel dense convolution descriptor.
+func NewConv2D(in, out, kernel, stride, pad int) Conv2D {
+	return Conv2D{InChannels: in, OutChannels: out, KernelH: kernel, KernelW: kernel, Stride: stride, Pad: pad}
+}
+
+// NewDepthwiseConv2D builds a square-kernel depthwise convolution (one
+// filter per channel).
+func NewDepthwiseConv2D(channels, kernel, stride, pad int) Conv2D {
+	c := NewConv2D(channels, channels, kernel, stride, pad)
+	c.Groups = channels
+	return c
+}
+
+// groups returns the effective group count (the zero value means dense).
+func (c Conv2D) groups() int {
+	if c.Groups <= 1 {
+		return 1
+	}
+	return c.Groups
+}
+
+// OutSize returns the output spatial extent for an input extent.
+func (c Conv2D) OutSize(in int) int {
+	return (in+2*c.Pad-c.KernelH)/c.Stride + 1
+}
+
+// OutShape returns the output feature-map shape for the given input shape.
+func (c Conv2D) OutShape(in tensor.Shape) tensor.Shape {
+	n, _, h, w := in[0], in[1], in[2], in[3]
+	oh := (h+2*c.Pad-c.KernelH)/c.Stride + 1
+	ow := (w+2*c.Pad-c.KernelW)/c.Stride + 1
+	return tensor.Shape{n, c.OutChannels, oh, ow}
+}
+
+// WeightShape returns the (Cout, Cin/groups, KH, KW) weight tensor shape.
+func (c Conv2D) WeightShape() tensor.Shape {
+	return tensor.Shape{c.OutChannels, c.InChannels / c.groups(), c.KernelH, c.KernelW}
+}
+
+// FLOPs returns the multiply-add count (2 FLOPs per MAC) of a forward pass
+// over a batch with the given input spatial extent. The analytical model in
+// internal/graph uses the same formula.
+func (c Conv2D) FLOPs(batch, inH, inW int) int64 {
+	oh := (inH+2*c.Pad-c.KernelH)/c.Stride + 1
+	ow := (inW+2*c.Pad-c.KernelW)/c.Stride + 1
+	return 2 * int64(batch) * int64(c.OutChannels) * int64(oh) * int64(ow) *
+		int64(c.InChannels/c.groups()) * int64(c.KernelH) * int64(c.KernelW)
+}
+
+func (c Conv2D) checkForward(x, w *tensor.Tensor) error {
+	if x.Rank() != 4 {
+		return fmt.Errorf("conv: input must be rank 4, got %v", x.Shape())
+	}
+	if x.Dim(1) != c.InChannels {
+		return fmt.Errorf("conv: input has %d channels, layer expects %d", x.Dim(1), c.InChannels)
+	}
+	if !w.Shape().Equal(c.WeightShape()) {
+		return fmt.Errorf("conv: weight shape %v, want %v", w.Shape(), c.WeightShape())
+	}
+	if c.Stride < 1 {
+		return fmt.Errorf("conv: stride %d < 1", c.Stride)
+	}
+	if x.Dim(2)+2*c.Pad < c.KernelH || x.Dim(3)+2*c.Pad < c.KernelW {
+		return fmt.Errorf("conv: input %v smaller than kernel %dx%d with pad %d",
+			x.Shape(), c.KernelH, c.KernelW, c.Pad)
+	}
+	if g := c.groups(); c.InChannels%g != 0 || c.OutChannels%g != 0 {
+		return fmt.Errorf("conv: channels %d->%d not divisible by %d groups",
+			c.InChannels, c.OutChannels, g)
+	}
+	return nil
+}
+
+// Forward computes the convolution of x (N,Cin,H,W) with weights w,
+// returning (N,Cout,OH,OW). With SetConvWorkers(>1) the batch is processed
+// by multiple goroutines with bit-identical results.
+func (c Conv2D) Forward(x, w *tensor.Tensor) (*tensor.Tensor, error) {
+	if err := c.checkForward(x, w); err != nil {
+		return nil, err
+	}
+	y := tensor.New(c.OutShape(x.Shape())...)
+	c.dispatchForward(x, w, y)
+	return y, nil
+}
+
+func (c Conv2D) dispatchForward(x, w, y *tensor.Tensor) {
+	if wk := ConvWorkers(); wk > 1 && x.Dim(0) > 1 {
+		c.forwardParallel(x, w, y, wk)
+		return
+	}
+	c.forwardInto(x, w, y)
+}
+
+func (c Conv2D) dispatchBackward(dy, x, w, dx, dw *tensor.Tensor) {
+	if wk := ConvWorkers(); wk > 1 && x.Dim(0) > 1 {
+		c.backwardParallel(dy, x, w, dx, dw, wk)
+		return
+	}
+	c.backwardInto(dy, x, w, dx, dw)
+}
+
+// forwardInto runs the inner loops; y must already have the output shape.
+// It is shared with the fused kernels in internal/kernels via ForwardInto.
+func (c Conv2D) forwardInto(x, w, y *tensor.Tensor) {
+	n, cin, h, wd := x.Dims4()
+	_, cout, oh, ow := y.Dims4()
+	kh, kw, s, p := c.KernelH, c.KernelW, c.Stride, c.Pad
+	g := c.groups()
+	cinG, coutG := cin/g, cout/g
+
+	xd, wdat, yd := x.Data, w.Data, y.Data
+	for in := 0; in < n; in++ {
+		for oc := 0; oc < cout; oc++ {
+			icLo := (oc / coutG) * cinG
+			wBase := oc * cinG * kh * kw
+			outBase := (in*cout + oc) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				iy0 := oy*s - p
+				for ox := 0; ox < ow; ox++ {
+					ix0 := ox*s - p
+					var acc float32
+					for ig := 0; ig < cinG; ig++ {
+						inBase := (in*cin + icLo + ig) * h * wd
+						wcBase := wBase + ig*kh*kw
+						for ky := 0; ky < kh; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							row := inBase + iy*wd
+							wrow := wcBase + ky*kw
+							for kx := 0; kx < kw; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= wd {
+									continue
+								}
+								acc += xd[row+ix] * wdat[wrow+kx]
+							}
+						}
+					}
+					yd[outBase+oy*ow+ox] = acc
+				}
+			}
+		}
+	}
+}
+
+// ForwardInto computes the convolution into a pre-allocated output tensor,
+// validating shapes. Fused kernels use it to control buffer reuse.
+func (c Conv2D) ForwardInto(x, w, y *tensor.Tensor) error {
+	if err := c.checkForward(x, w); err != nil {
+		return err
+	}
+	if !y.Shape().Equal(c.OutShape(x.Shape())) {
+		return fmt.Errorf("conv: output shape %v, want %v", y.Shape(), c.OutShape(x.Shape()))
+	}
+	c.dispatchForward(x, w, y)
+	return nil
+}
+
+// Backward computes the input gradient dX and weight gradient dW given the
+// upstream gradient dY, the saved input x, and the weights w.
+func (c Conv2D) Backward(dy, x, w *tensor.Tensor) (dx, dw *tensor.Tensor, err error) {
+	if err := c.checkForward(x, w); err != nil {
+		return nil, nil, err
+	}
+	if !dy.Shape().Equal(c.OutShape(x.Shape())) {
+		return nil, nil, fmt.Errorf("conv: dY shape %v, want %v", dy.Shape(), c.OutShape(x.Shape()))
+	}
+	dx = tensor.New(x.Shape()...)
+	dw = tensor.New(w.Shape()...)
+	c.dispatchBackward(dy, x, w, dx, dw)
+	return dx, dw, nil
+}
+
+// BackwardInto is Backward writing into caller-provided gradient buffers
+// (which must be zeroed by the caller if fresh gradients are wanted; the
+// kernel accumulates, which lets Split fan-ins share one dX buffer).
+func (c Conv2D) BackwardInto(dy, x, w, dx, dw *tensor.Tensor) error {
+	if err := c.checkForward(x, w); err != nil {
+		return err
+	}
+	if !dy.Shape().Equal(c.OutShape(x.Shape())) {
+		return fmt.Errorf("conv: dY shape %v, want %v", dy.Shape(), c.OutShape(x.Shape()))
+	}
+	if !dx.Shape().Equal(x.Shape()) || !dw.Shape().Equal(w.Shape()) {
+		return fmt.Errorf("conv: gradient buffer shapes %v/%v, want %v/%v",
+			dx.Shape(), dw.Shape(), x.Shape(), w.Shape())
+	}
+	c.dispatchBackward(dy, x, w, dx, dw)
+	return nil
+}
+
+func (c Conv2D) backwardInto(dy, x, w, dx, dw *tensor.Tensor) {
+	n, cin, h, wd := x.Dims4()
+	_, cout, oh, ow := dy.Dims4()
+	kh, kw, s, p := c.KernelH, c.KernelW, c.Stride, c.Pad
+	grp := c.groups()
+	cinG, coutG := cin/grp, cout/grp
+
+	xd, wdat, dyd, dxd, dwd := x.Data, w.Data, dy.Data, dx.Data, dw.Data
+	for in := 0; in < n; in++ {
+		for oc := 0; oc < cout; oc++ {
+			icLo := (oc / coutG) * cinG
+			wBase := oc * cinG * kh * kw
+			outBase := (in*cout + oc) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				iy0 := oy*s - p
+				for ox := 0; ox < ow; ox++ {
+					ix0 := ox*s - p
+					g := dyd[outBase+oy*ow+ox]
+					if g == 0 {
+						continue
+					}
+					for ig := 0; ig < cinG; ig++ {
+						inBase := (in*cin + icLo + ig) * h * wd
+						wcBase := wBase + ig*kh*kw
+						for ky := 0; ky < kh; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							row := inBase + iy*wd
+							wrow := wcBase + ky*kw
+							for kx := 0; kx < kw; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= wd {
+									continue
+								}
+								dxd[row+ix] += wdat[wrow+kx] * g
+								dwd[wrow+kx] += xd[row+ix] * g
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,17 @@
+// Package layers implements the numeric forward and backward passes of every
+// layer type that appears in the CNN models the paper studies: convolution,
+// batch normalization (training semantics, with the fission sub-layers
+// exposed), ReLU, pooling, fully-connected, concatenation, split, element-wise
+// sum, and softmax cross-entropy.
+//
+// The layers are written as stateless functions over explicit tensors plus
+// small "context" structs holding whatever the backward pass needs (saved
+// inputs, batch statistics, pooling argmax indices). The graph executor in
+// internal/core owns all storage and decides which buffers exist — that is
+// exactly the degree of freedom the paper's restructuring exploits, so the
+// layer API must not hide it.
+//
+// Everything here is the *baseline* (unfused) implementation; the fused
+// kernels that BNFF substitutes live in internal/kernels and are tested for
+// equivalence against these.
+package layers

@@ -1,0 +1,86 @@
+package layers
+
+import (
+	"fmt"
+
+	"bnff/internal/tensor"
+)
+
+// FC is a fully-connected (dense) layer y = x·Wᵀ + b with weight shape
+// (Out, In) and bias (Out). It is the classifier head of every studied model.
+type FC struct {
+	In  int
+	Out int
+}
+
+// WeightShape returns the (Out, In) weight shape.
+func (f FC) WeightShape() tensor.Shape { return tensor.Shape{f.Out, f.In} }
+
+// FLOPs returns the multiply-add FLOP count for a batch.
+func (f FC) FLOPs(batch int) int64 { return 2 * int64(batch) * int64(f.In) * int64(f.Out) }
+
+func (f FC) check(x, w, b *tensor.Tensor) error {
+	if x.Rank() != 2 || x.Dim(1) != f.In {
+		return fmt.Errorf("fc: input shape %v, want [N %d]", x.Shape(), f.In)
+	}
+	if !w.Shape().Equal(f.WeightShape()) {
+		return fmt.Errorf("fc: weight shape %v, want %v", w.Shape(), f.WeightShape())
+	}
+	if b.Rank() != 1 || b.Dim(0) != f.Out {
+		return fmt.Errorf("fc: bias shape %v, want [%d]", b.Shape(), f.Out)
+	}
+	return nil
+}
+
+// Forward computes y (N, Out).
+func (f FC) Forward(x, w, b *tensor.Tensor) (*tensor.Tensor, error) {
+	if err := f.check(x, w, b); err != nil {
+		return nil, err
+	}
+	n := x.Dim(0)
+	y := tensor.New(n, f.Out)
+	for in := 0; in < n; in++ {
+		xRow := x.Data[in*f.In : (in+1)*f.In]
+		for o := 0; o < f.Out; o++ {
+			wRow := w.Data[o*f.In : (o+1)*f.In]
+			acc := b.Data[o]
+			for i, xv := range xRow {
+				acc += xv * wRow[i]
+			}
+			y.Data[in*f.Out+o] = acc
+		}
+	}
+	return y, nil
+}
+
+// Backward computes dX, dW, dB from the upstream gradient and saved input.
+func (f FC) Backward(dy, x, w *tensor.Tensor) (dx, dw, db *tensor.Tensor, err error) {
+	if x.Rank() != 2 || x.Dim(1) != f.In {
+		return nil, nil, nil, fmt.Errorf("fc: input shape %v, want [N %d]", x.Shape(), f.In)
+	}
+	n := x.Dim(0)
+	if !dy.Shape().Equal(tensor.Shape{n, f.Out}) {
+		return nil, nil, nil, fmt.Errorf("fc: dy shape %v, want [%d %d]", dy.Shape(), n, f.Out)
+	}
+	dx = tensor.New(n, f.In)
+	dw = tensor.New(f.Out, f.In)
+	db = tensor.New(f.Out)
+	for in := 0; in < n; in++ {
+		xRow := x.Data[in*f.In : (in+1)*f.In]
+		dxRow := dx.Data[in*f.In : (in+1)*f.In]
+		for o := 0; o < f.Out; o++ {
+			g := dy.Data[in*f.Out+o]
+			if g == 0 {
+				continue
+			}
+			wRow := w.Data[o*f.In : (o+1)*f.In]
+			dwRow := dw.Data[o*f.In : (o+1)*f.In]
+			db.Data[o] += g
+			for i := range xRow {
+				dxRow[i] += g * wRow[i]
+				dwRow[i] += g * xRow[i]
+			}
+		}
+	}
+	return dx, dw, db, nil
+}

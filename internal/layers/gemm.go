@@ -1,0 +1,110 @@
+package layers
+
+import (
+	"fmt"
+
+	"bnff/internal/tensor"
+)
+
+// ForwardGEMM computes the same convolution as Forward via im2col + matrix
+// multiply — the algorithm Caffe (the paper's reference framework) uses.
+// It exists as an independent oracle for the direct kernels and to expose
+// the memory cost the paper's reference implementation pays: the column
+// matrix materializes each input element KH·KW times.
+//
+// Shapes: columns is (Cin/g·KH·KW, OH·OW) per sample and group; the weight
+// matrix is (CoutG, Cin/g·KH·KW); their product is the (CoutG, OH·OW) output
+// block.
+func (c Conv2D) ForwardGEMM(x, w *tensor.Tensor) (*tensor.Tensor, error) {
+	if err := c.checkForward(x, w); err != nil {
+		return nil, err
+	}
+	n, cin, h, wd := x.Dims4()
+	out := tensor.New(c.OutShape(x.Shape())...)
+	_, cout, oh, ow := out.Dims4()
+	kh, kw, s, p := c.KernelH, c.KernelW, c.Stride, c.Pad
+	g := c.groups()
+	cinG, coutG := cin/g, cout/g
+
+	colRows := cinG * kh * kw
+	cols := make([]float32, colRows*oh*ow)
+	for in := 0; in < n; in++ {
+		for grp := 0; grp < g; grp++ {
+			// im2col for this sample and group.
+			for ig := 0; ig < cinG; ig++ {
+				ic := grp*cinG + ig
+				inBase := (in*cin + ic) * h * wd
+				for ky := 0; ky < kh; ky++ {
+					for kx := 0; kx < kw; kx++ {
+						row := (ig*kh+ky)*kw + kx
+						dst := cols[row*oh*ow:]
+						di := 0
+						for oy := 0; oy < oh; oy++ {
+							iy := oy*s - p + ky
+							for ox := 0; ox < ow; ox++ {
+								ix := ox*s - p + kx
+								if iy < 0 || iy >= h || ix < 0 || ix >= wd {
+									dst[di] = 0
+								} else {
+									dst[di] = x.Data[inBase+iy*wd+ix]
+								}
+								di++
+							}
+						}
+					}
+				}
+			}
+			// GEMM: out[oc, :] = Σ_r w[oc, r] · cols[r, :].
+			for ocg := 0; ocg < coutG; ocg++ {
+				oc := grp*coutG + ocg
+				wRow := w.Data[oc*colRows : (oc+1)*colRows]
+				outRow := out.Data[(in*cout+oc)*oh*ow : (in*cout+oc+1)*oh*ow]
+				for r, wv := range wRow {
+					if wv == 0 {
+						continue
+					}
+					col := cols[r*oh*ow : (r+1)*oh*ow]
+					for i, cv := range col {
+						outRow[i] += wv * cv
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Im2colBytes returns the extra buffer traffic the GEMM path implies per
+// forward pass (the column matrix written and read once), used by the
+// documentation of why direct convolution is the reference cost model.
+func (c Conv2D) Im2colBytes(batch, inH, inW int) int64 {
+	oh := (inH+2*c.Pad-c.KernelH)/c.Stride + 1
+	ow := (inW+2*c.Pad-c.KernelW)/c.Stride + 1
+	colRows := (c.InChannels / c.groups()) * c.KernelH * c.KernelW
+	return 2 * 4 * int64(batch) * int64(c.groups()) * int64(colRows) * int64(oh) * int64(ow)
+}
+
+// FC as GEMM sanity helper: multiply (N,In)×(In,Out) using the same inner
+// kernel, used by tests to cross-check the FC layer.
+func matMul(a, b *tensor.Tensor) (*tensor.Tensor, error) {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Dim(1) != b.Dim(0) {
+		return nil, fmt.Errorf("layers: matmul shapes %v × %v", a.Shape(), b.Shape())
+	}
+	n, k := a.Dims2()
+	_, m := b.Dims2()
+	out := tensor.New(n, m)
+	for i := 0; i < n; i++ {
+		for kk := 0; kk < k; kk++ {
+			av := a.Data[i*k+kk]
+			if av == 0 {
+				continue
+			}
+			bRow := b.Data[kk*m : (kk+1)*m]
+			oRow := out.Data[i*m : (i+1)*m]
+			for j, bv := range bRow {
+				oRow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package layers
+
+import (
+	"math"
+	"testing"
+
+	"bnff/internal/tensor"
+)
+
+// numericGrad estimates d(loss)/d(t[i]) by central differences for every
+// element of t, where loss recomputes the full forward pass. Slow but exact
+// enough for the small shapes used in tests.
+func numericGrad(t *tensor.Tensor, eps float32, loss func() float64) []float64 {
+	g := make([]float64, t.NumElems())
+	for i := range t.Data {
+		orig := t.Data[i]
+		t.Data[i] = orig + eps
+		lp := loss()
+		t.Data[i] = orig - eps
+		lm := loss()
+		t.Data[i] = orig
+		g[i] = (lp - lm) / (2 * float64(eps))
+	}
+	return g
+}
+
+// checkGrad compares an analytic gradient tensor against a numeric estimate,
+// reporting the worst absolute error relative to the gradient scale.
+func checkGrad(t *testing.T, name string, analytic *tensor.Tensor, numeric []float64, tol float64) {
+	t.Helper()
+	if analytic.NumElems() != len(numeric) {
+		t.Fatalf("%s: analytic %d elems vs numeric %d", name, analytic.NumElems(), len(numeric))
+	}
+	scale := 1.0
+	for _, v := range numeric {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	worst := 0.0
+	worstI := -1
+	for i := range numeric {
+		d := math.Abs(float64(analytic.Data[i])-numeric[i]) / scale
+		if d > worst {
+			worst, worstI = d, i
+		}
+	}
+	if worst > tol {
+		t.Errorf("%s: gradient mismatch at %d: analytic %v numeric %v (rel err %.3g > %.3g)",
+			name, worstI, analytic.Data[worstI], numeric[worstI], worst, tol)
+	}
+}
+
+// weightedSumLoss builds a deterministic scalar loss Σ cᵢ·yᵢ over a layer
+// output so that d(loss)/dy = c is known exactly; the returned dy seeds the
+// analytic backward pass.
+func weightedSumLoss(shape tensor.Shape, seed uint64) (dy *tensor.Tensor, loss func(y *tensor.Tensor) float64) {
+	rng := tensor.NewRNG(seed)
+	dy = tensor.New(shape...)
+	rng.FillUniform(dy, -1, 1)
+	loss = func(y *tensor.Tensor) float64 {
+		var s float64
+		for i, v := range y.Data {
+			s += float64(dy.Data[i]) * float64(v)
+		}
+		return s
+	}
+	return dy, loss
+}

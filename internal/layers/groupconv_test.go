@@ -1,0 +1,151 @@
+package layers
+
+import (
+	"testing"
+
+	"bnff/internal/tensor"
+)
+
+func TestGroupedConvWeightShapeAndFLOPs(t *testing.T) {
+	c := NewConv2D(8, 16, 3, 1, 1)
+	c.Groups = 4
+	if !c.WeightShape().Equal(tensor.Shape{16, 2, 3, 3}) {
+		t.Errorf("weight shape = %v, want [16 2 3 3]", c.WeightShape())
+	}
+	dense := NewConv2D(8, 16, 3, 1, 1)
+	if c.FLOPs(2, 8, 8)*4 != dense.FLOPs(2, 8, 8) {
+		t.Errorf("grouped FLOPs %d, want dense/4 = %d", c.FLOPs(2, 8, 8), dense.FLOPs(2, 8, 8)/4)
+	}
+	dw := NewDepthwiseConv2D(8, 3, 1, 1)
+	if !dw.WeightShape().Equal(tensor.Shape{8, 1, 3, 3}) {
+		t.Errorf("depthwise weight shape = %v", dw.WeightShape())
+	}
+}
+
+func TestGroupedConvRejectsIndivisibleChannels(t *testing.T) {
+	c := NewConv2D(6, 8, 3, 1, 1)
+	c.Groups = 4 // 6 % 4 != 0
+	x := tensor.New(1, 6, 5, 5)
+	if _, err := c.Forward(x, tensor.New(c.WeightShape()...)); err == nil {
+		t.Error("accepted indivisible input channels")
+	}
+	c2 := NewConv2D(8, 6, 3, 1, 1)
+	c2.Groups = 4 // 6 % 4 != 0
+	if _, err := c2.Forward(tensor.New(1, 8, 5, 5), tensor.New(c2.WeightShape()...)); err == nil {
+		t.Error("accepted indivisible output channels")
+	}
+}
+
+// A grouped conv must equal running each group's dense conv on its channel
+// slice and concatenating.
+func TestGroupedConvMatchesPerGroupDense(t *testing.T) {
+	const n, cin, cout, hw, groups = 2, 6, 4, 7, 2
+	g := NewConv2D(cin, cout, 3, 1, 1)
+	g.Groups = groups
+	rng := tensor.NewRNG(51)
+	x := tensor.New(n, cin, hw, hw)
+	w := tensor.New(g.WeightShape()...)
+	rng.FillNormal(x, 0, 1)
+	rng.FillNormal(w, 0, 0.5)
+	y, err := g.Forward(x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cinG, coutG := cin/groups, cout/groups
+	dense := NewConv2D(cinG, coutG, 3, 1, 1)
+	for grp := 0; grp < groups; grp++ {
+		// Slice x channels [grp*cinG, ...) and the matching weights.
+		xs := tensor.New(n, cinG, hw, hw)
+		for in := 0; in < n; in++ {
+			for ic := 0; ic < cinG; ic++ {
+				copy(xs.Data[(in*cinG+ic)*hw*hw:(in*cinG+ic+1)*hw*hw],
+					x.Data[(in*cin+grp*cinG+ic)*hw*hw:(in*cin+grp*cinG+ic+1)*hw*hw])
+			}
+		}
+		ws := tensor.New(coutG, cinG, 3, 3)
+		copy(ws.Data, w.Data[grp*coutG*cinG*9:(grp+1)*coutG*cinG*9])
+		ys, err := dense.Forward(xs, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for in := 0; in < n; in++ {
+			for oc := 0; oc < coutG; oc++ {
+				for i := 0; i < hw*hw; i++ {
+					want := ys.Data[(in*coutG+oc)*hw*hw+i]
+					got := y.At4(in, grp*coutG+oc, i/hw, i%hw)
+					if want != got {
+						t.Fatalf("group %d mismatch at (%d,%d,%d): %v vs %v", grp, in, oc, i, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDepthwiseConvKnownValues(t *testing.T) {
+	// Depthwise 1x1 with per-channel weights 2 and 3 just scales channels.
+	c := NewDepthwiseConv2D(2, 1, 1, 0)
+	x := tensor.MustFromSlice([]float32{
+		1, 2, 3, 4, // channel 0
+		5, 6, 7, 8, // channel 1
+	}, 1, 2, 2, 2)
+	w := tensor.MustFromSlice([]float32{2, 3}, 2, 1, 1, 1)
+	y, err := c.Forward(x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{2, 4, 6, 8, 15, 18, 21, 24}
+	for i := range want {
+		if y.Data[i] != want[i] {
+			t.Errorf("dw y[%d] = %v, want %v", i, y.Data[i], want[i])
+		}
+	}
+}
+
+func TestGroupedConvGradients(t *testing.T) {
+	c := NewConv2D(4, 4, 3, 1, 1)
+	c.Groups = 2
+	rng := tensor.NewRNG(53)
+	x := tensor.New(2, 4, 5, 5)
+	w := tensor.New(c.WeightShape()...)
+	rng.FillUniform(x, -1, 1)
+	rng.FillUniform(w, -1, 1)
+	dy, lossOf := weightedSumLoss(c.OutShape(x.Shape()), 3)
+	loss := func() float64 {
+		y, err := c.Forward(x, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lossOf(y)
+	}
+	dx, dw, err := c.Backward(dy, x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGrad(t, "grouped conv dX", dx, numericGrad(x, 1e-2, loss), 2e-2)
+	checkGrad(t, "grouped conv dW", dw, numericGrad(w, 1e-2, loss), 2e-2)
+}
+
+func TestDepthwiseConvGradients(t *testing.T) {
+	c := NewDepthwiseConv2D(3, 3, 1, 1)
+	rng := tensor.NewRNG(55)
+	x := tensor.New(2, 3, 5, 5)
+	w := tensor.New(c.WeightShape()...)
+	rng.FillUniform(x, -1, 1)
+	rng.FillUniform(w, -1, 1)
+	dy, lossOf := weightedSumLoss(c.OutShape(x.Shape()), 4)
+	loss := func() float64 {
+		y, err := c.Forward(x, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lossOf(y)
+	}
+	dx, dw, err := c.Backward(dy, x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGrad(t, "depthwise dX", dx, numericGrad(x, 1e-2, loss), 2e-2)
+	checkGrad(t, "depthwise dW", dw, numericGrad(w, 1e-2, loss), 2e-2)
+}

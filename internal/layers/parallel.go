@@ -1,0 +1,99 @@
+package layers
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"bnff/internal/tensor"
+)
+
+// Convolution is by far the dominant numeric cost, so it is the one layer
+// with a parallel execution path. Work splits across the mini-batch
+// dimension: forward outputs are disjoint per sample (bit-identical to
+// serial), and the backward pass gives each worker a private dW accumulator
+// that is reduced in sample order afterwards — deterministic regardless of
+// scheduling, and within float32 round-off of the serial result (the
+// per-sample partials associate the same additions differently).
+
+var convWorkers int64 = 1
+
+// SetConvWorkers sets the number of goroutines convolution layers may use,
+// clamped to [1, 1024]. It returns the previous setting. The default is 1
+// (serial) so that tests and small models pay no scheduling overhead;
+// trainers of larger models opt in, typically with GOMAXPROCS. Requesting
+// more workers than cores is allowed (the scheduler multiplexes them), which
+// also lets single-core machines exercise the concurrent path.
+func SetConvWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > 1024 {
+		n = 1024
+	}
+	return int(atomic.SwapInt64(&convWorkers, int64(n)))
+}
+
+// DefaultConvWorkers returns the recommended worker count for this machine.
+func DefaultConvWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ConvWorkers returns the current setting.
+func ConvWorkers() int { return int(atomic.LoadInt64(&convWorkers)) }
+
+// sampleView returns a rank-4 view of sample i of a batch tensor.
+func sampleView(t *tensor.Tensor, i int) *tensor.Tensor {
+	n, c, h, w := t.Dims4()
+	_ = n
+	per := c * h * w
+	v, _ := tensor.FromSlice(t.Data[i*per:(i+1)*per], 1, c, h, w)
+	return v
+}
+
+// forwardParallel runs forwardInto with one goroutine per sample chunk.
+func (c Conv2D) forwardParallel(x, w, y *tensor.Tensor, workers int) {
+	n := x.Dim(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		lo, hi := n*wk/workers, n*(wk+1)/workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				c.forwardInto(sampleView(x, i), w, sampleView(y, i))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// backwardParallel runs backwardInto with per-worker dW accumulators that
+// are reduced in sample order, preserving serial bit-exactness.
+func (c Conv2D) backwardParallel(dy, x, w, dx, dw *tensor.Tensor, workers int) {
+	n := x.Dim(0)
+	if workers > n {
+		workers = n
+	}
+	partial := make([]*tensor.Tensor, n)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		lo, hi := n*wk/workers, n*(wk+1)/workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				pdw := tensor.New(w.Shape()...)
+				c.backwardInto(sampleView(dy, i), sampleView(x, i), w, sampleView(dx, i), pdw)
+				partial[i] = pdw
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		for j, v := range partial[i].Data {
+			dw.Data[j] += v
+		}
+	}
+}

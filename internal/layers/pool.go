@@ -1,0 +1,211 @@
+package layers
+
+import (
+	"fmt"
+	"math"
+
+	"bnff/internal/tensor"
+)
+
+// Pool2D describes a max or average pooling layer.
+type Pool2D struct {
+	Kernel int
+	Stride int
+	Pad    int
+	Max    bool // true: max pooling; false: average pooling
+}
+
+// OutSize returns the output spatial extent for an input extent.
+func (p Pool2D) OutSize(in int) int { return (in+2*p.Pad-p.Kernel)/p.Stride + 1 }
+
+// OutShape returns the pooled feature-map shape.
+func (p Pool2D) OutShape(in tensor.Shape) tensor.Shape {
+	return tensor.Shape{in[0], in[1], p.OutSize(in[2]), p.OutSize(in[3])}
+}
+
+// PoolContext saves what the backward pass needs: argmax indices for max
+// pooling (flat indices into the input tensor), or nothing for average.
+type PoolContext struct {
+	ArgMax  []int32
+	InShape tensor.Shape
+}
+
+func (p Pool2D) check(x *tensor.Tensor) error {
+	if x.Rank() != 4 {
+		return fmt.Errorf("pool: input must be rank 4, got %v", x.Shape())
+	}
+	if p.Stride < 1 || p.Kernel < 1 {
+		return fmt.Errorf("pool: invalid kernel %d / stride %d", p.Kernel, p.Stride)
+	}
+	if x.Dim(2)+2*p.Pad < p.Kernel || x.Dim(3)+2*p.Pad < p.Kernel {
+		return fmt.Errorf("pool: input %v smaller than window %d with pad %d", x.Shape(), p.Kernel, p.Pad)
+	}
+	return nil
+}
+
+// Forward pools x. For max pooling, padding cells are treated as -inf;
+// for average pooling the divisor counts only in-bounds cells (the usual
+// "count_include_pad=false" convention).
+func (p Pool2D) Forward(x *tensor.Tensor) (*tensor.Tensor, *PoolContext, error) {
+	if err := p.check(x); err != nil {
+		return nil, nil, err
+	}
+	n, c, h, w := x.Dims4()
+	oh, ow := p.OutSize(h), p.OutSize(w)
+	y := tensor.New(n, c, oh, ow)
+	ctx := &PoolContext{InShape: x.Shape().Clone()}
+	if p.Max {
+		ctx.ArgMax = make([]int32, y.NumElems())
+	}
+	oi := 0
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			base := (in*c + ic) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					y0, x0 := oy*p.Stride-p.Pad, ox*p.Stride-p.Pad
+					if p.Max {
+						best := float32(math.Inf(-1))
+						bestIdx := -1
+						for ky := 0; ky < p.Kernel; ky++ {
+							iy := y0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < p.Kernel; kx++ {
+								ix := x0 + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								v := x.Data[base+iy*w+ix]
+								if bestIdx < 0 || v > best {
+									best, bestIdx = v, base+iy*w+ix
+								}
+							}
+						}
+						y.Data[oi] = best
+						ctx.ArgMax[oi] = int32(bestIdx)
+					} else {
+						var sum float32
+						cnt := 0
+						for ky := 0; ky < p.Kernel; ky++ {
+							iy := y0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < p.Kernel; kx++ {
+								ix := x0 + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								sum += x.Data[base+iy*w+ix]
+								cnt++
+							}
+						}
+						y.Data[oi] = sum / float32(cnt)
+					}
+					oi++
+				}
+			}
+		}
+	}
+	return y, ctx, nil
+}
+
+// Backward scatters the upstream gradient: to the argmax cell for max
+// pooling, or uniformly over in-bounds window cells for average pooling.
+func (p Pool2D) Backward(dy *tensor.Tensor, ctx *PoolContext) (*tensor.Tensor, error) {
+	n, c, h, w := ctx.InShape[0], ctx.InShape[1], ctx.InShape[2], ctx.InShape[3]
+	oh, ow := p.OutSize(h), p.OutSize(w)
+	if !dy.Shape().Equal(tensor.Shape{n, c, oh, ow}) {
+		return nil, fmt.Errorf("pool: dy shape %v, want %v", dy.Shape(), tensor.Shape{n, c, oh, ow})
+	}
+	dx := tensor.New(ctx.InShape...)
+	oi := 0
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			base := (in*c + ic) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := dy.Data[oi]
+					if p.Max {
+						dx.Data[ctx.ArgMax[oi]] += g
+					} else {
+						y0, x0 := oy*p.Stride-p.Pad, ox*p.Stride-p.Pad
+						cnt := 0
+						for ky := 0; ky < p.Kernel; ky++ {
+							iy := y0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < p.Kernel; kx++ {
+								if ix := x0 + kx; ix >= 0 && ix < w {
+									cnt++
+								}
+							}
+						}
+						share := g / float32(cnt)
+						for ky := 0; ky < p.Kernel; ky++ {
+							iy := y0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < p.Kernel; kx++ {
+								ix := x0 + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								dx.Data[base+iy*w+ix] += share
+							}
+						}
+					}
+					oi++
+				}
+			}
+		}
+	}
+	return dx, nil
+}
+
+// GlobalAvgPoolForward reduces each channel's H×W plane to its mean,
+// returning (N, C) — the head of ResNet/DenseNet before the classifier.
+func GlobalAvgPoolForward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if x.Rank() != 4 {
+		return nil, fmt.Errorf("gap: input must be rank 4, got %v", x.Shape())
+	}
+	n, c, h, w := x.Dims4()
+	y := tensor.New(n, c)
+	hw := float32(h * w)
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			base := (in*c + ic) * h * w
+			var s float32
+			for i := 0; i < h*w; i++ {
+				s += x.Data[base+i]
+			}
+			y.Data[in*c+ic] = s / hw
+		}
+	}
+	return y, nil
+}
+
+// GlobalAvgPoolBackward spreads each (n,c) gradient uniformly over the
+// channel's spatial plane of the given input shape.
+func GlobalAvgPoolBackward(dy *tensor.Tensor, inShape tensor.Shape) (*tensor.Tensor, error) {
+	n, c, h, w := inShape[0], inShape[1], inShape[2], inShape[3]
+	if !dy.Shape().Equal(tensor.Shape{n, c}) {
+		return nil, fmt.Errorf("gap: dy shape %v, want [%d %d]", dy.Shape(), n, c)
+	}
+	dx := tensor.New(inShape...)
+	hw := float32(h * w)
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			base := (in*c + ic) * h * w
+			g := dy.Data[in*c+ic] / hw
+			for i := 0; i < h*w; i++ {
+				dx.Data[base+i] = g
+			}
+		}
+	}
+	return dx, nil
+}

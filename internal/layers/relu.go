@@ -1,0 +1,53 @@
+package layers
+
+import (
+	"fmt"
+
+	"bnff/internal/tensor"
+)
+
+// ReLUForward returns max(x, 0) as a fresh tensor. In the baseline graph
+// this costs one read and one write sweep of the feature map; RCF eliminates
+// both by clipping while the following CONV reads its ifmap.
+func ReLUForward(x *tensor.Tensor) *tensor.Tensor {
+	y := tensor.New(x.Shape()...)
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+		}
+	}
+	return y
+}
+
+// ReLUBackward computes dx = dy ⊙ 1[x > 0] from the saved forward input.
+func ReLUBackward(dy, x *tensor.Tensor) (*tensor.Tensor, error) {
+	if !dy.Shape().Equal(x.Shape()) {
+		return nil, fmt.Errorf("relu: dy shape %v vs x %v", dy.Shape(), x.Shape())
+	}
+	dx := tensor.New(x.Shape()...)
+	for i := range x.Data {
+		if x.Data[i] > 0 {
+			dx.Data[i] = dy.Data[i]
+		}
+	}
+	return dx, nil
+}
+
+// EWSForward is the element-wise sum used by ResNet identity shortcuts.
+func EWSForward(a, b *tensor.Tensor) (*tensor.Tensor, error) {
+	if !a.Shape().Equal(b.Shape()) {
+		return nil, fmt.Errorf("ews: shape mismatch %v vs %v", a.Shape(), b.Shape())
+	}
+	y := a.Clone()
+	if err := y.AddInPlace(b); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// EWSBackward routes the upstream gradient unchanged to both addends.
+// Both returned tensors are independent copies so downstream accumulation
+// cannot alias.
+func EWSBackward(dy *tensor.Tensor) (da, db *tensor.Tensor) {
+	return dy.Clone(), dy.Clone()
+}

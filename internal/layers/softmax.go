@@ -1,0 +1,75 @@
+package layers
+
+import (
+	"fmt"
+	"math"
+
+	"bnff/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes mean softmax cross-entropy loss over a batch
+// of logits (N, K) against integer labels, together with the logits gradient
+// d(loss)/d(logits) = (softmax − onehot)/N. It is numerically stabilized by
+// max subtraction.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, dlogits *tensor.Tensor, err error) {
+	if logits.Rank() != 2 {
+		return 0, nil, fmt.Errorf("softmax: logits must be rank 2, got %v", logits.Shape())
+	}
+	n, k := logits.Dims2()
+	if len(labels) != n {
+		return 0, nil, fmt.Errorf("softmax: %d labels for batch %d", len(labels), n)
+	}
+	dlogits = tensor.New(n, k)
+	for in := 0; in < n; in++ {
+		if labels[in] < 0 || labels[in] >= k {
+			return 0, nil, fmt.Errorf("softmax: label %d out of range [0,%d)", labels[in], k)
+		}
+		row := logits.Data[in*k : (in+1)*k]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxv))
+		}
+		logSum := math.Log(sum)
+		loss += -(float64(row[labels[in]]-maxv) - logSum)
+		for j := 0; j < k; j++ {
+			p := math.Exp(float64(row[j]-maxv)) / sum
+			g := p
+			if j == labels[in] {
+				g -= 1
+			}
+			dlogits.Data[in*k+j] = float32(g / float64(n))
+		}
+	}
+	return loss / float64(n), dlogits, nil
+}
+
+// Accuracy returns the fraction of rows whose argmax equals the label.
+func Accuracy(logits *tensor.Tensor, labels []int) (float64, error) {
+	if logits.Rank() != 2 {
+		return 0, fmt.Errorf("accuracy: logits must be rank 2, got %v", logits.Shape())
+	}
+	n, k := logits.Dims2()
+	if len(labels) != n {
+		return 0, fmt.Errorf("accuracy: %d labels for batch %d", len(labels), n)
+	}
+	correct := 0
+	for in := 0; in < n; in++ {
+		row := logits.Data[in*k : (in+1)*k]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		if best == labels[in] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n), nil
+}

@@ -1,0 +1,235 @@
+// Package memplan computes the activation-memory footprint of one training
+// iteration by liveness analysis over the graph's execution schedule.
+//
+// It exists to quantify a side effect of the restructuring the paper does
+// not measure but that follows from its design (and that the related work it
+// cites, Gist, optimizes directly): the baseline keeps three mini-batch maps
+// alive per BN window for the backward pass — the BN input, the BN output,
+// and the rectified output — while the restructured graph keeps only the
+// normalized map x̂ (Figure 5's O2'), so BNFF reduces peak training memory
+// as well as traffic.
+package memplan
+
+import (
+	"fmt"
+	"sort"
+
+	"bnff/internal/graph"
+)
+
+// Buffer is one tensor allocation with its live interval in schedule steps.
+type Buffer struct {
+	Name  string
+	Bytes int64
+	Start int // schedule step that produces it
+	End   int // last schedule step that reads it
+}
+
+// Result is the footprint analysis of one training iteration.
+type Result struct {
+	Buffers   []Buffer
+	PeakBytes int64
+	PeakStep  int
+	Steps     int
+}
+
+// featureBytes is a node's output size in bytes.
+func featureBytes(n *graph.Node) int64 {
+	b := int64(4)
+	for _, d := range n.OutShape {
+		b *= int64(d)
+	}
+	return b
+}
+
+// PlanTraining computes liveness for one iteration: forward nodes execute at
+// steps 0..F−1 in topological order, backward nodes at steps F..2F−1 in
+// reverse order. Three buffer families are tracked:
+//
+//	activations — born at the producer's forward step, alive through the
+//	last forward consumer and any backward step that re-reads them (saved
+//	ifmaps for dW, BN/ReLU backward inputs);
+//	x̂ maps — born when a BNReLUConv writes O2', alive until the statistics
+//	producer's backward consumes them;
+//	gradients — born at the (latest) backward writer, dead after the
+//	producer's own backward step reads them.
+//
+// Weights and per-channel vectors are excluded (they are static and small
+// next to mini-batch maps).
+func PlanTraining(g *graph.Graph) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	live := g.Live()
+	f := len(live)
+	fwdStep := make(map[int]int, f) // node ID → forward step
+	bwdStep := make(map[int]int, f) // node ID → backward step
+	for i, n := range live {
+		fwdStep[n.ID] = i
+		bwdStep[n.ID] = 2*f - 1 - i
+	}
+	cons := g.Consumers()
+
+	var buffers []Buffer
+
+	// Activations.
+	for _, n := range live {
+		if n.Kind == graph.OpInput || n.Kind == graph.OpFlatten || n.Kind == graph.OpSubBN1 {
+			continue // inputs are external; flatten is a view; SubBN1 has no data output
+		}
+		end := fwdStep[n.ID]
+		for _, c := range cons[n.ID] {
+			if s := fwdStep[c.ID]; s > end {
+				end = s
+			}
+			// Does the consumer's backward re-read this activation?
+			if consumerBackwardReadsInput(c) {
+				if s := bwdStep[c.ID]; s > end {
+					end = s
+				}
+			}
+		}
+		// A statistics producer's own backward recomputes x̂ from its output
+		// when no materialized x̂ exists (standalone SubBN2 partner).
+		if n.StatsOut != nil && !hasMaterializedXHat(cons[n.ID]) {
+			if s := bwdStep[n.ID]; s > end {
+				end = s
+			}
+		}
+		buffers = append(buffers, Buffer{
+			Name: n.Name, Bytes: featureBytes(n), Start: fwdStep[n.ID], End: end,
+		})
+	}
+
+	// x̂ maps (O2'): owned by the normalize node, consumed by both its own
+	// backward and the statistics producer's backward.
+	for _, n := range live {
+		if n.Kind != graph.OpBNReLUConv {
+			continue
+		}
+		end := bwdStep[n.ID]
+		if s := bwdStep[n.StatsFrom.ID]; s > end {
+			end = s
+		}
+		buffers = append(buffers, Buffer{
+			Name: n.Name + ".xhat", Bytes: featureBytes(n.Inputs[0]),
+			Start: fwdStep[n.ID], End: end,
+		})
+	}
+
+	// Dropout masks: born at the dropout's forward, consumed by its backward.
+	for _, n := range live {
+		if n.Kind != graph.OpDropout {
+			continue
+		}
+		buffers = append(buffers, Buffer{
+			Name: n.Name + ".mask", Bytes: featureBytes(n),
+			Start: fwdStep[n.ID], End: bwdStep[n.ID],
+		})
+	}
+
+	// Gradients: the gradient of node n's output is written by its
+	// consumers' backward steps (or materializes at n's backward for the
+	// output node) and is last read at n's own backward step.
+	for _, n := range live {
+		if n.Kind == graph.OpInput || n.Kind == graph.OpFlatten {
+			continue
+		}
+		start := bwdStep[n.ID]
+		for _, c := range cons[n.ID] {
+			// Normalize-side fused consumers route the gradient through the
+			// statistics producer; the buffer appears when that side runs.
+			if s := bwdStep[c.ID]; s < start {
+				start = s
+			}
+		}
+		buffers = append(buffers, Buffer{
+			Name: n.Name + ".grad", Bytes: featureBytes(n), Start: start, End: bwdStep[n.ID],
+		})
+	}
+
+	res := &Result{Buffers: buffers, Steps: 2 * f}
+	res.computePeak()
+	return res, nil
+}
+
+// consumerBackwardReadsInput reports whether an operator's backward pass
+// re-reads its forward input (the "saved tensor" set of each kind).
+func consumerBackwardReadsInput(n *graph.Node) bool {
+	switch n.Kind {
+	case graph.OpConv, graph.OpReLUConv, graph.OpFC, graph.OpBN, graph.OpReLU,
+		graph.OpSubBN1, graph.OpSubBN2:
+		return true
+	case graph.OpBNReLUConv:
+		// Backward regenerates everything from x̂; the raw input is not kept.
+		return false
+	default:
+		// Pooling keeps argmax indices, not the input; Concat/EWS/GAP keep
+		// nothing.
+		return false
+	}
+}
+
+// hasMaterializedXHat reports whether any consumer is a BNReLUConv (which
+// writes O2') as opposed to a standalone SubBN2 (which recomputes x̂).
+func hasMaterializedXHat(consumers []*graph.Node) bool {
+	for _, c := range consumers {
+		if c.Kind == graph.OpBNReLUConv {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Result) computePeak() {
+	type event struct {
+		step  int
+		delta int64
+	}
+	var events []event
+	for _, b := range r.Buffers {
+		events = append(events, event{b.Start, b.Bytes}, event{b.End + 1, -b.Bytes})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].step < events[j].step })
+	var cur, peak int64
+	peakStep := 0
+	for i := 0; i < len(events); {
+		step := events[i].step
+		for ; i < len(events) && events[i].step == step; i++ {
+			cur += events[i].delta
+		}
+		// cur is now the live set for [step, nextStep).
+		if cur > peak {
+			peak, peakStep = cur, step
+		}
+	}
+	r.PeakBytes = peak
+	r.PeakStep = peakStep
+}
+
+// LiveAt returns the bytes live at a schedule step.
+func (r *Result) LiveAt(step int) int64 {
+	var s int64
+	for _, b := range r.Buffers {
+		if b.Start <= step && step <= b.End {
+			s += b.Bytes
+		}
+	}
+	return s
+}
+
+// TotalAllocated returns the sum of all buffer sizes (ignoring reuse).
+func (r *Result) TotalAllocated() int64 {
+	var s int64
+	for _, b := range r.Buffers {
+		s += b.Bytes
+	}
+	return s
+}
+
+// String summarizes the plan.
+func (r *Result) String() string {
+	return fmt.Sprintf("peak %.1f MB at step %d/%d (%d buffers, %.1f MB allocated)",
+		float64(r.PeakBytes)/1e6, r.PeakStep, r.Steps, len(r.Buffers),
+		float64(r.TotalAllocated())/1e6)
+}

@@ -1,0 +1,50 @@
+package memsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"bnff/internal/models"
+)
+
+func TestChromeTraceWellFormed(t *testing.T) {
+	g, err := models.TinyDenseNet(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Simulate(g, Skylake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.ChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace")
+	}
+	var prevTS float64 = -1
+	for i, e := range events {
+		for _, key := range []string{"name", "cat", "ph", "ts", "dur", "args"} {
+			if _, ok := e[key]; !ok {
+				t.Fatalf("event %d missing %q", i, key)
+			}
+		}
+		if e["ph"] != "X" {
+			t.Fatalf("event %d phase %v, want X", i, e["ph"])
+		}
+		ts := e["ts"].(float64)
+		if ts < prevTS {
+			t.Fatalf("event %d out of order", i)
+		}
+		prevTS = ts
+		if e["dur"].(float64) < 1 {
+			t.Fatalf("event %d has zero duration", i)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package memsim
+
+import (
+	"fmt"
+
+	"bnff/internal/graph"
+)
+
+// EnergyModel prices a simulated iteration into energy. The paper's §3.1
+// argues from the VLSI truism that "computation is cheap and communication
+// is expensive"; this model makes that quantitative: a DRAM access costs two
+// orders of magnitude more energy per byte than a float operation costs per
+// FLOP, so removing memory sweeps saves energy even where it does not save
+// time. The default constants are textbook 14nm-era figures (Horowitz,
+// ISSCC'14 keynote ballpark), documented rather than fitted.
+type EnergyModel struct {
+	PJPerFLOP      float64 // FP32 datapath, FMA-dominated
+	PJPerDRAMByte  float64 // DRAM access + channel transfer
+	PJPerCacheByte float64 // large SRAM access
+	StaticWatts    float64 // leakage + uncore, charged over runtime
+}
+
+// DefaultEnergy returns the documented default constants.
+func DefaultEnergy() EnergyModel {
+	return EnergyModel{
+		PJPerFLOP:      2,   // ~1-3 pJ per FP32 op at 14nm
+		PJPerDRAMByte:  150, // ~15-20 pJ/bit access+IO
+		PJPerCacheByte: 15,  // ~10× cheaper than DRAM
+		StaticWatts:    120, // 2-socket uncore + leakage
+	}
+}
+
+// Validate rejects nonsense constants.
+func (em EnergyModel) Validate() error {
+	if em.PJPerFLOP <= 0 || em.PJPerDRAMByte <= 0 || em.PJPerCacheByte <= 0 || em.StaticWatts < 0 {
+		return fmt.Errorf("memsim: non-positive energy constants %+v", em)
+	}
+	if em.PJPerDRAMByte <= em.PJPerCacheByte {
+		return fmt.Errorf("memsim: DRAM energy %v must exceed cache energy %v", em.PJPerDRAMByte, em.PJPerCacheByte)
+	}
+	return nil
+}
+
+// EnergyBreakdown is the per-component energy of one training iteration.
+type EnergyBreakdown struct {
+	ComputeJ float64
+	DRAMJ    float64
+	CacheJ   float64
+	StaticJ  float64
+}
+
+// TotalJ is the sum of all components.
+func (e EnergyBreakdown) TotalJ() float64 { return e.ComputeJ + e.DRAMJ + e.CacheJ + e.StaticJ }
+
+// Energy prices a simulated report.
+func (em EnergyModel) Energy(r *Report) (EnergyBreakdown, error) {
+	if err := em.Validate(); err != nil {
+		return EnergyBreakdown{}, err
+	}
+	var e EnergyBreakdown
+	var flops int64
+	var dram, cache int64
+	for _, t := range r.Timings {
+		flops += t.Cost.FLOPs
+		dram += t.DRAMBytes
+		cache += t.CachedBytes
+	}
+	const pj = 1e-12
+	e.ComputeJ = float64(flops) * em.PJPerFLOP * pj
+	e.DRAMJ = float64(dram) * em.PJPerDRAMByte * pj
+	e.CacheJ = float64(cache) * em.PJPerCacheByte * pj
+	e.StaticJ = em.StaticWatts * r.Total()
+	return e, nil
+}
+
+// DRAMEnergyByClass attributes DRAM energy to layer classes, mirroring
+// DRAMBytesByClass.
+func (em EnergyModel) DRAMEnergyByClass(r *Report) map[graph.LayerClass]float64 {
+	out := make(map[graph.LayerClass]float64)
+	for cls, b := range r.DRAMBytesByClass() {
+		out[cls] = float64(b) * em.PJPerDRAMByte * 1e-12
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+package memsim
+
+import (
+	"fmt"
+
+	"bnff/internal/graph"
+)
+
+// Bound names the roofline leg that limited an operator.
+type Bound int
+
+const (
+	BoundNone Bound = iota // zero-cost op
+	BoundCompute
+	BoundMemory
+	BoundCache
+)
+
+var boundNames = [...]string{"none", "compute", "memory", "cache"}
+
+func (b Bound) String() string {
+	if b < 0 || int(b) >= len(boundNames) {
+		return fmt.Sprintf("Bound(%d)", int(b))
+	}
+	return boundNames[b]
+}
+
+// OpTiming is one operator's priced execution.
+type OpTiming struct {
+	Cost        graph.OpCost
+	Start       float64 // seconds since iteration start
+	Time        float64 // seconds
+	DRAMBytes   int64   // sweep bytes that reached main memory
+	CachedBytes int64   // sweep bytes filtered by on-chip storage
+	Bound       Bound
+
+	// streamTime is the pre-overhead streaming time of a non-CONV op; the
+	// bandwidth trace divides by it because the framework overhead is stall
+	// time between passes, not time on the memory channel.
+	streamTime float64
+}
+
+// Bandwidth returns the operator's achieved DRAM bandwidth in B/s during
+// its active streaming phases (a hardware bandwidth counter would plot
+// this, which is what Figure 3 shows).
+func (t OpTiming) Bandwidth() float64 {
+	d := t.Time
+	if t.streamTime > 0 {
+		d = t.streamTime
+	}
+	if d == 0 {
+		return 0
+	}
+	return float64(t.DRAMBytes) / d
+}
+
+// Report is a priced training iteration.
+type Report struct {
+	Machine Machine
+	Graph   *graph.Graph
+	Timings []OpTiming
+}
+
+// Simulate prices one training iteration of g on machine m.
+func Simulate(g *graph.Graph, m Machine) (*Report, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	costs, err := g.TrainingCosts()
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{Machine: m, Graph: g, Timings: make([]OpTiming, 0, len(costs))}
+	now := 0.0
+	for _, c := range costs {
+		t := priceOp(c, m)
+		t.Start = now
+		now += t.Time
+		r.Timings = append(r.Timings, t)
+	}
+	return r, nil
+}
+
+func priceOp(c graph.OpCost, m Machine) OpTiming {
+	t := OpTiming{Cost: c}
+	for _, s := range c.Sweeps {
+		bytes := s.Bytes
+		if s.Blocked && bytes > m.OnChip {
+			// Blocked convolutions re-read spilling tensors once per
+			// on-chip block (see Machine.ConvReadFactor).
+			bytes = int64(float64(bytes) * m.ConvReadFactor)
+		}
+		if s.Bytes <= m.OnChip {
+			t.CachedBytes += bytes
+		} else {
+			t.DRAMBytes += bytes
+		}
+	}
+	effFLOPS := m.EffectiveFLOPS()
+	if c.Dir == graph.Backward && m.BwdConvEff > 0 {
+		effFLOPS *= m.BwdConvEff
+	}
+	compute := float64(c.FLOPs) / effFLOPS
+	dram := float64(t.DRAMBytes) / m.EffectiveBW()
+	cache := float64(t.CachedBytes) / m.CacheBW
+
+	cls := graph.ClassConcat
+	switch {
+	case c.Synthetic:
+	case c.Node == nil:
+		cls = graph.ClassConv // detached cost (tests): plain roofline
+	default:
+		cls = c.Node.Class()
+	}
+
+	if cls.IsConvClass() {
+		// Convolutions serialize their compute and memory phases: every
+		// LLC-missing ifmap tile load stalls the FMA pipelines, so a CONV
+		// cannot stream at peak bandwidth while also computing. This is
+		// what keeps DenseNet's CONV layers at ~120 GB/s in Figure 3 while
+		// the streaming non-CONV layers saturate the channel.
+		t.Time = compute + dram + cache
+		t.Bound = BoundCompute
+		if dram > compute {
+			t.Bound = BoundMemory
+		}
+	} else {
+		// Streaming operators: pure roofline, then the per-class framework
+		// overhead (per-layer subroutine calls, cache pollution, reduction
+		// synchronization — §5). Fused operators are CONV-class and escape
+		// it, which is part of what the paper measures Fusion gaining
+		// beyond raw traffic reduction.
+		t.Time = compute
+		t.Bound = BoundCompute
+		if dram > t.Time {
+			t.Time, t.Bound = dram, BoundMemory
+		}
+		if cache > t.Time {
+			t.Time, t.Bound = cache, BoundCache
+		}
+		t.streamTime = t.Time
+		if cls == graph.ClassBN {
+			t.Time *= m.BNOverhead
+		} else {
+			t.Time *= m.NonConvOverhead
+		}
+	}
+	if t.Time == 0 {
+		t.Bound = BoundNone
+	}
+	return t
+}
+
+// Total returns the iteration time in seconds.
+func (r *Report) Total() float64 {
+	var s float64
+	for _, t := range r.Timings {
+		s += t.Time
+	}
+	return s
+}
+
+// PassTime returns the time of one direction.
+func (r *Report) PassTime(dir graph.Direction) float64 {
+	var s float64
+	for _, t := range r.Timings {
+		if t.Cost.Dir == dir {
+			s += t.Time
+		}
+	}
+	return s
+}
+
+// DRAMBytes returns total main-memory traffic, optionally per direction
+// (pass dir < 0 for both).
+func (r *Report) DRAMBytes(dir graph.Direction) int64 {
+	var s int64
+	for _, t := range r.Timings {
+		if t.Cost.Dir == dir {
+			s += t.DRAMBytes
+		}
+	}
+	return s
+}
+
+// TotalDRAMBytes returns main-memory traffic over the whole iteration —
+// the paper's "number of memory accesses per iteration" (Figure 7b).
+func (r *Report) TotalDRAMBytes() int64 {
+	return r.DRAMBytes(graph.Forward) + r.DRAMBytes(graph.Backward)
+}
+
+// TimeByClass buckets execution time by layer class, the quantity behind
+// Figures 1, 6, and 8. Synthetic Split costs count as Concat/Split.
+func (r *Report) TimeByClass() map[graph.LayerClass]float64 {
+	out := make(map[graph.LayerClass]float64)
+	for _, t := range r.Timings {
+		out[r.classOf(t)] += t.Time
+	}
+	return out
+}
+
+// DRAMBytesByClass buckets main-memory traffic by layer class — the
+// quantity behind the "ReLU is 16.8% of accesses" style observations.
+func (r *Report) DRAMBytesByClass() map[graph.LayerClass]int64 {
+	out := make(map[graph.LayerClass]int64)
+	for _, t := range r.Timings {
+		out[r.classOf(t)] += t.DRAMBytes
+	}
+	return out
+}
+
+func (r *Report) classOf(t OpTiming) graph.LayerClass {
+	if t.Cost.Synthetic {
+		return graph.ClassConcat // implicit Split traffic
+	}
+	return t.Cost.Node.Class()
+}
+
+// ConvSplit returns (CONV/FC, non-CONV) time — Figure 1's two bars.
+func (r *Report) ConvSplit() (conv, nonConv float64) {
+	for _, t := range r.Timings {
+		if !t.Cost.Synthetic && t.Cost.Node.Class().IsConvClass() {
+			conv += t.Time
+		} else {
+			nonConv += t.Time
+		}
+	}
+	return conv, nonConv
+}
+
+// ClassTime returns the total time of a set of classes (e.g. BN+ReLU for
+// Figure 4).
+func (r *Report) ClassTime(classes ...graph.LayerClass) float64 {
+	want := make(map[graph.LayerClass]bool, len(classes))
+	for _, c := range classes {
+		want[c] = true
+	}
+	var s float64
+	for _, t := range r.Timings {
+		if want[r.classOf(t)] {
+			s += t.Time
+		}
+	}
+	return s
+}
+
+// TracePoint is one step of the bandwidth-over-time series (Figure 3).
+type TracePoint struct {
+	Start    float64
+	Duration float64
+	BW       float64 // achieved DRAM bandwidth, B/s
+	Class    graph.LayerClass
+	Name     string
+	Dir      graph.Direction
+}
+
+// BandwidthTrace returns the per-operator bandwidth utilization over time
+// for one direction — the series plotted in Figure 3.
+func (r *Report) BandwidthTrace(dir graph.Direction) []TracePoint {
+	var out []TracePoint
+	for _, t := range r.Timings {
+		if t.Cost.Dir != dir || t.Time == 0 {
+			continue
+		}
+		name := t.Cost.Node.Name
+		if t.Cost.Synthetic {
+			name += ".split"
+		}
+		out = append(out, TracePoint{
+			Start:    t.Start,
+			Duration: t.Time,
+			BW:       t.Bandwidth(),
+			Class:    r.classOf(t),
+			Name:     name,
+			Dir:      dir,
+		})
+	}
+	return out
+}

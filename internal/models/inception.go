@@ -1,0 +1,143 @@
+package models
+
+import (
+	"fmt"
+
+	"bnff/internal/graph"
+	"bnff/internal/layers"
+	"bnff/internal/tensor"
+)
+
+// InceptionConfig parameterizes a small BN-Inception-style network
+// (Szegedy et al., which the paper's §2.2 lists among the modern CNNs whose
+// small filters raise the non-CONV share). Each module concatenates four
+// branches — 1×1, 1×1→3×3, 1×1→3×3→3×3 (the factorized 5×5), and
+// pool→1×1 — with CONV-BN-ReLU ordering inside every branch, so the
+// restructuring meets Concat joins with multi-branch fan-out unlike
+// DenseNet's chain-shaped blocks.
+type InceptionConfig struct {
+	Name      string
+	Batch     int
+	InputSize int
+	Classes   int
+	Modules   int
+	Width     int // base branch width; branches use small multiples
+}
+
+// TinyInceptionConfig is a numerically executable two-module network.
+func TinyInceptionConfig(batch int) InceptionConfig {
+	return InceptionConfig{Name: "tiny-inception", Batch: batch, InputSize: 16,
+		Classes: 10, Modules: 2, Width: 4}
+}
+
+// InceptionSmallConfig is a larger variant for analytical experiments.
+func InceptionSmallConfig(batch int) InceptionConfig {
+	return InceptionConfig{Name: "inception-small", Batch: batch, InputSize: 224,
+		Classes: 1000, Modules: 9, Width: 64}
+}
+
+// convBNReLU appends the CONV→BN→ReLU triple every Inception branch uses.
+func convBNReLU(g *graph.Graph, name string, in *graph.Node, conv layers.Conv2D, cpl int) (*graph.Node, error) {
+	c, err := g.Conv(name+".conv", in, conv, cpl)
+	if err != nil {
+		return nil, err
+	}
+	b, err := g.BN(name+".bn", c, cpl)
+	if err != nil {
+		return nil, err
+	}
+	return g.ReLU(name+".relu", b, cpl), nil
+}
+
+// Inception builds the graph for a configuration.
+func Inception(cfg InceptionConfig) (*graph.Graph, error) {
+	if cfg.Modules < 1 || cfg.Width < 2 {
+		return nil, fmt.Errorf("models: inception needs ≥1 module and width ≥2, got %d/%d", cfg.Modules, cfg.Width)
+	}
+	g := graph.New(cfg.Name)
+	in := g.Input("input", tensor.Shape{cfg.Batch, 3, cfg.InputSize, cfg.InputSize})
+
+	stemStride := 1
+	if cfg.InputSize >= 64 {
+		stemStride = 2
+	}
+	cur, err := convBNReLU(g, "stem", in, layers.NewConv2D(3, cfg.Width, 3, stemStride, 1), -1)
+	if err != nil {
+		return nil, err
+	}
+	channels := cfg.Width
+
+	for mi := 0; mi < cfg.Modules; mi++ {
+		prefix := fmt.Sprintf("mod%d", mi+1)
+		w := cfg.Width
+
+		// Branch 1: 1×1.
+		b1, err := convBNReLU(g, prefix+".b1", cur, layers.NewConv2D(channels, w, 1, 1, 0), mi)
+		if err != nil {
+			return nil, err
+		}
+		// Branch 2: 1×1 reduce → 3×3.
+		b2r, err := convBNReLU(g, prefix+".b2r", cur, layers.NewConv2D(channels, w/2, 1, 1, 0), mi)
+		if err != nil {
+			return nil, err
+		}
+		b2, err := convBNReLU(g, prefix+".b2", b2r, layers.NewConv2D(w/2, w, 3, 1, 1), mi)
+		if err != nil {
+			return nil, err
+		}
+		// Branch 3: 1×1 reduce → 3×3 → 3×3 (factorized 5×5).
+		b3r, err := convBNReLU(g, prefix+".b3r", cur, layers.NewConv2D(channels, w/2, 1, 1, 0), mi)
+		if err != nil {
+			return nil, err
+		}
+		b3a, err := convBNReLU(g, prefix+".b3a", b3r, layers.NewConv2D(w/2, w/2, 3, 1, 1), mi)
+		if err != nil {
+			return nil, err
+		}
+		b3, err := convBNReLU(g, prefix+".b3", b3a, layers.NewConv2D(w/2, w/2, 3, 1, 1), mi)
+		if err != nil {
+			return nil, err
+		}
+		// Branch 4: 3×3 pool → 1×1.
+		p4, err := g.Pool(prefix+".b4.pool", cur, layers.Pool2D{Kernel: 3, Stride: 1, Pad: 1, Max: true}, mi)
+		if err != nil {
+			return nil, err
+		}
+		b4, err := convBNReLU(g, prefix+".b4", p4, layers.NewConv2D(channels, w/2, 1, 1, 0), mi)
+		if err != nil {
+			return nil, err
+		}
+
+		cat, err := g.Concat(prefix+".concat", mi, b1, b2, b3, b4)
+		if err != nil {
+			return nil, err
+		}
+		cur = cat
+		channels = cat.OutShape[1]
+
+		// Downsample every third module on large inputs.
+		if cfg.InputSize >= 64 && (mi+1)%3 == 0 && cur.OutShape[2] > 7 {
+			cur, err = g.Pool(fmt.Sprintf("%s.down", prefix), cur, layers.Pool2D{Kernel: 3, Stride: 2, Pad: 1, Max: true}, -1)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	gap, err := g.GlobalPool("head.gap", cur, -1)
+	if err != nil {
+		return nil, err
+	}
+	fc, err := g.FC("head.fc", gap, layers.FC{In: channels, Out: cfg.Classes}, -1)
+	if err != nil {
+		return nil, err
+	}
+	g.Output = fc
+	return g, g.Validate()
+}
+
+// TinyInception builds the scaled-down model used by tests.
+func TinyInception(batch int) (*graph.Graph, error) { return Inception(TinyInceptionConfig(batch)) }
+
+// InceptionSmall builds the analytical-scale model.
+func InceptionSmall(batch int) (*graph.Graph, error) { return Inception(InceptionSmallConfig(batch)) }

@@ -1,0 +1,65 @@
+package models
+
+import (
+	"testing"
+
+	"bnff/internal/graph"
+)
+
+func TestTinyInceptionStructure(t *testing.T) {
+	g, err := TinyInception(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := g.CountKinds()
+	// 1 stem + 2 modules × 7 branch convs = 15 CONVs, each with a BN.
+	if k[graph.OpConv] != 15 {
+		t.Errorf("conv count = %d, want 15", k[graph.OpConv])
+	}
+	if k[graph.OpBN] != 15 {
+		t.Errorf("bn count = %d, want 15", k[graph.OpBN])
+	}
+	if k[graph.OpConcat] != 2 {
+		t.Errorf("concat count = %d, want 2", k[graph.OpConcat])
+	}
+	// Each module's concat must take exactly 4 branches.
+	for _, n := range g.Live() {
+		if n.Kind == graph.OpConcat && len(n.Inputs) != 4 {
+			t.Errorf("%s has %d branches, want 4", n.Name, len(n.Inputs))
+		}
+	}
+	if _, err := g.TrainingCosts(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInceptionSmallBuilds(t *testing.T) {
+	g, err := InceptionSmall(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Module input fan-out: every module input feeds 4 branches (3 convs +
+	// 1 pool), so implicit Splits exist — the topology DenseNet lacks.
+	cons := g.Consumers()
+	fanouts := 0
+	for _, n := range g.Live() {
+		if n.Kind == graph.OpConcat && len(cons[n.ID]) >= 4 {
+			fanouts++
+		}
+	}
+	if fanouts == 0 {
+		t.Error("no high-fanout module inputs found")
+	}
+}
+
+func TestInceptionConfigErrors(t *testing.T) {
+	if _, err := Inception(InceptionConfig{Modules: 0, Width: 8}); err == nil {
+		t.Error("accepted zero modules")
+	}
+	if _, err := Inception(InceptionConfig{Modules: 1, Width: 1}); err == nil {
+		t.Error("accepted width 1")
+	}
+}

@@ -1,0 +1,122 @@
+package models
+
+import (
+	"fmt"
+
+	"bnff/internal/graph"
+	"bnff/internal/layers"
+	"bnff/internal/tensor"
+)
+
+// MobileNetConfig parameterizes MobileNet-v1 (Howard et al., 2017), one of
+// the BN-heavy modern CNNs the paper cites (§2.3) as making non-CONV
+// optimization increasingly important. Every depthwise-separable block is
+// DW-CONV → BN → ReLU → 1×1 CONV → BN → ReLU, so BN appears twice per block
+// and the depthwise convolutions contribute almost no FLOPs — the extreme
+// point of the paper's "lean CONV, heavy BN" trend.
+type MobileNetConfig struct {
+	Name       string
+	Batch      int
+	InputSize  int
+	Classes    int
+	WidthMult  float64 // channel width multiplier α
+	StemStride int
+}
+
+// MobileNetV1Config is the full-size 224×224 model.
+func MobileNetV1Config(batch int) MobileNetConfig {
+	return MobileNetConfig{Name: "mobilenet-v1", Batch: batch, InputSize: 224,
+		Classes: 1000, WidthMult: 1.0, StemStride: 2}
+}
+
+// TinyMobileNetConfig is a numerically executable variant on 16×16 inputs.
+func TinyMobileNetConfig(batch int) MobileNetConfig {
+	return MobileNetConfig{Name: "tiny-mobilenet", Batch: batch, InputSize: 16,
+		Classes: 10, WidthMult: 0.25, StemStride: 1}
+}
+
+// mobileNetPlan is the (outChannels, stride) sequence of the 13 separable
+// blocks at width multiplier 1.
+var mobileNetPlan = []struct {
+	out    int
+	stride int
+}{
+	{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1}, {512, 2},
+	{512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+	{1024, 2}, {1024, 1},
+}
+
+// MobileNet builds the graph for a configuration.
+func MobileNet(cfg MobileNetConfig) (*graph.Graph, error) {
+	if cfg.WidthMult <= 0 || cfg.WidthMult > 1 {
+		return nil, fmt.Errorf("models: mobilenet width multiplier %v out of (0,1]", cfg.WidthMult)
+	}
+	scale := func(c int) int {
+		s := int(float64(c) * cfg.WidthMult)
+		if s < 4 {
+			s = 4
+		}
+		return s
+	}
+	g := graph.New(cfg.Name)
+	in := g.Input("input", tensor.Shape{cfg.Batch, 3, cfg.InputSize, cfg.InputSize})
+
+	channels := scale(32)
+	cur, err := g.Conv("stem.conv", in, layers.NewConv2D(3, channels, 3, cfg.StemStride, 1), -1)
+	if err != nil {
+		return nil, err
+	}
+	cur, err = g.BN("stem.bn", cur, -1)
+	if err != nil {
+		return nil, err
+	}
+	cur = g.ReLU("stem.relu", cur, -1)
+
+	size := cur.OutShape[2]
+	for i, blk := range mobileNetPlan {
+		out := scale(blk.out)
+		stride := blk.stride
+		if stride == 2 && size <= 4 {
+			stride = 1 // tiny inputs cannot keep halving
+		}
+		prefix := fmt.Sprintf("block%d", i+1)
+
+		dw, err := g.Conv(prefix+".dw", cur, layers.NewDepthwiseConv2D(channels, 3, stride, 1), i)
+		if err != nil {
+			return nil, err
+		}
+		b1, err := g.BN(prefix+".bn1", dw, i)
+		if err != nil {
+			return nil, err
+		}
+		r1 := g.ReLU(prefix+".relu1", b1, i)
+		pw, err := g.Conv(prefix+".pw", r1, layers.NewConv2D(channels, out, 1, 1, 0), i)
+		if err != nil {
+			return nil, err
+		}
+		b2, err := g.BN(prefix+".bn2", pw, i)
+		if err != nil {
+			return nil, err
+		}
+		cur = g.ReLU(prefix+".relu2", b2, i)
+		channels = out
+		size = cur.OutShape[2]
+	}
+
+	gap, err := g.GlobalPool("head.gap", cur, -1)
+	if err != nil {
+		return nil, err
+	}
+	fc, err := g.FC("head.fc", gap, layers.FC{In: channels, Out: cfg.Classes}, -1)
+	if err != nil {
+		return nil, err
+	}
+	g.Output = fc
+	return g, g.Validate()
+}
+
+// MobileNetV1 builds the full-size model at the given mini-batch size.
+func MobileNetV1(batch int) (*graph.Graph, error) { return MobileNet(MobileNetV1Config(batch)) }
+
+// TinyMobileNet builds the scaled-down model used by tests.
+func TinyMobileNet(batch int) (*graph.Graph, error) { return MobileNet(TinyMobileNetConfig(batch)) }

@@ -1,0 +1,75 @@
+package models
+
+import (
+	"testing"
+
+	"bnff/internal/graph"
+	"bnff/internal/tensor"
+)
+
+func TestMobileNetV1Structure(t *testing.T) {
+	g, err := MobileNetV1(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 stem + 13 blocks × 2 = 27 CONV layers; a BN after each.
+	if got := countKind(g, graph.OpConv); got != 27 {
+		t.Errorf("conv count = %d, want 27", got)
+	}
+	if got := countKind(g, graph.OpBN); got != 27 {
+		t.Errorf("bn count = %d, want 27", got)
+	}
+	if !g.Output.OutShape.Equal(tensor.Shape{4, 1000}) {
+		t.Errorf("output shape = %v", g.Output.OutShape)
+	}
+	// Depthwise convs must be grouped.
+	dwCount := 0
+	for _, n := range g.Live() {
+		if n.Kind == graph.OpConv && n.Conv.Groups > 1 {
+			dwCount++
+			if n.Conv.Groups != n.Conv.InChannels {
+				t.Errorf("%s groups %d != channels %d", n.Name, n.Conv.Groups, n.Conv.InChannels)
+			}
+		}
+	}
+	if dwCount != 13 {
+		t.Errorf("depthwise conv count = %d, want 13", dwCount)
+	}
+}
+
+func TestMobileNetV1FLOPs(t *testing.T) {
+	g, err := MobileNetV1(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := convFLOPsPerImage(t, g, 2)
+	// Published MobileNet-v1 cost ≈ 0.57 GMACs ≈ 1.14 GFLOPs per image.
+	if fl < 0.9e9 || fl > 1.5e9 {
+		t.Errorf("mobilenet conv FLOPs/image = %.3g, want ~1.14e9", fl)
+	}
+}
+
+func TestMobileNetConfigErrors(t *testing.T) {
+	cfg := MobileNetV1Config(2)
+	cfg.WidthMult = 0
+	if _, err := MobileNet(cfg); err == nil {
+		t.Error("accepted zero width multiplier")
+	}
+	cfg.WidthMult = 1.5
+	if _, err := MobileNet(cfg); err == nil {
+		t.Error("accepted width multiplier > 1")
+	}
+}
+
+func TestTinyMobileNetValidatesAndCosts(t *testing.T) {
+	g, err := TinyMobileNet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.TrainingCosts(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+package models
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"bnff/internal/graph"
+	"bnff/internal/tensor"
+)
+
+func countKind(g *graph.Graph, k graph.OpKind) int { return g.CountKinds()[k] }
+
+func convFLOPsPerImage(t *testing.T, g *graph.Graph, batch int) float64 {
+	t.Helper()
+	costs, err := g.PassCosts(graph.Forward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fl int64
+	for _, c := range costs {
+		if c.Node.Class() == graph.ClassConv {
+			fl += c.FLOPs
+		}
+	}
+	return float64(fl) / float64(batch)
+}
+
+func TestDenseNet121Structure(t *testing.T) {
+	g, err := DenseNet121(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 120 CONV layers + 1 FC (the paper's "DenseNet with 120 CONV layers
+	// plus one FC layer").
+	if got := countKind(g, graph.OpConv); got != 120 {
+		t.Errorf("conv count = %d, want 120", got)
+	}
+	if got := countKind(g, graph.OpFC); got != 1 {
+		t.Errorf("fc count = %d, want 1", got)
+	}
+	// 2 BNs per CPL (58 CPLs) + 3 transitions + stem + head = 121.
+	if got := countKind(g, graph.OpBN); got != 121 {
+		t.Errorf("bn count = %d, want 121", got)
+	}
+	// Output: 1000-way logits.
+	if !g.Output.OutShape.Equal(tensor.Shape{4, 1000}) {
+		t.Errorf("output shape = %v", g.Output.OutShape)
+	}
+	// Final feature map channels: 512 + 16·32 = 1024.
+	for _, n := range g.Live() {
+		if n.Name == "head.bn" && n.OutShape[1] != 1024 {
+			t.Errorf("head channels = %d, want 1024", n.OutShape[1])
+		}
+		if n.Name == "head.bn" && (n.OutShape[2] != 7 || n.OutShape[3] != 7) {
+			t.Errorf("head spatial = %dx%d, want 7x7", n.OutShape[2], n.OutShape[3])
+		}
+	}
+}
+
+func TestDenseNetDeeperVariants(t *testing.T) {
+	cases := []struct {
+		build  func(int) (*graph.Graph, error)
+		convs  int     // paper naming: layers = convs + 1 FC
+		params float64 // published, millions
+	}{
+		{DenseNet169, 168, 14.15},
+		{DenseNet201, 200, 20.01},
+	}
+	for _, c := range cases {
+		g, err := c.build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := countKind(g, graph.OpConv); got != c.convs {
+			t.Errorf("%s conv count = %d, want %d", g.Name, got, c.convs)
+		}
+		s, err := g.Summarize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(s.Params) / 1e6
+		if got < c.params*0.95 || got > c.params*1.05 {
+			t.Errorf("%s params = %.2fM, published %.2fM", g.Name, got, c.params)
+		}
+	}
+}
+
+func TestDenseNet121TransitionChannels(t *testing.T) {
+	g, err := DenseNet121(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{
+		"trans1.conv": 128, // (64+6·32)/2
+		"trans2.conv": 256, // (128+12·32)/2
+		"trans3.conv": 512, // (256+24·32)/2
+	}
+	for _, n := range g.Live() {
+		if c, ok := want[n.Name]; ok && n.OutShape[1] != c {
+			t.Errorf("%s channels = %d, want %d", n.Name, n.OutShape[1], c)
+		}
+	}
+}
+
+func TestDenseNet121FLOPs(t *testing.T) {
+	g, err := DenseNet121(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := convFLOPsPerImage(t, g, 2)
+	// Published DenseNet-121 cost ≈ 2.88 GMACs ≈ 5.8 GFLOPs per 224² image.
+	if fl < 5.0e9 || fl > 6.5e9 {
+		t.Errorf("densenet-121 conv FLOPs/image = %.3g, want ~5.8e9", fl)
+	}
+}
+
+func TestResNet50Structure(t *testing.T) {
+	g, err := ResNet50(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 stem + 16 blocks × 3 + 4 projections = 53 CONV layers.
+	if got := countKind(g, graph.OpConv); got != 53 {
+		t.Errorf("conv count = %d, want 53", got)
+	}
+	if got := countKind(g, graph.OpBN); got != 53 {
+		t.Errorf("bn count = %d, want 53", got)
+	}
+	if got := countKind(g, graph.OpEWS); got != 16 {
+		t.Errorf("ews count = %d, want 16", got)
+	}
+	if !g.Output.OutShape.Equal(tensor.Shape{4, 1000}) {
+		t.Errorf("output shape = %v", g.Output.OutShape)
+	}
+}
+
+func TestResNet50FLOPs(t *testing.T) {
+	g, err := ResNet50(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := convFLOPsPerImage(t, g, 2)
+	// Published ResNet-50 cost ≈ 4.1 GMACs ≈ 8.2 GFLOPs per image.
+	if fl < 7.0e9 || fl > 9.5e9 {
+		t.Errorf("resnet-50 conv FLOPs/image = %.3g, want ~8.2e9", fl)
+	}
+}
+
+func TestVGG16Structure(t *testing.T) {
+	g, err := VGG16(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countKind(g, graph.OpConv); got != 13 {
+		t.Errorf("conv count = %d, want 13", got)
+	}
+	if got := countKind(g, graph.OpFC); got != 3 {
+		t.Errorf("fc count = %d, want 3", got)
+	}
+	if got := countKind(g, graph.OpBN); got != 0 {
+		t.Errorf("bn count = %d, want 0 (original VGG has no BN)", got)
+	}
+	fl := convFLOPsPerImage(t, g, 4)
+	// ≈15.5 GMACs ≈ 31 GFLOPs per image.
+	if fl < 28e9 || fl > 34e9 {
+		t.Errorf("vgg-16 FLOPs/image = %.3g, want ~31e9", fl)
+	}
+}
+
+func TestAlexNetStructure(t *testing.T) {
+	g, err := AlexNet(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countKind(g, graph.OpConv); got != 5 {
+		t.Errorf("conv count = %d, want 5", got)
+	}
+	if got := countKind(g, graph.OpFC); got != 3 {
+		t.Errorf("fc count = %d, want 3", got)
+	}
+	fl := convFLOPsPerImage(t, g, 4)
+	// ≈0.7 GMACs (conv) + 59M (FC) ≈ 1.5 GFLOPs per image.
+	if fl < 1.0e9 || fl > 2.5e9 {
+		t.Errorf("alexnet FLOPs/image = %.3g, want ~1.5e9", fl)
+	}
+}
+
+func TestTinyModelsValidateAndCosts(t *testing.T) {
+	builders := map[string]func(int) (*graph.Graph, error){
+		"tiny-densenet": TinyDenseNet,
+		"tiny-resnet":   TinyResNet,
+		"tiny-cnn":      func(b int) (*graph.Graph, error) { return TinyCNN(b, 8, 4) },
+	}
+	for name, build := range builders {
+		g, err := build(2)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if _, err := g.TrainingCosts(); err != nil {
+			t.Errorf("%s costs: %v", name, err)
+		}
+	}
+}
+
+func TestDenseNetConfigErrors(t *testing.T) {
+	if _, err := DenseNet(DenseNetConfig{BlockSizes: nil}); err == nil {
+		t.Error("accepted empty block list")
+	}
+	cfg := TinyDenseNetConfig(2)
+	cfg.Compression = 0
+	if _, err := DenseNet(cfg); err == nil {
+		t.Error("accepted zero compression")
+	}
+}
+
+func TestResNetConfigErrors(t *testing.T) {
+	if _, err := ResNet(ResNetConfig{StageLens: []int{1}, StageMid: []int{8, 16}}); err == nil {
+		t.Error("accepted mismatched stage config")
+	}
+}
+
+func TestDenseNetCPLTagging(t *testing.T) {
+	g, err := TinyDenseNet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two blocks of two CPLs: CPL indices 0..3 must all appear.
+	seen := map[int]bool{}
+	for _, n := range g.Live() {
+		if n.CPL >= 0 {
+			seen[n.CPL] = true
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if !seen[i] {
+			t.Errorf("CPL %d has no nodes", i)
+		}
+	}
+}
+
+func TestDenseNetDenseConnectivity(t *testing.T) {
+	// Within a block, the l-th CPL's concat must have l inputs (block input
+	// plus l−1 earlier CPL outputs).
+	g, err := DenseNet121(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g.Live() {
+		if n.Kind != graph.OpConcat || !strings.Contains(n.Name, "cpl") {
+			continue
+		}
+		// e.g. block2.cpl5.concat has 5 inputs.
+		var blk, cpl int
+		if _, err := fmt.Sscanf(n.Name, "block%d.cpl%d.concat", &blk, &cpl); err != nil {
+			t.Fatalf("unparseable concat name %q", n.Name)
+		}
+		if len(n.Inputs) != cpl {
+			t.Errorf("%s has %d inputs, want %d", n.Name, len(n.Inputs), cpl)
+		}
+	}
+}

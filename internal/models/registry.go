@@ -1,0 +1,66 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"bnff/internal/graph"
+)
+
+// Builder constructs a model graph at a mini-batch size.
+type Builder func(batch int) (*graph.Graph, error)
+
+// registry maps model names to builders. Full-size models evaluate
+// analytically; tiny variants execute numerically.
+var registry = map[string]Builder{
+	"alexnet":         AlexNet,
+	"vgg16":           VGG16,
+	"resnet50":        ResNet50,
+	"densenet121":     DenseNet121,
+	"densenet169":     DenseNet169,
+	"densenet201":     DenseNet201,
+	"mobilenet":       MobileNetV1,
+	"inception-small": InceptionSmall,
+	"tiny-cnn":        func(b int) (*graph.Graph, error) { return TinyCNN(b, 8, 4) },
+	"tiny-densenet":   TinyDenseNet,
+	"tiny-resnet":     TinyResNet,
+	"tiny-mobilenet":  TinyMobileNet,
+	"tiny-inception":  TinyInception,
+}
+
+// Build constructs a model by name.
+func Build(name string, batch int) (*graph.Graph, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown model %q (want one of %v)", name, Names())
+	}
+	return b(batch)
+}
+
+// Names lists the registered model names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Classes returns the class count of a registered model's output layer.
+func Classes(name string, batch int) (int, error) {
+	g, err := Build(name, batch)
+	if err != nil {
+		return 0, err
+	}
+	return g.Output.OutShape[1], nil
+}
+
+// InputShape returns a registered model's input shape at a batch size.
+func InputShape(name string, batch int) ([]int, error) {
+	g, err := Build(name, batch)
+	if err != nil {
+		return nil, err
+	}
+	return g.Nodes[0].OutShape, nil
+}

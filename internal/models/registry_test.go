@@ -1,0 +1,58 @@
+package models
+
+import (
+	"testing"
+)
+
+func TestRegistryBuildsEverything(t *testing.T) {
+	for _, name := range Names() {
+		batch := 2
+		g, err := Build(name, batch)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if g.Nodes[0].OutShape[0] != batch {
+			t.Errorf("%s: batch %d not respected (%v)", name, batch, g.Nodes[0].OutShape)
+		}
+	}
+	if len(Names()) != 13 {
+		t.Errorf("registry has %d models, want 13", len(Names()))
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	if _, err := Build("nope", 2); err == nil {
+		t.Error("accepted unknown model")
+	}
+}
+
+func TestRegistryHelpers(t *testing.T) {
+	classes, err := Classes("tiny-cnn", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classes != 4 {
+		t.Errorf("tiny-cnn classes = %d, want 4", classes)
+	}
+	shape, err := InputShape("tiny-densenet", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 3, 16, 16}
+	for i := range want {
+		if shape[i] != want[i] {
+			t.Errorf("tiny-densenet input shape = %v, want %v", shape, want)
+			break
+		}
+	}
+	if _, err := Classes("nope", 2); err == nil {
+		t.Error("Classes accepted unknown model")
+	}
+	if _, err := InputShape("nope", 2); err == nil {
+		t.Error("InputShape accepted unknown model")
+	}
+}

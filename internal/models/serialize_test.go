@@ -1,0 +1,55 @@
+package models
+
+import (
+	"bytes"
+	"testing"
+
+	"bnff/internal/graph"
+)
+
+// Every registered model must survive a serialize→parse round trip with
+// identical training costs — including the big ImageNet-scale graphs.
+func TestAllModelsSerializeRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		g, err := Build(name, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var buf bytes.Buffer
+		if err := g.Serialize(&buf); err != nil {
+			t.Fatalf("%s serialize: %v", name, err)
+		}
+		back, err := graph.Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s parse: %v", name, err)
+		}
+		if back.Name != g.Name {
+			t.Errorf("%s: name %q after round trip", name, back.Name)
+		}
+		if len(back.Live()) != len(g.Live()) {
+			t.Errorf("%s: %d nodes after round trip, want %d", name, len(back.Live()), len(g.Live()))
+		}
+		c1, err := g.TrainingCosts()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := back.TrainingCosts()
+		if err != nil {
+			t.Fatalf("%s costs after round trip: %v", name, err)
+		}
+		var b1, b2 int64
+		var f1, f2 int64
+		for i := range c1 {
+			b1 += c1[i].TotalBytes()
+			f1 += c1[i].FLOPs
+		}
+		for i := range c2 {
+			b2 += c2[i].TotalBytes()
+			f2 += c2[i].FLOPs
+		}
+		if b1 != b2 || f1 != f2 {
+			t.Errorf("%s: costs changed after round trip (bytes %d vs %d, flops %d vs %d)",
+				name, b1, b2, f1, f2)
+		}
+	}
+}

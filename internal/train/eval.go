@@ -1,0 +1,85 @@
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"bnff/internal/core"
+	"bnff/internal/layers"
+	"bnff/internal/tensor"
+	"bnff/internal/workload"
+)
+
+// EvalResult summarizes held-out evaluation.
+type EvalResult struct {
+	Loss     float64
+	Accuracy float64
+	Samples  int
+}
+
+// Evaluate runs the executor in inference mode over batches×batchSize fresh
+// samples without updating anything, restoring the executor's previous mode
+// afterwards. batchSize must match the batch dimension the graph was built
+// with (shapes are static); build a batch-1 graph and copy parameters across
+// for per-sample inference.
+func Evaluate(exec *core.Executor, data *workload.Dataset, batches, batchSize int) (EvalResult, error) {
+	if batches < 1 || batchSize < 1 {
+		return EvalResult{}, fmt.Errorf("train: evaluate needs positive batches (%d) and batch size (%d)", batches, batchSize)
+	}
+	prevInf, prevTrack := exec.Inference, exec.TrackRunning
+	exec.Inference, exec.TrackRunning = true, false
+	defer func() { exec.Inference, exec.TrackRunning = prevInf, prevTrack }()
+
+	var res EvalResult
+	for i := 0; i < batches; i++ {
+		x, labels, err := data.Batch(batchSize)
+		if err != nil {
+			return res, err
+		}
+		logits, err := exec.Forward(x)
+		if err != nil {
+			return res, err
+		}
+		loss, _, err := layers.SoftmaxCrossEntropy(logits, labels)
+		if err != nil {
+			return res, err
+		}
+		acc, err := layers.Accuracy(logits, labels)
+		if err != nil {
+			return res, err
+		}
+		res.Loss += loss * float64(batchSize)
+		res.Accuracy += acc * float64(batchSize)
+		res.Samples += batchSize
+	}
+	res.Loss /= float64(res.Samples)
+	res.Accuracy /= float64(res.Samples)
+	return res, nil
+}
+
+// ClipGradients scales the gradient set so its global L2 norm does not
+// exceed maxNorm, returning the pre-clip norm. A non-positive maxNorm is an
+// error.
+func ClipGradients(grads map[string]*tensor.Tensor, maxNorm float64) (float64, error) {
+	if maxNorm <= 0 {
+		return 0, fmt.Errorf("train: clip norm %v must be positive", maxNorm)
+	}
+	var sumsq float64
+	for _, g := range grads {
+		for _, v := range g.Data {
+			sumsq += float64(v) * float64(v)
+		}
+	}
+	norm := math.Sqrt(sumsq)
+	if norm > maxNorm {
+		scale := float32(maxNorm / norm)
+		for _, g := range grads {
+			g.Scale(scale)
+		}
+	}
+	return norm, nil
+}
+
+// ClipNorm, when positive, makes Trainer.StepOn clip gradients before the
+// optimizer update.
+func (t *Trainer) SetClipNorm(maxNorm float64) { t.clipNorm = maxNorm }

@@ -1,0 +1,202 @@
+// Package train provides the SGD training loop that drives the numeric
+// executor, used to demonstrate that baseline and restructured graphs train
+// identically (the paper's end-to-end correctness claim) and to measure real
+// per-step wall-clock on the scaled models.
+package train
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"bnff/internal/core"
+	"bnff/internal/layers"
+	"bnff/internal/tensor"
+	"bnff/internal/workload"
+)
+
+// SGD is stochastic gradient descent with classical or Nesterov momentum
+// and decoupled L2 weight decay, the optimizer the studied CNNs train with.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+	Nesterov    bool
+
+	velocity map[string]*tensor.Tensor
+}
+
+// NewSGD constructs an optimizer with classical momentum.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		velocity: make(map[string]*tensor.Tensor)}
+}
+
+// Step applies one update. Classical: v ← μ·v + (g + λ·w); w ← w − η·v.
+// Nesterov: w ← w − η·(g + λ·w + μ·v) with the same velocity recurrence.
+// Weight decay is skipped for BN parameters and biases, as is conventional.
+func (o *SGD) Step(params, grads map[string]*tensor.Tensor) error {
+	for name, w := range params {
+		g, ok := grads[name]
+		if !ok {
+			return fmt.Errorf("train: no gradient for parameter %q", name)
+		}
+		if !g.Shape().Equal(w.Shape()) {
+			return fmt.Errorf("train: gradient %q shape %v vs param %v", name, g.Shape(), w.Shape())
+		}
+		v := o.velocity[name]
+		if v == nil {
+			v = tensor.New(w.Shape()...)
+			o.velocity[name] = v
+		}
+		decay := float32(o.WeightDecay)
+		if isNoDecay(name) {
+			decay = 0
+		}
+		mu, lr := float32(o.Momentum), float32(o.LR)
+		for i := range w.Data {
+			upd := g.Data[i] + decay*w.Data[i]
+			v.Data[i] = mu*v.Data[i] + upd
+			if o.Nesterov {
+				w.Data[i] -= lr * (upd + mu*v.Data[i])
+			} else {
+				w.Data[i] -= lr * v.Data[i]
+			}
+		}
+	}
+	return nil
+}
+
+func isNoDecay(name string) bool {
+	for _, suffix := range []string{".gamma", ".beta", ".b"} {
+		if len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix {
+			return true
+		}
+	}
+	return false
+}
+
+// StepResult records one training step's metrics.
+type StepResult struct {
+	Step     int
+	Loss     float64
+	Accuracy float64
+}
+
+// Trainer couples an executor, an optimizer, and a data source.
+type Trainer struct {
+	Exec *core.Executor
+	Opt  *SGD
+	Data *workload.Dataset
+
+	BatchSize int
+	History   []StepResult
+
+	schedule Schedule
+	clipNorm float64
+}
+
+// NewTrainer wires up a training run.
+func NewTrainer(exec *core.Executor, opt *SGD, data *workload.Dataset, batchSize int) (*Trainer, error) {
+	if batchSize < 1 {
+		return nil, fmt.Errorf("train: batch size %d", batchSize)
+	}
+	exec.TrackRunning = true
+	return &Trainer{Exec: exec, Opt: opt, Data: data, BatchSize: batchSize}, nil
+}
+
+// Step runs one forward/backward/update cycle and records the metrics.
+func (t *Trainer) Step() (StepResult, error) {
+	x, labels, err := t.Data.Batch(t.BatchSize)
+	if err != nil {
+		return StepResult{}, err
+	}
+	return t.StepOn(x, labels)
+}
+
+// StepOn runs one cycle on a caller-provided batch — the equivalence tests
+// feed identical batches to baseline and restructured trainers.
+func (t *Trainer) StepOn(x *tensor.Tensor, labels []int) (StepResult, error) {
+	logits, err := t.Exec.Forward(x)
+	if err != nil {
+		return StepResult{}, err
+	}
+	loss, dlogits, err := layers.SoftmaxCrossEntropy(logits, labels)
+	if err != nil {
+		return StepResult{}, err
+	}
+	acc, err := layers.Accuracy(logits, labels)
+	if err != nil {
+		return StepResult{}, err
+	}
+	grads, err := t.Exec.Backward(dlogits)
+	if err != nil {
+		return StepResult{}, err
+	}
+	if t.clipNorm > 0 {
+		if _, err := ClipGradients(grads, t.clipNorm); err != nil {
+			return StepResult{}, err
+		}
+	}
+	if t.schedule != nil {
+		if err := validateSchedule(t.schedule); err != nil {
+			return StepResult{}, err
+		}
+		t.Opt.LR = t.schedule.LR(len(t.History))
+	}
+	if err := t.Opt.Step(t.Exec.Params, grads); err != nil {
+		return StepResult{}, err
+	}
+	res := StepResult{Step: len(t.History), Loss: loss, Accuracy: acc}
+	t.History = append(t.History, res)
+	return res, nil
+}
+
+// Run performs n steps, returning the final result.
+func (t *Trainer) Run(n int) (StepResult, error) {
+	var last StepResult
+	for i := 0; i < n; i++ {
+		res, err := t.Step()
+		if err != nil {
+			return last, fmt.Errorf("train: step %d: %w", i, err)
+		}
+		last = res
+	}
+	return last, nil
+}
+
+// WriteHistoryCSV dumps the recorded step metrics as CSV (step,loss,accuracy).
+func (t *Trainer) WriteHistoryCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"step", "loss", "accuracy"}); err != nil {
+		return err
+	}
+	for _, r := range t.History {
+		rec := []string{
+			strconv.Itoa(r.Step),
+			strconv.FormatFloat(r.Loss, 'g', 8, 64),
+			strconv.FormatFloat(r.Accuracy, 'g', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// MeanLoss averages the loss over the last k recorded steps.
+func (t *Trainer) MeanLoss(k int) float64 {
+	if k > len(t.History) {
+		k = len(t.History)
+	}
+	if k == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range t.History[len(t.History)-k:] {
+		s += r.Loss
+	}
+	return s / float64(k)
+}

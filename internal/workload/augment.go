@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"fmt"
+
+	"bnff/internal/tensor"
+)
+
+// Augment applies the standard light image augmentations CNN training uses
+// (random horizontal flip, random shift with zero padding). Augmentation
+// changes nothing about the restructuring — it runs before the graph — but a
+// training library without it would not be credible, and it gives the
+// convergence tests harder inputs.
+type Augment struct {
+	FlipProb float64 // probability of a horizontal flip per sample
+	MaxShift int     // maximum |dx|,|dy| translation in pixels
+
+	rng *tensor.RNG
+}
+
+// NewAugment validates and builds an augmenter with its own random stream.
+func NewAugment(flipProb float64, maxShift int, seed uint64) (*Augment, error) {
+	if flipProb < 0 || flipProb > 1 {
+		return nil, fmt.Errorf("workload: flip probability %v out of [0,1]", flipProb)
+	}
+	if maxShift < 0 {
+		return nil, fmt.Errorf("workload: negative max shift %d", maxShift)
+	}
+	return &Augment{FlipProb: flipProb, MaxShift: maxShift, rng: tensor.NewRNG(seed)}, nil
+}
+
+// Apply augments a batch in place.
+func (a *Augment) Apply(x *tensor.Tensor) error {
+	if x.Rank() != 4 {
+		return fmt.Errorf("workload: augment input %v not rank 4", x.Shape())
+	}
+	n, c, h, w := x.Dims4()
+	if a.MaxShift >= w || a.MaxShift >= h {
+		return fmt.Errorf("workload: shift %d too large for %dx%d images", a.MaxShift, h, w)
+	}
+	scratch := make([]float32, h*w)
+	for i := 0; i < n; i++ {
+		flip := a.rng.Float64() < a.FlipProb
+		dx, dy := 0, 0
+		if a.MaxShift > 0 {
+			dx = a.rng.Intn(2*a.MaxShift+1) - a.MaxShift
+			dy = a.rng.Intn(2*a.MaxShift+1) - a.MaxShift
+		}
+		if !flip && dx == 0 && dy == 0 {
+			continue
+		}
+		for ch := 0; ch < c; ch++ {
+			plane := x.Data[(i*c+ch)*h*w : (i*c+ch+1)*h*w]
+			for y := 0; y < h; y++ {
+				for xx := 0; xx < w; xx++ {
+					sy, sx := y-dy, xx-dx
+					var v float32
+					if sy >= 0 && sy < h && sx >= 0 && sx < w {
+						if flip {
+							v = plane[sy*w+(w-1-sx)]
+						} else {
+							v = plane[sy*w+sx]
+						}
+					}
+					scratch[y*w+xx] = v
+				}
+			}
+			copy(plane, scratch)
+		}
+	}
+	return nil
+}
+
+// AugmentedBatch draws a batch and augments it.
+func (d *Dataset) AugmentedBatch(n int, a *Augment) (*tensor.Tensor, []int, error) {
+	x, labels, err := d.Batch(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	if a != nil {
+		if err := a.Apply(x); err != nil {
+			return nil, nil, err
+		}
+	}
+	return x, labels, nil
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"bnff/internal/tensor"
+)
+
+func TestAugmentValidation(t *testing.T) {
+	if _, err := NewAugment(-0.1, 0, 1); err == nil {
+		t.Error("accepted negative flip prob")
+	}
+	if _, err := NewAugment(1.1, 0, 1); err == nil {
+		t.Error("accepted flip prob > 1")
+	}
+	if _, err := NewAugment(0.5, -1, 1); err == nil {
+		t.Error("accepted negative shift")
+	}
+	a, err := NewAugment(0.5, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Apply(tensor.New(2, 3)); err == nil {
+		t.Error("accepted rank-2 input")
+	}
+	if err := a.Apply(tensor.New(1, 1, 2, 2)); err == nil {
+		t.Error("accepted shift >= image size")
+	}
+}
+
+func TestAugmentIdentityWhenDisabled(t *testing.T) {
+	a, err := NewAugment(0, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(3, 2, 6, 6)
+	tensor.NewRNG(1).FillUniform(x, -1, 1)
+	orig := x.Clone()
+	if err := a.Apply(x); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := tensor.MaxAbsDiff(orig, x); d != 0 {
+		t.Error("no-op augmenter changed data")
+	}
+}
+
+func TestAugmentFlipIsExactMirror(t *testing.T) {
+	a, err := NewAugment(1.0, 0, 7) // always flip, never shift
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.MustFromSlice([]float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 1, 3, 3)
+	if err := a.Apply(x); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{3, 2, 1, 6, 5, 4, 9, 8, 7}
+	for i := range want {
+		if x.Data[i] != want[i] {
+			t.Errorf("flip[%d] = %v, want %v", i, x.Data[i], want[i])
+		}
+	}
+	// Double flip restores.
+	a2, _ := NewAugment(1.0, 0, 8)
+	if err := a2.Apply(x); err != nil {
+		t.Fatal(err)
+	}
+	orig := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	for i := range orig {
+		if x.Data[i] != orig[i] {
+			t.Errorf("double flip[%d] = %v, want %v", i, x.Data[i], orig[i])
+		}
+	}
+}
+
+func TestAugmentShiftZeroPads(t *testing.T) {
+	// Shift distribution includes zeros at the vacated border.
+	a, err := NewAugment(0, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(8, 1, 6, 6)
+	x.Fill(1)
+	if err := a.Apply(x); err != nil {
+		t.Fatal(err)
+	}
+	// Mass can only decrease (zeros shifted in, values shifted out).
+	if x.Sum() > 8*36+1e-6 {
+		t.Errorf("shift created mass: %v", x.Sum())
+	}
+	if x.Sum() == 8*36 {
+		t.Log("all shifts were zero this seed; acceptable but unusual")
+	}
+	for _, v := range x.Data {
+		if v != 0 && v != 1 {
+			t.Fatalf("shift invented value %v", v)
+		}
+	}
+}
+
+func TestAugmentPreservesLabels(t *testing.T) {
+	d, err := New(Config{Classes: 3, Channels: 2, Size: 8, Noise: 0.1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAugment(0.5, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, labels, err := d.AugmentedBatch(16, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Dim(0) != 16 || len(labels) != 16 {
+		t.Errorf("batch shapes wrong: %v, %d labels", x.Shape(), len(labels))
+	}
+	// nil augmenter is allowed.
+	if _, _, err := d.AugmentedBatch(4, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAugmentExpectedFlipRate(t *testing.T) {
+	a, err := NewAugment(0.5, 0, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Asymmetric pattern: flipping changes a probe pixel.
+	const n = 2000
+	x := tensor.New(n, 1, 2, 2)
+	for i := 0; i < n; i++ {
+		x.Set4(i, 0, 0, 0, 1) // left pixel marked
+	}
+	if err := a.Apply(x); err != nil {
+		t.Fatal(err)
+	}
+	flipped := 0
+	for i := 0; i < n; i++ {
+		if x.At4(i, 0, 0, 1) == 1 {
+			flipped++
+		}
+	}
+	rate := float64(flipped) / n
+	if math.Abs(rate-0.5) > 0.05 {
+		t.Errorf("flip rate %v, want ~0.5", rate)
+	}
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"testing"
+
+	"bnff/internal/tensor"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Classes: 1, Channels: 3, Size: 8}); err == nil {
+		t.Error("accepted 1 class")
+	}
+	if _, err := New(Config{Classes: 4, Channels: 0, Size: 8}); err == nil {
+		t.Error("accepted 0 channels")
+	}
+	if _, err := New(Config{Classes: 4, Channels: 3, Size: 2}); err == nil {
+		t.Error("accepted tiny image")
+	}
+	if _, err := New(Config{Classes: 4, Channels: 3, Size: 8, Noise: -1}); err == nil {
+		t.Error("accepted negative noise")
+	}
+}
+
+func TestBatchShapesAndLabels(t *testing.T) {
+	d, err := New(Config{Classes: 5, Channels: 3, Size: 8, Noise: 0.1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, labels, err := d.Batch(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Shape().Equal(tensor.Shape{16, 3, 8, 8}) {
+		t.Errorf("batch shape %v", x.Shape())
+	}
+	if len(labels) != 16 {
+		t.Errorf("label count %d", len(labels))
+	}
+	for _, l := range labels {
+		if l < 0 || l >= 5 {
+			t.Errorf("label %d out of range", l)
+		}
+	}
+	if _, _, err := d.Batch(0); err == nil {
+		t.Error("accepted batch size 0")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() (*tensor.Tensor, []int) {
+		d, err := New(Config{Classes: 3, Channels: 2, Size: 6, Noise: 0.2, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, l, err := d.Batch(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return x, l
+	}
+	x1, l1 := mk()
+	x2, l2 := mk()
+	if d, _ := tensor.MaxAbsDiff(x1, x2); d != 0 {
+		t.Error("same-seed datasets produce different images")
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Error("same-seed datasets produce different labels")
+		}
+	}
+}
+
+func TestNoiseZeroReproducesPattern(t *testing.T) {
+	d, err := New(Config{Classes: 2, Channels: 1, Size: 6, Noise: 0, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, labels, err := d.Batch(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := 36
+	for i, l := range labels {
+		pat, err := d.Pattern(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < per; j++ {
+			if x.Data[i*per+j] != pat.Data[j] {
+				t.Fatalf("sample %d deviates from its class pattern at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestPatternsDiffer(t *testing.T) {
+	d, err := New(Config{Classes: 3, Channels: 2, Size: 8, Noise: 0.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := d.Pattern(0)
+	b, _ := d.Pattern(1)
+	diff, _ := tensor.MaxAbsDiff(a, b)
+	if diff < 1e-3 {
+		t.Errorf("class patterns nearly identical (diff %v)", diff)
+	}
+	if _, err := d.Pattern(7); err == nil {
+		t.Error("accepted out-of-range class")
+	}
+}
+
+func TestAllClassesAppear(t *testing.T) {
+	d, err := New(Config{Classes: 4, Channels: 1, Size: 4, Noise: 0, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, labels, err := d.Batch(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for _, l := range labels {
+		seen[l]++
+	}
+	for c := 0; c < 4; c++ {
+		if seen[c] == 0 {
+			t.Errorf("class %d never sampled", c)
+		}
+	}
+}
