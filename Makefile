@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race run exercises the worker-pool paths (the serial-vs-parallel
+# equivalence test runs every tiny model at workers > 1) and is part of the
+# tier-1 verification for any change touching internal/parallel or a layer
+# dispatch.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+check: vet race

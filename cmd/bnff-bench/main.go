@@ -20,14 +20,18 @@ import (
 	"strconv"
 
 	"bnff/internal/experiments"
+	"bnff/internal/layers"
+	"bnff/internal/parallel"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (table1, fig1..fig8, gpu, headline, ext-mobilenet, all)")
 	batch := flag.Int("batch", experiments.DefaultBatch, "mini-batch size for the simulated training iteration")
 	format := flag.String("format", "text", "output format: text, csv")
+	workers := flag.Int("workers", layers.DefaultConvWorkers(), "worker goroutines for any numeric executor built in-process (analytical experiments are unaffected)")
 	flag.Parse()
 
+	parallel.SetDefault(*workers)
 	if err := run(*exp, *batch, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "bnff-bench:", err)
 		os.Exit(1)

@@ -31,16 +31,15 @@ func main() {
 	seed := flag.Uint64("seed", 42, "parameter and data seed")
 	compare := flag.Bool("compare", false, "also train the baseline on identical batches and report parity")
 	every := flag.Int("log-every", 10, "print metrics every N steps")
-	workers := flag.Int("workers", 1, "goroutines for convolution layers")
+	workers := flag.Int("workers", layers.DefaultConvWorkers(), "worker goroutines per executor (parallel layer execution)")
 	save := flag.String("save", "", "write a checkpoint to this path after training")
 	load := flag.String("load", "", "restore a checkpoint from this path before training")
 	schedule := flag.String("schedule", "constant", "learning-rate schedule: constant, step, cosine")
 	flag.Parse()
 
-	layers.SetConvWorkers(*workers)
 	if err := run(runConfig{
 		model: *model, scen: *scen, steps: *steps, batch: *batch, lr: *lr,
-		seed: *seed, compare: *compare, every: *every,
+		seed: *seed, compare: *compare, every: *every, workers: *workers,
 		save: *save, load: *load, schedule: *schedule,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "bnff-train:", err)
@@ -51,6 +50,7 @@ func main() {
 type runConfig struct {
 	model, scen          string
 	steps, batch, every  int
+	workers              int
 	lr                   float64
 	seed                 uint64
 	compare              bool
@@ -95,7 +95,7 @@ func parseScenario(s string) (core.Scenario, error) {
 	}
 }
 
-func newTrainer(model string, scenario core.Scenario, batch int, lr float64, seed uint64) (*train.Trainer, error) {
+func newTrainer(model string, scenario core.Scenario, batch, workers int, lr float64, seed uint64) (*train.Trainer, error) {
 	g, classes, err := buildGraph(model, batch)
 	if err != nil {
 		return nil, err
@@ -103,7 +103,7 @@ func newTrainer(model string, scenario core.Scenario, batch int, lr float64, see
 	if err := core.Restructure(g, scenario.Options()); err != nil {
 		return nil, err
 	}
-	exec, err := core.NewExecutor(g, seed)
+	exec, err := core.NewExecutor(g, core.WithSeed(seed), core.WithWorkers(workers))
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +114,7 @@ func newTrainer(model string, scenario core.Scenario, batch int, lr float64, see
 	if err != nil {
 		return nil, err
 	}
-	return train.NewTrainer(exec, train.NewSGD(lr, 0.9, 1e-4), data, batch)
+	return train.NewTrainer(exec, data, train.WithBatchSize(batch), train.WithOptimizer(train.NewSGD(lr, 0.9, 1e-4)))
 }
 
 func run(cfg runConfig) error {
@@ -122,7 +122,7 @@ func run(cfg runConfig) error {
 	if err != nil {
 		return err
 	}
-	tr, err := newTrainer(cfg.model, scenario, cfg.batch, cfg.lr, cfg.seed)
+	tr, err := newTrainer(cfg.model, scenario, cfg.batch, cfg.workers, cfg.lr, cfg.seed)
 	if err != nil {
 		return err
 	}
@@ -138,11 +138,11 @@ func run(cfg runConfig) error {
 		fmt.Printf("restored checkpoint %s\n", cfg.load)
 	}
 	fmt.Printf("model=%s scenario=%v batch=%d steps=%d lr=%g schedule=%s workers=%d\n",
-		cfg.model, scenario, cfg.batch, cfg.steps, cfg.lr, cfg.schedule, layers.ConvWorkers())
+		cfg.model, scenario, cfg.batch, cfg.steps, cfg.lr, cfg.schedule, tr.Exec.Workers())
 
 	var base *train.Trainer
 	if cfg.compare && scenario != core.Baseline {
-		base, err = newTrainer(cfg.model, core.Baseline, cfg.batch, cfg.lr, cfg.seed)
+		base, err = newTrainer(cfg.model, core.Baseline, cfg.batch, cfg.workers, cfg.lr, cfg.seed)
 		if err != nil {
 			return err
 		}

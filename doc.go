@@ -2,12 +2,38 @@
 // CNN Training" (Jung et al., SysML/MLSys 2019) as a pure-Go library: the
 // BN Fission-n-Fusion graph restructuring (internal/core), the numeric layer
 // and fused-kernel substrates it rewrites between (internal/layers,
-// internal/kernels), the CNN model zoo the paper evaluates
+// internal/kernels), the shared worker-pool runtime that parallelizes both
+// (internal/parallel), the CNN model zoo the paper evaluates
 // (internal/models), the analytical memory/timing machine model standing in
 // for the paper's Skylake/KNL/GPU testbed (internal/memsim), and one
 // experiment generator per table and figure (internal/experiments).
 //
+// # Configuration
+//
+// Execution is configured with functional options at construction. An
+// executor owns its worker pool and statistics/inference modes:
+//
+//	exec, err := core.NewExecutor(g,
+//	        core.WithSeed(42),
+//	        core.WithWorkers(runtime.GOMAXPROCS(0)), // parallel layer execution
+//	        core.WithPreciseStats(),                 // float64 MVF accumulators
+//	)
+//
+// and a trainer composes on top:
+//
+//	tr, err := train.NewTrainer(exec, data,
+//	        train.WithBatchSize(32),
+//	        train.WithOptimizer(train.NewSGD(0.1, 0.9, 1e-4)),
+//	        train.WithWorkers(runtime.GOMAXPROCS(0)))
+//
+// Parallel execution is deterministic: forward passes are bit-identical to
+// serial execution and backward passes stay within float32 round-off (see
+// internal/parallel for the contract). The old package-global
+// layers.SetConvWorkers knob survives only as a deprecated shim over the
+// construction-time default; no hot path reads a global.
+//
 // The root package holds the benchmark harness: one testing.B benchmark per
-// paper table/figure plus real-kernel and ablation benchmarks. See README.md
-// for the map and EXPERIMENTS.md for paper-vs-measured results.
+// paper table/figure plus real-kernel, parallel-speedup, and ablation
+// benchmarks. See README.md for the map and EXPERIMENTS.md for
+// paper-vs-measured results.
 package bnff

@@ -40,7 +40,7 @@ func run() error {
 		if err := core.Restructure(g, s.Options()); err != nil {
 			return err
 		}
-		exec, err := core.NewExecutor(g, 42)
+		exec, err := core.NewExecutor(g, core.WithSeed(42))
 		if err != nil {
 			return err
 		}
@@ -48,7 +48,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		tr, err := train.NewTrainer(exec, train.NewSGD(0.01, 0.9, 1e-4), data, batch)
+		tr, err := train.NewTrainer(exec, data, train.WithBatchSize(batch), train.WithOptimizer(train.NewSGD(0.01, 0.9, 1e-4)))
 		if err != nil {
 			return err
 		}

@@ -38,7 +38,7 @@ func run() error {
 	if err := core.Restructure(g, core.BNFF.Options()); err != nil {
 		return err
 	}
-	exec, err := core.NewExecutor(g, 42)
+	exec, err := core.NewExecutor(g, core.WithSeed(42))
 	if err != nil {
 		return err
 	}
@@ -46,7 +46,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	tr, err := train.NewTrainer(exec, train.NewSGD(0.01, 0.9, 1e-4), data, batch)
+	tr, err := train.NewTrainer(exec, data, train.WithBatchSize(batch), train.WithOptimizer(train.NewSGD(0.01, 0.9, 1e-4)))
 	if err != nil {
 		return err
 	}
@@ -82,7 +82,7 @@ func run() error {
 	if err := core.Restructure(g1, core.BNFF.Options()); err != nil {
 		return err
 	}
-	infer, err := core.NewExecutor(g1, 1)
+	infer, err := core.NewExecutor(g1, core.WithSeed(1))
 	if err != nil {
 		return err
 	}
@@ -118,7 +118,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	baseInfer, err := core.NewExecutor(gBase, 2)
+	baseInfer, err := core.NewExecutor(gBase, core.WithSeed(2))
 	if err != nil {
 		return err
 	}

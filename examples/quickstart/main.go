@@ -79,11 +79,11 @@ func run() error {
 		gbBase, gbBNFF, 100*(1-gbBNFF/gbBase))
 
 	// Train both on identical batches from identical weights.
-	baseExec, err := core.NewExecutor(baseGraph, 42)
+	baseExec, err := core.NewExecutor(baseGraph, core.WithSeed(42))
 	if err != nil {
 		return err
 	}
-	bnffExec, err := core.NewExecutor(bnffGraph, 7)
+	bnffExec, err := core.NewExecutor(bnffGraph, core.WithSeed(7))
 	if err != nil {
 		return err
 	}
@@ -94,11 +94,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	baseTr, err := train.NewTrainer(baseExec, train.NewSGD(0.01, 0.9, 1e-4), data, batch)
+	baseTr, err := train.NewTrainer(baseExec, data, train.WithBatchSize(batch), train.WithOptimizer(train.NewSGD(0.01, 0.9, 1e-4)))
 	if err != nil {
 		return err
 	}
-	bnffTr, err := train.NewTrainer(bnffExec, train.NewSGD(0.01, 0.9, 1e-4), data, batch)
+	bnffTr, err := train.NewTrainer(bnffExec, data, train.WithBatchSize(batch), train.WithOptimizer(train.NewSGD(0.01, 0.9, 1e-4)))
 	if err != nil {
 		return err
 	}

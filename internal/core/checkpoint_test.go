@@ -14,7 +14,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src, err := NewExecutor(g, 42)
+	src, err := NewExecutor(g, WithSeed(42))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dst, err := NewExecutor(g2, 99) // different init
+	dst, err := NewExecutor(g2, WithSeed(99)) // different init
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 // executor — the parameter-name stability the restructuring guarantees.
 func TestCheckpointAcrossRestructuring(t *testing.T) {
 	gBase, _ := models.TinyDenseNet(2)
-	base, err := NewExecutor(gBase, 7)
+	base, err := NewExecutor(gBase, WithSeed(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestCheckpointAcrossRestructuring(t *testing.T) {
 	if err := Restructure(gBNFF, BNFF.Options()); err != nil {
 		t.Fatal(err)
 	}
-	fused, err := NewExecutor(gBNFF, 8)
+	fused, err := NewExecutor(gBNFF, WithSeed(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestCheckpointAcrossRestructuring(t *testing.T) {
 
 func TestCheckpointRejectsWrongModel(t *testing.T) {
 	g1, _ := models.TinyCNN(2, 8, 4)
-	e1, err := NewExecutor(g1, 1)
+	e1, err := NewExecutor(g1, WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestCheckpointRejectsWrongModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	g2, _ := models.TinyResNet(2)
-	e2, err := NewExecutor(g2, 1)
+	e2, err := NewExecutor(g2, WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +112,7 @@ func TestCheckpointRejectsWrongModel(t *testing.T) {
 
 func TestCheckpointRejectsCorruption(t *testing.T) {
 	g, _ := models.TinyCNN(2, 8, 4)
-	e, err := NewExecutor(g, 1)
+	e, err := NewExecutor(g, WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestCheckpointFileRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "model.bnff")
 	g, _ := models.TinyCNN(2, 8, 4)
-	e, err := NewExecutor(g, 5)
+	e, err := NewExecutor(g, WithSeed(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestCheckpointFileRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	g2, _ := models.TinyCNN(2, 8, 4)
-	e2, err := NewExecutor(g2, 6)
+	e2, err := NewExecutor(g2, WithSeed(6))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -254,7 +254,7 @@ func TestScenarioNumericEquivalence(t *testing.T) {
 	for name, build := range builders {
 		t.Run(name, func(t *testing.T) {
 			graphs := buildAll(t, build)
-			baseExec, err := NewExecutor(graphs[Baseline], 42)
+			baseExec, err := NewExecutor(graphs[Baseline], WithSeed(42))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -273,7 +273,7 @@ func TestScenarioNumericEquivalence(t *testing.T) {
 			}
 
 			for _, s := range Scenarios()[1:] {
-				ex, err := NewExecutor(graphs[s], 1) // different seed: params overwritten below
+				ex, err := NewExecutor(graphs[s], WithSeed(1)) // different seed: params overwritten below
 				if err != nil {
 					t.Fatalf("%v: %v", s, err)
 				}
@@ -378,7 +378,7 @@ func TestParamsInvariantUnderRestructuring(t *testing.T) {
 			}
 			names := 0
 			if allocExec {
-				ex, err := NewExecutor(g, 1)
+				ex, err := NewExecutor(g, WithSeed(1))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -418,11 +418,11 @@ func TestRestructuredGraphSerializeRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v parse: %v", s, err)
 		}
-		e1, err := NewExecutor(g, 11)
+		e1, err := NewExecutor(g, WithSeed(11))
 		if err != nil {
 			t.Fatal(err)
 		}
-		e2, err := NewExecutor(back, 12)
+		e2, err := NewExecutor(back, WithSeed(12))
 		if err != nil {
 			t.Fatalf("%v executor on parsed graph: %v", s, err)
 		}
@@ -450,7 +450,7 @@ func TestExecutorErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex, err := NewExecutor(g, 1)
+	ex, err := NewExecutor(g, WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -470,7 +470,7 @@ func TestExecutorErrors(t *testing.T) {
 
 	noOut := graph.New("no-output")
 	noOut.Input("in", tensor.Shape{1, 1, 2, 2})
-	if _, err := NewExecutor(noOut, 1); err == nil {
+	if _, err := NewExecutor(noOut, WithSeed(1)); err == nil {
 		t.Error("NewExecutor accepted graph without output")
 	}
 }
@@ -478,11 +478,11 @@ func TestExecutorErrors(t *testing.T) {
 func TestCopyParamsErrors(t *testing.T) {
 	g1, _ := models.TinyCNN(2, 8, 4)
 	g2, _ := models.TinyResNet(2)
-	e1, err := NewExecutor(g1, 1)
+	e1, err := NewExecutor(g1, WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	e2, err := NewExecutor(g2, 1)
+	e2, err := NewExecutor(g2, WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -499,7 +499,7 @@ func TestRunningStatsUpdate(t *testing.T) {
 	if err := Restructure(g, BNFF.Options()); err != nil {
 		t.Fatal(err)
 	}
-	ex, err := NewExecutor(g, 3)
+	ex, err := NewExecutor(g, WithSeed(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -536,11 +536,11 @@ func TestEpilogueStatsMatchMonolithic(t *testing.T) {
 	if err := Restructure(gBNFF, BNFF.Options()); err != nil {
 		t.Fatal(err)
 	}
-	eBase, err := NewExecutor(gBase, 5)
+	eBase, err := NewExecutor(gBase, WithSeed(5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	eFused, err := NewExecutor(gBNFF, 6)
+	eFused, err := NewExecutor(gBNFF, WithSeed(6))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -87,11 +87,11 @@ func TestDropoutScenarioEquivalence(t *testing.T) {
 	if err := Restructure(bnff, BNFF.Options()); err != nil {
 		t.Fatal(err)
 	}
-	e1, err := NewExecutor(base, 42)
+	e1, err := NewExecutor(base, WithSeed(42))
 	if err != nil {
 		t.Fatal(err)
 	}
-	e2, err := NewExecutor(bnff, 7)
+	e2, err := NewExecutor(bnff, WithSeed(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestDropoutScenarioEquivalence(t *testing.T) {
 
 func TestDropoutInferenceIsIdentity(t *testing.T) {
 	g := dropoutCNN(t, 2)
-	ex, err := NewExecutor(g, 3)
+	ex, err := NewExecutor(g, WithSeed(3))
 	if err != nil {
 		t.Fatal(err)
 	}

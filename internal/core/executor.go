@@ -6,6 +6,7 @@ import (
 	"bnff/internal/graph"
 	"bnff/internal/kernels"
 	"bnff/internal/layers"
+	"bnff/internal/parallel"
 	"bnff/internal/tensor"
 )
 
@@ -14,12 +15,25 @@ import (
 // restructuring, so baseline and restructured executors can share weights
 // for equivalence checks) and retains whatever each node's backward pass
 // needs from the last forward pass.
+//
+// Execution behavior is configured with functional options at construction:
+//
+//	exec, err := core.NewExecutor(g,
+//	        core.WithSeed(42),
+//	        core.WithWorkers(runtime.GOMAXPROCS(0)))
+//
+// Each executor owns one worker pool (see internal/parallel) threaded
+// through every layer dispatch, so two executors with different worker
+// settings can run the same graph concurrently without interfering.
 type Executor struct {
 	G      *graph.Graph
 	Params map[string]*tensor.Tensor
 
 	// TrackRunning enables running-statistics updates ("<bn>.rmean",
 	// "<bn>.rvar" in Running) during Forward, as training would.
+	//
+	// Deprecated: prefer WithRunningStats at construction. The field remains
+	// writable because evaluation helpers toggle it around inference passes.
 	TrackRunning bool
 	Running      map[string]*tensor.Tensor
 
@@ -28,6 +42,9 @@ type Executor struct {
 	// mode in which BN is element-wise and the classic inference-time
 	// CONV+BN folding (the related work the paper contrasts with) applies.
 	// Backward is unavailable in inference mode.
+	//
+	// Deprecated: prefer WithInference at construction. The field remains
+	// writable because evaluation helpers toggle it around inference passes.
 	Inference bool
 
 	// PreciseStats switches the MVF accumulators to float64 — the paper's
@@ -35,7 +52,12 @@ type Executor struct {
 	// use higher-precision representations to store intermediate data...
 	// using higher-precision representations and arithmetic does not impact
 	// training performance" since BN stays bandwidth-bound).
+	//
+	// Deprecated: prefer WithPreciseStats at construction.
 	PreciseStats bool
+
+	seed uint64
+	pool *parallel.Pool
 
 	vals    map[int]*tensor.Tensor
 	stats   map[int]*layers.BNStats // keyed by statistics-producer node ID
@@ -45,6 +67,41 @@ type Executor struct {
 
 	dropRNG *tensor.RNG
 }
+
+// Option configures an Executor at construction time.
+type Option func(*Executor)
+
+// WithSeed sets the parameter-initialization seed (He-normal weight draws).
+// Two executors built with the same seed over graphs of the same model start
+// from identical parameters. The default seed is 0.
+func WithSeed(seed uint64) Option { return func(e *Executor) { e.seed = seed } }
+
+// WithWorkers sets the executor's worker-pool size, clamped to
+// [1, parallel.MaxWorkers]. One worker (the default, unless
+// layers.SetConvWorkers raised the process default) executes every layer
+// serially; more workers split batches, reductions, and element ranges
+// across goroutines with deterministic results (forward bit-identical,
+// backward within float32 round-off — see internal/parallel).
+func WithWorkers(n int) Option { return func(e *Executor) { e.pool = parallel.New(n) } }
+
+// WithInference builds the executor in inference mode: every BN uses running
+// statistics and Backward is unavailable.
+func WithInference() Option { return func(e *Executor) { e.Inference = true } }
+
+// WithPreciseStats switches the MVF statistics accumulators to float64
+// (the paper's §3.2 precision fallback).
+func WithPreciseStats() Option { return func(e *Executor) { e.PreciseStats = true } }
+
+// WithRunningStats enables running-statistics tracking during Forward, as
+// training does; train.NewTrainer applies it to its executor automatically.
+func WithRunningStats() Option { return func(e *Executor) { e.TrackRunning = true } }
+
+// Workers returns the executor's worker-pool size.
+func (e *Executor) Workers() int { return e.pool.Workers() }
+
+// SetWorkers replaces the executor's worker pool, clamped like WithWorkers.
+// Safe between passes; must not be called while Forward or Backward runs.
+func (e *Executor) SetWorkers(n int) { e.pool = parallel.New(n) }
 
 // SetDropoutSeed resets the dropout mask stream. Two executors given the
 // same seed draw identical masks, which is how the equivalence tests compare
@@ -59,9 +116,11 @@ type bnStash struct {
 	dgamma, dbeta *tensor.Tensor
 }
 
-// NewExecutor validates the graph and allocates initialized parameters:
-// He-normal convolution and FC weights, γ=1, β=0, zeroed running statistics.
-func NewExecutor(g *graph.Graph, seed uint64) (*Executor, error) {
+// NewExecutor validates the graph, applies the options, and allocates
+// initialized parameters: He-normal convolution and FC weights, γ=1, β=0,
+// zeroed running statistics. Without WithWorkers the pool size snapshots the
+// process default (1 unless layers.SetConvWorkers raised it).
+func NewExecutor(g *graph.Graph, opts ...Option) (*Executor, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -72,8 +131,12 @@ func NewExecutor(g *graph.Graph, seed uint64) (*Executor, error) {
 		G:       g,
 		Params:  make(map[string]*tensor.Tensor),
 		Running: make(map[string]*tensor.Tensor),
+		pool:    parallel.New(parallel.Default()),
 	}
-	rng := tensor.NewRNG(seed)
+	for _, opt := range opts {
+		opt(e)
+	}
+	rng := tensor.NewRNG(e.seed)
 	for _, n := range g.Live() {
 		if n.Conv != nil {
 			w := tensor.New(n.Conv.WeightShape()...)
@@ -121,11 +184,17 @@ func (e *Executor) CopyParamsFrom(o *Executor) error {
 	return nil
 }
 
+// The *Of helpers attach the executor's pool to a copy of the node's layer
+// descriptor; the graph's shared descriptors stay execution-state-free.
 func (e *Executor) bnOf(n *graph.Node) layers.BatchNorm {
-	return layers.NewBatchNorm(n.BN.Channels)
+	return layers.NewBatchNorm(n.BN.Channels).WithPool(e.pool)
 }
 
-func bnOfAttr(a *graph.BNAttr) layers.BatchNorm { return layers.NewBatchNorm(a.Channels) }
+func (e *Executor) bnOfAttr(a *graph.BNAttr) layers.BatchNorm {
+	return layers.NewBatchNorm(a.Channels).WithPool(e.pool)
+}
+
+func (e *Executor) convOf(n *graph.Node) layers.Conv2D { return n.Conv.WithPool(e.pool) }
 
 func (e *Executor) gamma(n *graph.Node) *tensor.Tensor { return e.Params[n.BN.ParamName+".gamma"] }
 func (e *Executor) beta(n *graph.Node) *tensor.Tensor  { return e.Params[n.BN.ParamName+".beta"] }
@@ -137,9 +206,9 @@ func (e *Executor) gammaOf(a *graph.BNAttr) *tensor.Tensor { return e.Params[a.P
 // single-sweep MVF accumulation (float64 under PreciseStats).
 func (e *Executor) epilogueStats(n *graph.Node, y *tensor.Tensor) (*layers.BNStats, error) {
 	if e.PreciseStats {
-		return bnOfAttr(n.StatsOut).ComputeStatsMVF64(y)
+		return e.bnOfAttr(n.StatsOut).ComputeStatsMVF64(y)
 	}
-	return bnOfAttr(n.StatsOut).ComputeStatsMVF(y)
+	return e.bnOfAttr(n.StatsOut).ComputeStatsMVF(y)
 }
 
 // computeStats dispatches between the MVF single-sweep and the baseline
@@ -208,15 +277,15 @@ func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 			switch {
 			case n.StatsOut != nil && !e.Inference && !e.PreciseStats:
 				var st *layers.BNStats
-				e.vals[n.ID], st, err = kernels.ConvForwardStats(*n.Conv, e.in(n, 0), e.Params[n.Name+".w"])
+				e.vals[n.ID], st, err = kernels.ConvForwardStats(e.convOf(n), e.in(n, 0), e.Params[n.Name+".w"])
 				e.stats[n.ID] = st
 			case n.StatsOut != nil && !e.Inference:
-				e.vals[n.ID], err = n.Conv.Forward(e.in(n, 0), e.Params[n.Name+".w"])
+				e.vals[n.ID], err = e.convOf(n).Forward(e.in(n, 0), e.Params[n.Name+".w"])
 				if err == nil {
 					e.stats[n.ID], err = e.epilogueStats(n, e.vals[n.ID])
 				}
 			default:
-				e.vals[n.ID], err = n.Conv.Forward(e.in(n, 0), e.Params[n.Name+".w"])
+				e.vals[n.ID], err = e.convOf(n).Forward(e.in(n, 0), e.Params[n.Name+".w"])
 			}
 
 		case graph.OpBN:
@@ -246,10 +315,10 @@ func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 			e.vals[n.ID], e.xhats[n.ID] = y, xhat
 
 		case graph.OpReLU:
-			e.vals[n.ID] = layers.ReLUForward(e.in(n, 0))
+			e.vals[n.ID] = layers.ReLUForwardOn(e.pool, e.in(n, 0))
 
 		case graph.OpReLUConv:
-			e.vals[n.ID], err = kernels.ReLUConvForward(*n.Conv, e.in(n, 0), e.Params[n.Name+".w"])
+			e.vals[n.ID], err = kernels.ReLUConvForward(e.convOf(n), e.in(n, 0), e.Params[n.Name+".w"])
 			if err == nil && n.StatsOut != nil && !e.Inference {
 				e.stats[n.ID], err = e.epilogueStats(n, e.vals[n.ID])
 			}
@@ -261,7 +330,7 @@ func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 				break
 			}
 			var y, xhat *tensor.Tensor
-			y, xhat, err = kernels.FusedBNReLUConvForward(*n.Conv, e.bnOf(n), e.in(n, 0), st,
+			y, xhat, err = kernels.FusedBNReLUConvForward(e.convOf(n), e.bnOf(n), e.in(n, 0), st,
 				e.gamma(n), e.beta(n), e.Params[n.Name+".w"])
 			e.vals[n.ID], e.xhats[n.ID] = y, xhat
 			if err == nil && n.StatsOut != nil && !e.Inference {
@@ -271,14 +340,14 @@ func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 		case graph.OpPool:
 			var y *tensor.Tensor
 			var ctx *layers.PoolContext
-			y, ctx, err = n.Pool.Forward(e.in(n, 0))
+			y, ctx, err = n.Pool.WithPool(e.pool).Forward(e.in(n, 0))
 			e.vals[n.ID], e.poolCtx[n.ID] = y, ctx
 
 		case graph.OpGlobalPool:
-			e.vals[n.ID], err = layers.GlobalAvgPoolForward(e.in(n, 0))
+			e.vals[n.ID], err = layers.GlobalAvgPoolForwardOn(e.pool, e.in(n, 0))
 
 		case graph.OpFC:
-			e.vals[n.ID], err = n.FC.Forward(e.in(n, 0), e.Params[n.Name+".w"], e.Params[n.Name+".b"])
+			e.vals[n.ID], err = n.FC.WithPool(e.pool).Forward(e.in(n, 0), e.Params[n.Name+".w"], e.Params[n.Name+".b"])
 
 		case graph.OpConcat:
 			ins := make([]*tensor.Tensor, len(n.Inputs))
@@ -335,7 +404,7 @@ func (e *Executor) updateRunning() error {
 		if attr == nil {
 			continue
 		}
-		bn := bnOfAttr(attr)
+		bn := e.bnOfAttr(attr)
 		rm := e.Running[attr.ParamName+".rmean"]
 		rv := e.Running[attr.ParamName+".rvar"]
 		if err := bn.UpdateRunning(rm, rv, st); err != nil {
@@ -406,7 +475,7 @@ func (e *Executor) backwardNode(n *graph.Node, gmap map[int]*tensor.Tensor,
 			return fmt.Errorf("no sub-BN2' stash for statistics producer")
 		}
 		var err error
-		dy, err = bnOfAttr(n.StatsOut).BackwardInput(st.dv, st.xhat, e.gammaOf(n.StatsOut),
+		dy, err = e.bnOfAttr(n.StatsOut).BackwardInput(st.dv, st.xhat, e.gammaOf(n.StatsOut),
 			e.stats[n.ID], st.dgamma, st.dbeta)
 		if err != nil {
 			return err
@@ -417,7 +486,7 @@ func (e *Executor) backwardNode(n *graph.Node, gmap map[int]*tensor.Tensor,
 
 	switch n.Kind {
 	case graph.OpConv:
-		dx, dw, err := n.Conv.Backward(dy, e.in(n, 0), e.Params[n.Name+".w"])
+		dx, dw, err := e.convOf(n).Backward(dy, e.in(n, 0), e.Params[n.Name+".w"])
 		if err != nil {
 			return err
 		}
@@ -457,14 +526,14 @@ func (e *Executor) backwardNode(n *graph.Node, gmap map[int]*tensor.Tensor,
 		return nil
 
 	case graph.OpReLU:
-		dx, err := layers.ReLUBackward(dy, e.in(n, 0))
+		dx, err := layers.ReLUBackwardOn(e.pool, dy, e.in(n, 0))
 		if err != nil {
 			return err
 		}
 		return accumGrad(gmap, n.Inputs[0], dx)
 
 	case graph.OpReLUConv:
-		dx, dw, err := kernels.ReLUConvBackward(*n.Conv, dy, e.in(n, 0), e.Params[n.Name+".w"])
+		dx, dw, err := kernels.ReLUConvBackward(e.convOf(n), dy, e.in(n, 0), e.Params[n.Name+".w"])
 		if err != nil {
 			return err
 		}
@@ -472,7 +541,7 @@ func (e *Executor) backwardNode(n *graph.Node, gmap map[int]*tensor.Tensor,
 		return accumGrad(gmap, n.Inputs[0], dx)
 
 	case graph.OpBNReLUConv:
-		dv, dw, dgamma, dbeta, err := kernels.FusedConvBackwardReLUBNReduce(*n.Conv, e.bnOf(n),
+		dv, dw, dgamma, dbeta, err := kernels.FusedConvBackwardReLUBNReduce(e.convOf(n), e.bnOf(n),
 			dy, e.xhats[n.ID], e.gamma(n), e.beta(n), e.Params[n.Name+".w"])
 		if err != nil {
 			return err
@@ -484,21 +553,21 @@ func (e *Executor) backwardNode(n *graph.Node, gmap map[int]*tensor.Tensor,
 		return nil
 
 	case graph.OpPool:
-		dx, err := n.Pool.Backward(dy, e.poolCtx[n.ID])
+		dx, err := n.Pool.WithPool(e.pool).Backward(dy, e.poolCtx[n.ID])
 		if err != nil {
 			return err
 		}
 		return accumGrad(gmap, n.Inputs[0], dx)
 
 	case graph.OpGlobalPool:
-		dx, err := layers.GlobalAvgPoolBackward(dy, n.Inputs[0].OutShape)
+		dx, err := layers.GlobalAvgPoolBackwardOn(e.pool, dy, n.Inputs[0].OutShape)
 		if err != nil {
 			return err
 		}
 		return accumGrad(gmap, n.Inputs[0], dx)
 
 	case graph.OpFC:
-		dx, dw, db, err := n.FC.Backward(dy, e.in(n, 0), e.Params[n.Name+".w"])
+		dx, dw, db, err := n.FC.WithPool(e.pool).Backward(dy, e.in(n, 0), e.Params[n.Name+".w"])
 		if err != nil {
 			return err
 		}

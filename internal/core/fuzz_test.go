@@ -96,7 +96,7 @@ func randomGraph(t *testing.T, seed uint64) *graph.Graph {
 func TestFuzzRestructureEquivalence(t *testing.T) {
 	for seed := uint64(0); seed < 25; seed++ {
 		baseG := randomGraph(t, seed)
-		baseExec, err := NewExecutor(baseG, seed+100)
+		baseExec, err := NewExecutor(baseG, WithSeed(seed+100))
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -121,7 +121,7 @@ func TestFuzzRestructureEquivalence(t *testing.T) {
 			if err := g.Validate(); err != nil {
 				t.Fatalf("seed %d %v post-validate: %v", seed, s, err)
 			}
-			ex, err := NewExecutor(g, 1)
+			ex, err := NewExecutor(g, WithSeed(1))
 			if err != nil {
 				t.Fatalf("seed %d %v: %v", seed, s, err)
 			}

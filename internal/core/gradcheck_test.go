@@ -40,7 +40,7 @@ func TestExecutorGradientsEndToEnd(t *testing.T) {
 		if err := Restructure(g, s.Options()); err != nil {
 			t.Fatal(err)
 		}
-		ex, err := NewExecutor(g, 42)
+		ex, err := NewExecutor(g, WithSeed(42))
 		if err != nil {
 			t.Fatal(err)
 		}

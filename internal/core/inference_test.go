@@ -34,7 +34,7 @@ func TestInferenceBatchIndependence(t *testing.T) {
 		if err := Restructure(g, s.Options()); err != nil {
 			t.Fatal(err)
 		}
-		ex, err := NewExecutor(g, 21)
+		ex, err := NewExecutor(g, WithSeed(21))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -55,7 +55,7 @@ func TestInferenceBatchIndependence(t *testing.T) {
 		if err := Restructure(g1, s.Options()); err != nil {
 			t.Fatal(err)
 		}
-		ex1, err := NewExecutor(g1, 22)
+		ex1, err := NewExecutor(g1, WithSeed(22))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -92,7 +92,7 @@ func TestInferenceBatchIndependence(t *testing.T) {
 // Baseline and BNFF executors must agree in inference mode too.
 func TestInferenceScenarioEquivalence(t *testing.T) {
 	gBase, _ := models.TinyDenseNet(4)
-	base, err := NewExecutor(gBase, 31)
+	base, err := NewExecutor(gBase, WithSeed(31))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestInferenceScenarioEquivalence(t *testing.T) {
 	if err := Restructure(gBNFF, BNFF.Options()); err != nil {
 		t.Fatal(err)
 	}
-	fused, err := NewExecutor(gBNFF, 32)
+	fused, err := NewExecutor(gBNFF, WithSeed(32))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func TestInferenceScenarioEquivalence(t *testing.T) {
 
 func TestInferenceBackwardRejected(t *testing.T) {
 	g, _ := models.TinyCNN(2, 8, 4)
-	ex, err := NewExecutor(g, 1)
+	ex, err := NewExecutor(g, WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestInferenceBackwardRejected(t *testing.T) {
 // Inference must be deterministic across calls (no batch statistics drift).
 func TestInferenceDeterminism(t *testing.T) {
 	g, _ := models.TinyResNet(2)
-	ex, err := NewExecutor(g, 9)
+	ex, err := NewExecutor(g, WithSeed(9))
 	if err != nil {
 		t.Fatal(err)
 	}

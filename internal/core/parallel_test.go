@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"bnff/internal/models"
+	"bnff/internal/tensor"
+)
+
+// TestParallelSerialEquivalence is the worker-pool determinism contract over
+// the whole model registry: for every model and for both the baseline and
+// fully restructured graphs, a pooled executor's forward pass is
+// bit-identical to the serial one and its parameter gradients agree within
+// float32 round-off (conv dW partials associate the same additions
+// differently; everything else reduces per-sample partials in sample order
+// and is exact). Full-size models evaluate analytically only, so the numeric
+// passes run on the tiny-* registry entries.
+func TestParallelSerialEquivalence(t *testing.T) {
+	workerCounts := []int{2, 7, runtime.GOMAXPROCS(0)}
+	for _, name := range models.Names() {
+		t.Run(name, func(t *testing.T) {
+			if !strings.HasPrefix(name, "tiny-") {
+				t.Skipf("%s is analytical-only; numeric equivalence runs on tiny-* models", name)
+			}
+			for _, scen := range []Scenario{Baseline, BNFF} {
+				g, err := models.Build(name, 6)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := Restructure(g, scen.Options()); err != nil {
+					t.Fatalf("%v: %v", scen, err)
+				}
+				serial, err := NewExecutor(g, WithSeed(42))
+				if err != nil {
+					t.Fatalf("%v: %v", scen, err)
+				}
+				if serial.Workers() != 1 {
+					t.Fatalf("default executor has %d workers, want 1", serial.Workers())
+				}
+				in := tensor.New(g.Nodes[0].OutShape...)
+				tensor.NewRNG(3).FillNormal(in, 0, 1)
+				outS, err := serial.Forward(in)
+				if err != nil {
+					t.Fatalf("%v serial forward: %v", scen, err)
+				}
+				dOut := tensor.New(outS.Shape()...)
+				tensor.NewRNG(5).FillUniform(dOut, -1, 1)
+				gradsS, err := serial.Backward(dOut)
+				if err != nil {
+					t.Fatalf("%v serial backward: %v", scen, err)
+				}
+
+				for _, workers := range workerCounts {
+					t.Run(fmt.Sprintf("%v/workers=%d", scen, workers), func(t *testing.T) {
+						par, err := NewExecutor(g, WithSeed(42), WithWorkers(workers))
+						if err != nil {
+							t.Fatal(err)
+						}
+						if par.Workers() != workers {
+							t.Fatalf("Workers() = %d, want %d", par.Workers(), workers)
+						}
+						outP, err := par.Forward(in)
+						if err != nil {
+							t.Fatalf("parallel forward: %v", err)
+						}
+						if d, _ := tensor.MaxAbsDiff(outS, outP); d != 0 {
+							t.Errorf("parallel forward differs from serial by %v (must be bit-identical)", d)
+						}
+						gradsP, err := par.Backward(dOut)
+						if err != nil {
+							t.Fatalf("parallel backward: %v", err)
+						}
+						if len(gradsP) != len(gradsS) {
+							t.Fatalf("parallel produced %d gradients, serial %d", len(gradsP), len(gradsS))
+						}
+						for pname, gs := range gradsS {
+							gp, ok := gradsP[pname]
+							if !ok {
+								t.Errorf("missing gradient %q", pname)
+								continue
+							}
+							if !tensor.AllClose(gs, gp, 1e-3, 2e-4) {
+								d, _ := tensor.MaxAbsDiff(gs, gp)
+								t.Errorf("gradient %q differs by %v (beyond float32 round-off)", pname, d)
+							}
+						}
+						// Determinism: an identical pooled run reproduces the
+						// gradients exactly, not just within tolerance.
+						if _, err := par.Forward(in); err != nil {
+							t.Fatal(err)
+						}
+						gradsP2, err := par.Backward(dOut)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for pname, gp := range gradsP {
+							if d, _ := tensor.MaxAbsDiff(gp, gradsP2[pname]); d != 0 {
+								t.Errorf("gradient %q not deterministic across pooled runs (diff %v)", pname, d)
+							}
+						}
+					})
+				}
+			}
+		})
+	}
+}

@@ -19,7 +19,7 @@ func TestPreciseStatsTracksBaselineTighter(t *testing.T) {
 		if err := Restructure(g, BNFF.Options()); err != nil {
 			t.Fatal(err)
 		}
-		ex, err := NewExecutor(g, 42)
+		ex, err := NewExecutor(g, WithSeed(42))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -29,7 +29,7 @@ func TestPreciseStatsTracksBaselineTighter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := NewExecutor(gBase, 42)
+	base, err := NewExecutor(gBase, WithSeed(42))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestPreciseStatsBackwardWorks(t *testing.T) {
 	if err := Restructure(g, BNFF.Options()); err != nil {
 		t.Fatal(err)
 	}
-	ex, err := NewExecutor(g, 3)
+	ex, err := NewExecutor(g, WithSeed(3))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -36,17 +36,19 @@ func FusedConvBackwardReLUBNReduce(conv layers.Conv2D, bn layers.BatchNorm,
 	// scratch buffer here — the arithmetic matches the stored-z baseline
 	// bit for bit because it is the same expression).
 	z := tensor.New(xhat.Shape()...)
-	for in := 0; in < n; in++ {
-		for ic := 0; ic < c; ic++ {
-			base := (in*c + ic) * h * wd
-			g, b := gamma.Data[ic], beta.Data[ic]
-			for i := 0; i < h*wd; i++ {
-				if v := g*xhat.Data[base+i] + b; v > 0 {
-					z.Data[base+i] = v
+	conv.Pool().Run(n, func(nLo, nHi int) {
+		for in := nLo; in < nHi; in++ {
+			for ic := 0; ic < c; ic++ {
+				base := (in*c + ic) * h * wd
+				g, b := gamma.Data[ic], beta.Data[ic]
+				for i := 0; i < h*wd; i++ {
+					if v := g*xhat.Data[base+i] + b; v > 0 {
+						z.Data[base+i] = v
+					}
 				}
 			}
 		}
-	}
+	})
 
 	dz := tensor.New(xhat.Shape()...)
 	dw = tensor.New(w.Shape()...)
@@ -60,21 +62,35 @@ func FusedConvBackwardReLUBNReduce(conv layers.Conv2D, bn layers.BatchNorm,
 	dbeta = tensor.New(c)
 	dg := make([]float64, c)
 	db := make([]float64, c)
+	// Per-sample dγ/dβ partials reduced in sample order after the pooled
+	// sweep — the serial loop adds one per-sample partial per channel in the
+	// same order, so the reductions are bit-identical (dv writes are
+	// per-sample disjoint).
+	psg := make([]float64, n*c)
+	psb := make([]float64, n*c)
+	conv.Pool().Run(n, func(nLo, nHi int) {
+		for in := nLo; in < nHi; in++ {
+			for ic := 0; ic < c; ic++ {
+				base := (in*c + ic) * h * wd
+				var sg, sb float64
+				for i := 0; i < h*wd; i++ {
+					if z.Data[base+i] <= 0 {
+						dv.Data[base+i] = 0
+						continue
+					}
+					g := float64(dv.Data[base+i])
+					sg += g * float64(xhat.Data[base+i])
+					sb += g
+				}
+				psg[in*c+ic] = sg
+				psb[in*c+ic] = sb
+			}
+		}
+	})
 	for in := 0; in < n; in++ {
 		for ic := 0; ic < c; ic++ {
-			base := (in*c + ic) * h * wd
-			var sg, sb float64
-			for i := 0; i < h*wd; i++ {
-				if z.Data[base+i] <= 0 {
-					dv.Data[base+i] = 0
-					continue
-				}
-				g := float64(dv.Data[base+i])
-				sg += g * float64(xhat.Data[base+i])
-				sb += g
-			}
-			dg[ic] += sg
-			db[ic] += sb
+			dg[ic] += psg[in*c+ic]
+			db[ic] += psb[in*c+ic]
 		}
 	}
 	for ic := 0; ic < c; ic++ {
@@ -110,16 +126,18 @@ func FusedBNInputConvBackward(conv layers.Conv2D, bn layers.BatchNorm,
 	m := float32(n * h * wd)
 	inv := bn.InvStd(stats)
 	du = tensor.New(dv.Shape()...)
-	for in := 0; in < n; in++ {
-		for ic := 0; ic < c; ic++ {
-			base := (in*c + ic) * h * wd
-			coef := gamma.Data[ic] * inv[ic] / m
-			dg, db := dgamma.Data[ic], dbeta.Data[ic]
-			for i := 0; i < h*wd; i++ {
-				du.Data[base+i] = coef * (m*dv.Data[base+i] - db - xhat.Data[base+i]*dg)
+	conv.Pool().Run(n, func(nLo, nHi int) {
+		for in := nLo; in < nHi; in++ {
+			for ic := 0; ic < c; ic++ {
+				base := (in*c + ic) * h * wd
+				coef := gamma.Data[ic] * inv[ic] / m
+				dg, db := dgamma.Data[ic], dbeta.Data[ic]
+				for i := 0; i < h*wd; i++ {
+					du.Data[base+i] = coef * (m*dv.Data[base+i] - db - xhat.Data[base+i]*dg)
+				}
 			}
 		}
-	}
+	})
 	dx = tensor.New(x.Shape()...)
 	dw = tensor.New(w.Shape()...)
 	if err := conv.BackwardInto(du, x, w, dx, dw); err != nil {
@@ -140,23 +158,27 @@ func ReLUConvBackward(conv layers.Conv2D, dy, x, w *tensor.Tensor) (dx, dw *tens
 		return nil, nil, fmt.Errorf("kernels: dy %v, want %v", dy.Shape(), conv.OutShape(x.Shape()))
 	}
 	// Regenerate z = ReLU(x) for the weight gradient, as the forward never
-	// stored it.
+	// stored it. Flat element-range splits with disjoint writes: bit-identical.
 	z := tensor.New(x.Shape()...)
-	for i, v := range x.Data {
-		if v > 0 {
-			z.Data[i] = v
+	conv.Pool().Run(len(x.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if v := x.Data[i]; v > 0 {
+				z.Data[i] = v
+			}
 		}
-	}
+	})
 	dz := tensor.New(x.Shape()...)
 	dw = tensor.New(w.Shape()...)
 	if err := conv.BackwardInto(dy, z, w, dz, dw); err != nil {
 		return nil, nil, err
 	}
 	dx = dz // mask in place
-	for i := range dx.Data {
-		if x.Data[i] <= 0 {
-			dx.Data[i] = 0
+	conv.Pool().Run(len(dx.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if x.Data[i] <= 0 {
+				dx.Data[i] = 0
+			}
 		}
-	}
+	})
 	return dx, dw, nil
 }

@@ -39,23 +39,36 @@ func ConcatForwardStats(bn layers.BatchNorm, xs ...*tensor.Tensor) (*tensor.Tens
 	sum := make([]float32, totalC)
 	sumsq := make([]float32, totalC)
 	hw := h * w
-	for in := 0; in < n; in++ {
-		cOff := 0
-		for _, x := range xs {
-			xc := x.Dim(1)
-			for ic := 0; ic < xc; ic++ {
-				src := x.Data[(in*xc+ic)*hw : (in*xc+ic+1)*hw]
-				dst := y.Data[(in*totalC+cOff+ic)*hw : (in*totalC+cOff+ic+1)*hw]
-				var s, sq float32
-				for i, v := range src {
-					dst[i] = v
-					s += v
-					sq += v * v
+	// Samples split on the BN's pool; copies are per-sample disjoint and the
+	// per-sample Σx/Σx² partials are reduced in sample order below, matching
+	// the serial accumulation order bit for bit.
+	psum := make([]float32, n*totalC)
+	psumsq := make([]float32, n*totalC)
+	bn.Pool().Run(n, func(nLo, nHi int) {
+		for in := nLo; in < nHi; in++ {
+			cOff := 0
+			for _, x := range xs {
+				xc := x.Dim(1)
+				for ic := 0; ic < xc; ic++ {
+					src := x.Data[(in*xc+ic)*hw : (in*xc+ic+1)*hw]
+					dst := y.Data[(in*totalC+cOff+ic)*hw : (in*totalC+cOff+ic+1)*hw]
+					var s, sq float32
+					for i, v := range src {
+						dst[i] = v
+						s += v
+						sq += v * v
+					}
+					psum[in*totalC+cOff+ic] = s
+					psumsq[in*totalC+cOff+ic] = sq
 				}
-				sum[cOff+ic] += s
-				sumsq[cOff+ic] += sq
+				cOff += xc
 			}
-			cOff += xc
+		}
+	})
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < totalC; ic++ {
+			sum[ic] += psum[in*totalC+ic]
+			sumsq[ic] += psumsq[in*totalC+ic]
 		}
 	}
 	m := float32(n * hw)
@@ -98,20 +111,22 @@ func FusedSplitBNInputBackward(bn layers.BatchNorm, dv, xhat, gamma *tensor.Tens
 	m := float32(n * h * w)
 	inv := bn.InvStd(stats)
 	out := tensor.New(dv.Shape()...)
-	for in := 0; in < n; in++ {
-		for ic := 0; ic < c; ic++ {
-			base := (in*c + ic) * h * w
-			coef := gamma.Data[ic] * inv[ic] / m
-			dg, db := dgamma.Data[ic], dbeta.Data[ic]
-			for i := 0; i < h*w; i++ {
-				du := coef * (m*dv.Data[base+i] - db - xhat.Data[base+i]*dg)
-				acc := du
-				for _, o := range others {
-					acc += o.Data[base+i]
+	bn.Pool().Run(n, func(nLo, nHi int) {
+		for in := nLo; in < nHi; in++ {
+			for ic := 0; ic < c; ic++ {
+				base := (in*c + ic) * h * w
+				coef := gamma.Data[ic] * inv[ic] / m
+				dg, db := dgamma.Data[ic], dbeta.Data[ic]
+				for i := 0; i < h*w; i++ {
+					du := coef * (m*dv.Data[base+i] - db - xhat.Data[base+i]*dg)
+					acc := du
+					for _, o := range others {
+						acc += o.Data[base+i]
+					}
+					out.Data[base+i] = acc
 				}
-				out.Data[base+i] = acc
 			}
 		}
-	}
+	})
 	return out, nil
 }

@@ -50,18 +50,31 @@ func ConvForwardStats(conv layers.Conv2D, x, w *tensor.Tensor) (*tensor.Tensor, 
 	// Epilogue over the freshly written ofmap tile. In the MKL-DNN
 	// implementation this happens before the tile leaves registers; here it
 	// is a separate loop over data that is still cache-resident, which keeps
-	// the arithmetic identical.
+	// the arithmetic identical. On a pool each sample writes a private
+	// per-channel partial that is reduced in sample order below — the serial
+	// loop adds one per-sample partial per channel in the same order, so the
+	// pooled statistics are bit-identical.
+	psum := make([]float32, n*c)
+	psumsq := make([]float32, n*c)
+	conv.Pool().Run(n, func(nLo, nHi int) {
+		for in := nLo; in < nHi; in++ {
+			for ic := 0; ic < c; ic++ {
+				base := (in*c + ic) * h * wd
+				var s, sq float32
+				for i := 0; i < h*wd; i++ {
+					v := y.Data[base+i]
+					s += v
+					sq += v * v
+				}
+				psum[in*c+ic] = s
+				psumsq[in*c+ic] = sq
+			}
+		}
+	})
 	for in := 0; in < n; in++ {
 		for ic := 0; ic < c; ic++ {
-			base := (in*c + ic) * h * wd
-			var s, sq float32
-			for i := 0; i < h*wd; i++ {
-				v := y.Data[base+i]
-				s += v
-				sq += v * v
-			}
-			sum[ic] += s
-			sumsq[ic] += sq
+			sum[ic] += psum[in*c+ic]
+			sumsq[ic] += psumsq[in*c+ic]
 		}
 	}
 	mean := tensor.New(c)
@@ -93,43 +106,47 @@ func ReLUConvForward(conv layers.Conv2D, x, w *tensor.Tensor) (*tensor.Tensor, e
 	grp := convGroups(conv)
 	cinG, coutG := cin/grp, cout/grp
 	xd, wdat, yd := x.Data, w.Data, y.Data
-	for in := 0; in < n; in++ {
-		for oc := 0; oc < cout; oc++ {
-			icLo := (oc / coutG) * cinG
-			wBase := oc * cinG * kh * kw
-			outBase := (in*cout + oc) * oh * ow
-			for oy := 0; oy < oh; oy++ {
-				iy0 := oy*s - p
-				for ox := 0; ox < ow; ox++ {
-					ix0 := ox*s - p
-					var acc float32
-					for ig := 0; ig < cinG; ig++ {
-						inBase := (in*cin + icLo + ig) * h * wd
-						wcBase := wBase + ig*kh*kw
-						for ky := 0; ky < kh; ky++ {
-							iy := iy0 + ky
-							if iy < 0 || iy >= h {
-								continue
-							}
-							row := inBase + iy*wd
-							wrow := wcBase + ky*kw
-							for kx := 0; kx < kw; kx++ {
-								ix := ix0 + kx
-								if ix < 0 || ix >= wd {
+	// Sample split on the conv's pool: per-sample outputs are disjoint, so
+	// pooled execution is bit-identical to serial.
+	conv.Pool().Run(n, func(nLo, nHi int) {
+		for in := nLo; in < nHi; in++ {
+			for oc := 0; oc < cout; oc++ {
+				icLo := (oc / coutG) * cinG
+				wBase := oc * cinG * kh * kw
+				outBase := (in*cout + oc) * oh * ow
+				for oy := 0; oy < oh; oy++ {
+					iy0 := oy*s - p
+					for ox := 0; ox < ow; ox++ {
+						ix0 := ox*s - p
+						var acc float32
+						for ig := 0; ig < cinG; ig++ {
+							inBase := (in*cin + icLo + ig) * h * wd
+							wcBase := wBase + ig*kh*kw
+							for ky := 0; ky < kh; ky++ {
+								iy := iy0 + ky
+								if iy < 0 || iy >= h {
 									continue
 								}
-								v := xd[row+ix]
-								if v > 0 { // inline ReLU on the ifmap read
-									acc += v * wdat[wrow+kx]
+								row := inBase + iy*wd
+								wrow := wcBase + ky*kw
+								for kx := 0; kx < kw; kx++ {
+									ix := ix0 + kx
+									if ix < 0 || ix >= wd {
+										continue
+									}
+									v := xd[row+ix]
+									if v > 0 { // inline ReLU on the ifmap read
+										acc += v * wdat[wrow+kx]
+									}
 								}
 							}
 						}
+						yd[outBase+oy*ow+ox] = acc
 					}
-					yd[outBase+oy*ow+ox] = acc
 				}
 			}
 		}
-	}
+	})
 	return y, nil
 }
 
@@ -166,61 +183,65 @@ func FusedBNReLUConvForward(conv layers.Conv2D, bn layers.BatchNorm, x *tensor.T
 	wdat, yd := w.Data, y.Data
 	g, b := gamma.Data, beta.Data
 
-	// Per-sample tile of rectified normalized activations; 1/N of a batch
-	// tensor, reused across samples (the cache-resident working set).
-	tile := make([]float32, c*h*wd)
-	for in := 0; in < n; in++ {
-		// One pass: read x, write x̂ (O2'), fill the tile with ReLU(γx̂+β).
-		for ic := 0; ic < c; ic++ {
-			base := (in*c + ic) * h * wd
-			tbase := ic * h * wd
-			mu, is, gc, bc := stats.Mean.Data[ic], inv[ic], g[ic], b[ic]
-			for i := 0; i < h*wd; i++ {
-				xh := (x.Data[base+i] - mu) * is
-				xhat.Data[base+i] = xh
-				if z := gc*xh + bc; z > 0 {
-					tile[tbase+i] = z
-				} else {
-					tile[tbase+i] = 0
+	grp := convGroups(conv)
+	cinG, coutG := c/grp, cout/grp
+	// Samples split on the conv's pool; each chunk owns a private per-sample
+	// tile of rectified normalized activations (1/N of a batch tensor, the
+	// cache-resident working set), and all writes (x̂, y) are per-sample
+	// disjoint — pooled execution is bit-identical to serial.
+	conv.Pool().Run(n, func(nLo, nHi int) {
+		tile := make([]float32, c*h*wd)
+		for in := nLo; in < nHi; in++ {
+			// One pass: read x, write x̂ (O2'), fill the tile with ReLU(γx̂+β).
+			for ic := 0; ic < c; ic++ {
+				base := (in*c + ic) * h * wd
+				tbase := ic * h * wd
+				mu, is, gc, bc := stats.Mean.Data[ic], inv[ic], g[ic], b[ic]
+				for i := 0; i < h*wd; i++ {
+					xh := (x.Data[base+i] - mu) * is
+					xhat.Data[base+i] = xh
+					if z := gc*xh + bc; z > 0 {
+						tile[tbase+i] = z
+					} else {
+						tile[tbase+i] = 0
+					}
 				}
 			}
-		}
-		// Convolve this sample from the tile.
-		grp := convGroups(conv)
-		cinG, coutG := c/grp, cout/grp
-		for oc := 0; oc < cout; oc++ {
-			icLo := (oc / coutG) * cinG
-			wBase := oc * cinG * kh * kw
-			outBase := (in*cout + oc) * oh * ow
-			for oy := 0; oy < oh; oy++ {
-				iy0 := oy*s - p
-				for ox := 0; ox < ow; ox++ {
-					ix0 := ox*s - p
-					var acc float32
-					for ig := 0; ig < cinG; ig++ {
-						tbase := (icLo + ig) * h * wd
-						wcBase := wBase + ig*kh*kw
-						for ky := 0; ky < kh; ky++ {
-							iy := iy0 + ky
-							if iy < 0 || iy >= h {
-								continue
-							}
-							row := tbase + iy*wd
-							wrow := wcBase + ky*kw
-							for kx := 0; kx < kw; kx++ {
-								ix := ix0 + kx
-								if ix < 0 || ix >= wd {
+			// Convolve this sample from the tile.
+			for oc := 0; oc < cout; oc++ {
+				icLo := (oc / coutG) * cinG
+				wBase := oc * cinG * kh * kw
+				outBase := (in*cout + oc) * oh * ow
+				for oy := 0; oy < oh; oy++ {
+					iy0 := oy*s - p
+					for ox := 0; ox < ow; ox++ {
+						ix0 := ox*s - p
+						var acc float32
+						for ig := 0; ig < cinG; ig++ {
+							tbase := (icLo + ig) * h * wd
+							wcBase := wBase + ig*kh*kw
+							for ky := 0; ky < kh; ky++ {
+								iy := iy0 + ky
+								if iy < 0 || iy >= h {
 									continue
 								}
-								acc += tile[row+ix] * wdat[wrow+kx]
+								row := tbase + iy*wd
+								wrow := wcBase + ky*kw
+								for kx := 0; kx < kw; kx++ {
+									ix := ix0 + kx
+									if ix < 0 || ix >= wd {
+										continue
+									}
+									acc += tile[row+ix] * wdat[wrow+kx]
+								}
 							}
 						}
+						yd[outBase+oy*ow+ox] = acc
 					}
-					yd[outBase+oy*ow+ox] = acc
 				}
 			}
 		}
-	}
+	})
 	return y, xhat, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"bnff/internal/parallel"
 	"bnff/internal/tensor"
 )
 
@@ -23,12 +24,26 @@ type BatchNorm struct {
 	Channels int
 	Eps      float32
 	Momentum float32 // running-statistics update rate, e.g. 0.1
+
+	pool *parallel.Pool
 }
 
 // NewBatchNorm returns a BatchNorm with the conventional ε=1e-5, momentum 0.1.
 func NewBatchNorm(channels int) BatchNorm {
 	return BatchNorm{Channels: channels, Eps: 1e-5, Momentum: 0.1}
 }
+
+// WithPool returns a copy of the layer that executes on the given worker
+// pool (nil means serial). Statistics and dγ/dβ reductions compute one
+// partial per sample and reduce them in sample order — exactly the
+// association the serial sweeps use — so pooled execution is bit-identical.
+func (b BatchNorm) WithPool(p *parallel.Pool) BatchNorm {
+	b.pool = p
+	return b
+}
+
+// Pool returns the worker pool the layer executes on (nil = serial).
+func (b BatchNorm) Pool() *parallel.Pool { return b.pool }
 
 // BNStats holds per-channel mini-batch statistics (rank-1, length C).
 // Var is the biased variance (divided by the sample count M), matching the
@@ -78,28 +93,46 @@ func (b BatchNorm) ComputeStats(x *tensor.Tensor) (*BNStats, error) {
 	mean := tensor.New(c)
 	variance := tensor.New(c)
 
-	// Pass 1: mean.
+	// Pass 1: mean. One partial per (sample, channel), reduced in sample
+	// order — the same association the serial sweep uses, so pooled
+	// execution is bit-identical.
+	pmean := make([]float32, n*c)
+	b.pool.Run(n, func(lo, hi int) {
+		for in := lo; in < hi; in++ {
+			for ic := 0; ic < c; ic++ {
+				base := (in*c + ic) * h * w
+				var s float64
+				for i := 0; i < h*w; i++ {
+					s += float64(x.Data[base+i])
+				}
+				pmean[in*c+ic] = float32(s / m)
+			}
+		}
+	})
 	for in := 0; in < n; in++ {
 		for ic := 0; ic < c; ic++ {
-			base := (in*c + ic) * h * w
-			var s float64
-			for i := 0; i < h*w; i++ {
-				s += float64(x.Data[base+i])
-			}
-			mean.Data[ic] += float32(s / m)
+			mean.Data[ic] += pmean[in*c+ic]
 		}
 	}
-	// Pass 2: variance around the mean.
+	// Pass 2: variance around the mean, same partial scheme.
+	pvar := make([]float32, n*c)
+	b.pool.Run(n, func(lo, hi int) {
+		for in := lo; in < hi; in++ {
+			for ic := 0; ic < c; ic++ {
+				base := (in*c + ic) * h * w
+				mu := float64(mean.Data[ic])
+				var s float64
+				for i := 0; i < h*w; i++ {
+					d := float64(x.Data[base+i]) - mu
+					s += d * d
+				}
+				pvar[in*c+ic] = float32(s / m)
+			}
+		}
+	})
 	for in := 0; in < n; in++ {
 		for ic := 0; ic < c; ic++ {
-			base := (in*c + ic) * h * w
-			mu := float64(mean.Data[ic])
-			var s float64
-			for i := 0; i < h*w; i++ {
-				d := float64(x.Data[base+i]) - mu
-				s += d * d
-			}
-			variance.Data[ic] += float32(s / m)
+			variance.Data[ic] += pvar[in*c+ic]
 		}
 	}
 	return &BNStats{Mean: mean, Var: variance}, nil
@@ -117,17 +150,30 @@ func (b BatchNorm) ComputeStatsMVF(x *tensor.Tensor) (*BNStats, error) {
 	m := float32(n * h * w)
 	sum := make([]float32, c)
 	sumsq := make([]float32, c)
+	psum := make([]float32, n*c)
+	psumsq := make([]float32, n*c)
+	b.pool.Run(n, func(lo, hi int) {
+		for in := lo; in < hi; in++ {
+			for ic := 0; ic < c; ic++ {
+				base := (in*c + ic) * h * w
+				var s, sq float32
+				for i := 0; i < h*w; i++ {
+					v := x.Data[base+i]
+					s += v
+					sq += v * v
+				}
+				psum[in*c+ic] = s
+				psumsq[in*c+ic] = sq
+			}
+		}
+	})
+	// Sample-order reduction: the serial sweep adds one per-sample partial
+	// per channel in exactly this order, so the pooled result is
+	// bit-identical.
 	for in := 0; in < n; in++ {
 		for ic := 0; ic < c; ic++ {
-			base := (in*c + ic) * h * w
-			var s, sq float32
-			for i := 0; i < h*w; i++ {
-				v := x.Data[base+i]
-				s += v
-				sq += v * v
-			}
-			sum[ic] += s
-			sumsq[ic] += sq
+			sum[ic] += psum[in*c+ic]
+			sumsq[ic] += psumsq[in*c+ic]
 		}
 	}
 	mean := tensor.New(c)
@@ -155,14 +201,27 @@ func (b BatchNorm) ComputeStatsMVF64(x *tensor.Tensor) (*BNStats, error) {
 	m := float64(n * h * w)
 	sum := make([]float64, c)
 	sumsq := make([]float64, c)
+	psum := make([]float64, n*c)
+	psumsq := make([]float64, n*c)
+	b.pool.Run(n, func(lo, hi int) {
+		for in := lo; in < hi; in++ {
+			for ic := 0; ic < c; ic++ {
+				base := (in*c + ic) * h * w
+				var s, sq float64
+				for i := 0; i < h*w; i++ {
+					v := float64(x.Data[base+i])
+					s += v
+					sq += v * v
+				}
+				psum[in*c+ic] = s
+				psumsq[in*c+ic] = sq
+			}
+		}
+	})
 	for in := 0; in < n; in++ {
 		for ic := 0; ic < c; ic++ {
-			base := (in*c + ic) * h * w
-			for i := 0; i < h*w; i++ {
-				v := float64(x.Data[base+i])
-				sum[ic] += v
-				sumsq[ic] += v * v
-			}
+			sum[ic] += psum[in*c+ic]
+			sumsq[ic] += psumsq[in*c+ic]
 		}
 	}
 	mean := tensor.New(c)
@@ -205,17 +264,21 @@ func (b BatchNorm) Normalize(x *tensor.Tensor, stats *BNStats, gamma, beta *tens
 	inv := b.InvStd(stats)
 	y = tensor.New(x.Shape()...)
 	xhat = tensor.New(x.Shape()...)
-	for in := 0; in < n; in++ {
-		for ic := 0; ic < c; ic++ {
-			base := (in*c + ic) * h * w
-			mu, is, g, be := stats.Mean.Data[ic], inv[ic], gamma.Data[ic], beta.Data[ic]
-			for i := 0; i < h*w; i++ {
-				xh := (x.Data[base+i] - mu) * is
-				xhat.Data[base+i] = xh
-				y.Data[base+i] = g*xh + be
+	// Element-wise with per-sample disjoint writes: pooled execution is
+	// bit-identical to serial.
+	b.pool.Run(n, func(lo, hi int) {
+		for in := lo; in < hi; in++ {
+			for ic := 0; ic < c; ic++ {
+				base := (in*c + ic) * h * w
+				mu, is, g, be := stats.Mean.Data[ic], inv[ic], gamma.Data[ic], beta.Data[ic]
+				for i := 0; i < h*w; i++ {
+					xh := (x.Data[base+i] - mu) * is
+					xhat.Data[base+i] = xh
+					y.Data[base+i] = g*xh + be
+				}
 			}
 		}
-	}
+	})
 	return y, xhat, nil
 }
 
@@ -247,17 +310,27 @@ func (b BatchNorm) BackwardReduce(dy, xhat *tensor.Tensor) (dgamma, dbeta *tenso
 	dbeta = tensor.New(c)
 	dg := make([]float64, c)
 	db := make([]float64, c)
+	pg := make([]float64, n*c)
+	pb := make([]float64, n*c)
+	b.pool.Run(n, func(lo, hi int) {
+		for in := lo; in < hi; in++ {
+			for ic := 0; ic < c; ic++ {
+				base := (in*c + ic) * h * w
+				var sg, sb float64
+				for i := 0; i < h*w; i++ {
+					g := float64(dy.Data[base+i])
+					sg += g * float64(xhat.Data[base+i])
+					sb += g
+				}
+				pg[in*c+ic] = sg
+				pb[in*c+ic] = sb
+			}
+		}
+	})
 	for in := 0; in < n; in++ {
 		for ic := 0; ic < c; ic++ {
-			base := (in*c + ic) * h * w
-			var sg, sb float64
-			for i := 0; i < h*w; i++ {
-				g := float64(dy.Data[base+i])
-				sg += g * float64(xhat.Data[base+i])
-				sb += g
-			}
-			dg[ic] += sg
-			db[ic] += sb
+			dg[ic] += pg[in*c+ic]
+			db[ic] += pb[in*c+ic]
 		}
 	}
 	for ic := 0; ic < c; ic++ {
@@ -285,16 +358,18 @@ func (b BatchNorm) BackwardInput(dy, xhat, gamma *tensor.Tensor, stats *BNStats,
 	m := float32(n * h * w)
 	inv := b.InvStd(stats)
 	dx := tensor.New(dy.Shape()...)
-	for in := 0; in < n; in++ {
-		for ic := 0; ic < c; ic++ {
-			base := (in*c + ic) * h * w
-			coef := gamma.Data[ic] * inv[ic] / m
-			dg, db := dgamma.Data[ic], dbeta.Data[ic]
-			for i := 0; i < h*w; i++ {
-				dx.Data[base+i] = coef * (m*dy.Data[base+i] - db - xhat.Data[base+i]*dg)
+	b.pool.Run(n, func(lo, hi int) {
+		for in := lo; in < hi; in++ {
+			for ic := 0; ic < c; ic++ {
+				base := (in*c + ic) * h * w
+				coef := gamma.Data[ic] * inv[ic] / m
+				dg, db := dgamma.Data[ic], dbeta.Data[ic]
+				for i := 0; i < h*w; i++ {
+					dx.Data[base+i] = coef * (m*dy.Data[base+i] - db - xhat.Data[base+i]*dg)
+				}
 			}
 		}
-	}
+	})
 	return dx, nil
 }
 

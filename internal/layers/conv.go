@@ -3,6 +3,7 @@ package layers
 import (
 	"fmt"
 
+	"bnff/internal/parallel"
 	"bnff/internal/tensor"
 )
 
@@ -22,7 +23,22 @@ type Conv2D struct {
 	Stride      int
 	Pad         int
 	Groups      int
+
+	pool *parallel.Pool
 }
+
+// WithPool returns a copy of the descriptor that executes on the given
+// worker pool (nil means serial). The receiver is not modified, so a graph's
+// shared descriptor stays execution-state-free and two executors can run the
+// same graph with different pools.
+func (c Conv2D) WithPool(p *parallel.Pool) Conv2D {
+	c.pool = p
+	return c
+}
+
+// Pool returns the worker pool the descriptor executes on (nil = serial).
+// Fused kernels in internal/kernels use it for their own batch loops.
+func (c Conv2D) Pool() *parallel.Pool { return c.pool }
 
 // NewConv2D builds a square-kernel dense convolution descriptor.
 func NewConv2D(in, out, kernel, stride, pad int) Conv2D {
@@ -98,8 +114,8 @@ func (c Conv2D) checkForward(x, w *tensor.Tensor) error {
 }
 
 // Forward computes the convolution of x (N,Cin,H,W) with weights w,
-// returning (N,Cout,OH,OW). With SetConvWorkers(>1) the batch is processed
-// by multiple goroutines with bit-identical results.
+// returning (N,Cout,OH,OW). With a WithPool pool of more than one worker the
+// batch is processed by multiple goroutines with bit-identical results.
 func (c Conv2D) Forward(x, w *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := c.checkForward(x, w); err != nil {
 		return nil, err
@@ -110,16 +126,16 @@ func (c Conv2D) Forward(x, w *tensor.Tensor) (*tensor.Tensor, error) {
 }
 
 func (c Conv2D) dispatchForward(x, w, y *tensor.Tensor) {
-	if wk := ConvWorkers(); wk > 1 && x.Dim(0) > 1 {
-		c.forwardParallel(x, w, y, wk)
+	if !c.pool.Serial() && x.Dim(0) > 1 {
+		c.forwardParallel(x, w, y)
 		return
 	}
 	c.forwardInto(x, w, y)
 }
 
 func (c Conv2D) dispatchBackward(dy, x, w, dx, dw *tensor.Tensor) {
-	if wk := ConvWorkers(); wk > 1 && x.Dim(0) > 1 {
-		c.backwardParallel(dy, x, w, dx, dw, wk)
+	if !c.pool.Serial() && x.Dim(0) > 1 {
+		c.backwardParallel(dy, x, w, dx, dw)
 		return
 	}
 	c.backwardInto(dy, x, w, dx, dw)

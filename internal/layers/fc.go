@@ -3,6 +3,7 @@ package layers
 import (
 	"fmt"
 
+	"bnff/internal/parallel"
 	"bnff/internal/tensor"
 )
 
@@ -11,6 +12,18 @@ import (
 type FC struct {
 	In  int
 	Out int
+
+	pool *parallel.Pool
+}
+
+// WithPool returns a copy of the descriptor that executes on the given
+// worker pool (nil means serial). The batch splits across samples; forward
+// rows and dX rows are disjoint, and dW/dB receive exactly one contribution
+// per sample per element, reduced in sample order — so pooled execution is
+// bit-identical to serial in both directions.
+func (f FC) WithPool(p *parallel.Pool) FC {
+	f.pool = p
+	return f
 }
 
 // WeightShape returns the (Out, In) weight shape.
@@ -39,21 +52,27 @@ func (f FC) Forward(x, w, b *tensor.Tensor) (*tensor.Tensor, error) {
 	}
 	n := x.Dim(0)
 	y := tensor.New(n, f.Out)
-	for in := 0; in < n; in++ {
-		xRow := x.Data[in*f.In : (in+1)*f.In]
-		for o := 0; o < f.Out; o++ {
-			wRow := w.Data[o*f.In : (o+1)*f.In]
-			acc := b.Data[o]
-			for i, xv := range xRow {
-				acc += xv * wRow[i]
+	f.pool.Run(n, func(lo, hi int) {
+		for in := lo; in < hi; in++ {
+			xRow := x.Data[in*f.In : (in+1)*f.In]
+			for o := 0; o < f.Out; o++ {
+				wRow := w.Data[o*f.In : (o+1)*f.In]
+				acc := b.Data[o]
+				for i, xv := range xRow {
+					acc += xv * wRow[i]
+				}
+				y.Data[in*f.Out+o] = acc
 			}
-			y.Data[in*f.Out+o] = acc
 		}
-	}
+	})
 	return y, nil
 }
 
 // Backward computes dX, dW, dB from the upstream gradient and saved input.
+// On a pool, each sample accumulates into a private dW/dB partial that is
+// reduced in sample order afterwards; the serial loop adds exactly one
+// per-sample term per element in the same order, so the pooled result is
+// bit-identical.
 func (f FC) Backward(dy, x, w *tensor.Tensor) (dx, dw, db *tensor.Tensor, err error) {
 	if x.Rank() != 2 || x.Dim(1) != f.In {
 		return nil, nil, nil, fmt.Errorf("fc: input shape %v, want [N %d]", x.Shape(), f.In)
@@ -65,22 +84,49 @@ func (f FC) Backward(dy, x, w *tensor.Tensor) (dx, dw, db *tensor.Tensor, err er
 	dx = tensor.New(n, f.In)
 	dw = tensor.New(f.Out, f.In)
 	db = tensor.New(f.Out)
+	if f.pool.Serial() || n == 1 {
+		for in := 0; in < n; in++ {
+			f.backwardSample(dy, x, w, dx, dw.Data, db.Data, in)
+		}
+		return dx, dw, db, nil
+	}
+	pdw := make([][]float32, n)
+	pdb := make([][]float32, n)
+	f.pool.Run(n, func(lo, hi int) {
+		for in := lo; in < hi; in++ {
+			pw := make([]float32, f.Out*f.In)
+			pb := make([]float32, f.Out)
+			f.backwardSample(dy, x, w, dx, pw, pb, in)
+			pdw[in], pdb[in] = pw, pb
+		}
+	})
 	for in := 0; in < n; in++ {
-		xRow := x.Data[in*f.In : (in+1)*f.In]
-		dxRow := dx.Data[in*f.In : (in+1)*f.In]
-		for o := 0; o < f.Out; o++ {
-			g := dy.Data[in*f.Out+o]
-			if g == 0 {
-				continue
-			}
-			wRow := w.Data[o*f.In : (o+1)*f.In]
-			dwRow := dw.Data[o*f.In : (o+1)*f.In]
-			db.Data[o] += g
-			for i := range xRow {
-				dxRow[i] += g * wRow[i]
-				dwRow[i] += g * xRow[i]
-			}
+		for j, v := range pdw[in] {
+			dw.Data[j] += v
+		}
+		for j, v := range pdb[in] {
+			db.Data[j] += v
 		}
 	}
 	return dx, dw, db, nil
+}
+
+// backwardSample accumulates sample in's contribution into dx (disjoint row)
+// and the given dW/dB accumulators.
+func (f FC) backwardSample(dy, x, w, dx *tensor.Tensor, dwd, dbd []float32, in int) {
+	xRow := x.Data[in*f.In : (in+1)*f.In]
+	dxRow := dx.Data[in*f.In : (in+1)*f.In]
+	for o := 0; o < f.Out; o++ {
+		g := dy.Data[in*f.Out+o]
+		if g == 0 {
+			continue
+		}
+		wRow := w.Data[o*f.In : (o+1)*f.In]
+		dwRow := dwd[o*f.In : (o+1)*f.In]
+		dbd[o] += g
+		for i := range xRow {
+			dxRow[i] += g * wRow[i]
+			dwRow[i] += g * xRow[i]
+		}
+	}
 }

@@ -3,6 +3,7 @@ package layers
 import (
 	"fmt"
 
+	"bnff/internal/parallel"
 	"bnff/internal/tensor"
 )
 
@@ -27,50 +28,55 @@ func (c Conv2D) ForwardGEMM(x, w *tensor.Tensor) (*tensor.Tensor, error) {
 	cinG, coutG := cin/g, cout/g
 
 	colRows := cinG * kh * kw
-	cols := make([]float32, colRows*oh*ow)
-	for in := 0; in < n; in++ {
-		for grp := 0; grp < g; grp++ {
-			// im2col for this sample and group.
-			for ig := 0; ig < cinG; ig++ {
-				ic := grp*cinG + ig
-				inBase := (in*cin + ic) * h * wd
-				for ky := 0; ky < kh; ky++ {
-					for kx := 0; kx < kw; kx++ {
-						row := (ig*kh+ky)*kw + kx
-						dst := cols[row*oh*ow:]
-						di := 0
-						for oy := 0; oy < oh; oy++ {
-							iy := oy*s - p + ky
-							for ox := 0; ox < ow; ox++ {
-								ix := ox*s - p + kx
-								if iy < 0 || iy >= h || ix < 0 || ix >= wd {
-									dst[di] = 0
-								} else {
-									dst[di] = x.Data[inBase+iy*wd+ix]
+	// Samples split across the pool; each chunk owns a private column matrix,
+	// and output rows are per-sample disjoint, so pooled execution is
+	// bit-identical to serial.
+	c.pool.Run(n, func(nLo, nHi int) {
+		cols := make([]float32, colRows*oh*ow)
+		for in := nLo; in < nHi; in++ {
+			for grp := 0; grp < g; grp++ {
+				// im2col for this sample and group.
+				for ig := 0; ig < cinG; ig++ {
+					ic := grp*cinG + ig
+					inBase := (in*cin + ic) * h * wd
+					for ky := 0; ky < kh; ky++ {
+						for kx := 0; kx < kw; kx++ {
+							row := (ig*kh+ky)*kw + kx
+							dst := cols[row*oh*ow:]
+							di := 0
+							for oy := 0; oy < oh; oy++ {
+								iy := oy*s - p + ky
+								for ox := 0; ox < ow; ox++ {
+									ix := ox*s - p + kx
+									if iy < 0 || iy >= h || ix < 0 || ix >= wd {
+										dst[di] = 0
+									} else {
+										dst[di] = x.Data[inBase+iy*wd+ix]
+									}
+									di++
 								}
-								di++
 							}
 						}
 					}
 				}
-			}
-			// GEMM: out[oc, :] = Σ_r w[oc, r] · cols[r, :].
-			for ocg := 0; ocg < coutG; ocg++ {
-				oc := grp*coutG + ocg
-				wRow := w.Data[oc*colRows : (oc+1)*colRows]
-				outRow := out.Data[(in*cout+oc)*oh*ow : (in*cout+oc+1)*oh*ow]
-				for r, wv := range wRow {
-					if wv == 0 {
-						continue
-					}
-					col := cols[r*oh*ow : (r+1)*oh*ow]
-					for i, cv := range col {
-						outRow[i] += wv * cv
+				// GEMM: out[oc, :] = Σ_r w[oc, r] · cols[r, :].
+				for ocg := 0; ocg < coutG; ocg++ {
+					oc := grp*coutG + ocg
+					wRow := w.Data[oc*colRows : (oc+1)*colRows]
+					outRow := out.Data[(in*cout+oc)*oh*ow : (in*cout+oc+1)*oh*ow]
+					for r, wv := range wRow {
+						if wv == 0 {
+							continue
+						}
+						col := cols[r*oh*ow : (r+1)*oh*ow]
+						for i, cv := range col {
+							outRow[i] += wv * cv
+						}
 					}
 				}
 			}
 		}
-	}
+	})
 	return out, nil
 }
 
@@ -87,24 +93,33 @@ func (c Conv2D) Im2colBytes(batch, inH, inW int) int64 {
 // FC as GEMM sanity helper: multiply (N,In)×(In,Out) using the same inner
 // kernel, used by tests to cross-check the FC layer.
 func matMul(a, b *tensor.Tensor) (*tensor.Tensor, error) {
+	return matMulOn(nil, a, b)
+}
+
+// matMulOn is matMul with the output rows split across a worker pool.
+// Each output row is owned by exactly one goroutine and accumulated in the
+// serial k order, so the result is bit-identical to serial.
+func matMulOn(p *parallel.Pool, a, b *tensor.Tensor) (*tensor.Tensor, error) {
 	if a.Rank() != 2 || b.Rank() != 2 || a.Dim(1) != b.Dim(0) {
 		return nil, fmt.Errorf("layers: matmul shapes %v × %v", a.Shape(), b.Shape())
 	}
 	n, k := a.Dims2()
 	_, m := b.Dims2()
 	out := tensor.New(n, m)
-	for i := 0; i < n; i++ {
-		for kk := 0; kk < k; kk++ {
-			av := a.Data[i*k+kk]
-			if av == 0 {
-				continue
-			}
-			bRow := b.Data[kk*m : (kk+1)*m]
-			oRow := out.Data[i*m : (i+1)*m]
-			for j, bv := range bRow {
-				oRow[j] += av * bv
+	p.Run(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for kk := 0; kk < k; kk++ {
+				av := a.Data[i*k+kk]
+				if av == 0 {
+					continue
+				}
+				bRow := b.Data[kk*m : (kk+1)*m]
+				oRow := out.Data[i*m : (i+1)*m]
+				for j, bv := range bRow {
+					oRow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 	return out, nil
 }

@@ -1,44 +1,42 @@
 package layers
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
+	"bnff/internal/parallel"
 	"bnff/internal/tensor"
 )
 
-// Convolution is by far the dominant numeric cost, so it is the one layer
-// with a parallel execution path. Work splits across the mini-batch
-// dimension: forward outputs are disjoint per sample (bit-identical to
-// serial), and the backward pass gives each worker a private dW accumulator
-// that is reduced in sample order afterwards — deterministic regardless of
-// scheduling, and within float32 round-off of the serial result (the
-// per-sample partials associate the same additions differently).
+// Parallel execution is owned per layer descriptor: WithPool attaches an
+// executor's worker pool to a Conv2D, BatchNorm, Pool2D, or FC copy, and
+// every dispatch consults only that pool — there is no package-global worker
+// setting on any hot path, so two executors with different settings cannot
+// interfere.
+//
+// Work splits across the mini-batch dimension: forward outputs are disjoint
+// per sample (bit-identical to serial), and backward reductions give each
+// sample a private partial accumulator that is reduced in sample order
+// afterwards — deterministic regardless of scheduling. Reductions whose
+// serial form already accumulates one per-sample partial per target element
+// (BN statistics, dγ/dβ, FC dW/dB) stay bit-identical; conv dW partials
+// associate the same additions differently and land within float32
+// round-off.
 
-var convWorkers int64 = 1
+// SetConvWorkers sets the process-wide default worker count that executors
+// snapshot at construction when built without an explicit worker option,
+// clamped to [1, parallel.MaxWorkers]. It returns the previous setting.
+//
+// Deprecated: use core.WithWorkers (or train.WithWorkers) instead. The old
+// per-dispatch global read inside the convolution kernels is gone; this shim
+// no longer affects layer descriptors that already exist, only executors
+// constructed afterwards.
+func SetConvWorkers(n int) int { return parallel.SetDefault(n) }
 
-// SetConvWorkers sets the number of goroutines convolution layers may use,
-// clamped to [1, 1024]. It returns the previous setting. The default is 1
-// (serial) so that tests and small models pay no scheduling overhead;
-// trainers of larger models opt in, typically with GOMAXPROCS. Requesting
-// more workers than cores is allowed (the scheduler multiplexes them), which
-// also lets single-core machines exercise the concurrent path.
-func SetConvWorkers(n int) int {
-	if n < 1 {
-		n = 1
-	}
-	if n > 1024 {
-		n = 1024
-	}
-	return int(atomic.SwapInt64(&convWorkers, int64(n)))
-}
+// ConvWorkers returns the current construction-time default worker count.
+//
+// Deprecated: query the owning executor's Workers method instead.
+func ConvWorkers() int { return parallel.Default() }
 
 // DefaultConvWorkers returns the recommended worker count for this machine.
-func DefaultConvWorkers() int { return runtime.GOMAXPROCS(0) }
-
-// ConvWorkers returns the current setting.
-func ConvWorkers() int { return int(atomic.LoadInt64(&convWorkers)) }
+func DefaultConvWorkers() int { return parallel.NumCPU() }
 
 // sampleView returns a rank-4 view of sample i of a batch tensor.
 func sampleView(t *tensor.Tensor, i int) *tensor.Tensor {
@@ -49,48 +47,31 @@ func sampleView(t *tensor.Tensor, i int) *tensor.Tensor {
 	return v
 }
 
-// forwardParallel runs forwardInto with one goroutine per sample chunk.
-func (c Conv2D) forwardParallel(x, w, y *tensor.Tensor, workers int) {
-	n := x.Dim(0)
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	for wk := 0; wk < workers; wk++ {
-		lo, hi := n*wk/workers, n*(wk+1)/workers
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				c.forwardInto(sampleView(x, i), w, sampleView(y, i))
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+// forwardParallel runs forwardInto with the pool's goroutines splitting the
+// mini-batch. Per-sample outputs are disjoint, so the result is bit-identical
+// to serial execution.
+func (c Conv2D) forwardParallel(x, w, y *tensor.Tensor) {
+	c.pool.Run(x.Dim(0), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c.forwardInto(sampleView(x, i), w, sampleView(y, i))
+		}
+	})
 }
 
-// backwardParallel runs backwardInto with per-worker dW accumulators that
-// are reduced in sample order, preserving serial bit-exactness.
-func (c Conv2D) backwardParallel(dy, x, w, dx, dw *tensor.Tensor, workers int) {
+// backwardParallel runs backwardInto with per-sample dW accumulators that
+// are reduced in sample order, preserving determinism; the partials
+// associate the same additions differently from serial, so dW is within
+// float32 round-off (dX rows are per-sample disjoint: identical).
+func (c Conv2D) backwardParallel(dy, x, w, dx, dw *tensor.Tensor) {
 	n := x.Dim(0)
-	if workers > n {
-		workers = n
-	}
 	partial := make([]*tensor.Tensor, n)
-	var wg sync.WaitGroup
-	for wk := 0; wk < workers; wk++ {
-		lo, hi := n*wk/workers, n*(wk+1)/workers
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				pdw := tensor.New(w.Shape()...)
-				c.backwardInto(sampleView(dy, i), sampleView(x, i), w, sampleView(dx, i), pdw)
-				partial[i] = pdw
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	c.pool.Run(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pdw := tensor.New(w.Shape()...)
+			c.backwardInto(sampleView(dy, i), sampleView(x, i), w, sampleView(dx, i), pdw)
+			partial[i] = pdw
+		}
+	})
 	for i := 0; i < n; i++ {
 		for j, v := range partial[i].Data {
 			dw.Data[j] += v

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"bnff/internal/parallel"
 	"bnff/internal/tensor"
 )
 
@@ -23,14 +24,12 @@ func TestParallelForwardBitIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prev := SetConvWorkers(4)
-	defer SetConvWorkers(prev)
-	parallel, err := conv.Forward(x, w)
+	pooled, err := conv.WithPool(parallel.New(4)).Forward(x, w)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if d, _ := tensor.MaxAbsDiff(serial, parallel); d != 0 {
-		t.Errorf("parallel forward differs from serial by %v", d)
+	if d, _ := tensor.MaxAbsDiff(serial, pooled); d != 0 {
+		t.Errorf("pooled forward differs from serial by %v", d)
 	}
 }
 
@@ -44,9 +43,8 @@ func TestParallelBackwardBitIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prev := SetConvWorkers(3)
-	defer SetConvWorkers(prev)
-	dxP, dwP, err := conv.Backward(dy, x, w)
+	pooled := conv.WithPool(parallel.New(3))
+	dxP, dwP, err := pooled.Backward(dy, x, w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +58,7 @@ func TestParallelBackwardBitIdentical(t *testing.T) {
 		t.Errorf("parallel dW differs from serial by %v (beyond round-off)", d)
 	}
 	// Parallel execution is deterministic: repeat and compare exactly.
-	dxP2, dwP2, err := conv.Backward(dy, x, w)
+	dxP2, dwP2, err := pooled.Backward(dy, x, w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,20 +70,29 @@ func TestParallelBackwardBitIdentical(t *testing.T) {
 	}
 }
 
+// The deprecated SetConvWorkers shim forwards to the construction-time
+// default in internal/parallel with the same clamping contract it always had.
 func TestSetConvWorkersClamps(t *testing.T) {
 	prev := SetConvWorkers(0)
 	if ConvWorkers() != 1 {
 		t.Errorf("workers = %d, want clamp to 1", ConvWorkers())
 	}
 	SetConvWorkers(1 << 20)
-	if got := ConvWorkers(); got != 1024 {
-		t.Errorf("workers = %d, want clamp to 1024", got)
+	if got := ConvWorkers(); got != parallel.MaxWorkers {
+		t.Errorf("workers = %d, want clamp to %d", got, parallel.MaxWorkers)
 	}
-	if SetConvWorkers(prev) != 1024 {
+	if SetConvWorkers(prev) != parallel.MaxWorkers {
 		t.Error("SetConvWorkers did not return the previous value")
 	}
 	if DefaultConvWorkers() < 1 {
 		t.Error("DefaultConvWorkers below 1")
+	}
+	// The shim no longer reaches existing descriptors: a conv built before or
+	// after the call stays serial unless WithPool attaches a pool.
+	SetConvWorkers(8)
+	defer SetConvWorkers(prev)
+	if c := NewConv2D(1, 1, 1, 1, 0); !c.Pool().Serial() {
+		t.Error("SetConvWorkers leaked into a fresh descriptor's pool")
 	}
 }
 
@@ -94,8 +101,7 @@ func TestParallelBackwardAccumulates(t *testing.T) {
 	x, w := randomConvCase(65, conv, 4, 6)
 	dy := tensor.New(conv.OutShape(x.Shape())...)
 	tensor.NewRNG(66).FillUniform(dy, -1, 1)
-	prev := SetConvWorkers(2)
-	defer SetConvWorkers(prev)
+	conv = conv.WithPool(parallel.New(2))
 	dx := tensor.New(x.Shape()...)
 	dw := tensor.New(w.Shape()...)
 	for i := 0; i < 2; i++ {
@@ -134,6 +140,13 @@ func TestGEMMMatchesDirect(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		gemmPooled, err := conv.WithPool(parallel.New(3)).ForwardGEMM(x, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d, _ := tensor.MaxAbsDiff(gemm, gemmPooled); d != 0 {
+			t.Errorf("pooled GEMM differs from serial by %v", d)
+		}
 		if !tensor.AllClose(direct, gemm, 1e-5, 1e-6) {
 			d, _ := tensor.MaxAbsDiff(direct, gemm)
 			t.Errorf("GEMM differs from direct by %v (k=%d s=%d g=%d)", d, conv.KernelH, conv.Stride, conv.Groups)
@@ -169,6 +182,13 @@ func TestMatMulKnownValues(t *testing.T) {
 		if got.Data[i] != want[i] {
 			t.Errorf("matmul[%d] = %v, want %v", i, got.Data[i], want[i])
 		}
+	}
+	pooled, err := matMulOn(parallel.New(2), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := tensor.MaxAbsDiff(got, pooled); d != 0 {
+		t.Errorf("pooled matmul differs from serial by %v", d)
 	}
 	if _, err := matMul(a, tensor.New(3, 2)); err == nil {
 		t.Error("accepted mismatched inner dims")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"bnff/internal/parallel"
 	"bnff/internal/tensor"
 )
 
@@ -13,6 +14,17 @@ type Pool2D struct {
 	Stride int
 	Pad    int
 	Max    bool // true: max pooling; false: average pooling
+
+	pool *parallel.Pool
+}
+
+// WithPool returns a copy of the descriptor that executes on the given
+// worker pool (nil means serial). Samples are disjoint in both directions
+// (argmax indices stay within their sample's region), so pooled execution is
+// bit-identical to serial.
+func (p Pool2D) WithPool(wp *parallel.Pool) Pool2D {
+	p.pool = wp
+	return p
 }
 
 // OutSize returns the output spatial extent for an input extent.
@@ -57,58 +69,60 @@ func (p Pool2D) Forward(x *tensor.Tensor) (*tensor.Tensor, *PoolContext, error) 
 	if p.Max {
 		ctx.ArgMax = make([]int32, y.NumElems())
 	}
-	oi := 0
-	for in := 0; in < n; in++ {
-		for ic := 0; ic < c; ic++ {
-			base := (in*c + ic) * h * w
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					y0, x0 := oy*p.Stride-p.Pad, ox*p.Stride-p.Pad
-					if p.Max {
-						best := float32(math.Inf(-1))
-						bestIdx := -1
-						for ky := 0; ky < p.Kernel; ky++ {
-							iy := y0 + ky
-							if iy < 0 || iy >= h {
-								continue
-							}
-							for kx := 0; kx < p.Kernel; kx++ {
-								ix := x0 + kx
-								if ix < 0 || ix >= w {
+	p.pool.Run(n, func(nLo, nHi int) {
+		for in := nLo; in < nHi; in++ {
+			for ic := 0; ic < c; ic++ {
+				base := (in*c + ic) * h * w
+				oi := (in*c + ic) * oh * ow
+				for oy := 0; oy < oh; oy++ {
+					for ox := 0; ox < ow; ox++ {
+						y0, x0 := oy*p.Stride-p.Pad, ox*p.Stride-p.Pad
+						if p.Max {
+							best := float32(math.Inf(-1))
+							bestIdx := -1
+							for ky := 0; ky < p.Kernel; ky++ {
+								iy := y0 + ky
+								if iy < 0 || iy >= h {
 									continue
 								}
-								v := x.Data[base+iy*w+ix]
-								if bestIdx < 0 || v > best {
-									best, bestIdx = v, base+iy*w+ix
+								for kx := 0; kx < p.Kernel; kx++ {
+									ix := x0 + kx
+									if ix < 0 || ix >= w {
+										continue
+									}
+									v := x.Data[base+iy*w+ix]
+									if bestIdx < 0 || v > best {
+										best, bestIdx = v, base+iy*w+ix
+									}
 								}
 							}
-						}
-						y.Data[oi] = best
-						ctx.ArgMax[oi] = int32(bestIdx)
-					} else {
-						var sum float32
-						cnt := 0
-						for ky := 0; ky < p.Kernel; ky++ {
-							iy := y0 + ky
-							if iy < 0 || iy >= h {
-								continue
-							}
-							for kx := 0; kx < p.Kernel; kx++ {
-								ix := x0 + kx
-								if ix < 0 || ix >= w {
+							y.Data[oi] = best
+							ctx.ArgMax[oi] = int32(bestIdx)
+						} else {
+							var sum float32
+							cnt := 0
+							for ky := 0; ky < p.Kernel; ky++ {
+								iy := y0 + ky
+								if iy < 0 || iy >= h {
 									continue
 								}
-								sum += x.Data[base+iy*w+ix]
-								cnt++
+								for kx := 0; kx < p.Kernel; kx++ {
+									ix := x0 + kx
+									if ix < 0 || ix >= w {
+										continue
+									}
+									sum += x.Data[base+iy*w+ix]
+									cnt++
+								}
 							}
+							y.Data[oi] = sum / float32(cnt)
 						}
-						y.Data[oi] = sum / float32(cnt)
+						oi++
 					}
-					oi++
 				}
 			}
 		}
-	}
+	})
 	return y, ctx, nil
 }
 
@@ -121,91 +135,113 @@ func (p Pool2D) Backward(dy *tensor.Tensor, ctx *PoolContext) (*tensor.Tensor, e
 		return nil, fmt.Errorf("pool: dy shape %v, want %v", dy.Shape(), tensor.Shape{n, c, oh, ow})
 	}
 	dx := tensor.New(ctx.InShape...)
-	oi := 0
-	for in := 0; in < n; in++ {
-		for ic := 0; ic < c; ic++ {
-			base := (in*c + ic) * h * w
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					g := dy.Data[oi]
-					if p.Max {
-						dx.Data[ctx.ArgMax[oi]] += g
-					} else {
-						y0, x0 := oy*p.Stride-p.Pad, ox*p.Stride-p.Pad
-						cnt := 0
-						for ky := 0; ky < p.Kernel; ky++ {
-							iy := y0 + ky
-							if iy < 0 || iy >= h {
-								continue
-							}
-							for kx := 0; kx < p.Kernel; kx++ {
-								if ix := x0 + kx; ix >= 0 && ix < w {
-									cnt++
-								}
-							}
-						}
-						share := g / float32(cnt)
-						for ky := 0; ky < p.Kernel; ky++ {
-							iy := y0 + ky
-							if iy < 0 || iy >= h {
-								continue
-							}
-							for kx := 0; kx < p.Kernel; kx++ {
-								ix := x0 + kx
-								if ix < 0 || ix >= w {
+	// Per-sample scatter targets are disjoint (argmax indices point inside
+	// their own sample's region), so the sample split is race-free and
+	// bit-identical.
+	p.pool.Run(n, func(nLo, nHi int) {
+		for in := nLo; in < nHi; in++ {
+			for ic := 0; ic < c; ic++ {
+				base := (in*c + ic) * h * w
+				oi := (in*c + ic) * oh * ow
+				for oy := 0; oy < oh; oy++ {
+					for ox := 0; ox < ow; ox++ {
+						g := dy.Data[oi]
+						if p.Max {
+							dx.Data[ctx.ArgMax[oi]] += g
+						} else {
+							y0, x0 := oy*p.Stride-p.Pad, ox*p.Stride-p.Pad
+							cnt := 0
+							for ky := 0; ky < p.Kernel; ky++ {
+								iy := y0 + ky
+								if iy < 0 || iy >= h {
 									continue
 								}
-								dx.Data[base+iy*w+ix] += share
+								for kx := 0; kx < p.Kernel; kx++ {
+									if ix := x0 + kx; ix >= 0 && ix < w {
+										cnt++
+									}
+								}
+							}
+							share := g / float32(cnt)
+							for ky := 0; ky < p.Kernel; ky++ {
+								iy := y0 + ky
+								if iy < 0 || iy >= h {
+									continue
+								}
+								for kx := 0; kx < p.Kernel; kx++ {
+									ix := x0 + kx
+									if ix < 0 || ix >= w {
+										continue
+									}
+									dx.Data[base+iy*w+ix] += share
+								}
 							}
 						}
+						oi++
 					}
-					oi++
 				}
 			}
 		}
-	}
+	})
 	return dx, nil
 }
 
 // GlobalAvgPoolForward reduces each channel's H×W plane to its mean,
 // returning (N, C) — the head of ResNet/DenseNet before the classifier.
 func GlobalAvgPoolForward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return GlobalAvgPoolForwardOn(nil, x)
+}
+
+// GlobalAvgPoolForwardOn is GlobalAvgPoolForward on a worker pool; the
+// per-channel reductions stay within one sample, so pooled execution is
+// bit-identical to serial.
+func GlobalAvgPoolForwardOn(p *parallel.Pool, x *tensor.Tensor) (*tensor.Tensor, error) {
 	if x.Rank() != 4 {
 		return nil, fmt.Errorf("gap: input must be rank 4, got %v", x.Shape())
 	}
 	n, c, h, w := x.Dims4()
 	y := tensor.New(n, c)
 	hw := float32(h * w)
-	for in := 0; in < n; in++ {
-		for ic := 0; ic < c; ic++ {
-			base := (in*c + ic) * h * w
-			var s float32
-			for i := 0; i < h*w; i++ {
-				s += x.Data[base+i]
+	p.Run(n, func(lo, hi int) {
+		for in := lo; in < hi; in++ {
+			for ic := 0; ic < c; ic++ {
+				base := (in*c + ic) * h * w
+				var s float32
+				for i := 0; i < h*w; i++ {
+					s += x.Data[base+i]
+				}
+				y.Data[in*c+ic] = s / hw
 			}
-			y.Data[in*c+ic] = s / hw
 		}
-	}
+	})
 	return y, nil
 }
 
 // GlobalAvgPoolBackward spreads each (n,c) gradient uniformly over the
 // channel's spatial plane of the given input shape.
 func GlobalAvgPoolBackward(dy *tensor.Tensor, inShape tensor.Shape) (*tensor.Tensor, error) {
+	return GlobalAvgPoolBackwardOn(nil, dy, inShape)
+}
+
+// GlobalAvgPoolBackwardOn is GlobalAvgPoolBackward on a worker pool
+// (bit-identical to serial: per-sample disjoint writes).
+func GlobalAvgPoolBackwardOn(p *parallel.Pool, dy *tensor.Tensor, inShape tensor.Shape) (*tensor.Tensor, error) {
 	n, c, h, w := inShape[0], inShape[1], inShape[2], inShape[3]
 	if !dy.Shape().Equal(tensor.Shape{n, c}) {
 		return nil, fmt.Errorf("gap: dy shape %v, want [%d %d]", dy.Shape(), n, c)
 	}
 	dx := tensor.New(inShape...)
 	hw := float32(h * w)
-	for in := 0; in < n; in++ {
-		for ic := 0; ic < c; ic++ {
-			base := (in*c + ic) * h * w
-			g := dy.Data[in*c+ic] / hw
-			for i := 0; i < h*w; i++ {
-				dx.Data[base+i] = g
+	p.Run(n, func(lo, hi int) {
+		for in := lo; in < hi; in++ {
+			for ic := 0; ic < c; ic++ {
+				base := (in*c + ic) * h * w
+				g := dy.Data[in*c+ic] / hw
+				for i := 0; i < h*w; i++ {
+					dx.Data[base+i] = g
+				}
 			}
 		}
-	}
+	})
 	return dx, nil
 }

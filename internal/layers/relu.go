@@ -3,33 +3,48 @@ package layers
 import (
 	"fmt"
 
+	"bnff/internal/parallel"
 	"bnff/internal/tensor"
 )
 
 // ReLUForward returns max(x, 0) as a fresh tensor. In the baseline graph
 // this costs one read and one write sweep of the feature map; RCF eliminates
 // both by clipping while the following CONV reads its ifmap.
-func ReLUForward(x *tensor.Tensor) *tensor.Tensor {
+func ReLUForward(x *tensor.Tensor) *tensor.Tensor { return ReLUForwardOn(nil, x) }
+
+// ReLUForwardOn is ReLUForward on a worker pool: the flat element range is
+// split into contiguous chunks with disjoint writes, so the result is
+// bit-identical to serial.
+func ReLUForwardOn(p *parallel.Pool, x *tensor.Tensor) *tensor.Tensor {
 	y := tensor.New(x.Shape()...)
-	for i, v := range x.Data {
-		if v > 0 {
-			y.Data[i] = v
+	p.Run(len(x.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if v := x.Data[i]; v > 0 {
+				y.Data[i] = v
+			}
 		}
-	}
+	})
 	return y
 }
 
 // ReLUBackward computes dx = dy ⊙ 1[x > 0] from the saved forward input.
 func ReLUBackward(dy, x *tensor.Tensor) (*tensor.Tensor, error) {
+	return ReLUBackwardOn(nil, dy, x)
+}
+
+// ReLUBackwardOn is ReLUBackward on a worker pool (bit-identical to serial).
+func ReLUBackwardOn(p *parallel.Pool, dy, x *tensor.Tensor) (*tensor.Tensor, error) {
 	if !dy.Shape().Equal(x.Shape()) {
 		return nil, fmt.Errorf("relu: dy shape %v vs x %v", dy.Shape(), x.Shape())
 	}
 	dx := tensor.New(x.Shape()...)
-	for i := range x.Data {
-		if x.Data[i] > 0 {
-			dx.Data[i] = dy.Data[i]
+	p.Run(len(x.Data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if x.Data[i] > 0 {
+				dx.Data[i] = dy.Data[i]
+			}
 		}
-	}
+	})
 	return dx, nil
 }
 

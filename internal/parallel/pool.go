@@ -1,0 +1,112 @@
+// Package parallel is the shared worker-pool runtime behind every parallel
+// layer path. An Executor owns one Pool and threads it through convolution,
+// batch-normalization statistics, normalize epilogues, ReLU, pooling, FC,
+// and GEMM kernels, so two executors with different worker settings never
+// interfere (the old package-global SetConvWorkers could not guarantee
+// that).
+//
+// Determinism contract: Run always partitions the index range the same way
+// for a given (n, workers) pair, and callers reduce per-item partials in
+// item order. Parallel forward passes are therefore bit-identical to serial
+// execution, and parallel backward passes are deterministic and within
+// float32 round-off of serial (per-sample partials associate the same
+// additions differently; see internal/layers/parallel.go).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxWorkers caps a pool's size. Requesting more workers than cores is
+// allowed (the scheduler multiplexes them), which also lets single-core
+// machines exercise the concurrent paths.
+const MaxWorkers = 1024
+
+// Pool is an immutable worker-count policy for splitting layer work across
+// goroutines. The zero value and the nil pool are both serial, so layer code
+// can thread a *Pool unconditionally. Pools are cheap: they hold no threads,
+// only a count — goroutines are spawned per Run call and the Go scheduler
+// multiplexes them onto OS threads.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool that splits work across up to n goroutines, clamped to
+// [1, MaxWorkers].
+func New(n int) *Pool {
+	return &Pool{workers: clamp(n)}
+}
+
+func clamp(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > MaxWorkers {
+		return MaxWorkers
+	}
+	return n
+}
+
+// Workers returns the pool's worker count; a nil or zero-value pool is 1.
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// Serial reports whether Run will execute inline on the calling goroutine.
+func (p *Pool) Serial() bool { return p.Workers() == 1 }
+
+// Run partitions [0, n) into at most Workers() contiguous chunks and calls
+// fn(lo, hi) once per chunk, concurrently when more than one chunk exists,
+// then waits for all of them. The partition is a pure function of
+// (n, workers): chunk k covers [n·k/w, n·(k+1)/w). With one worker (or
+// n ≤ 1) fn runs inline with no goroutine or synchronization overhead.
+func (p *Pool) Run(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		lo, hi := n*k/w, n*(k+1)/w
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// defaultWorkers is the process-wide construction-time default consulted by
+// executors built without an explicit worker option. It exists only to back
+// the deprecated layers.SetConvWorkers shim; nothing reads it on a dispatch
+// hot path.
+var defaultWorkers int64 = 1
+
+// SetDefault sets the default worker count new executors snapshot at
+// construction when no explicit option is given, clamped like New. It
+// returns the previous default.
+func SetDefault(n int) int {
+	return int(atomic.SwapInt64(&defaultWorkers, int64(clamp(n))))
+}
+
+// Default returns the current construction-time default worker count.
+func Default() int { return int(atomic.LoadInt64(&defaultWorkers)) }
+
+// NumCPU returns the recommended worker count for this machine.
+func NumCPU() int { return runtime.GOMAXPROCS(0) }

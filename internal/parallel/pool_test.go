@@ -1,0 +1,131 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilAndZeroPoolsAreSerial(t *testing.T) {
+	var nilPool *Pool
+	if nilPool.Workers() != 1 || !nilPool.Serial() {
+		t.Error("nil pool must be serial with 1 worker")
+	}
+	var zero Pool
+	if zero.Workers() != 1 {
+		t.Error("zero-value pool must report 1 worker")
+	}
+	calls := 0
+	nilPool.Run(5, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 5 {
+			t.Errorf("serial Run chunk [%d,%d), want [0,5)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("serial Run made %d calls, want 1 inline call", calls)
+	}
+}
+
+func TestNewClamps(t *testing.T) {
+	if New(0).Workers() != 1 {
+		t.Error("New(0) not clamped to 1")
+	}
+	if New(-3).Workers() != 1 {
+		t.Error("New(-3) not clamped to 1")
+	}
+	if New(1<<20).Workers() != MaxWorkers {
+		t.Errorf("New(1<<20) = %d workers, want clamp to %d", New(1<<20).Workers(), MaxWorkers)
+	}
+	if New(7).Workers() != 7 {
+		t.Error("New(7) lost its worker count")
+	}
+}
+
+// Run must cover [0, n) exactly once with contiguous, ordered chunks.
+func TestRunCoversRangeExactly(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 2, 3, 7, 16, 100} {
+			p := New(workers)
+			var mu sync.Mutex
+			seen := make([]int, n)
+			p.Run(n, func(lo, hi int) {
+				if lo >= hi {
+					t.Errorf("empty chunk [%d,%d)", lo, hi)
+				}
+				mu.Lock()
+				for i := lo; i < hi; i++ {
+					seen[i]++
+				}
+				mu.Unlock()
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// The partition must be a pure function of (n, workers) so parallel
+// reductions that key partials by chunk stay deterministic.
+func TestRunPartitionDeterministic(t *testing.T) {
+	p := New(4)
+	collect := func() [][2]int {
+		var mu sync.Mutex
+		var chunks [][2]int
+		p.Run(10, func(lo, hi int) {
+			mu.Lock()
+			chunks = append(chunks, [2]int{lo, hi})
+			mu.Unlock()
+		})
+		return chunks
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatalf("chunk count changed between runs: %d vs %d", len(a), len(b))
+	}
+	inA := make(map[[2]int]bool)
+	for _, c := range a {
+		inA[c] = true
+	}
+	for _, c := range b {
+		if !inA[c] {
+			t.Errorf("chunk %v appeared in run 2 but not run 1", c)
+		}
+	}
+}
+
+func TestRunMoreWorkersThanItems(t *testing.T) {
+	p := New(16)
+	var mu sync.Mutex
+	calls := 0
+	p.Run(3, func(lo, hi int) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		if hi-lo != 1 {
+			t.Errorf("chunk [%d,%d) wider than one item with workers > n", lo, hi)
+		}
+	})
+	if calls != 3 {
+		t.Errorf("%d chunks for 3 items, want 3", calls)
+	}
+}
+
+func TestDefaultRoundTrips(t *testing.T) {
+	prev := SetDefault(5)
+	defer SetDefault(prev)
+	if Default() != 5 {
+		t.Errorf("Default() = %d after SetDefault(5)", Default())
+	}
+	if SetDefault(0) != 5 {
+		t.Error("SetDefault did not return the previous value")
+	}
+	if Default() != 1 {
+		t.Errorf("SetDefault(0) clamped to %d, want 1", Default())
+	}
+	if NumCPU() < 1 {
+		t.Error("NumCPU below 1")
+	}
+}

@@ -82,4 +82,7 @@ func ClipGradients(grads map[string]*tensor.Tensor, maxNorm float64) (float64, e
 
 // ClipNorm, when positive, makes Trainer.StepOn clip gradients before the
 // optimizer update.
+//
+// Deprecated: prefer WithClipNorm at construction; this mutator remains for
+// callers that change the threshold mid-run.
 func (t *Trainer) SetClipNorm(maxNorm float64) { t.clipNorm = maxNorm }

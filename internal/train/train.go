@@ -97,13 +97,56 @@ type Trainer struct {
 	clipNorm float64
 }
 
-// NewTrainer wires up a training run.
-func NewTrainer(exec *core.Executor, opt *SGD, data *workload.Dataset, batchSize int) (*Trainer, error) {
-	if batchSize < 1 {
-		return nil, fmt.Errorf("train: batch size %d", batchSize)
+// TrainerOption configures a Trainer at construction time.
+type TrainerOption func(*Trainer)
+
+// WithBatchSize sets the mini-batch size (default 16).
+func WithBatchSize(n int) TrainerOption { return func(t *Trainer) { t.BatchSize = n } }
+
+// WithOptimizer replaces the default optimizer (SGD with lr 0.01,
+// momentum 0.9, weight decay 1e-4).
+func WithOptimizer(opt *SGD) TrainerOption { return func(t *Trainer) { t.Opt = opt } }
+
+// WithSchedule attaches a learning-rate schedule consulted before each
+// optimizer step.
+func WithSchedule(s Schedule) TrainerOption { return func(t *Trainer) { t.schedule = s } }
+
+// WithClipNorm enables global gradient-norm clipping at the given threshold.
+func WithClipNorm(max float64) TrainerOption { return func(t *Trainer) { t.clipNorm = max } }
+
+// WithWorkers resizes the executor's worker pool — a convenience forwarding
+// to core.Executor.SetWorkers so callers configuring a training run in one
+// place need not touch the executor separately.
+func WithWorkers(n int) TrainerOption { return func(t *Trainer) { t.Exec.SetWorkers(n) } }
+
+// NewTrainer wires up a training run over the executor and data source,
+// configured by functional options:
+//
+//	tr, err := train.NewTrainer(exec, data,
+//	        train.WithBatchSize(32),
+//	        train.WithOptimizer(train.NewSGD(0.1, 0.9, 1e-4)),
+//	        train.WithWorkers(runtime.GOMAXPROCS(0)))
+//
+// The executor is switched to running-statistics tracking, as training
+// requires.
+func NewTrainer(exec *core.Executor, data *workload.Dataset, opts ...TrainerOption) (*Trainer, error) {
+	t := &Trainer{
+		Exec:      exec,
+		Opt:       NewSGD(0.01, 0.9, 1e-4),
+		Data:      data,
+		BatchSize: 16,
+	}
+	for _, opt := range opts {
+		opt(t)
+	}
+	if t.BatchSize < 1 {
+		return nil, fmt.Errorf("train: batch size %d", t.BatchSize)
+	}
+	if t.Opt == nil {
+		return nil, fmt.Errorf("train: nil optimizer")
 	}
 	exec.TrackRunning = true
-	return &Trainer{Exec: exec, Opt: opt, Data: data, BatchSize: batchSize}, nil
+	return t, nil
 }
 
 // Step runs one forward/backward/update cycle and records the metrics.

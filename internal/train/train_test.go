@@ -19,7 +19,7 @@ func newTinyTrainer(t *testing.T, scenario core.Scenario, seed uint64) *Trainer 
 	if err := core.Restructure(g, scenario.Options()); err != nil {
 		t.Fatal(err)
 	}
-	exec, err := core.NewExecutor(g, seed)
+	exec, err := core.NewExecutor(g, core.WithSeed(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +27,7 @@ func newTinyTrainer(t *testing.T, scenario core.Scenario, seed uint64) *Trainer 
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := NewTrainer(exec, NewSGD(0.01, 0.9, 1e-4), data, 8)
+	tr, err := NewTrainer(exec, data, WithBatchSize(8), WithOptimizer(NewSGD(0.01, 0.9, 1e-4)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +153,7 @@ func TestTrainerValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	exec, err := core.NewExecutor(g, 1)
+	exec, err := core.NewExecutor(g, core.WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +161,7 @@ func TestTrainerValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewTrainer(exec, NewSGD(0.1, 0.9, 0), data, 0); err == nil {
+	if _, err := NewTrainer(exec, data, WithBatchSize(0), WithOptimizer(NewSGD(0.1, 0.9, 0))); err == nil {
 		t.Error("accepted batch size 0")
 	}
 }
