@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check
+.PHONY: build test vet race lint bench check
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,21 @@ vet:
 race:
 	$(GO) test -race ./...
 
-bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x .
+# bnff-lint is the repo's own static-analysis suite (internal/analysis). It
+# enforces the determinism, pool-dispatch, and numerics contracts the README
+# "Static analysis" section documents: no ad-hoc goroutines or channels
+# outside internal/parallel (poolonly), no order-sensitive sinks in map
+# ranges (maporder), no package-level mutable state in the hot-path packages
+# (noglobals), det-reduce markers on every cross-partition combine loop
+# (detreduce), and all randomness through the seeded tensor RNG
+# (seededrand). Suppress individual findings with
+# "//lint:ignore <analyzer> <reason>" on or directly above the line.
+lint:
+	$(GO) run ./cmd/bnff-lint ./...
 
-check: vet race
+# Package-level benchmarks live next to their packages (layers, kernels,
+# parallel, ...), so bench sweeps the whole module, not just the root.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+check: vet race lint

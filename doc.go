@@ -32,6 +32,23 @@
 // layers.SetConvWorkers knob survives only as a deprecated shim over the
 // construction-time default; no hot path reads a global.
 //
+// # Static analysis
+//
+// The determinism contracts are enforced structurally by an in-tree,
+// stdlib-only static-analysis suite (internal/analysis; driver
+// cmd/bnff-lint; `make lint`, folded into `make check` and CI). Five
+// analyzers cover the regression classes that would invalidate the paper's
+// comparisons: poolonly (no goroutines, sync.WaitGroup, or channels outside
+// internal/parallel — all fan-out dispatches through the executor's pool),
+// maporder (no float accumulation, appends, or work-spawning inside a range
+// over a map; iterate det.SortedKeys instead), noglobals (no package-level
+// mutable state in the hot-path packages), detreduce (every cross-partition
+// float combine after a pool dispatch reduces in partition order under a
+// `// det-reduce:` marker), and seededrand (math/rand and time.Now are
+// confined to internal/tensor/rand.go and cmd/). Deliberate exceptions are
+// suppressed inline with `//lint:ignore <analyzer> <reason>`. See the
+// "Static analysis" section of README.md.
+//
 // The root package holds the benchmark harness: one testing.B benchmark per
 // paper table/figure plus real-kernel, parallel-speedup, and ablation
 // benchmarks. See README.md for the map and EXPERIMENTS.md for

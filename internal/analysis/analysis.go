@@ -1,0 +1,163 @@
+// Package analysis is bnff's in-tree static-analysis framework. It exists
+// because the repo's concurrency and numerics contracts — parallel forward
+// bit-identical to serial, reductions combining per-partition partials in
+// partition order, all fan-out flowing through internal/parallel, all
+// randomness flowing through the seeded tensor RNG — are invariants that
+// ordinary tests catch only probabilistically. The analyzers in this package
+// enforce them structurally, at the AST + types level, so an aggressive
+// refactor cannot quietly reintroduce a bare goroutine, a map-order-dependent
+// float accumulation, or a process-global knob.
+//
+// The framework is deliberately tiny and zero-dependency: it is built on the
+// stdlib go/ast, go/parser, go/token, go/types and go/build packages only (no
+// golang.org/x/tools), with a source-based importer so type information is
+// available for every package in the module and its stdlib imports.
+//
+// Diagnostics print as "file:line: [analyzer] message". A finding can be
+// suppressed with an inline directive on the offending line or the line
+// directly above it:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; a directive without one is inert. See cmd/bnff-lint
+// for the driver and the package-level analyzer registry in register.go.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:ignore
+	// directives. Lower-case, no spaces.
+	Name string
+
+	// Doc is a one-paragraph description of the contract the analyzer
+	// enforces, shown by bnff-lint -list.
+	Doc string
+
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Fset returns the file set the package was parsed into.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Files returns the package's parsed files.
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// TypesInfo returns type information for the package, or nil when
+// type-checking failed (analyzers must degrade gracefully).
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding from one analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic in the canonical "file:line: [analyzer]
+// message" form. The file is printed as recorded (the driver records paths
+// relative to the module root).
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// ignoreRe matches the suppression directive: //lint:ignore <analyzer> <reason>.
+// The reason is required — an ignore without a justification suppresses
+// nothing.
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s+(\S.*)$`)
+
+// ignoreKey identifies the lines an //lint:ignore directive covers.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectIgnores scans a package's comments for suppression directives and
+// returns the set of (file, line, analyzer) triples they cover. A directive
+// on line L covers findings on L and L+1, so it works both as a trailing
+// comment on the offending line and as a comment on the line directly above.
+func collectIgnores(pkg *Package) map[ignoreKey]bool {
+	ignores := make(map[ignoreKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					ignores[ignoreKey{pos.Filename, line, m[1]}] = true
+				}
+			}
+		}
+	}
+	return ignores
+}
+
+// RunAnalyzers applies every analyzer to the package and returns the
+// surviving findings, sorted by file, line, and analyzer, with suppressed
+// findings removed.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+		a.Run(pass)
+	}
+	ignores := collectIgnores(pkg)
+	kept := diags[:0]
+	for _, d := range diags {
+		if ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Pos.Filename != kept[j].Pos.Filename {
+			return kept[i].Pos.Filename < kept[j].Pos.Filename
+		}
+		if kept[i].Pos.Line != kept[j].Pos.Line {
+			return kept[i].Pos.Line < kept[j].Pos.Line
+		}
+		if kept[i].Analyzer != kept[j].Analyzer {
+			return kept[i].Analyzer < kept[j].Analyzer
+		}
+		return kept[i].Message < kept[j].Message
+	})
+	return kept
+}
+
+// pathWithin reports whether the slash-separated import path is the prefix
+// package itself or a package below it.
+func pathWithin(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}

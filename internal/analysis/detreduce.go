@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// detReduceScope lists the packages whose reductions must follow the
+// ordered-combine discipline.
+var detReduceScope = []string{
+	"bnff/internal/kernels",
+	"bnff/internal/layers",
+}
+
+// detReduceMarker is the comment tag that documents an ordered reduction.
+// PR 1's per-sample partial combines carry it; this analyzer makes it
+// load-bearing.
+const detReduceMarker = "det-reduce:"
+
+// DetReduce enforces the ordered-reduction contract in internal/kernels and
+// internal/layers. The parallel layer paths compute one partial per
+// sample/partition inside a pool dispatch and then combine the partials in
+// partition order, which keeps pooled statistics bit-identical to serial and
+// gradients within float32 round-off. The combine step is where the contract
+// lives, so DetReduce flags every indexed float accumulation (x[i] += v)
+// that sits in a loop after a parallel.Pool.Run dispatch in the same
+// function, unless the accumulation (or an enclosing loop of it) carries a
+// `// det-reduce:` marker comment stating why the order is deterministic.
+// Accumulations inside the Run closure itself are per-partition private
+// state and are exempt.
+var DetReduce = &Analyzer{
+	Name: "detreduce",
+	Doc: "require a '// det-reduce:' marker on every indexed float accumulation loop that combines " +
+		"per-partition partials after a parallel.Pool.Run dispatch in internal/{kernels,layers}",
+	Run: runDetReduce,
+}
+
+func runDetReduce(pass *Pass) {
+	inScope := false
+	for _, p := range detReduceScope {
+		if pathWithin(pass.Pkg.ImportPath, p) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	for _, f := range pass.Files() {
+		markers := markerLines(pass, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			pass.checkReductions(fd, markers)
+		}
+	}
+}
+
+// commentMap records, per line, whether the line holds a comment and whether
+// that comment carries the det-reduce marker. Multi-line comment blocks show
+// up as one entry per line, so coverage checks can walk a block upward.
+type commentMap struct {
+	comment map[int]bool
+	marker  map[int]bool
+}
+
+// markerLines indexes a file's comments for marker-coverage checks.
+func markerLines(pass *Pass, f *ast.File) commentMap {
+	cm := commentMap{comment: make(map[int]bool), marker: make(map[int]bool)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			start := pass.Fset().Position(c.Pos()).Line
+			end := pass.Fset().Position(c.End()).Line
+			hasMarker := strings.Contains(c.Text, detReduceMarker)
+			for line := start; line <= end; line++ {
+				cm.comment[line] = true
+			}
+			if hasMarker {
+				cm.marker[start] = true
+			}
+		}
+	}
+	return cm
+}
+
+// coversAbove reports whether the contiguous comment block ending on the
+// line directly above `line` contains a det-reduce marker.
+func (cm commentMap) coversAbove(line int) bool {
+	for l := line - 1; cm.comment[l]; l-- {
+		if cm.marker[l] {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pass) checkReductions(fd *ast.FuncDecl, markers commentMap) {
+	// Find every pool dispatch in the function, and the closure literals
+	// handed to them (whose bodies run per-partition and are exempt).
+	var runs []*ast.CallExpr
+	var runLits []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Run" && p.isPoolRecv(sel.X) {
+			runs = append(runs, call)
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					runLits = append(runLits, lit)
+				}
+			}
+		}
+		return true
+	})
+	if len(runs) == 0 {
+		return
+	}
+	var loops []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || (as.Tok != token.ADD_ASSIGN && as.Tok != token.SUB_ASSIGN) {
+			return true
+		}
+		lhs := as.Lhs[0]
+		if _, ok := lhs.(*ast.IndexExpr); !ok {
+			return true
+		}
+		if !isFloat(p.typeOf(lhs)) {
+			return true
+		}
+		// Only the combine phase after a dispatch is in contract scope.
+		afterRun := false
+		for _, run := range runs {
+			if as.Pos() > run.End() {
+				afterRun = true
+				break
+			}
+		}
+		if !afterRun || len(enclosing(runLits, as)) > 0 {
+			return true
+		}
+		encLoops := enclosing(loops, as)
+		if len(encLoops) == 0 {
+			return true
+		}
+		if p.markerCovers(as, encLoops, markers) {
+			return true
+		}
+		p.Reportf(as.Pos(), "indexed float accumulation combines per-partition partials after a pool dispatch: reduce in partition order and document it with a '// %s' marker on the combine loop", detReduceMarker)
+		return true
+	})
+}
+
+// isPoolRecv reports whether the receiver expression of a .Run call is a
+// *parallel.Pool. Without type information every .Run receiver is assumed to
+// be a pool (conservative: more code is held to the contract, not less).
+func (p *Pass) isPoolRecv(x ast.Expr) bool {
+	t := p.typeOf(x)
+	if t == nil {
+		return true
+	}
+	return strings.HasSuffix(strings.TrimPrefix(t.String(), "*"), "/parallel.Pool")
+}
+
+// markerCovers reports whether a det-reduce marker annotates the
+// accumulation: on its own line, in the comment block directly above it, or
+// on / in the comment block directly above any enclosing loop's header.
+func (p *Pass) markerCovers(as ast.Node, loops []ast.Node, cm commentMap) bool {
+	lines := []int{p.Fset().Position(as.Pos()).Line}
+	for _, l := range loops {
+		lines = append(lines, p.Fset().Position(l.Pos()).Line)
+	}
+	for _, line := range lines {
+		if cm.marker[line] || cm.coversAbove(line) {
+			return true
+		}
+	}
+	return false
+}

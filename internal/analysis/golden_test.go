@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The golden tests load tiny fixture packages from testdata/src/<case>/ under
+// virtual import paths (so path-scoped analyzers see the package they expect)
+// and compare the surviving diagnostics against `// want "regexp"` comments:
+// a want on line L demands a diagnostic on line L whose message matches the
+// regexp, and every diagnostic must be demanded by a want. Suppressed
+// fixtures carry //lint:ignore directives and no want — asserting the
+// suppression path end to end.
+
+// testLoader is shared across golden tests so the stdlib is type-checked
+// once per test process.
+var testLoader *Loader
+
+func loaderFor(t *testing.T) *Loader {
+	t.Helper()
+	if testLoader != nil {
+		return testLoader
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testLoader, err = NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return testLoader
+}
+
+// loadFixture loads every .go file in testdata/src/<name> as one package
+// with the given virtual import path.
+func loadFixture(t *testing.T, name, importPath string) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".go") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	pkg, err := loaderFor(t).LoadFiles(importPath, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.TypeErr != nil {
+		t.Fatalf("fixture %s must type-check: %v", name, pkg.TypeErr)
+	}
+	return pkg
+}
+
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+var wantArgRe = regexp.MustCompile(`"([^"]*)"`)
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// parseWants extracts the expectations from a fixture's comments.
+func parseWants(t *testing.T, pkg *Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				args := wantArgRe.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, a := range args {
+					re, err := regexp.Compile(a[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+					}
+					wants = append(wants, want{pos.Filename, pos.Line, re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runGolden asserts the analyzer's post-suppression findings on a fixture
+// exactly satisfy its want comments.
+func runGolden(t *testing.T, a *Analyzer, fixture, importPath string) {
+	t.Helper()
+	pkg := loadFixture(t, fixture, importPath)
+	diags := RunAnalyzers(pkg, []*Analyzer{a})
+	wants := parseWants(t, pkg)
+
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if !matched[i] && d.Pos.Filename == w.file && d.Pos.Line == w.line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: want diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+func TestPoolOnlyGolden(t *testing.T) {
+	runGolden(t, PoolOnly, "poolonly", "bnff/internal/layers")
+}
+
+func TestPoolOnlyExemptInPoolPackage(t *testing.T) {
+	// The same fixture loaded AS internal/parallel produces no findings: the
+	// pool package is the one place allowed to spawn and join goroutines.
+	pkg := loadFixture(t, "poolonly", "bnff/internal/parallel")
+	if diags := RunAnalyzers(pkg, []*Analyzer{PoolOnly}); len(diags) != 0 {
+		t.Fatalf("poolonly must not fire inside internal/parallel, got %v", diags)
+	}
+}
+
+func TestMapOrderGolden(t *testing.T) {
+	runGolden(t, MapOrder, "maporder", "bnff/internal/graph")
+}
+
+func TestNoGlobalsGolden(t *testing.T) {
+	runGolden(t, NoGlobals, "noglobals", "bnff/internal/layers")
+}
+
+func TestNoGlobalsOutOfScope(t *testing.T) {
+	// Outside the hot-path packages the same declarations are legal.
+	pkg := loadFixture(t, "noglobals", "bnff/internal/experiments")
+	if diags := RunAnalyzers(pkg, []*Analyzer{NoGlobals}); len(diags) != 0 {
+		t.Fatalf("noglobals must only fire in its scoped packages, got %v", diags)
+	}
+}
+
+func TestDetReduceGolden(t *testing.T) {
+	runGolden(t, DetReduce, "detreduce", "bnff/internal/layers")
+}
+
+func TestSeededRandGolden(t *testing.T) {
+	runGolden(t, SeededRand, "seededrand", "bnff/internal/graph")
+}
+
+func TestSeededRandExemptUnderCmd(t *testing.T) {
+	// cmd/ is fully exempt — tools seed the library explicitly, and timing
+	// and logging their own work is their job. The same fixture under a cmd
+	// path must therefore be silent.
+	pkg := loadFixture(t, "seededrand", "bnff/cmd/bnff-fixture")
+	if diags := RunAnalyzers(pkg, []*Analyzer{SeededRand}); len(diags) != 0 {
+		t.Fatalf("seededrand must not fire under cmd/, got %v", diags)
+	}
+}
+
+func TestDiagnosticFormat(t *testing.T) {
+	pkg := loadFixture(t, "poolonly", "bnff/internal/layers")
+	diags := RunAnalyzers(pkg, []*Analyzer{PoolOnly})
+	if len(diags) == 0 {
+		t.Fatal("expected findings")
+	}
+	// file:line: [analyzer] message — the contract the Makefile and CI grep.
+	re := regexp.MustCompile(`^testdata/src/poolonly/[a-z_]+\.go:\d+: \[poolonly\] .+$`)
+	for _, d := range diags {
+		if !re.MatchString(d.String()) {
+			t.Errorf("diagnostic %q does not match file:line: [analyzer] message", d.String())
+		}
+	}
+	// Diagnostics must come back sorted for stable CI output.
+	if !sort.SliceIsSorted(diags, func(i, j int) bool {
+		if diags[i].Pos.Filename != diags[j].Pos.Filename {
+			return diags[i].Pos.Filename < diags[j].Pos.Filename
+		}
+		return diags[i].Pos.Line < diags[j].Pos.Line
+	}) {
+		t.Error("diagnostics not sorted by file and line")
+	}
+}
+
+func TestIgnoreRequiresReason(t *testing.T) {
+	// A //lint:ignore without a reason is inert: the finding survives.
+	pkg := loadFixture(t, "badignore", "bnff/internal/graph")
+	diags := RunAnalyzers(pkg, []*Analyzer{MapOrder})
+	if len(diags) != 1 {
+		t.Fatalf("reasonless ignore must not suppress; got %d findings, want 1", len(diags))
+	}
+}
+
+func TestPackageDirsSkipsTestdata(t *testing.T) {
+	root := loaderFor(t).ModuleRoot
+	dirs, err := PackageDirs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("PackageDirs returned testdata dir %s", d)
+		}
+		if d == filepath.Join("internal", "analysis") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("PackageDirs did not find internal/analysis")
+	}
+}
+
+// TestModuleIsLintClean runs every analyzer over every package in the
+// module — the same sweep cmd/bnff-lint performs — and demands zero
+// findings. This keeps `go test ./...` (tier-1) enforcing the contracts even
+// where `make lint` is not wired in.
+func TestModuleIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	l := loaderFor(t)
+	dirs, err := PackageDirs(l.ModuleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range dirs {
+		pkg, err := l.Load(dir)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		if pkg.TypeErr != nil {
+			t.Errorf("type-checking %s: %v", pkg.ImportPath, pkg.TypeErr)
+		}
+		for _, d := range RunAnalyzers(pkg, All()) {
+			t.Errorf("lint finding: %s", d)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, a := range All() {
+		if Lookup(a.Name) != a {
+			t.Errorf("Lookup(%q) did not return the registered analyzer", a.Name)
+		}
+	}
+	if Lookup("nope") != nil {
+		t.Error("Lookup of unknown name must return nil")
+	}
+	if len(All()) < 5 {
+		t.Errorf("expected at least 5 analyzers, got %d", len(All()))
+	}
+}

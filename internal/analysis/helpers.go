@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// typeOf returns the type of an expression, or nil when type information is
+// unavailable (type-check failure) — analyzers treat nil as "unknown" and
+// stay quiet rather than guessing.
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	info := p.TypesInfo()
+	if info == nil {
+		return nil
+	}
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// isFloat reports whether t is float32 or float64 (after unwrapping named
+// types).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Float32 || b.Kind() == types.Float64)
+}
+
+// isMap reports whether t's underlying type is a map.
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// refersToPackage reports whether ident is a reference to the package named
+// by path (e.g. ident "sync" importing "sync"). When type information is
+// missing it falls back to matching the identifier spelling against the
+// path's last element, which is right for every stdlib package we gate on.
+func (p *Pass) refersToPackage(ident *ast.Ident, path string) bool {
+	if info := p.TypesInfo(); info != nil {
+		if obj, ok := info.Uses[ident]; ok {
+			pn, ok := obj.(*types.PkgName)
+			return ok && pn.Imported().Path() == path
+		}
+	}
+	last := path
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			last = path[i+1:]
+			break
+		}
+	}
+	return ident.Name == last
+}
+
+// enclosing returns all nodes from candidates whose source range strictly
+// contains pos.
+func enclosing[T ast.Node](candidates []T, pos ast.Node) []T {
+	var out []T
+	for _, c := range candidates {
+		if c.Pos() <= pos.Pos() && pos.End() <= c.End() {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// MapOrder enforces the deterministic-iteration contract: Go randomizes map
+// iteration order, so a `range` over a map must never feed an
+// order-sensitive sink. Three sinks are flagged inside map-range bodies:
+// float accumulation (+=/-= on a float, where association order changes the
+// rounding), appends to a slice (the resulting element order is
+// nondeterministic — sort the keys first, as models.Names does), and
+// goroutine spawns (work dispatched in nondeterministic order). This is the
+// regression class that would silently break bit-identical replay in graph
+// traversals and the model registry.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "forbid range-over-map bodies that accumulate into floats, append to a slice, or spawn work; " +
+		"map iteration order is nondeterministic and breaks bit-identical replay",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMap(pass.typeOf(rs.X)) {
+				return true
+			}
+			ast.Inspect(rs.Body, func(inner ast.Node) bool {
+				switch inner := inner.(type) {
+				case *ast.AssignStmt:
+					if inner.Tok != token.ADD_ASSIGN && inner.Tok != token.SUB_ASSIGN {
+						return true
+					}
+					if isFloat(pass.typeOf(inner.Lhs[0])) {
+						pass.Reportf(inner.Pos(), "float accumulation inside range over map: iteration order is nondeterministic, so the rounding differs run to run; iterate sorted keys instead")
+					}
+				case *ast.CallExpr:
+					if ident, ok := inner.Fun.(*ast.Ident); ok && ident.Name == "append" {
+						pass.Reportf(inner.Pos(), "append inside range over map: element order is nondeterministic; iterate sorted keys, or sort the result and suppress")
+					}
+				case *ast.GoStmt:
+					pass.Reportf(inner.Pos(), "goroutine spawned inside range over map: work is dispatched in nondeterministic order")
+				}
+				return true
+			})
+			return true
+		})
+	}
+}

@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// poolPkg is the one package allowed to spawn goroutines and own
+// synchronization primitives.
+const poolPkg = "bnff/internal/parallel"
+
+// PoolOnly enforces the pool-dispatch contract: every concurrent fan-out in
+// the module flows through internal/parallel, where the worker pool
+// guarantees the deterministic (n, workers) partition the bit-identical
+// replay contract depends on. Outside that package, `go` statements,
+// sync.WaitGroup, select statements, and channel plumbing are all forbidden
+// — a layer that wants concurrency must dispatch via its executor's
+// *parallel.Pool.
+var PoolOnly = &Analyzer{
+	Name: "poolonly",
+	Doc: "forbid go statements, sync.WaitGroup, and channel-based fan-out outside internal/parallel; " +
+		"layers, kernels, core, and train must dispatch through the executor's worker pool",
+	Run: runPoolOnly,
+}
+
+func runPoolOnly(pass *Pass) {
+	if pathWithin(pass.Pkg.ImportPath, poolPkg) {
+		return
+	}
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement outside %s: dispatch through the executor's worker pool (parallel.Pool.Run)", poolPkg)
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select statement outside %s: channel-based fan-out bypasses the worker pool's deterministic partition", poolPkg)
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send outside %s: channel-based fan-out bypasses the worker pool's deterministic partition", poolPkg)
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive outside %s: channel-based fan-out bypasses the worker pool's deterministic partition", poolPkg)
+				}
+			case *ast.ChanType:
+				pass.Reportf(n.Pos(), "channel type outside %s: channel-based fan-out bypasses the worker pool's deterministic partition", poolPkg)
+			case *ast.SelectorExpr:
+				ident, ok := n.X.(*ast.Ident)
+				if ok && n.Sel.Name == "WaitGroup" && pass.refersToPackage(ident, "sync") {
+					pass.Reportf(n.Pos(), "sync.WaitGroup outside %s: hand the work to parallel.Pool.Run, which already joins its workers", poolPkg)
+				}
+			}
+			return true
+		})
+	}
+}

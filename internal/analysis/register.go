@@ -1,0 +1,23 @@
+package analysis
+
+// All returns every registered analyzer, in the stable order diagnostics
+// and bnff-lint -list use. New analyzers register here.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DetReduce,
+		MapOrder,
+		NoGlobals,
+		PoolOnly,
+		SeededRand,
+	}
+}
+
+// Lookup returns the analyzer with the given name, or nil.
+func Lookup(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"path"
+	"strconv"
+)
+
+// SeededRand enforces the seeded-randomness contract: every source of
+// nondeterminism in library code must flow through the seeded tensor RNG in
+// internal/tensor/rand.go, so a run replays bit-identically from its seed.
+// math/rand (v1 and v2) is forbidden outside that file, and time.Now /
+// time.Since — wall-clock reads that differ run to run — are forbidden in
+// library code. Packages under cmd/ are exempt: command-line tools time and
+// log their work, but must pass explicit seeds down into the library.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc: "forbid math/rand and time.Now outside internal/tensor/rand.go and cmd/; " +
+		"all library randomness must flow through the seeded tensor RNG",
+	Run: runSeededRand,
+}
+
+func runSeededRand(pass *Pass) {
+	if pathWithin(pass.Pkg.ImportPath, "bnff/cmd") {
+		return
+	}
+	isTensorPkg := pass.Pkg.ImportPath == "bnff/internal/tensor"
+	for _, f := range pass.Files() {
+		if isTensorPkg && path.Base(pass.Fset().Position(f.Pos()).Filename) == "rand.go" {
+			continue
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p == "math/rand" || p == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s: library randomness must flow through the seeded tensor RNG (internal/tensor/rand.go) so runs replay from their seed", p)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok || !pass.refersToPackage(ident, "time") {
+				return true
+			}
+			if sel.Sel.Name == "Now" || sel.Sel.Name == "Since" {
+				pass.Reportf(sel.Pos(), "time.%s in library code: wall-clock reads are nondeterministic; measure in cmd/ and pass results down", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,14 @@
+// Package fixture proves a reasonless //lint:ignore is inert: the directive
+// below names the analyzer but gives no justification, so the finding
+// survives (asserted by TestIgnoreRequiresReason, not a want comment —
+// RunAnalyzers still reports it).
+package fixture
+
+func appends(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//lint:ignore maporder
+		keys = append(keys, k)
+	}
+	return keys
+}

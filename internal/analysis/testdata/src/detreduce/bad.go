@@ -1,0 +1,58 @@
+// Package fixture exercises the detreduce analyzer: the combine loop after
+// a pool dispatch must carry the det-reduce marker.
+package fixture
+
+import "bnff/internal/parallel"
+
+// unmarkedCombine is the violation: per-partition partials summed after a
+// dispatch with no marker documenting the ordering argument.
+func unmarkedCombine(p *parallel.Pool, xs []float32) float32 {
+	n := len(xs)
+	partial := make([]float32, n)
+	p.Run(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			partial[i] = xs[i] * xs[i]
+		}
+	})
+	out := make([]float32, 1)
+	for i := 0; i < n; i++ {
+		out[0] += partial[i] // want "combines per-partition partials after a pool dispatch"
+	}
+	return out[0]
+}
+
+// markedCombine is the contract-conformant shape: same loop, with the
+// marker making the ordering argument explicit. No finding.
+func markedCombine(p *parallel.Pool, xs []float32) float32 {
+	n := len(xs)
+	partial := make([]float32, n)
+	p.Run(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			partial[i] = xs[i] * xs[i]
+		}
+	})
+	out := make([]float32, 1)
+	// det-reduce: per-item partials combined in item order, matching serial.
+	for i := 0; i < n; i++ {
+		out[0] += partial[i]
+	}
+	return out[0]
+}
+
+// insideDispatch accumulates only within the Run closure — per-partition
+// private state, exempt by design.
+func insideDispatch(p *parallel.Pool, xs []float32, out []float32) {
+	p.Run(len(xs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] += xs[i]
+		}
+	})
+}
+
+// noDispatch has no pool involvement at all; plain serial accumulation
+// carries no marker obligation.
+func noDispatch(xs, out []float32) {
+	for i := range xs {
+		out[0] += xs[i]
+	}
+}

@@ -1,0 +1,21 @@
+package fixture
+
+import "bnff/internal/parallel"
+
+// suppressedCombine keeps an unmarked combine via an explicit justified
+// suppression instead of the marker.
+func suppressedCombine(p *parallel.Pool, xs []float32) float32 {
+	n := len(xs)
+	partial := make([]float32, n)
+	p.Run(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			partial[i] = xs[i]
+		}
+	})
+	out := make([]float32, 1)
+	for i := 0; i < n; i++ {
+		//lint:ignore detreduce fixture demonstrating suppression of the marker requirement
+		out[0] += partial[i]
+	}
+	return out[0]
+}

@@ -1,0 +1,35 @@
+// Package fixture exercises the maporder analyzer: order-sensitive sinks
+// inside a range over a map.
+package fixture
+
+func accumulates(m map[string]float32) float32 {
+	var sum float32
+	for _, v := range m {
+		sum += v // want "float accumulation inside range over map"
+	}
+	return sum
+}
+
+func appends(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append inside range over map"
+	}
+	return keys
+}
+
+func spawnsPerKey(m map[string]int) {
+	for range m {
+		go func() {}() // want "goroutine spawned inside range over map"
+	}
+}
+
+// sliceRangeIsFine proves the analyzer keys on the ranged type: the same
+// sinks over a slice are deterministic and stay silent.
+func sliceRangeIsFine(xs []float32) float32 {
+	var sum float32
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}

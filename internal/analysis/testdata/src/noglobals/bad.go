@@ -1,0 +1,24 @@
+// Package fixture exercises the noglobals analyzer under a hot-path virtual
+// import path: package-level mutable state is the SetConvWorkers regression
+// class and must be flagged, while sentinel errors and blank assertions
+// stay legal.
+package fixture
+
+import "errors"
+
+var workers = 4 // want "package-level mutable state"
+
+var table = map[string]int{} // want "package-level mutable state"
+
+var (
+	limit   int     // want "package-level mutable state"
+	scaleBy float64 // want "package-level mutable state"
+)
+
+// Sentinel errors are write-once by convention and explicitly allowed.
+var ErrBad = errors.New("fixture: bad")
+
+// Blank compile-time assertions carry no state.
+var _ = workers
+
+func uses() int { return workers + limit + int(scaleBy) + len(table) }

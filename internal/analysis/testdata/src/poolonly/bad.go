@@ -1,0 +1,28 @@
+// Package fixture exercises the poolonly analyzer: every form of ad-hoc
+// concurrency a layer might sneak in must be flagged.
+package fixture
+
+import "sync"
+
+func spawns() {
+	go func() {}() // want "go statement outside"
+}
+
+func waits() {
+	var wg sync.WaitGroup // want "sync.WaitGroup outside"
+	wg.Add(1)
+	wg.Done()
+	wg.Wait()
+}
+
+func fansOut(n int) int {
+	ch := make(chan int, n) // want "channel type outside"
+	ch <- 1                 // want "channel send outside"
+	return <-ch             // want "channel receive outside"
+}
+
+func selects() {
+	select { // want "select statement outside"
+	default:
+	}
+}

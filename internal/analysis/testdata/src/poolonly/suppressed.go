@@ -1,0 +1,8 @@
+package fixture
+
+// suppressed shows the escape hatch: a justified //lint:ignore on the line
+// above the finding keeps it out of the report.
+func suppressed() {
+	//lint:ignore poolonly fixture demonstrating a justified one-off goroutine
+	go func() {}()
+}

@@ -1,0 +1,20 @@
+// Package fixture exercises the seededrand analyzer: unseeded randomness
+// and wall-clock reads in library code.
+package fixture
+
+import (
+	"math/rand" // want "import of math/rand"
+	"time"
+)
+
+func unseeded() float64 {
+	return rand.Float64()
+}
+
+func clocks() time.Duration {
+	t0 := time.Now()      // want "wall-clock reads are nondeterministic"
+	return time.Since(t0) // want "wall-clock reads are nondeterministic"
+}
+
+// durationsAreFine proves only Now/Since are gated, not the time package.
+func durationsAreFine() time.Duration { return 3 * time.Second }

@@ -1,0 +1,10 @@
+package fixture
+
+import "time"
+
+// suppressedClock keeps a deliberate wall-clock read behind a justified
+// suppression.
+func suppressedClock() time.Time {
+	//lint:ignore seededrand fixture demonstrating a justified wall-clock read
+	return time.Now()
+}

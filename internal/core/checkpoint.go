@@ -9,6 +9,7 @@ import (
 	"os"
 	"sort"
 
+	"bnff/internal/det"
 	"bnff/internal/tensor"
 )
 
@@ -36,12 +37,14 @@ type entry struct {
 // Save writes all parameters and running statistics to w.
 func (e *Executor) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	// Collect in sorted-name order (maporder contract) so the on-disk entry
+	// order is a pure function of the model, then merge-sort the two groups.
 	var entries []entry
-	for name, t := range e.Params {
-		entries = append(entries, entry{name, t})
+	for _, name := range det.SortedKeys(e.Params) {
+		entries = append(entries, entry{name, e.Params[name]})
 	}
-	for name, t := range e.Running {
-		entries = append(entries, entry{name, t})
+	for _, name := range det.SortedKeys(e.Running) {
+		entries = append(entries, entry{name, e.Running[name]})
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
 

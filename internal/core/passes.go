@@ -34,6 +34,7 @@ const (
 	BNFFICF                  // BNFF + inter-composite-layer fusion
 )
 
+//lint:ignore noglobals read-only scenario-name table, written by no one after compile
 var scenarioNames = [...]string{"baseline", "RCF", "RCF+MVF", "BNFF", "BNFF+ICF"}
 
 func (s Scenario) String() string {

@@ -1,0 +1,25 @@
+// Package det holds deterministic-iteration helpers. Go randomizes map
+// iteration order, and the repo's replay contract (same seed → bit-identical
+// run) means no float accumulation, serialization, or work dispatch may
+// depend on it — the maporder analyzer in internal/analysis enforces that.
+// This package is the one blessed place that ranges over a map to collect
+// keys; everything else iterates the sorted slice it returns.
+package det
+
+import (
+	"cmp"
+	"sort"
+)
+
+// SortedKeys returns m's keys in ascending order. Callers range over the
+// result instead of the map, so their iteration order — and any float
+// accumulation, serialization, or dispatch driven by it — is deterministic.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		//lint:ignore maporder the module's one blessed collect-then-sort site; keys are sorted before return
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

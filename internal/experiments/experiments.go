@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"bnff/internal/core"
+	"bnff/internal/det"
 	"bnff/internal/graph"
 	"bnff/internal/memplan"
 	"bnff/internal/memsim"
@@ -291,8 +292,8 @@ func Figure6() (*Experiment, error) {
 	// The paper's observation: all three spend more on non-CONV than CONV,
 	// and per-image times are similar despite a 3× peak-FLOPS spread.
 	var times []float64
-	for _, t := range perImage {
-		times = append(times, t)
+	for _, name := range det.SortedKeys(perImage) {
+		times = append(times, perImage[name])
 	}
 	sort.Float64s(times)
 	e.Metrics = append(e.Metrics,

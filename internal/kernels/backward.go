@@ -87,6 +87,8 @@ func FusedConvBackwardReLUBNReduce(conv layers.Conv2D, bn layers.BatchNorm,
 			}
 		}
 	})
+	// det-reduce: per-sample dγ/dβ partials combined in sample order — the
+	// serial loop adds one per-sample partial per channel in the same order.
 	for in := 0; in < n; in++ {
 		for ic := 0; ic < c; ic++ {
 			dg[ic] += psg[in*c+ic]

@@ -65,6 +65,8 @@ func ConcatForwardStats(bn layers.BatchNorm, xs ...*tensor.Tensor) (*tensor.Tens
 			}
 		}
 	})
+	// det-reduce: per-sample Σx/Σx² partials over the concatenated channels,
+	// combined in sample order — bit-identical to the serial sweep.
 	for in := 0; in < n; in++ {
 		for ic := 0; ic < totalC; ic++ {
 			sum[ic] += psum[in*totalC+ic]

@@ -71,6 +71,8 @@ func ConvForwardStats(conv layers.Conv2D, x, w *tensor.Tensor) (*tensor.Tensor, 
 			}
 		}
 	})
+	// det-reduce: per-sample Σx/Σx² partials combined in sample order — the
+	// serial epilogue's association, so the fused stats are bit-identical.
 	for in := 0; in < n; in++ {
 		for ic := 0; ic < c; ic++ {
 			sum[ic] += psum[in*c+ic]

@@ -109,6 +109,8 @@ func (b BatchNorm) ComputeStats(x *tensor.Tensor) (*BNStats, error) {
 			}
 		}
 	})
+	// det-reduce: per-sample mean partials combined in sample order — the
+	// association the serial sweep uses, so pooled execution is bit-identical.
 	for in := 0; in < n; in++ {
 		for ic := 0; ic < c; ic++ {
 			mean.Data[ic] += pmean[in*c+ic]
@@ -130,6 +132,7 @@ func (b BatchNorm) ComputeStats(x *tensor.Tensor) (*BNStats, error) {
 			}
 		}
 	})
+	// det-reduce: per-sample variance partials combined in sample order.
 	for in := 0; in < n; in++ {
 		for ic := 0; ic < c; ic++ {
 			variance.Data[ic] += pvar[in*c+ic]
@@ -167,9 +170,8 @@ func (b BatchNorm) ComputeStatsMVF(x *tensor.Tensor) (*BNStats, error) {
 			}
 		}
 	})
-	// Sample-order reduction: the serial sweep adds one per-sample partial
-	// per channel in exactly this order, so the pooled result is
-	// bit-identical.
+	// det-reduce: the serial sweep adds one per-sample partial per channel
+	// in exactly this order, so the pooled result is bit-identical.
 	for in := 0; in < n; in++ {
 		for ic := 0; ic < c; ic++ {
 			sum[ic] += psum[in*c+ic]
@@ -218,6 +220,7 @@ func (b BatchNorm) ComputeStatsMVF64(x *tensor.Tensor) (*BNStats, error) {
 			}
 		}
 	})
+	// det-reduce: per-sample float64 partials combined in sample order.
 	for in := 0; in < n; in++ {
 		for ic := 0; ic < c; ic++ {
 			sum[ic] += psum[in*c+ic]
@@ -327,6 +330,8 @@ func (b BatchNorm) BackwardReduce(dy, xhat *tensor.Tensor) (dgamma, dbeta *tenso
 			}
 		}
 	})
+	// det-reduce: per-sample dγ/dβ partials combined in sample order — one
+	// partial per channel per sample, the serial association exactly.
 	for in := 0; in < n; in++ {
 		for ic := 0; ic < c; ic++ {
 			dg[ic] += pg[in*c+ic]

@@ -100,6 +100,8 @@ func (f FC) Backward(dy, x, w *tensor.Tensor) (dx, dw, db *tensor.Tensor, err er
 			pdw[in], pdb[in] = pw, pb
 		}
 	})
+	// det-reduce: per-sample dW/dB partials combined in sample order — one
+	// contribution per sample per element, matching serial bit for bit.
 	for in := 0; in < n; in++ {
 		for j, v := range pdw[in] {
 			dw.Data[j] += v

@@ -72,6 +72,9 @@ func (c Conv2D) backwardParallel(dy, x, w, dx, dw *tensor.Tensor) {
 			partial[i] = pdw
 		}
 	})
+	// det-reduce: per-sample dW partials combined in sample order; the
+	// partials associate additions differently from serial, so dW lands
+	// within float32 round-off (deterministically so).
 	for i := 0; i < n; i++ {
 		for j, v := range partial[i].Data {
 			dw.Data[j] += v

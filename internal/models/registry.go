@@ -2,8 +2,8 @@ package models
 
 import (
 	"fmt"
-	"sort"
 
+	"bnff/internal/det"
 	"bnff/internal/graph"
 )
 
@@ -38,14 +38,7 @@ func Build(name string, batch int) (*graph.Graph, error) {
 }
 
 // Names lists the registered model names, sorted.
-func Names() []string {
-	out := make([]string, 0, len(registry))
-	for name := range registry {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
-}
+func Names() []string { return det.SortedKeys(registry) }
 
 // Classes returns the class count of a registered model's output layer.
 func Classes(name string, batch int) (int, error) {

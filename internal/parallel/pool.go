@@ -95,7 +95,10 @@ func (p *Pool) Run(n int, fn func(lo, hi int)) {
 // defaultWorkers is the process-wide construction-time default consulted by
 // executors built without an explicit worker option. It exists only to back
 // the deprecated layers.SetConvWorkers shim; nothing reads it on a dispatch
-// hot path.
+// hot path. Migration: callers should move to core.WithWorkers(n) /
+// train.WithWorkers(n); this variable (and the shim) disappear with them.
+//
+//lint:ignore noglobals construction-time default backing the deprecated SetConvWorkers shim only; migrate to core.WithWorkers and delete
 var defaultWorkers int64 = 1
 
 // SetDefault sets the default worker count new executors snapshot at

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"bnff/internal/core"
+	"bnff/internal/det"
 	"bnff/internal/layers"
 	"bnff/internal/tensor"
 	"bnff/internal/workload"
@@ -64,9 +65,12 @@ func ClipGradients(grads map[string]*tensor.Tensor, maxNorm float64) (float64, e
 	if maxNorm <= 0 {
 		return 0, fmt.Errorf("train: clip norm %v must be positive", maxNorm)
 	}
+	// Accumulate the norm in sorted-name order: summation over a map range
+	// would associate the additions differently run to run, making the clip
+	// scale — and therefore the whole training trajectory — nondeterministic.
 	var sumsq float64
-	for _, g := range grads {
-		for _, v := range g.Data {
+	for _, name := range det.SortedKeys(grads) {
+		for _, v := range grads[name].Data {
 			sumsq += float64(v) * float64(v)
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"strconv"
 
 	"bnff/internal/core"
+	"bnff/internal/det"
 	"bnff/internal/layers"
 	"bnff/internal/tensor"
 	"bnff/internal/workload"
@@ -37,7 +38,11 @@ func NewSGD(lr, momentum, weightDecay float64) *SGD {
 // Nesterov: w ← w − η·(g + λ·w + μ·v) with the same velocity recurrence.
 // Weight decay is skipped for BN parameters and biases, as is conventional.
 func (o *SGD) Step(params, grads map[string]*tensor.Tensor) error {
-	for name, w := range params {
+	// Per-parameter updates are independent, but iterate in sorted-name
+	// order anyway so every run touches memory identically and any future
+	// cross-parameter term stays deterministic (maporder contract).
+	for _, name := range det.SortedKeys(params) {
+		w := params[name]
 		g, ok := grads[name]
 		if !ok {
 			return fmt.Errorf("train: no gradient for parameter %q", name)
