@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint bench check
+.PHONY: build test vet race lint bench smoke check
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,8 @@ race:
 # bnff-lint is the repo's own static-analysis suite (internal/analysis). It
 # enforces the determinism, pool-dispatch, and numerics contracts the README
 # "Static analysis" section documents: no ad-hoc goroutines or channels
-# outside internal/parallel (poolonly), no order-sensitive sinks in map
+# outside the allowlisted concurrency domains internal/parallel and
+# internal/serve (poolonly), no order-sensitive sinks in map
 # ranges (maporder), no package-level mutable state in the hot-path packages
 # (noglobals), det-reduce markers on every cross-partition combine loop
 # (detreduce), and all randomness through the seeded tensor RNG
@@ -35,4 +36,9 @@ lint:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
-check: vet race lint
+# End-to-end check of cmd/bnff-serve: build, self-train, serve, exercise
+# /predict /healthz /stats, and verify graceful SIGTERM shutdown.
+smoke:
+	./scripts/serve-smoke.sh
+
+check: vet race lint smoke

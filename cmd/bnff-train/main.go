@@ -95,7 +95,8 @@ func parseScenario(s string) (core.Scenario, error) {
 	}
 }
 
-func newTrainer(model string, scenario core.Scenario, batch, workers int, lr float64, seed uint64) (*train.Trainer, error) {
+func newTrainer(model string, scenario core.Scenario, batch, workers int, lr float64, seed uint64,
+	sched train.Schedule) (*train.Trainer, error) {
 	g, classes, err := buildGraph(model, batch)
 	if err != nil {
 		return nil, err
@@ -114,7 +115,10 @@ func newTrainer(model string, scenario core.Scenario, batch, workers int, lr flo
 	if err != nil {
 		return nil, err
 	}
-	return train.NewTrainer(exec, data, train.WithBatchSize(batch), train.WithOptimizer(train.NewSGD(lr, 0.9, 1e-4)))
+	return train.NewTrainer(exec, data,
+		train.WithBatchSize(batch),
+		train.WithOptimizer(train.NewSGD(lr, 0.9, 1e-4)),
+		train.WithSchedule(sched))
 }
 
 func run(cfg runConfig) error {
@@ -122,15 +126,14 @@ func run(cfg runConfig) error {
 	if err != nil {
 		return err
 	}
-	tr, err := newTrainer(cfg.model, scenario, cfg.batch, cfg.workers, cfg.lr, cfg.seed)
-	if err != nil {
-		return err
-	}
 	sched, err := scheduleOf(cfg.schedule, cfg.lr, cfg.steps)
 	if err != nil {
 		return err
 	}
-	tr.UseSchedule(sched)
+	tr, err := newTrainer(cfg.model, scenario, cfg.batch, cfg.workers, cfg.lr, cfg.seed, sched)
+	if err != nil {
+		return err
+	}
 	if cfg.load != "" {
 		if err := tr.Exec.LoadFile(cfg.load); err != nil {
 			return fmt.Errorf("load checkpoint: %w", err)
@@ -142,11 +145,10 @@ func run(cfg runConfig) error {
 
 	var base *train.Trainer
 	if cfg.compare && scenario != core.Baseline {
-		base, err = newTrainer(cfg.model, core.Baseline, cfg.batch, cfg.workers, cfg.lr, cfg.seed)
+		base, err = newTrainer(cfg.model, core.Baseline, cfg.batch, cfg.workers, cfg.lr, cfg.seed, sched)
 		if err != nil {
 			return err
 		}
-		base.UseSchedule(sched)
 		// Identical starting weights so the trajectories are comparable.
 		if err := tr.Exec.CopyParamsFrom(base.Exec); err != nil {
 			return err

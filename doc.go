@@ -32,6 +32,23 @@
 // layers.SetConvWorkers knob survives only as a deprecated shim over the
 // construction-time default; no hot path reads a global.
 //
+// # Serving
+//
+// internal/serve and cmd/bnff-serve deploy a checkpoint behind HTTP with
+// dynamic micro-batching: single-image POST /predict requests coalesce into
+// mini-batches (when MaxBatch are queued or MaxWait expires) dispatched to a
+// pool of replica inference executors, with bounded queueing and explicit
+// load shedding (429). Replicas are built core.WithInference and, by
+// default, core.WithFoldedBN — an inference-time compile pass that rewrites
+// every CONV→BN pair where the BN is the conv's sole consumer into a single
+// CONV with per-channel scaled weights and a folded bias, so those BNs cost
+// zero feature-map sweeps at serving time; unfoldable BNs (after concat,
+// pooling, EWS, or fan-out) keep the element-wise normalize path on running
+// statistics. Inference has no cross-sample reductions, so a request's
+// logits are bit-identical regardless of the batch it is coalesced into.
+// GET /healthz and GET /stats complete the ops surface; latency quantiles
+// come from a deterministic power-of-two histogram fed by an injected clock.
+//
 // # Static analysis
 //
 // The determinism contracts are enforced structurally by an in-tree,
@@ -39,7 +56,8 @@
 // cmd/bnff-lint; `make lint`, folded into `make check` and CI). Five
 // analyzers cover the regression classes that would invalidate the paper's
 // comparisons: poolonly (no goroutines, sync.WaitGroup, or channels outside
-// internal/parallel — all fan-out dispatches through the executor's pool),
+// the allowlisted concurrency domains internal/parallel and internal/serve —
+// all compute fan-out dispatches through the executor's pool),
 // maporder (no float accumulation, appends, or work-spawning inside a range
 // over a map; iterate det.SortedKeys instead), noglobals (no package-level
 // mutable state in the hot-path packages), detreduce (every cross-partition

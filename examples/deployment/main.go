@@ -1,9 +1,16 @@
 // Deployment example: the full lifecycle a downstream user of this library
-// walks through — train a restructured model, checkpoint it, load the
-// checkpoint into a batch-1 inference executor (BN switched to running
-// statistics, dropout disabled), and classify single images. It also shows
-// that a checkpoint trained on the BNFF graph loads into a *baseline* graph
-// unchanged: the restructuring never renames parameters.
+// walks through — train a restructured model, checkpoint it, and serve it.
+// Deployment happens twice, at increasing levels of integration:
+//
+//  1. A bare batch-1 inference executor (core.WithInference), plus the same
+//     checkpoint compiled through the CONV→BN fold (core.WithFoldedBN) to
+//     show folding preserves the model within float32 round-off.
+//  2. The serving engine (serve.Load): single-image requests coalesced into
+//     mini-batches by the dynamic micro-batcher, running on the folded
+//     compilation — the shape a real deployment takes behind bnff-serve.
+//
+// It also shows that a checkpoint trained on the BNFF graph loads into a
+// *baseline* graph unchanged: the restructuring never renames parameters.
 //
 // Run: go run ./examples/deployment
 package main
@@ -15,7 +22,9 @@ import (
 	"path/filepath"
 
 	"bnff/internal/core"
+	"bnff/internal/graph"
 	"bnff/internal/models"
+	"bnff/internal/serve"
 	"bnff/internal/tensor"
 	"bnff/internal/train"
 	"bnff/internal/workload"
@@ -46,11 +55,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	tr, err := train.NewTrainer(exec, data, train.WithBatchSize(batch), train.WithOptimizer(train.NewSGD(0.01, 0.9, 1e-4)))
+	tr, err := train.NewTrainer(exec, data,
+		train.WithBatchSize(batch),
+		train.WithOptimizer(train.NewSGD(0.01, 0.9, 1e-4)),
+		train.WithSchedule(train.CosineDecay{Base: 0.01, Floor: 0.001, Total: 60}))
 	if err != nil {
 		return err
 	}
-	tr.UseSchedule(train.CosineDecay{Base: 0.01, Floor: 0.001, Total: 60})
 	fmt.Println("training tiny-densenet with BNFF...")
 	last, err := tr.Run(60)
 	if err != nil {
@@ -74,32 +85,79 @@ func run() error {
 	}
 	fmt.Printf("  checkpoint written: %s (%d bytes)\n", ckpt, fi.Size())
 
-	// --- deploy: batch-1 inference executor ---
-	g1, err := models.TinyDenseNet(1)
+	// --- deploy, level 1: bare inference executors ---
+	// The BNFF checkpoint loads into a *baseline* batch-1 graph: restructuring
+	// never renames parameters. WithInference switches BN to running stats.
+	gPlain, err := models.TinyDenseNet(1)
 	if err != nil {
 		return err
 	}
-	if err := core.Restructure(g1, core.BNFF.Options()); err != nil {
-		return err
-	}
-	infer, err := core.NewExecutor(g1, core.WithSeed(1))
+	plain, err := core.NewExecutor(gPlain, core.WithInference())
 	if err != nil {
 		return err
 	}
-	if err := infer.LoadFile(ckpt); err != nil {
+	if err := plain.LoadFile(ckpt); err != nil {
 		return err
 	}
-	infer.Inference = true
+	// The same checkpoint again, but compiled through the CONV→BN fold: every
+	// foldable pair becomes one biased CONV, unfoldable BNs (after concats in
+	// the dense blocks) keep the element-wise normalize path.
+	gFold, err := models.TinyDenseNet(1)
+	if err != nil {
+		return err
+	}
+	folded, err := core.NewExecutor(gFold, core.WithFoldedBN())
+	if err != nil {
+		return err
+	}
+	if err := folded.LoadFile(ckpt); err != nil {
+		return err
+	}
+	fmt.Printf("\nfold compilation: %d BN nodes before, %d after\n",
+		gPlain.CountKinds()[graph.OpBN], gFold.CountKinds()[graph.OpBN])
 
-	fmt.Println("\nclassifying single images (inference mode, running statistics):")
+	x, _, err := data.Batch(1)
+	if err != nil {
+		return err
+	}
+	yPlain, err := plain.Forward(x)
+	if err != nil {
+		return err
+	}
+	yFold, err := folded.Forward(x)
+	if err != nil {
+		return err
+	}
+	diff, _ := tensor.MaxAbsDiff(yPlain, yFold)
+	fmt.Printf("folded inference agrees with unfolded within %.2g\n", diff)
+
+	// --- deploy, level 2: the batched serving engine ---
+	// serve.Load owns the whole deployment recipe: it builds folded inference
+	// replicas from the checkpoint and coalesces concurrent single-image
+	// requests into mini-batches. Each request's logits are bit-identical to
+	// a batch-1 pass, so batching is purely a throughput decision.
+	ckptFile, err := os.Open(ckpt)
+	if err != nil {
+		return err
+	}
+	defer ckptFile.Close()
+	eng, err := serve.Load(models.TinyDenseNet, ckptFile, serve.Config{
+		MaxBatch: 4, Replicas: 1, FoldBN: true,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	fmt.Println("\nclassifying single images through the serving engine:")
 	correct := 0
 	const trials = 20
 	for i := 0; i < trials; i++ {
-		x, labels, err := data.Batch(1)
+		img, labels, err := data.Batch(1)
 		if err != nil {
 			return err
 		}
-		logits, err := infer.Forward(x)
+		logits, err := eng.Predict(img.Data)
 		if err != nil {
 			return err
 		}
@@ -111,43 +169,17 @@ func run() error {
 			fmt.Printf("  sample %d: true class %d, predicted %d\n", i, labels[0], pred)
 		}
 	}
-	fmt.Printf("  single-image accuracy: %d/%d\n", correct, trials)
-
-	// --- portability: the same checkpoint loads into a baseline graph ---
-	gBase, err := models.TinyDenseNet(1)
-	if err != nil {
-		return err
-	}
-	baseInfer, err := core.NewExecutor(gBase, core.WithSeed(2))
-	if err != nil {
-		return err
-	}
-	if err := baseInfer.LoadFile(ckpt); err != nil {
-		return err
-	}
-	baseInfer.Inference = true
-	x, _, err := data.Batch(1)
-	if err != nil {
-		return err
-	}
-	yB, err := baseInfer.Forward(x)
-	if err != nil {
-		return err
-	}
-	yF, err := infer.Forward(x)
-	if err != nil {
-		return err
-	}
-	diff, _ := tensor.MaxAbsDiff(yB, yF)
-	fmt.Printf("\nbaseline-graph inference on the BNFF checkpoint agrees within %.2g\n", diff)
+	st := eng.Stats()
+	fmt.Printf("  single-image accuracy: %d/%d  (%d requests in %d dispatched batches)\n",
+		correct, trials, st.Requests, st.Batches)
 	fmt.Println("-> restructuring is a training-time optimization; the model is the model.")
 	return nil
 }
 
-func argmax(logits *tensor.Tensor) int {
+func argmax(logits []float32) int {
 	best := 0
-	for i, v := range logits.Data {
-		if v > logits.Data[best] {
+	for i, v := range logits {
+		if v > logits[best] {
 			best = i
 		}
 	}

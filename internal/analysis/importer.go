@@ -72,6 +72,17 @@ func (im *srcImporter) load(path string) (*types.Package, error) {
 		bp, err = im.ctx.ImportDir(filepath.Join(im.moduleRoot, filepath.FromSlash(rel)), 0)
 	} else {
 		bp, err = im.ctx.Import(path, im.moduleRoot, 0)
+		if err != nil {
+			// The standard library vendors its own external dependencies
+			// (e.g. crypto/tls → golang.org/x/crypto/...) under
+			// GOROOT/src/vendor; go/build only applies that vendor tree when
+			// the importing directory is itself inside GOROOT, which this
+			// flat importer doesn't track. Fall back to it explicitly.
+			vdir := filepath.Join(im.ctx.GOROOT, "src", "vendor", filepath.FromSlash(path))
+			if vbp, verr := im.ctx.ImportDir(vdir, 0); verr == nil {
+				bp, err = vbp, nil
+			}
+		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("analysis: resolving import %q: %w", path, err)

@@ -5,27 +5,40 @@ import (
 	"go/token"
 )
 
-// poolPkg is the one package allowed to spawn goroutines and own
-// synchronization primitives.
+// poolPkg is the package every *compute* fan-out must flow through: its
+// worker pool owns the deterministic (n, workers) partition the bit-identical
+// replay contract depends on.
 const poolPkg = "bnff/internal/parallel"
+
+// concurrencyPkgs are the packages allowed to spawn goroutines and own
+// synchronization primitives: the worker pool itself, and the serving runtime
+// in internal/serve, whose request queue and replica workers are inherently
+// channel-shaped. The serving runtime keeps the determinism contract a layer
+// up — each request's logits are bit-identical regardless of batching — so
+// its concurrency is confined there by design rather than routed through the
+// pool.
+var concurrencyPkgs = [...]string{poolPkg, "bnff/internal/serve"}
 
 // PoolOnly enforces the pool-dispatch contract: every concurrent fan-out in
 // the module flows through internal/parallel, where the worker pool
 // guarantees the deterministic (n, workers) partition the bit-identical
-// replay contract depends on. Outside that package, `go` statements,
+// replay contract depends on. Outside the allowlisted packages (the pool
+// itself and the serving runtime, internal/serve), `go` statements,
 // sync.WaitGroup, select statements, and channel plumbing are all forbidden
 // — a layer that wants concurrency must dispatch via its executor's
 // *parallel.Pool.
 var PoolOnly = &Analyzer{
 	Name: "poolonly",
-	Doc: "forbid go statements, sync.WaitGroup, and channel-based fan-out outside internal/parallel; " +
+	Doc: "forbid go statements, sync.WaitGroup, and channel-based fan-out outside internal/parallel and internal/serve; " +
 		"layers, kernels, core, and train must dispatch through the executor's worker pool",
 	Run: runPoolOnly,
 }
 
 func runPoolOnly(pass *Pass) {
-	if pathWithin(pass.Pkg.ImportPath, poolPkg) {
-		return
+	for _, allowed := range concurrencyPkgs {
+		if pathWithin(pass.Pkg.ImportPath, allowed) {
+			return
+		}
 	}
 	for _, f := range pass.Files() {
 		ast.Inspect(f, func(n ast.Node) bool {

@@ -86,6 +86,11 @@ func (e *Executor) Save(w io.Writer) error {
 // Save. Every entry must match an existing tensor by name and shape; extra
 // or missing entries are errors (a checkpoint for a different model must not
 // load silently).
+//
+// On an executor built WithFoldedBN, a successful Load triggers the BN-fold
+// compile pass (see FoldBN): the checkpoint must therefore describe the
+// *unfolded* model, and the executor cannot be re-loaded afterwards — folding
+// is a terminal, deploy-time compilation.
 func (e *Executor) Load(r io.Reader) error {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(checkpointMagic))
@@ -160,6 +165,9 @@ func (e *Executor) Load(r io.Reader) error {
 			}
 			dst.Data[j] = math.Float32frombits(bits)
 		}
+	}
+	if e.foldBN {
+		return e.FoldBN()
 	}
 	return nil
 }

@@ -56,8 +56,10 @@ type Executor struct {
 	// Deprecated: prefer WithPreciseStats at construction.
 	PreciseStats bool
 
-	seed uint64
-	pool *parallel.Pool
+	seed   uint64
+	pool   *parallel.Pool
+	foldBN bool // WithFoldedBN: compile the fold after the next checkpoint load
+	folded bool // FoldBN already ran; the graph and parameters are rewritten
 
 	vals    map[int]*tensor.Tensor
 	stats   map[int]*layers.BNStats // keyed by statistics-producer node ID
@@ -87,6 +89,20 @@ func WithWorkers(n int) Option { return func(e *Executor) { e.pool = parallel.Ne
 // WithInference builds the executor in inference mode: every BN uses running
 // statistics and Backward is unavailable.
 func WithInference() Option { return func(e *Executor) { e.Inference = true } }
+
+// WithFoldedBN arms the inference-time BN-fold compile pass: after the next
+// checkpoint Load the executor rewrites every foldable CONV→BN pair into a
+// single CONV with folded weights and bias (see FoldBN), so the served model
+// pays no separate normalization sweep for those BNs. Unfoldable BNs — one
+// not fed by a single-consumer CONV — keep the element-wise normalize path
+// on running statistics. WithFoldedBN implies WithInference: a folded graph
+// has no training semantics and Backward is unavailable.
+func WithFoldedBN() Option {
+	return func(e *Executor) {
+		e.foldBN = true
+		e.Inference = true
+	}
+}
 
 // WithPreciseStats switches the MVF statistics accumulators to float64
 // (the paper's §3.2 precision fallback).
@@ -142,6 +158,9 @@ func NewExecutor(g *graph.Graph, opts ...Option) (*Executor, error) {
 			w := tensor.New(n.Conv.WeightShape()...)
 			rng.FillHe(w, n.Conv.InChannels*n.Conv.KernelH*n.Conv.KernelW)
 			e.Params[n.Name+".w"] = w
+			if n.FoldedBias {
+				e.Params[n.Name+".b"] = tensor.New(n.Conv.OutChannels)
+			}
 		}
 		if n.FC != nil {
 			w := tensor.New(n.FC.WeightShape()...)
@@ -275,6 +294,8 @@ func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 
 		case graph.OpConv:
 			switch {
+			case n.FoldedBias:
+				e.vals[n.ID], err = e.convOf(n).ForwardBias(e.in(n, 0), e.Params[n.Name+".w"], e.Params[n.Name+".b"])
 			case n.StatsOut != nil && !e.Inference && !e.PreciseStats:
 				var st *layers.BNStats
 				e.vals[n.ID], st, err = kernels.ConvForwardStats(e.convOf(n), e.in(n, 0), e.Params[n.Name+".w"])
@@ -486,6 +507,9 @@ func (e *Executor) backwardNode(n *graph.Node, gmap map[int]*tensor.Tensor,
 
 	switch n.Kind {
 	case graph.OpConv:
+		if n.FoldedBias {
+			return fmt.Errorf("folded CONV+BN is inference-only and has no backward pass")
+		}
 		dx, dw, err := e.convOf(n).Backward(dy, e.in(n, 0), e.Params[n.Name+".w"])
 		if err != nil {
 			return err

@@ -1,0 +1,84 @@
+package graph
+
+import "fmt"
+
+// Inference-time BN folding (the classic deployment transformation the paper
+// contrasts its training-time restructuring with): once a model is trained,
+// every BN runs off frozen running statistics and becomes an affine map per
+// channel, so a CONV→BN pair collapses into a single CONV whose weights are
+// scaled by γ/√(σ²+ε) and whose bias is β − μ·γ/√(σ²+ε). FoldBN performs the
+// *structural* half of that rewrite; internal/core computes the folded
+// parameter values from an executor's running statistics (see
+// core.WithFoldedBN and Executor.FoldBN).
+
+// FoldedPair records one CONV→BN pair rewritten by FoldBN: the surviving
+// convolution node (now carrying FoldedBias) and the identity of the BN it
+// absorbed, which names the γ/β/running-statistics parameters the caller
+// folds into the convolution's weights and bias.
+type FoldedPair struct {
+	Conv *Node
+	BN   *BNAttr
+}
+
+// FoldBN rewrites every foldable CONV→BN pair of a baseline graph into a
+// single biased CONV and returns the folded pairs in topological order. A BN
+// is foldable when its input is a plain CONV whose only consumer is that BN
+// (and which is not the designated output): the BN's consumers are rewired to
+// read the convolution directly and the BN node dies.
+//
+// Unfoldable BNs — a BN reading a Concat, Pool, EWS, or a fan-out CONV — are
+// left in place; at inference the executor runs them element-wise on the
+// running statistics (the normalize / sub-BN2 path), which is exactly the
+// cost the fold removes for the foldable ones.
+//
+// The graph must be a freshly built baseline graph: folding is an
+// inference-time compile and does not stack on the training-time
+// restructuring passes.
+func FoldBN(g *Graph) ([]FoldedPair, error) {
+	for _, n := range g.Nodes {
+		if n.Dead {
+			continue
+		}
+		switch n.Kind {
+		case OpSubBN1, OpSubBN2, OpReLUConv, OpBNReLUConv:
+			return nil, fmt.Errorf("graph: cannot fold restructured graph %q (found %v node %q); fold a baseline graph", g.Name, n.Kind, n.Name)
+		}
+		if n.StatsOut != nil {
+			return nil, fmt.Errorf("graph: cannot fold restructured graph %q (node %q has a statistics epilogue)", g.Name, n.Name)
+		}
+		if n.FoldedBias {
+			return nil, fmt.Errorf("graph: graph %q is already folded (node %q carries a folded bias)", g.Name, n.Name)
+		}
+	}
+	cons := g.Consumers()
+	var pairs []FoldedPair
+	for _, b := range g.Nodes {
+		if b.Dead || b.Kind != OpBN {
+			continue
+		}
+		p := b.Inputs[0]
+		if p.Kind != OpConv || p == g.Output {
+			continue
+		}
+		if cs := cons[p.ID]; len(cs) != 1 || cs[0] != b {
+			continue // fan-out CONV: other consumers need the unscaled output
+		}
+		p.FoldedBias = true
+		for _, c := range cons[b.ID] {
+			for i, in := range c.Inputs {
+				if in == b {
+					c.Inputs[i] = p
+				}
+			}
+		}
+		if g.Output == b {
+			g.Output = p
+		}
+		b.Dead = true
+		pairs = append(pairs, FoldedPair{Conv: p, BN: b.BN})
+	}
+	if err := g.Normalize(); err != nil {
+		return nil, err
+	}
+	return pairs, g.Validate()
+}

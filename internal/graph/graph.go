@@ -155,6 +155,13 @@ type Node struct {
 	// Set on SubBN2 and BNReLUConv.
 	StatsFrom *Node
 
+	// FoldedBias, set by the inference-time FoldBN rewrite on an OpConv
+	// node, marks that the convolution carries a per-output-channel bias
+	// parameter ("<name>.b") absorbed from a folded batch normalization.
+	// The executor adds the bias in the same output-writing sweep as the
+	// convolution; folded nodes are inference-only (no backward pass).
+	FoldedBias bool
+
 	// CPL tags the composite layer (DenseNet) or residual block (ResNet)
 	// the node belongs to; -1 for nodes outside any. ICF reasons about
 	// boundaries between CPLs.
@@ -417,6 +424,14 @@ func (g *Graph) Validate() error {
 		}
 		if n.StatsOut != nil && !n.Kind.IsConvLike() {
 			return fmt.Errorf("graph: node %q (%v) carries a StatsOut epilogue but is not conv-like", n.Name, n.Kind)
+		}
+		if n.FoldedBias {
+			if n.Kind != OpConv {
+				return fmt.Errorf("graph: node %q (%v) carries a folded bias but is not a plain CONV", n.Name, n.Kind)
+			}
+			if n.StatsOut != nil {
+				return fmt.Errorf("graph: node %q mixes a folded bias with a statistics epilogue; folding is inference-only", n.Name)
+			}
 		}
 		switch n.Kind {
 		case OpSubBN2, OpBNReLUConv:

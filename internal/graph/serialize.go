@@ -58,6 +58,9 @@ func (g *Graph) Serialize(w io.Writer) error {
 			fmt.Fprintf(bw, " conv=%d:%d:%dx%d:%d:%d:%d",
 				c.InChannels, c.OutChannels, c.KernelH, c.KernelW, c.Stride, c.Pad, c.Groups)
 		}
+		if n.FoldedBias {
+			fmt.Fprintf(bw, " bias=1")
+		}
 		if n.Pool != nil {
 			p := n.Pool
 			mode := "avg"
@@ -257,6 +260,12 @@ func parseNode(g *Graph, fields []string) (*Node, int, error) {
 				return nil, 0, fmt.Errorf("graph: node %q: %w", n.Name, err)
 			}
 			n.StatsOut = a
+		case "bias":
+			bit, err := strconv.Atoi(val)
+			if err != nil || (bit != 0 && bit != 1) {
+				return nil, 0, fmt.Errorf("graph: node %q bias flag %q", n.Name, val)
+			}
+			n.FoldedBias = bit == 1
 		case "statsfrom":
 			if statsFrom, err = strconv.Atoi(val); err != nil || statsFrom < 0 {
 				return nil, 0, fmt.Errorf("graph: node %q statsfrom %q", n.Name, val)

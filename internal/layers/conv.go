@@ -121,16 +121,33 @@ func (c Conv2D) Forward(x, w *tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, err
 	}
 	y := tensor.New(c.OutShape(x.Shape())...)
-	c.dispatchForward(x, w, y)
+	c.dispatchForward(x, w, y, nil)
 	return y, nil
 }
 
-func (c Conv2D) dispatchForward(x, w, y *tensor.Tensor) {
+// ForwardBias computes the convolution plus a per-output-channel bias in the
+// same output-writing sweep (each accumulator starts at bias[oc] instead of
+// zero, so the bias costs no extra feature-map traffic). It is the kernel a
+// folded CONV+BN runs at inference: the BN's affine map is absorbed into the
+// weights and this bias (see internal/graph FoldBN).
+func (c Conv2D) ForwardBias(x, w, bias *tensor.Tensor) (*tensor.Tensor, error) {
+	if err := c.checkForward(x, w); err != nil {
+		return nil, err
+	}
+	if bias.Rank() != 1 || bias.Dim(0) != c.OutChannels {
+		return nil, fmt.Errorf("conv: bias shape %v, want [%d]", bias.Shape(), c.OutChannels)
+	}
+	y := tensor.New(c.OutShape(x.Shape())...)
+	c.dispatchForward(x, w, y, bias.Data)
+	return y, nil
+}
+
+func (c Conv2D) dispatchForward(x, w, y *tensor.Tensor, bias []float32) {
 	if !c.pool.Serial() && x.Dim(0) > 1 {
-		c.forwardParallel(x, w, y)
+		c.forwardParallel(x, w, y, bias)
 		return
 	}
-	c.forwardInto(x, w, y)
+	c.forwardInto(x, w, y, bias)
 }
 
 func (c Conv2D) dispatchBackward(dy, x, w, dx, dw *tensor.Tensor) {
@@ -143,7 +160,10 @@ func (c Conv2D) dispatchBackward(dy, x, w, dx, dw *tensor.Tensor) {
 
 // forwardInto runs the inner loops; y must already have the output shape.
 // It is shared with the fused kernels in internal/kernels via ForwardInto.
-func (c Conv2D) forwardInto(x, w, y *tensor.Tensor) {
+// A non-nil bias (length Cout) seeds each output accumulator — the folded
+// CONV+BN path — and a nil bias seeds zero, reproducing the plain
+// convolution bit for bit.
+func (c Conv2D) forwardInto(x, w, y *tensor.Tensor, bias []float32) {
 	n, cin, h, wd := x.Dims4()
 	_, cout, oh, ow := y.Dims4()
 	kh, kw, s, p := c.KernelH, c.KernelW, c.Stride, c.Pad
@@ -156,11 +176,15 @@ func (c Conv2D) forwardInto(x, w, y *tensor.Tensor) {
 			icLo := (oc / coutG) * cinG
 			wBase := oc * cinG * kh * kw
 			outBase := (in*cout + oc) * oh * ow
+			var b0 float32
+			if bias != nil {
+				b0 = bias[oc]
+			}
 			for oy := 0; oy < oh; oy++ {
 				iy0 := oy*s - p
 				for ox := 0; ox < ow; ox++ {
 					ix0 := ox*s - p
-					var acc float32
+					acc := b0
 					for ig := 0; ig < cinG; ig++ {
 						inBase := (in*cin + icLo + ig) * h * wd
 						wcBase := wBase + ig*kh*kw
@@ -196,7 +220,7 @@ func (c Conv2D) ForwardInto(x, w, y *tensor.Tensor) error {
 	if !y.Shape().Equal(c.OutShape(x.Shape())) {
 		return fmt.Errorf("conv: output shape %v, want %v", y.Shape(), c.OutShape(x.Shape()))
 	}
-	c.dispatchForward(x, w, y)
+	c.dispatchForward(x, w, y, nil)
 	return nil
 }
 

@@ -49,11 +49,12 @@ func sampleView(t *tensor.Tensor, i int) *tensor.Tensor {
 
 // forwardParallel runs forwardInto with the pool's goroutines splitting the
 // mini-batch. Per-sample outputs are disjoint, so the result is bit-identical
-// to serial execution.
-func (c Conv2D) forwardParallel(x, w, y *tensor.Tensor) {
+// to serial execution. The optional bias (folded CONV+BN) is read-only and
+// shared across workers.
+func (c Conv2D) forwardParallel(x, w, y *tensor.Tensor, bias []float32) {
 	c.pool.Run(x.Dim(0), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			c.forwardInto(sampleView(x, i), w, sampleView(y, i))
+			c.forwardInto(sampleView(x, i), w, sampleView(y, i), bias)
 		}
 	})
 }

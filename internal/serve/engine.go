@@ -1,0 +1,262 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"bnff/internal/core"
+	"bnff/internal/graph"
+	"bnff/internal/tensor"
+)
+
+// ErrBadImage is wrapped by Predict when the submitted image has the wrong
+// number of floats for the served model (HTTP 400, not a server fault).
+var ErrBadImage = fmt.Errorf("serve: bad image")
+
+// request is one queued image awaiting a batch slot. resp is buffered so a
+// replica never blocks on a caller that gave up.
+type request struct {
+	img   []float32
+	start int64 // Clock reading at enqueue, for latency accounting
+	resp  chan result
+}
+
+type result struct {
+	logits []float32
+	err    error
+}
+
+// Engine is the micro-batching inference server: a bounded request queue
+// drained by Replicas worker goroutines, each coalescing up to MaxBatch
+// queued images into one executor forward pass.
+type Engine struct {
+	cfg     Config
+	builder Builder
+	ckpt    []byte // checkpoint image every replica executor loads from
+
+	imgShape tensor.Shape // per-image dims (input shape minus batch)
+	imgLen   int
+	classes  int
+
+	queue    chan *request
+	stop     chan struct{} // closed by Close: replicas finish and exit
+	done     chan struct{} // closed by Close after replicas exit and the queue drains
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+	rejected atomic.Uint64
+
+	replicas []*replica
+}
+
+// Load builds an Engine: it validates the config, reads the checkpoint into
+// memory, builds a probe executor at batch size 1 to check that the
+// checkpoint matches the model (and, with FoldBN set, that the fold pass
+// accepts it), and starts the replica workers. Close releases them.
+func Load(builder Builder, ckpt io.Reader, cfg Config) (*Engine, error) {
+	e, err := newEngine(builder, ckpt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.start()
+	return e, nil
+}
+
+// newEngine does everything Load does except starting the replica loops.
+// Split out so tests can exercise queueing against a quiescent engine.
+func newEngine(builder Builder, ckpt io.Reader, cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	blob, err := io.ReadAll(ckpt)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading checkpoint: %w", err)
+	}
+	e := &Engine{
+		cfg:     cfg,
+		builder: builder,
+		ckpt:    blob,
+		queue:   make(chan *request, cfg.QueueDepth),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+
+	// Probe at batch size 1: resolves the input/output shapes and fails fast
+	// on a checkpoint/model mismatch before any request is accepted.
+	probe, err := e.buildExecutor(1)
+	if err != nil {
+		return nil, err
+	}
+	in := inputNode(probe.G)
+	if in == nil {
+		return nil, fmt.Errorf("serve: model graph has no input node")
+	}
+	if len(in.OutShape) < 2 {
+		return nil, fmt.Errorf("serve: model input shape %v has no batch dimension", in.OutShape)
+	}
+	e.imgShape = in.OutShape[1:].Clone()
+	e.imgLen = 1
+	for _, d := range e.imgShape {
+		e.imgLen *= d
+	}
+	out := probe.G.Output.OutShape
+	if len(out) != 2 || out[0] != 1 {
+		return nil, fmt.Errorf("serve: model output shape %v, want [batch classes] logits", out)
+	}
+	e.classes = out[1]
+
+	e.replicas = make([]*replica, cfg.Replicas)
+	for i := range e.replicas {
+		e.replicas[i] = &replica{
+			e:     e,
+			index: i,
+			execs: map[int]*core.Executor{},
+			stats: replicaStats{batchHist: make([]uint64, cfg.MaxBatch)},
+		}
+	}
+	// The probe is a perfectly good batch-1 executor; seed replica 0 with it.
+	e.replicas[0].execs[1] = probe
+	return e, nil
+}
+
+// buildExecutor constructs and checkpoint-loads an inference executor at the
+// given batch size, folded when the config asks for it.
+func (e *Engine) buildExecutor(batch int) (*core.Executor, error) {
+	g, err := e.builder(batch)
+	if err != nil {
+		return nil, fmt.Errorf("serve: building batch-%d graph: %w", batch, err)
+	}
+	opts := []core.Option{
+		core.WithSeed(e.cfg.Seed),
+		core.WithWorkers(e.cfg.Workers),
+		core.WithInference(),
+	}
+	if e.cfg.FoldBN {
+		opts = append(opts, core.WithFoldedBN())
+	}
+	exec, err := core.NewExecutor(g, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("serve: batch-%d executor: %w", batch, err)
+	}
+	if err := exec.Load(bytes.NewReader(e.ckpt)); err != nil {
+		return nil, fmt.Errorf("serve: loading checkpoint into batch-%d executor: %w", batch, err)
+	}
+	return exec, nil
+}
+
+// inputNode finds the graph's (single) input node.
+func inputNode(g *graph.Graph) *graph.Node {
+	for _, n := range g.Live() {
+		if n.Kind == graph.OpInput {
+			return n
+		}
+	}
+	return nil
+}
+
+func (e *Engine) start() {
+	for _, r := range e.replicas {
+		e.wg.Add(1)
+		go r.loop()
+	}
+}
+
+// now reads the injected clock, or 0 without one (latencies then record as
+// zero; everything else is unaffected).
+func (e *Engine) now() int64 {
+	if e.cfg.Clock != nil {
+		return e.cfg.Clock()
+	}
+	return 0
+}
+
+// ImageLen returns the number of floats one request image must carry.
+func (e *Engine) ImageLen() int { return e.imgLen }
+
+// Classes returns the width of the logits vector Predict returns.
+func (e *Engine) Classes() int { return e.classes }
+
+// Predict enqueues one image and blocks until a replica answers with the
+// model's logits. It returns ErrOverloaded without blocking when the queue is
+// full, ErrBadImage (wrapped) on a wrong-sized image, and ErrClosed once the
+// engine has shut down.
+func (e *Engine) Predict(img []float32) ([]float32, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	if len(img) != e.imgLen {
+		return nil, fmt.Errorf("%w: got %d floats, model takes %d", ErrBadImage, len(img), e.imgLen)
+	}
+	req := &request{img: img, start: e.now(), resp: make(chan result, 1)}
+	select {
+	case e.queue <- req:
+	default:
+		e.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	select {
+	case res := <-req.resp:
+		return res.logits, res.err
+	case <-e.done:
+		// Shut down while we waited; a reply may still have raced in.
+		select {
+		case res := <-req.resp:
+			return res.logits, res.err
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Stats snapshots the serving counters, merging the per-replica accumulators
+// in replica-index order so the result is deterministic for a given history.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Rejected:   e.rejected.Load(),
+		QueueDepth: len(e.queue),
+		BatchHist:  make([]uint64, e.cfg.MaxBatch),
+	}
+	var lat [latBuckets]uint64
+	for _, r := range e.replicas {
+		r.stats.mu.Lock()
+		st.Requests += r.stats.requests
+		st.Batches += r.stats.batches
+		for i, c := range r.stats.batchHist {
+			st.BatchHist[i] += c
+		}
+		for i, c := range r.stats.latHist {
+			lat[i] += c
+		}
+		r.stats.mu.Unlock()
+	}
+	st.P50Nanos = quantile(&lat, 0.50)
+	st.P99Nanos = quantile(&lat, 0.99)
+	return st
+}
+
+// Closed reports whether Close has begun.
+func (e *Engine) Closed() bool { return e.closed.Load() }
+
+// Close shuts the engine down: no new requests are accepted, in-flight
+// batches finish, replicas exit, and any requests still queued are answered
+// with ErrClosed. Close is idempotent; only the first call does the work.
+func (e *Engine) Close() {
+	if !e.closed.CompareAndSwap(false, true) {
+		<-e.done
+		return
+	}
+	close(e.stop)
+	e.wg.Wait()
+	for {
+		select {
+		case req := <-e.queue:
+			req.resp <- result{err: ErrClosed}
+		default:
+			close(e.done)
+			return
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"time"
+
+	"bnff/internal/core"
+	"bnff/internal/tensor"
+)
+
+// replica is one inference worker. It owns its executors outright — one per
+// observed batch size, because graphs carry a static batch dimension — so
+// replicas never share mutable model state and need no locking on the
+// inference path.
+type replica struct {
+	e     *Engine
+	index int
+	execs map[int]*core.Executor // keyed by batch size, loop-goroutine-local after start
+	stats replicaStats
+	buf   []*request // reusable collect buffer
+}
+
+// loop drains the engine queue until Close: block for one request, coalesce
+// followers into a mini-batch, run it, reply to every caller.
+func (r *replica) loop() {
+	defer r.e.wg.Done()
+	for {
+		select {
+		case first := <-r.e.queue:
+			r.run(r.collect(first))
+		case <-r.e.stop:
+			return
+		}
+	}
+}
+
+// collect coalesces queued requests behind first into one batch: it returns
+// as soon as MaxBatch images are in hand or the MaxWait deadline passes
+// (MaxWait 0: take only what is already queued). On shutdown it returns what
+// it holds so no accepted request goes unanswered.
+func (r *replica) collect(first *request) []*request {
+	batch := append(r.buf[:0], first)
+	max := r.e.cfg.MaxBatch
+	if max == 1 {
+		return batch
+	}
+	if r.e.cfg.MaxWait <= 0 {
+		for len(batch) < max {
+			select {
+			case req := <-r.e.queue:
+				batch = append(batch, req)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(r.e.cfg.MaxWait)
+	defer timer.Stop()
+	for len(batch) < max {
+		select {
+		case req := <-r.e.queue:
+			batch = append(batch, req)
+		case <-timer.C:
+			return batch
+		case <-r.e.stop:
+			return batch
+		}
+	}
+	return batch
+}
+
+// run packs the batch into one input tensor, executes a forward pass on the
+// batch-size-matched executor, and slices the logits back out per request.
+// Inference has no cross-sample reductions, so each row is bit-identical to
+// what a batch-1 pass over the same image would produce.
+func (r *replica) run(batch []*request) {
+	r.buf = batch[:0] // reclaim the backing array for the next collect
+	k := len(batch)
+	exec, err := r.exec(k)
+	if err != nil {
+		r.fail(batch, err)
+		return
+	}
+	shape := append(tensor.Shape{k}, r.e.imgShape...)
+	x := tensor.New(shape...)
+	for i, req := range batch {
+		copy(x.Data[i*r.e.imgLen:(i+1)*r.e.imgLen], req.img)
+	}
+	y, err := exec.Forward(x)
+	if err != nil {
+		r.fail(batch, err)
+		return
+	}
+	per := r.e.classes
+	end := r.e.now()
+	lats := make([]int64, k)
+	for i, req := range batch {
+		logits := make([]float32, per)
+		copy(logits, y.Data[i*per:(i+1)*per])
+		req.resp <- result{logits: logits}
+		lats[i] = end - req.start
+	}
+	r.stats.record(k, lats)
+}
+
+// exec returns the replica's executor for batch size k, building and
+// checkpoint-loading it on first use.
+func (r *replica) exec(k int) (*core.Executor, error) {
+	if ex, ok := r.execs[k]; ok {
+		return ex, nil
+	}
+	ex, err := r.e.buildExecutor(k)
+	if err != nil {
+		return nil, err
+	}
+	r.execs[k] = ex
+	return ex, nil
+}
+
+func (r *replica) fail(batch []*request, err error) {
+	for _, req := range batch {
+		req.resp <- result{err: err}
+	}
+}

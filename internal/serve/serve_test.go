@@ -1,0 +1,378 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bnff/internal/core"
+	"bnff/internal/graph"
+	"bnff/internal/models"
+	"bnff/internal/tensor"
+)
+
+func tinyCNN(batch int) (*graph.Graph, error) { return models.Build("tiny-cnn", batch) }
+
+// testCheckpoint builds a tiny-cnn checkpoint with meaningful running
+// statistics (a few tracked forward passes over random data).
+func testCheckpoint(t testing.TB) []byte {
+	t.Helper()
+	g, err := tinyCNN(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := core.NewExecutor(g, core.WithSeed(11), core.WithRunningStats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(12)
+	for i := 0; i < 4; i++ {
+		x := tensor.New(g.Nodes[0].OutShape...)
+		rng.FillNormal(x, 0, 1)
+		if _, err := ex.Forward(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := ex.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func equalF32(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The acceptance test of the batching contract: 64 concurrent single-image
+// requests pushed through a MaxBatch-8, two-replica folded server must each
+// come back bit-identical to a serial batch-1 pass over the same checkpoint.
+func TestServeBatchedBitIdentity(t *testing.T) {
+	ckpt := testCheckpoint(t)
+	eng, err := Load(tinyCNN, bytes.NewReader(ckpt), Config{
+		MaxBatch: 8, Replicas: 2, QueueDepth: 128, FoldBN: true, MaxWait: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	const n = 64
+	images := make([][]float32, n)
+	rng := tensor.NewRNG(21)
+	for i := range images {
+		x := tensor.New(eng.ImageLen())
+		rng.FillNormal(x, 0, 1)
+		images[i] = x.Data
+	}
+
+	// Serial batch-1 reference over the identical folded compilation.
+	g1, err := tinyCNN(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.NewExecutor(g1, core.WithFoldedBN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Load(bytes.NewReader(ckpt)); err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]float32, n)
+	for i, img := range images {
+		x, err := tensor.FromSlice(img, append(tensor.Shape{1}, eng.imgShape...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := ref.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = append([]float32(nil), y.Data...)
+	}
+
+	got := make([][]float32, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = eng.Predict(images[i])
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range got {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if !equalF32(got[i], want[i]) {
+			t.Errorf("request %d: batched logits differ bitwise from the serial reference", i)
+		}
+	}
+
+	st := eng.Stats()
+	if st.Requests != n {
+		t.Errorf("stats count %d requests, served %d", st.Requests, n)
+	}
+	var byHist uint64
+	for i, c := range st.BatchHist {
+		byHist += c * uint64(i+1)
+	}
+	if byHist != n {
+		t.Errorf("batch histogram accounts for %d requests, served %d", byHist, n)
+	}
+	if st.Batches == 0 || st.Batches > n {
+		t.Errorf("implausible batch count %d", st.Batches)
+	}
+}
+
+// A full queue sheds deterministically: against a quiescent (never-started)
+// engine the QueueDepth+1-th submission must return ErrOverloaded.
+func TestServeOverloadShedding(t *testing.T) {
+	ckpt := testCheckpoint(t)
+	e, err := newEngine(tinyCNN, bytes.NewReader(ckpt), Config{MaxBatch: 2, Replicas: 1, QueueDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		e.queue <- &request{img: make([]float32, e.imgLen), resp: make(chan result, 1)}
+	}
+	if _, err := e.Predict(make([]float32, e.imgLen)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queue-full Predict returned %v, want ErrOverloaded", err)
+	}
+	st := e.Stats()
+	if st.Rejected != 1 {
+		t.Errorf("Rejected = %d, want 1", st.Rejected)
+	}
+	if st.QueueDepth != 3 {
+		t.Errorf("QueueDepth = %d, want 3", st.QueueDepth)
+	}
+}
+
+func TestServeBadImage(t *testing.T) {
+	ckpt := testCheckpoint(t)
+	eng, err := Load(tinyCNN, bytes.NewReader(ckpt), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.Predict(make([]float32, 7)); !errors.Is(err, ErrBadImage) {
+		t.Errorf("wrong-sized image returned %v, want ErrBadImage", err)
+	}
+}
+
+func TestServeClose(t *testing.T) {
+	ckpt := testCheckpoint(t)
+	eng, err := Load(tinyCNN, bytes.NewReader(ckpt), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Predict(make([]float32, eng.ImageLen())); err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+	eng.Close() // idempotent
+	if _, err := eng.Predict(make([]float32, eng.ImageLen())); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-Close Predict returned %v, want ErrClosed", err)
+	}
+	if !eng.Closed() {
+		t.Error("Closed() false after Close")
+	}
+}
+
+func TestServeHTTP(t *testing.T) {
+	ckpt := testCheckpoint(t)
+	var tick atomic.Int64
+	eng, err := Load(tinyCNN, bytes.NewReader(ckpt), Config{
+		Clock: func() int64 { return tick.Add(1000) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(eng.Handler())
+	defer srv.Close()
+	defer eng.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status %d", resp.StatusCode)
+	}
+
+	img := make([]float32, eng.ImageLen())
+	body, _ := json.Marshal(PredictRequest{Image: img})
+	resp, err = http.Post(srv.URL+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/predict status %d", resp.StatusCode)
+	}
+	if len(pr.Logits) != eng.Classes() || pr.Class < 0 || pr.Class >= eng.Classes() {
+		t.Errorf("/predict returned %d logits, class %d", len(pr.Logits), pr.Class)
+	}
+
+	resp, err = http.Post(srv.URL+"/predict", "application/json", strings.NewReader(`{"image":[1,2,3]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("wrong-sized image: status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/predict", "application/json", strings.NewReader(`not json`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Requests != 1 {
+		t.Errorf("/stats requests %d, want 1", st.Requests)
+	}
+	if st.P50Nanos <= 0 {
+		t.Errorf("p50 %d with an injected clock, want > 0", st.P50Nanos)
+	}
+
+	eng.Close()
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("closed /healthz status %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("closed /predict status %d, want 503", resp.StatusCode)
+	}
+}
+
+// Queue overflow surfaces as HTTP 429 through the handler.
+func TestServeHTTPOverload(t *testing.T) {
+	ckpt := testCheckpoint(t)
+	e, err := newEngine(tinyCNN, bytes.NewReader(ckpt), Config{QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.queue <- &request{img: make([]float32, e.imgLen), resp: make(chan result, 1)}
+	body, _ := json.Marshal(PredictRequest{Image: make([]float32, e.imgLen)})
+	rec := httptest.NewRecorder()
+	e.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/predict", bytes.NewReader(body)))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Errorf("overloaded /predict status %d, want 429", rec.Code)
+	}
+}
+
+func TestServeConfigValidate(t *testing.T) {
+	ckpt := testCheckpoint(t)
+	if _, err := Load(tinyCNN, bytes.NewReader(ckpt), Config{MaxWait: -time.Second}); err == nil {
+		t.Error("negative MaxWait accepted")
+	}
+	if _, err := Load(tinyCNN, bytes.NewReader(ckpt), Config{Replicas: -1}); err == nil {
+		t.Error("negative Replicas accepted")
+	}
+}
+
+// The latency histogram and its quantiles are pure functions of the recorded
+// durations: same observations, same p50/p99, independent of arrival order.
+func TestStatsQuantileDeterminism(t *testing.T) {
+	mk := func(lats []int64) (int64, int64) {
+		s := replicaStats{batchHist: make([]uint64, 8)}
+		s.record(len(lats), lats)
+		return quantile(&s.latHist, 0.50), quantile(&s.latHist, 0.99)
+	}
+	lats := make([]int64, 100)
+	for i := range lats {
+		lats[i] = 100 // bucket 7: [64,128)
+	}
+	lats[99] = 1 << 20 // bucket 21
+	p50a, p99a := mk(lats)
+	// Reverse order: identical histogram, identical quantiles.
+	rev := make([]int64, len(lats))
+	for i := range lats {
+		rev[i] = lats[len(lats)-1-i]
+	}
+	p50b, p99b := mk(rev)
+	if p50a != p50b || p99a != p99b {
+		t.Fatalf("quantiles depend on arrival order: (%d,%d) vs (%d,%d)", p50a, p99a, p50b, p99b)
+	}
+	if p50a != 127 {
+		t.Errorf("p50 = %d, want 127 (upper bound of the [64,128) bucket)", p50a)
+	}
+	if p99a != 127 {
+		t.Errorf("p99 = %d, want 127 (rank 99 of 100 still in the small bucket)", p99a)
+	}
+	lats[98] = 1 << 20 // two large observations push rank 99 into bucket 21
+	_, p99c := mk(lats)
+	if p99c != 1<<21-1 {
+		t.Errorf("p99 = %d, want %d", p99c, 1<<21-1)
+	}
+}
+
+func benchServe(b *testing.B, maxBatch int) {
+	ckpt := testCheckpoint(b)
+	eng, err := Load(tinyCNN, bytes.NewReader(ckpt), Config{
+		MaxBatch: maxBatch, Replicas: 2, QueueDepth: 1024, FoldBN: true, MaxWait: time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	img := make([]float32, eng.ImageLen())
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := eng.Predict(img); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Batched vs per-image serving throughput: the micro-batcher's win is that
+// every fixed per-dispatch cost is amortized over up to MaxBatch requests.
+func BenchmarkServePerImage(b *testing.B) { benchServe(b, 1) }
+func BenchmarkServeBatched(b *testing.B)  { benchServe(b, 8) }

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// PredictRequest is the POST /predict body: one image as a flat float array
+// in the model's input layout (channels × height × width, row-major).
+type PredictRequest struct {
+	Image []float32 `json:"image"`
+}
+
+// PredictResponse is the POST /predict reply.
+type PredictResponse struct {
+	Logits []float32 `json:"logits"`
+	Class  int       `json:"class"` // argmax of Logits (lowest index wins ties)
+}
+
+// Handler returns the engine's HTTP ops surface:
+//
+//	POST /predict  one image in, logits + argmax class out
+//	GET  /healthz  200 while serving, 503 once closed
+//	GET  /stats    Stats snapshot as JSON
+//
+// Load shedding maps to status codes: a full queue answers 429, a closed
+// engine 503, a malformed or wrong-sized image 400.
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /predict", e.handlePredict)
+	mux.HandleFunc("GET /healthz", e.handleHealthz)
+	mux.HandleFunc("GET /stats", e.handleStats)
+	return mux
+}
+
+func (e *Engine) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var in PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	logits, err := e.Predict(in.Image)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, ErrBadImage):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp := PredictResponse{Logits: logits}
+	for i, v := range logits {
+		if v > logits[resp.Class] {
+			resp.Class = i
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if e.Closed() {
+		http.Error(w, "closed", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (e *Engine) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, e.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing useful left to report to the client.
+		return
+	}
+}
+
+// shutdownGrace bounds how long Daemon waits for in-flight HTTP requests
+// after a termination signal.
+const shutdownGrace = 10 * time.Second
+
+// Daemon serves the engine's Handler on addr until ctx is canceled or the
+// process receives SIGINT/SIGTERM, then shuts down gracefully: the listener
+// closes, in-flight requests get shutdownGrace to finish, and the engine
+// drains via Close. It returns nil on a clean signal-driven exit. Signal
+// handling lives here rather than in cmd/bnff-serve because the serving
+// runtime is the module's allowlisted concurrency domain.
+func Daemon(ctx context.Context, addr string, e *Engine) error {
+	ctx, unhook := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer unhook()
+
+	srv := &http.Server{Addr: addr, Handler: e.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		// Listener failed before any signal (e.g. port in use).
+		e.Close()
+		return err
+	case <-ctx.Done():
+	}
+	sdCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	err := srv.Shutdown(sdCtx)
+	e.Close()
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
+		err = serveErr
+	}
+	return err
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// Latency is tracked in power-of-two nanosecond buckets: an observation of n
+// nanoseconds lands in bucket bits.Len64(n), so bucket i covers [2^(i-1), 2^i).
+// Quantiles read the bucket upper bound, which makes p50/p99 a pure function
+// of the multiset of recorded durations — no sampling, no reservoir, the same
+// answer on every run with the same (injected) clock.
+const latBuckets = 65
+
+// replicaStats is one replica's counters. Each replica owns its own struct so
+// the hot path contends only with the /stats reader, never with other
+// replicas; Engine.Stats merges them in replica-index order.
+type replicaStats struct {
+	mu        sync.Mutex
+	requests  uint64
+	batches   uint64
+	batchHist []uint64 // index i counts batches of size i+1
+	latHist   [latBuckets]uint64
+}
+
+// record logs one dispatched batch and its per-request latencies.
+func (s *replicaStats) record(batch int, latNs []int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests += uint64(len(latNs))
+	s.batches++
+	if batch >= 1 && batch <= len(s.batchHist) {
+		s.batchHist[batch-1]++
+	}
+	for _, ns := range latNs {
+		if ns < 0 {
+			ns = 0
+		}
+		s.latHist[bits.Len64(uint64(ns))]++
+	}
+}
+
+// Stats is a point-in-time snapshot of the engine's serving counters,
+// merged across replicas.
+type Stats struct {
+	// Requests is the number of images answered by an inference batch.
+	Requests uint64 `json:"requests"`
+	// Batches is the number of coalesced mini-batches dispatched.
+	Batches uint64 `json:"batches"`
+	// Rejected counts load-shed requests (queue full → ErrOverloaded/429).
+	Rejected uint64 `json:"rejected"`
+	// QueueDepth is the instantaneous number of queued requests.
+	QueueDepth int `json:"queue_depth"`
+	// BatchHist[i] is the number of dispatched batches of size i+1, up to
+	// MaxBatch.
+	BatchHist []uint64 `json:"batch_hist"`
+	// P50Nanos and P99Nanos are latency quantiles (enqueue to reply) from
+	// the power-of-two histogram; zero until requests have been served or
+	// when no Clock was injected.
+	P50Nanos int64 `json:"p50_ns"`
+	P99Nanos int64 `json:"p99_ns"`
+}
+
+// quantile returns the upper bound of the first histogram bucket whose
+// cumulative count reaches the q-quantile rank.
+func quantile(hist *[latBuckets]uint64, q float64) int64 {
+	var total uint64
+	for _, c := range hist {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range hist {
+		cum += c
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(latBuckets - 1)
+}
+
+// bucketUpper is the largest duration bucket i can hold (the top buckets
+// saturate at MaxInt64).
+func bucketUpper(i int) int64 {
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(i) - 1
+}
