@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint bench smoke check
+.PHONY: build test vet race lint bench smoke profile-smoke check
 
 build:
 	$(GO) build ./...
@@ -21,12 +21,14 @@ race:
 # bnff-lint is the repo's own static-analysis suite (internal/analysis). It
 # enforces the determinism, pool-dispatch, and numerics contracts the README
 # "Static analysis" section documents: no ad-hoc goroutines or channels
-# outside the allowlisted concurrency domains internal/parallel and
-# internal/serve (poolonly), no order-sensitive sinks in map
+# outside the allowlisted concurrency domains internal/parallel,
+# internal/serve, and internal/obs (poolonly), no order-sensitive sinks in map
 # ranges (maporder), no package-level mutable state in the hot-path packages
 # (noglobals), det-reduce markers on every cross-partition combine loop
-# (detreduce), and all randomness through the seeded tensor RNG
-# (seededrand). Suppress individual findings with
+# (detreduce), all randomness through the seeded tensor RNG and all library
+# timing through injected clocks (seededrand), and no deprecated
+# compatibility shims in cmd/ or examples/ (deprecated). Suppress individual
+# findings with
 # "//lint:ignore <analyzer> <reason>" on or directly above the line.
 lint:
 	$(GO) run ./cmd/bnff-lint ./...
@@ -41,4 +43,10 @@ bench:
 smoke:
 	./scripts/serve-smoke.sh
 
-check: vet race lint smoke
+# End-to-end check of cmd/bnff-profile: traced training step per scenario
+# under the deterministic step clock, JSON-valid Chrome traces, byte-identical
+# across runs.
+profile-smoke:
+	./scripts/profile-smoke.sh
+
+check: vet race lint smoke profile-smoke

@@ -9,6 +9,11 @@
 //
 // Experiment identifiers: table1, fig1, fig3, fig4, fig6, fig7, fig8, gpu,
 // headline, or "all".
+//
+// With -profile (optionally -trace), bnff-bench instead prints the *modeled*
+// per-class layer breakdown of one model across every restructuring scenario
+// and writes the modeled Chrome traces — the analytical counterpart of
+// bnff-profile's measured run.
 package main
 
 import (
@@ -18,24 +23,95 @@ import (
 	"math"
 	"os"
 	"strconv"
+	"strings"
 
+	"bnff/internal/core"
 	"bnff/internal/experiments"
-	"bnff/internal/layers"
-	"bnff/internal/parallel"
+	"bnff/internal/graph"
+	"bnff/internal/memsim"
+	"bnff/internal/models"
+	"bnff/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (table1, fig1..fig8, gpu, headline, ext-mobilenet, all)")
 	batch := flag.Int("batch", experiments.DefaultBatch, "mini-batch size for the simulated training iteration")
 	format := flag.String("format", "text", "output format: text, csv")
-	workers := flag.Int("workers", layers.DefaultConvWorkers(), "worker goroutines for any numeric executor built in-process (analytical experiments are unaffected)")
+	profile := flag.Bool("profile", false, "print the modeled layer breakdown of -model per scenario instead of running experiments")
+	model := flag.String("model", "tiny-densenet", fmt.Sprintf("model for -profile/-trace: one of %v", models.Names()))
+	tracePfx := flag.String("trace", "", "with -profile: path prefix for modeled Chrome trace files (<prefix>.<scenario>.model.trace.json)")
 	flag.Parse()
 
-	parallel.SetDefault(*workers)
-	if err := run(*exp, *batch, *format); err != nil {
+	var err error
+	if *profile || *tracePfx != "" {
+		err = runProfile(*model, *batch, *tracePfx)
+	} else {
+		err = run(*exp, *batch, *format)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bnff-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// runProfile prints the memsim-predicted per-class breakdown for every
+// restructuring scenario of one model and optionally writes the modeled
+// Chrome traces. Breakdown rows reuse obs's table renderer, so this output
+// lines up column-for-column with bnff-profile's measured tables.
+func runProfile(model string, batch int, tracePfx string) error {
+	fmt.Printf("modeled breakdown: model=%s batch=%d machine=Skylake\n\n", model, batch)
+	for _, scenario := range core.Scenarios() {
+		g, err := models.Build(model, batch)
+		if err != nil {
+			return err
+		}
+		if err := core.Restructure(g, scenario.Options()); err != nil {
+			return err
+		}
+		report, err := memsim.Simulate(g, memsim.Skylake())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== %v ==\n", scenario)
+		total := report.Total()
+		byClass := report.TimeByClass()
+		fwd, bwd := report.PassTime(graph.Forward), report.PassTime(graph.Backward)
+		fmt.Printf("%-14s %10s %9s\n", "class", "total ms", "share")
+		for _, row := range obs.CompareShares(nil, sharesOf(byClass, total)) {
+			fmt.Printf("%-14s %10.3f %8.1f%%\n", row.Cat, row.Modeled*total*1e3, 100*row.Modeled)
+		}
+		conv, nonConv := report.ConvSplit()
+		fmt.Printf("total %.3f ms (fwd %.3f, bwd %.3f); non-CONV %.1f%%\n\n",
+			total*1e3, fwd*1e3, bwd*1e3, 100*nonConv/(conv+nonConv))
+		if tracePfx != "" {
+			name := strings.ReplaceAll(strings.ToLower(scenario.String()), "+", "-")
+			path := fmt.Sprintf("%s.%s.model.trace.json", tracePfx, name)
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := report.ChromeTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("trace: %s\n\n", path)
+		}
+	}
+	return nil
+}
+
+func sharesOf(byClass map[graph.LayerClass]float64, total float64) map[string]float64 {
+	out := make(map[string]float64, len(byClass))
+	if total == 0 {
+		return out
+	}
+	for cls, t := range byClass {
+		out[cls.String()] = t / total
+	}
+	return out
 }
 
 func collect(exp string, batch int) ([]*experiments.Experiment, error) {

@@ -1,0 +1,238 @@
+// bnff-profile measures where training time actually goes and compares it
+// with the analytical machine model's prediction. For each restructuring
+// scenario it runs real traced training steps on a scaled model, prints the
+// paper-Figure-1-style layer breakdown (measured share next to the memsim
+// modeled share), and writes measured and modeled Chrome traces that load
+// side by side in chrome://tracing or ui.perfetto.dev.
+//
+// Usage:
+//
+//	bnff-profile -model tiny-densenet
+//	bnff-profile -model tiny-resnet -steps 3 -workers 4 -trace out/resnet
+//	bnff-profile -model tiny-cnn -clock step        # deterministic traces
+//
+// Files written per scenario (prefix from -trace, empty disables):
+//
+//	<prefix>.<scenario>.trace.json        measured spans
+//	<prefix>.<scenario>.model.trace.json  memsim prediction
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"bnff/internal/core"
+	"bnff/internal/graph"
+	"bnff/internal/memsim"
+	"bnff/internal/models"
+	"bnff/internal/obs"
+	"bnff/internal/train"
+	"bnff/internal/workload"
+)
+
+func main() {
+	model := flag.String("model", "tiny-densenet", fmt.Sprintf("model: one of %v", models.Names()))
+	batch := flag.Int("batch", 16, "mini-batch size")
+	steps := flag.Int("steps", 1, "traced training steps per scenario")
+	workers := flag.Int("workers", 1, "worker goroutines per executor")
+	tracePfx := flag.String("trace", "bnff-profile", "path prefix for Chrome trace files (empty: no files)")
+	clock := flag.String("clock", "wall", "span clock: wall (real time) or step (deterministic fake)")
+	seed := flag.Uint64("seed", 42, "parameter and data seed")
+	flag.Parse()
+
+	if err := run(*model, *batch, *steps, *workers, *tracePfx, *clock, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "bnff-profile:", err)
+		os.Exit(1)
+	}
+}
+
+// newClock builds the tracer clock named by -clock. The step clock advances a
+// fixed stride per reading, so span layout depends only on the recording
+// order — two runs of the same build produce byte-identical trace files.
+func newClock(kind string) (func() int64, error) {
+	switch kind {
+	case "wall":
+		return obs.WallClock(), nil
+	case "step":
+		return obs.StepClock(1000), nil
+	default:
+		return nil, fmt.Errorf("unknown clock %q (want wall, step)", kind)
+	}
+}
+
+// scenarioResult is one scenario's measured and modeled outcome.
+type scenarioResult struct {
+	scenario core.Scenario
+	measured obs.Breakdown
+	modeled  map[string]float64 // share of modeled iteration time per class
+	modelSec float64            // memsim total iteration seconds
+}
+
+func run(model string, batch, steps, workers int, tracePfx, clockKind string, seed uint64) error {
+	if steps < 1 {
+		return fmt.Errorf("steps %d < 1", steps)
+	}
+	fmt.Printf("model=%s batch=%d steps=%d workers=%d clock=%s machine=Skylake\n\n",
+		model, batch, steps, workers, clockKind)
+
+	var results []scenarioResult
+	for _, scenario := range core.Scenarios() {
+		res, err := profileScenario(model, scenario, batch, steps, workers, tracePfx, clockKind, seed)
+		if err != nil {
+			return fmt.Errorf("%v: %w", scenario, err)
+		}
+		results = append(results, res)
+
+		fmt.Printf("== %v ==\n", scenario)
+		if err := res.measured.WriteTable(os.Stdout, res.modeled); err != nil {
+			return err
+		}
+		fmt.Printf("measured %.1f ms over %d step(s); model predicts %.3f ms/iteration\n\n",
+			float64(res.measured.TotalNs)/1e6, steps, res.modelSec*1e3)
+	}
+	return summarize(os.Stdout, results)
+}
+
+func profileScenario(model string, scenario core.Scenario, batch, steps, workers int,
+	tracePfx, clockKind string, seed uint64) (scenarioResult, error) {
+
+	g, err := models.Build(model, batch)
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	if err := core.Restructure(g, scenario.Options()); err != nil {
+		return scenarioResult{}, err
+	}
+
+	report, err := memsim.Simulate(g, memsim.Skylake())
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	res := scenarioResult{
+		scenario: scenario,
+		modeled:  modeledShares(report),
+		modelSec: report.Total(),
+	}
+
+	clk, err := newClock(clockKind)
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	tracer := obs.NewTracer(clk)
+	exec, err := core.NewExecutor(g, core.WithSeed(seed), core.WithWorkers(workers), core.WithTracer(tracer))
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	data, err := workload.New(workload.Config{
+		Classes: g.Output.OutShape[1], Channels: 3, Size: g.Nodes[0].OutShape[2],
+		Noise: 0.3, Seed: seed + 1,
+	})
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	tr, err := train.NewTrainer(exec, data, train.WithBatchSize(batch))
+	if err != nil {
+		return scenarioResult{}, err
+	}
+	if _, err := tr.Run(steps); err != nil {
+		return scenarioResult{}, err
+	}
+	res.measured = obs.LayerBreakdown(tracer.Spans())
+
+	if tracePfx != "" {
+		if err := writeTraces(tracePfx, scenario, tracer, report); err != nil {
+			return scenarioResult{}, err
+		}
+	}
+	return res, nil
+}
+
+// modeledShares converts a memsim report into per-class time shares keyed
+// like the measured breakdown (graph.LayerClass names).
+func modeledShares(r *memsim.Report) map[string]float64 {
+	total := r.Total()
+	out := make(map[string]float64)
+	if total == 0 {
+		return out
+	}
+	for cls, t := range r.TimeByClass() {
+		out[cls.String()] = t / total
+	}
+	return out
+}
+
+// fileScenario flattens a scenario name for a filename ("BNFF+ICF" →
+// "bnff-icf").
+func fileScenario(s core.Scenario) string {
+	name := strings.ToLower(s.String())
+	name = strings.ReplaceAll(name, "+", "-")
+	return name
+}
+
+func writeTraces(prefix string, scenario core.Scenario, tracer *obs.Tracer, report *memsim.Report) error {
+	measured := fmt.Sprintf("%s.%s.trace.json", prefix, fileScenario(scenario))
+	f, err := os.Create(measured)
+	if err != nil {
+		return err
+	}
+	// pid 1 measured, pid 2 modeled: the two processes sit side by side when
+	// both files load into one viewer.
+	if err := obs.WriteChromeTrace(f, tracer.Spans(), 1); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	modeled := fmt.Sprintf("%s.%s.model.trace.json", prefix, fileScenario(scenario))
+	f, err = os.Create(modeled)
+	if err != nil {
+		return err
+	}
+	if err := report.ChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("traces: %s, %s\n", measured, modeled)
+	return nil
+}
+
+// summarize prints the cross-scenario table the paper's Figure 1 motivates:
+// how much of the iteration is not convolution, measured vs modeled, and how
+// far restructuring shrinks it relative to the baseline.
+func summarize(w *os.File, results []scenarioResult) error {
+	convName := graph.ClassConv.String()
+	nonConv := func(r scenarioResult) (measured, modeled float64) {
+		measured = 1 - r.measured.ShareOf(convName)
+		var convShare float64
+		for _, row := range obs.CompareShares(nil, r.modeled) {
+			if row.Cat == convName {
+				convShare = row.Modeled
+			}
+		}
+		return measured, 1 - convShare
+	}
+
+	fmt.Fprintf(w, "== non-CONV share by scenario (measured vs modeled) ==\n")
+	fmt.Fprintf(w, "%-10s %12s %12s %12s\n", "scenario", "total ms", "non-CONV", "modeled")
+	sort.SliceStable(results, func(i, j int) bool { return results[i].scenario < results[j].scenario })
+	for _, r := range results {
+		m, p := nonConv(r)
+		fmt.Fprintf(w, "%-10v %12.3f %11.1f%% %11.1f%%\n",
+			r.scenario, float64(r.measured.TotalNs)/1e6, 100*m, 100*p)
+	}
+	if len(results) > 1 {
+		base, _ := nonConv(results[0])
+		last := results[len(results)-1]
+		m, _ := nonConv(last)
+		fmt.Fprintf(w, "\nnon-CONV share: %.1f%% (%v) -> %.1f%% (%v)\n",
+			100*base, results[0].scenario, 100*m, last.scenario)
+	}
+	return nil
+}

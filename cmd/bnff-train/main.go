@@ -16,8 +16,9 @@ import (
 
 	"bnff/internal/core"
 	"bnff/internal/graph"
-	"bnff/internal/layers"
 	"bnff/internal/models"
+	"bnff/internal/obs"
+	"bnff/internal/parallel"
 	"bnff/internal/train"
 	"bnff/internal/workload"
 )
@@ -31,16 +32,19 @@ func main() {
 	seed := flag.Uint64("seed", 42, "parameter and data seed")
 	compare := flag.Bool("compare", false, "also train the baseline on identical batches and report parity")
 	every := flag.Int("log-every", 10, "print metrics every N steps")
-	workers := flag.Int("workers", layers.DefaultConvWorkers(), "worker goroutines per executor (parallel layer execution)")
+	workers := flag.Int("workers", parallel.NumCPU(), "worker goroutines per executor (parallel layer execution)")
 	save := flag.String("save", "", "write a checkpoint to this path after training")
 	load := flag.String("load", "", "restore a checkpoint from this path before training")
 	schedule := flag.String("schedule", "constant", "learning-rate schedule: constant, step, cosine")
+	tracePath := flag.String("trace", "", "write a Chrome trace of the restructured run's spans to this path")
+	profile := flag.Bool("profile", false, "print the measured per-class layer breakdown after training")
 	flag.Parse()
 
 	if err := run(runConfig{
 		model: *model, scen: *scen, steps: *steps, batch: *batch, lr: *lr,
 		seed: *seed, compare: *compare, every: *every, workers: *workers,
 		save: *save, load: *load, schedule: *schedule,
+		trace: *tracePath, profile: *profile,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "bnff-train:", err)
 		os.Exit(1)
@@ -55,6 +59,8 @@ type runConfig struct {
 	seed                 uint64
 	compare              bool
 	save, load, schedule string
+	trace                string
+	profile              bool
 }
 
 func scheduleOf(name string, base float64, steps int) (train.Schedule, error) {
@@ -134,6 +140,13 @@ func run(cfg runConfig) error {
 	if err != nil {
 		return err
 	}
+	var tracer *obs.Tracer
+	if cfg.trace != "" || cfg.profile {
+		// Spans are wall-clock here: a cmd may read real time (the library
+		// cannot), and a training profile is only meaningful in real time.
+		tracer = obs.NewTracer(obs.WallClock())
+		tr.Exec.SetTracer(tracer)
+	}
 	if cfg.load != "" {
 		if err := tr.Exec.LoadFile(cfg.load); err != nil {
 			return fmt.Errorf("load checkpoint: %w", err)
@@ -203,6 +216,26 @@ func run(cfg runConfig) error {
 			return fmt.Errorf("save checkpoint: %w", err)
 		}
 		fmt.Printf("saved checkpoint to %s\n", cfg.save)
+	}
+	if cfg.profile {
+		fmt.Printf("\nmeasured layer breakdown (%v, %d steps):\n", scenario, cfg.steps)
+		if err := obs.LayerBreakdown(tracer.Spans()).WriteTable(os.Stdout, nil); err != nil {
+			return err
+		}
+	}
+	if cfg.trace != "" {
+		f, err := os.Create(cfg.trace)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteChromeTrace(f, tracer.Spans(), 1); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s\n", cfg.trace)
 	}
 	return nil
 }

@@ -20,9 +20,7 @@ import (
 	"bnff/internal/cachesim"
 	"bnff/internal/core"
 	"bnff/internal/graph"
-	"bnff/internal/layers"
 	"bnff/internal/models"
-	"bnff/internal/parallel"
 )
 
 func main() {
@@ -31,10 +29,8 @@ func main() {
 	batch := flag.Int("batch", 256, "mini-batch size")
 	cacheMB := flag.Int("cache-mb", 1, "cache capacity in MiB")
 	sweep := flag.Bool("sweep-batches", false, "sweep batch sizes to show the cache-filtering regime")
-	workers := flag.Int("workers", layers.DefaultConvWorkers(), "worker goroutines for any numeric executor built in-process (the cache replay itself is trace-driven)")
 	flag.Parse()
 
-	parallel.SetDefault(*workers)
 	if err := run(*model, *scen, *batch, *cacheMB, *sweep); err != nil {
 		fmt.Fprintln(os.Stderr, "bnff-validate:", err)
 		os.Exit(1)

@@ -49,21 +49,40 @@
 // GET /healthz and GET /stats complete the ops surface; latency quantiles
 // come from a deterministic power-of-two histogram fed by an injected clock.
 //
+// # Observability
+//
+// internal/obs instruments real runs the same way internal/memsim predicts
+// them: a span tracer (injected monotonic clock, never a library wall-clock
+// read) records per-node forward/backward spans, pool dispatch/drain spans,
+// and per-step envelopes through core.WithTracer / train.WithTracer; a
+// counter/gauge/histogram registry with deterministic text exposition backs
+// GET /metrics on bnff-serve; and a report layer aggregates spans into the
+// paper's Figure-1-style per-class time breakdown (CONV vs BN vs ReLU vs
+// other, forward/backward split). Both tracer and registry are nil-safe and
+// allocation-free when disabled, so the instrumented hot paths cost nothing
+// unless a tool opts in. cmd/bnff-profile drives a traced training run per
+// restructuring scenario and prints measured-vs-modeled breakdowns; the
+// Chrome-trace export is schema-compatible with memsim's, so measured and
+// modeled traces load side by side in chrome://tracing. Under an injected
+// step clock the traces are byte-identical run to run.
+//
 // # Static analysis
 //
 // The determinism contracts are enforced structurally by an in-tree,
 // stdlib-only static-analysis suite (internal/analysis; driver
-// cmd/bnff-lint; `make lint`, folded into `make check` and CI). Five
+// cmd/bnff-lint; `make lint`, folded into `make check` and CI). Six
 // analyzers cover the regression classes that would invalidate the paper's
 // comparisons: poolonly (no goroutines, sync.WaitGroup, or channels outside
-// the allowlisted concurrency domains internal/parallel and internal/serve —
-// all compute fan-out dispatches through the executor's pool),
+// the allowlisted concurrency domains internal/parallel, internal/serve, and
+// internal/obs — all compute fan-out dispatches through the executor's pool),
 // maporder (no float accumulation, appends, or work-spawning inside a range
 // over a map; iterate det.SortedKeys instead), noglobals (no package-level
 // mutable state in the hot-path packages), detreduce (every cross-partition
 // float combine after a pool dispatch reduces in partition order under a
-// `// det-reduce:` marker), and seededrand (math/rand and time.Now are
-// confined to internal/tensor/rand.go and cmd/). Deliberate exceptions are
+// `// det-reduce:` marker), seededrand (math/rand and time.Now are confined
+// to internal/tensor/rand.go, internal/obs/clock.go, and cmd/), and
+// deprecated (cmd/ and examples/ may not use the compatibility shims — they
+// model the options-based APIs). Deliberate exceptions are
 // suppressed inline with `//lint:ignore <analyzer> <reason>`. See the
 // "Static analysis" section of README.md.
 //

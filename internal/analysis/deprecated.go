@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// deprecatedScope lists the package trees the deprecated-API check covers:
+// the command-line tools and runnable examples. These are the module's
+// public face — the snippets people copy — so they must demonstrate the
+// options-based construction APIs, never the compatibility shims. Library
+// packages stay out of scope: the shims' own definitions (and the tests
+// that pin their behavior) live there legitimately until a future removal.
+var deprecatedScope = []string{"bnff/cmd", "bnff/examples"}
+
+// deprecatedSymbols maps defining package → symbol name → migration advice.
+// Symbols are resolved through type information (uses of the actual object,
+// not textual matches), so a local variable that happens to share a name
+// never trips the check. Every name here is unique within its package.
+var deprecatedSymbols = map[string]map[string]string{
+	"bnff/internal/layers": {
+		"SetConvWorkers": "construct executors with core.WithWorkers (or train.WithWorkers)",
+		"ConvWorkers":    "query the owning executor's Workers method",
+	},
+	"bnff/internal/parallel": {
+		"SetDefault": "construct executors with core.WithWorkers instead of mutating the process-global default",
+		"Default":    "query the owning executor's Workers method",
+	},
+	"bnff/internal/core": {
+		"TrackRunning": "construct the executor with core.WithRunningStats",
+		"Inference":    "construct the executor with core.WithInference",
+		"PreciseStats": "construct the executor with core.WithPreciseStats",
+	},
+	"bnff/internal/train": {
+		"UseSchedule": "pass train.WithSchedule to NewTrainer",
+		"SetClipNorm": "pass train.WithClipNorm to NewTrainer",
+	},
+}
+
+// Deprecated keeps new uses of the compatibility shims out of cmd/ and
+// examples/: the layers.SetConvWorkers worker-count shim and the
+// parallel.SetDefault global behind it, the Executor.TrackRunning /
+// Inference / PreciseStats mode fields, and the Trainer.UseSchedule /
+// SetClipNorm mutators. All of them have options-based replacements
+// (core.With*, train.With*) that thread configuration through construction;
+// the tools and examples are required to model that style.
+var Deprecated = &Analyzer{
+	Name: "deprecated",
+	Doc: "forbid deprecated compatibility APIs (layers.SetConvWorkers, parallel.SetDefault, Executor mode fields, " +
+		"Trainer mutators) in cmd/ and examples/; use the options-based construction APIs instead",
+	Run: runDeprecated,
+}
+
+func runDeprecated(pass *Pass) {
+	inScope := false
+	for _, p := range deprecatedScope {
+		if pathWithin(pass.Pkg.ImportPath, p) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	info := pass.TypesInfo()
+	if info == nil {
+		return
+	}
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ident, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := info.Uses[ident]
+			if !ok || obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			advice, ok := deprecatedSymbols[obj.Pkg().Path()][obj.Name()]
+			if !ok {
+				return true
+			}
+			pass.Reportf(ident.Pos(), "deprecated API %s.%s: %s", obj.Pkg().Name(), obj.Name(), advice)
+			return true
+		})
+	}
+}

@@ -146,6 +146,15 @@ func TestPoolOnlyExemptInPoolPackage(t *testing.T) {
 	}
 }
 
+func TestPoolOnlyExemptInObsPackage(t *testing.T) {
+	// internal/obs is allowlisted: its tracer and registry must be safe to
+	// update from replica goroutines without routing through a compute pool.
+	pkg := loadFixture(t, "poolonly", "bnff/internal/obs")
+	if diags := RunAnalyzers(pkg, []*Analyzer{PoolOnly}); len(diags) != 0 {
+		t.Fatalf("poolonly must not fire inside internal/obs, got %v", diags)
+	}
+}
+
 func TestMapOrderGolden(t *testing.T) {
 	runGolden(t, MapOrder, "maporder", "bnff/internal/graph")
 }
@@ -177,6 +186,42 @@ func TestSeededRandExemptUnderCmd(t *testing.T) {
 	pkg := loadFixture(t, "seededrand", "bnff/cmd/bnff-fixture")
 	if diags := RunAnalyzers(pkg, []*Analyzer{SeededRand}); len(diags) != 0 {
 		t.Fatalf("seededrand must not fire under cmd/, got %v", diags)
+	}
+}
+
+func TestSeededRandClockFileExemption(t *testing.T) {
+	// Loaded as internal/obs, clock.go may read the wall clock (the injected
+	// obs.WallClock site) but every other file in the package stays gated —
+	// the want comment in tracer.go is the only expected finding.
+	runGolden(t, SeededRand, "obsclock", "bnff/internal/obs")
+}
+
+func TestSeededRandClockExemptionIsPerPackage(t *testing.T) {
+	// The same fixture under any other library path gets no exemption: both
+	// files' wall-clock reads are findings.
+	pkg := loadFixture(t, "obsclock", "bnff/internal/graph")
+	diags := RunAnalyzers(pkg, []*Analyzer{SeededRand})
+	if len(diags) != 3 {
+		t.Fatalf("expected 3 findings (Now+Since in clock.go, Now in tracer.go) outside obs, got %d: %v", len(diags), diags)
+	}
+}
+
+func TestDeprecatedGolden(t *testing.T) {
+	runGolden(t, Deprecated, "deprecated", "bnff/cmd/bnff-fixture")
+}
+
+func TestDeprecatedGoldenInExamples(t *testing.T) {
+	// examples/ is in scope too: the runnable examples are the snippets
+	// people copy, so they must model the options-based APIs.
+	runGolden(t, Deprecated, "deprecated", "bnff/examples/fixture")
+}
+
+func TestDeprecatedOutOfScope(t *testing.T) {
+	// Library packages may still reference the shims (their definitions and
+	// pinned-behavior tests live there until removal).
+	pkg := loadFixture(t, "deprecated", "bnff/internal/evalhelper")
+	if diags := RunAnalyzers(pkg, []*Analyzer{Deprecated}); len(diags) != 0 {
+		t.Fatalf("deprecated must only fire under cmd/ and examples/, got %v", diags)
 	}
 }
 

@@ -11,13 +11,15 @@ import (
 const poolPkg = "bnff/internal/parallel"
 
 // concurrencyPkgs are the packages allowed to spawn goroutines and own
-// synchronization primitives: the worker pool itself, and the serving runtime
-// in internal/serve, whose request queue and replica workers are inherently
-// channel-shaped. The serving runtime keeps the determinism contract a layer
-// up — each request's logits are bit-identical regardless of batching — so
-// its concurrency is confined there by design rather than routed through the
-// pool.
-var concurrencyPkgs = [...]string{poolPkg, "bnff/internal/serve"}
+// synchronization primitives: the worker pool itself; the serving runtime in
+// internal/serve, whose request queue and replica workers are inherently
+// channel-shaped; and the observability runtime in internal/obs, whose
+// tracer and metrics registry must be safe to update from replica goroutines
+// (mutex-guarded span buffer, atomic counters) without routing through a
+// compute pool. The serving runtime keeps the determinism contract a layer
+// up — each request's logits are bit-identical regardless of batching — and
+// obs keeps it by recording spans only from the dispatching goroutine.
+var concurrencyPkgs = [...]string{poolPkg, "bnff/internal/serve", "bnff/internal/obs"}
 
 // PoolOnly enforces the pool-dispatch contract: every concurrent fan-out in
 // the module flows through internal/parallel, where the worker pool

@@ -4,6 +4,7 @@ package analysis
 // and bnff-lint -list use. New analyzers register here.
 func All() []*Analyzer {
 	return []*Analyzer{
+		Deprecated,
 		DetReduce,
 		MapOrder,
 		NoGlobals,

@@ -13,20 +13,33 @@ import (
 // time.Since — wall-clock reads that differ run to run — are forbidden in
 // library code. Packages under cmd/ are exempt: command-line tools time and
 // log their work, but must pass explicit seeds down into the library.
+//
+// internal/obs/clock.go is the one other sanctioned wall-clock site: it
+// wraps time.Now/Since into the injected clocks (obs.WallClock) that cmds
+// hand to tracers and serving engines. The rest of internal/obs — and every
+// consumer of a Tracer or Registry — sees time only through a func() int64,
+// so the exemption is a single file, like tensor's rand.go.
 var SeededRand = &Analyzer{
 	Name: "seededrand",
-	Doc: "forbid math/rand and time.Now outside internal/tensor/rand.go and cmd/; " +
-		"all library randomness must flow through the seeded tensor RNG",
+	Doc: "forbid math/rand and time.Now outside internal/tensor/rand.go, internal/obs/clock.go, and cmd/; " +
+		"all library randomness must flow through the seeded tensor RNG and injected clocks",
 	Run: runSeededRand,
+}
+
+// clockFile names the single file of a package allowed to read the wall
+// clock, keyed by import path.
+var clockFile = map[string]string{
+	"bnff/internal/tensor": "rand.go",
+	"bnff/internal/obs":    "clock.go",
 }
 
 func runSeededRand(pass *Pass) {
 	if pathWithin(pass.Pkg.ImportPath, "bnff/cmd") {
 		return
 	}
-	isTensorPkg := pass.Pkg.ImportPath == "bnff/internal/tensor"
+	exemptFile := clockFile[pass.Pkg.ImportPath]
 	for _, f := range pass.Files() {
-		if isTensorPkg && path.Base(pass.Fset().Position(f.Pos()).Filename) == "rand.go" {
+		if exemptFile != "" && path.Base(pass.Fset().Position(f.Pos()).Filename) == exemptFile {
 			continue
 		}
 		for _, imp := range f.Imports {

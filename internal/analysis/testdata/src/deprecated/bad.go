@@ -1,0 +1,39 @@
+// Package fixture exercises the deprecated analyzer: every compatibility
+// shim a tool or example could reach for must be flagged with migration
+// advice pointing at the options-based replacement.
+package fixture
+
+import (
+	"bnff/internal/core"
+	"bnff/internal/layers"
+	"bnff/internal/parallel"
+	"bnff/internal/train"
+)
+
+func globals() {
+	layers.SetConvWorkers(4) // want "deprecated API layers.SetConvWorkers"
+	_ = layers.ConvWorkers() // want "deprecated API layers.ConvWorkers"
+	parallel.SetDefault(2)   // want "deprecated API parallel.SetDefault"
+	_ = parallel.Default()   // want "deprecated API parallel.Default"
+	_ = parallel.NumCPU()    // capacity query, not a shim: must stay silent
+	_ = layers.DefaultConvWorkers()
+}
+
+func modeFields(e *core.Executor) {
+	e.Inference = true    // want "deprecated API core.Inference"
+	e.TrackRunning = true // want "deprecated API core.TrackRunning"
+	e.PreciseStats = true // want "deprecated API core.PreciseStats"
+	_ = e.Workers()       // replacement API: must stay silent
+}
+
+func mutators(t *train.Trainer) {
+	t.UseSchedule(nil) // want "deprecated API train.UseSchedule"
+	t.SetClipNorm(5.0) // want "deprecated API train.SetClipNorm"
+}
+
+// shadowing proves resolution is by object, not by name: a local that
+// happens to be called Inference is not the Executor field.
+func shadowing() bool {
+	Inference := true
+	return Inference
+}

@@ -1,0 +1,11 @@
+package fixture
+
+import "bnff/internal/core"
+
+// suppressedToggle keeps a deliberate shim use behind a justified
+// suppression — the pattern evaluation helpers that flip inference mode
+// around a forward pass rely on.
+func suppressedToggle(e *core.Executor) {
+	//lint:ignore deprecated fixture demonstrating a justified mode toggle
+	e.Inference = true
+}

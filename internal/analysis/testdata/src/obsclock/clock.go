@@ -1,0 +1,14 @@
+// Package fixture exercises seededrand's per-package clock-file exemption:
+// loaded as bnff/internal/obs, this file (clock.go) may read the wall clock
+// while every other file in the package remains gated.
+package fixture
+
+import "time"
+
+// wallClock mirrors obs.WallClock: the one sanctioned wall-clock read,
+// wrapped into an injected func() int64. No want comment — when the package
+// is loaded under the obs import path this file is exempt by name.
+func wallClock() func() int64 {
+	t0 := time.Now()
+	return func() int64 { return int64(time.Since(t0)) }
+}

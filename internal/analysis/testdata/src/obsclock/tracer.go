@@ -1,0 +1,9 @@
+package fixture
+
+import "time"
+
+// directRead proves the exemption is one file, not the whole package: a
+// wall-clock read anywhere else in obs is still a finding.
+func directRead() int64 {
+	return time.Now().UnixNano() // want "wall-clock reads are nondeterministic"
+}

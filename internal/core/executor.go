@@ -6,6 +6,7 @@ import (
 	"bnff/internal/graph"
 	"bnff/internal/kernels"
 	"bnff/internal/layers"
+	"bnff/internal/obs"
 	"bnff/internal/parallel"
 	"bnff/internal/tensor"
 )
@@ -58,8 +59,9 @@ type Executor struct {
 
 	seed   uint64
 	pool   *parallel.Pool
-	foldBN bool // WithFoldedBN: compile the fold after the next checkpoint load
-	folded bool // FoldBN already ran; the graph and parameters are rewritten
+	tracer *obs.Tracer // nil: tracing disabled, span paths are free
+	foldBN bool        // WithFoldedBN: compile the fold after the next checkpoint load
+	folded bool        // FoldBN already ran; the graph and parameters are rewritten
 
 	vals    map[int]*tensor.Tensor
 	stats   map[int]*layers.BNStats // keyed by statistics-producer node ID
@@ -117,7 +119,7 @@ func (e *Executor) Workers() int { return e.pool.Workers() }
 
 // SetWorkers replaces the executor's worker pool, clamped like WithWorkers.
 // Safe between passes; must not be called while Forward or Backward runs.
-func (e *Executor) SetWorkers(n int) { e.pool = parallel.New(n) }
+func (e *Executor) SetWorkers(n int) { e.pool = parallel.New(n).WithTracer(e.tracer) }
 
 // SetDropoutSeed resets the dropout mask stream. Two executors given the
 // same seed draw identical masks, which is how the equivalence tests compare
@@ -151,6 +153,9 @@ func NewExecutor(g *graph.Graph, opts ...Option) (*Executor, error) {
 	}
 	for _, opt := range opts {
 		opt(e)
+	}
+	if e.tracer != nil {
+		e.pool = e.pool.WithTracer(e.tracer) // regardless of option order
 	}
 	rng := tensor.NewRNG(e.seed)
 	for _, n := range g.Live() {
@@ -282,9 +287,11 @@ func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if e.dropRNG == nil {
 		e.dropRNG = tensor.NewRNG(0x5eed)
 	}
+	passStart := e.tracer.Begin()
 
 	for _, n := range e.G.Live() {
 		var err error
+		nodeStart := e.tracer.Begin()
 		switch n.Kind {
 		case graph.OpInput:
 			if !x.Shape().Equal(n.OutShape) {
@@ -398,6 +405,9 @@ func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: forward of node %q: %w", n.Name, err)
 		}
+		if n.Kind != graph.OpInput {
+			e.endNodeSpan(n, "fwd", nodeStart)
+		}
 	}
 
 	if e.TrackRunning {
@@ -409,6 +419,7 @@ func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if out == nil {
 		return nil, fmt.Errorf("core: output node %q produced no value", e.G.Output.Name)
 	}
+	e.tracer.End("forward", obs.CatPass, "fwd", obs.TIDPass, passStart)
 	return out, nil
 }
 
@@ -468,6 +479,7 @@ func (e *Executor) Backward(dOut *tensor.Tensor) (map[string]*tensor.Tensor, err
 	grads := make(map[string]*tensor.Tensor)
 	gmap := map[int]*tensor.Tensor{e.G.Output.ID: dOut}
 	stash := make(map[int]*bnStash)
+	passStart := e.tracer.Begin()
 
 	live := e.G.Live()
 	for i := len(live) - 1; i >= 0; i-- {
@@ -475,10 +487,13 @@ func (e *Executor) Backward(dOut *tensor.Tensor) (map[string]*tensor.Tensor, err
 		if n.Kind == graph.OpInput {
 			continue
 		}
+		nodeStart := e.tracer.Begin()
 		if err := e.backwardNode(n, gmap, grads, stash); err != nil {
 			return nil, fmt.Errorf("core: backward of node %q: %w", n.Name, err)
 		}
+		e.endNodeSpan(n, "bwd", nodeStart)
 	}
+	e.tracer.End("backward", obs.CatPass, "bwd", obs.TIDPass, passStart)
 	return grads, nil
 }
 

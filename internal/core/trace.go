@@ -1,0 +1,37 @@
+package core
+
+import (
+	"bnff/internal/graph"
+	"bnff/internal/obs"
+)
+
+// WithTracer attaches a span tracer at construction. Forward and Backward
+// then record one span per live node — Cat and TID from graph.LayerClass,
+// exactly the buckets and Chrome-trace tracks internal/memsim's modeled
+// traces use — plus a pass-envelope span (obs.CatPass), and the executor's
+// worker pool records dispatch/drain spans (obs.CatPool) on concurrent runs.
+// A nil tracer is the default: the instrumented paths cost a nil check and
+// allocate nothing (see trace_test.go).
+func WithTracer(t *obs.Tracer) Option { return func(e *Executor) { e.tracer = t } }
+
+// SetTracer attaches (or, with nil, detaches) the tracer after construction,
+// rethreading it through the worker pool. Safe between passes; must not be
+// called while Forward or Backward runs.
+func (e *Executor) SetTracer(t *obs.Tracer) {
+	e.tracer = t
+	e.pool = e.pool.WithTracer(t)
+}
+
+// Tracer returns the attached tracer, nil when tracing is disabled.
+func (e *Executor) Tracer() *obs.Tracer { return e.tracer }
+
+// endNodeSpan closes a node's span: category and track from the node's layer
+// class so measured traces aggregate into the same Figure-1 buckets as
+// memsim's predictions. The nil-tracer path returns before touching the node.
+func (e *Executor) endNodeSpan(n *graph.Node, dir string, start int64) {
+	if e.tracer == nil {
+		return
+	}
+	cls := n.Class()
+	e.tracer.End(n.Name, cls.String(), dir, int(cls)+1, start)
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteChromeTraceSchema(t *testing.T) {
+	spans := []Span{
+		{Name: "conv1", Cat: "CONV/FC", Dir: "fwd", TID: 1, Start: 2000, Dur: 3500},
+		{Name: "bn1", Cat: "BN", Dir: "bwd", TID: 2, Start: 5500, Dur: 100, Args: map[string]float64{"items": 4}},
+		{Name: "step", Cat: "step", Start: 0, Dur: 9000}, // no dir, tid 0
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans, 0); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	e := events[0]
+	if e["name"] != "conv1 (fwd)" || e["cat"] != "CONV/FC" || e["ph"] != "X" {
+		t.Fatalf("event 0 = %v", e)
+	}
+	if e["ts"] != float64(2) || e["dur"] != float64(3) {
+		t.Fatalf("event 0 ns->us conversion wrong: ts=%v dur=%v", e["ts"], e["dur"])
+	}
+	if e["pid"] != float64(1) || e["tid"] != float64(1) {
+		t.Fatalf("event 0 pid/tid = %v/%v, want 1/1 (pid 0 defaults)", e["pid"], e["tid"])
+	}
+	if events[1]["name"] != "bn1 (bwd)" {
+		t.Fatalf("event 1 name = %v", events[1]["name"])
+	}
+	if args, ok := events[1]["args"].(map[string]any); !ok || args["items"] != float64(4) {
+		t.Fatalf("event 1 args = %v", events[1]["args"])
+	}
+	// Sub-microsecond duration floors at 1, dirless span keeps its bare name,
+	// tid 0 renders as track 1, and args stays omitted when empty.
+	if events[1]["dur"] != float64(1) {
+		t.Fatalf("event 1 dur = %v, want floor 1", events[1]["dur"])
+	}
+	if events[2]["name"] != "step" || events[2]["tid"] != float64(1) {
+		t.Fatalf("event 2 = %v", events[2])
+	}
+	if _, present := events[2]["args"]; present {
+		t.Fatal("empty args serialized")
+	}
+}
+
+func TestWriteChromeTraceDeterministicBytes(t *testing.T) {
+	spans := []Span{
+		{Name: "n", Cat: "BN", Dir: "fwd", TID: 2, Start: 1000, Dur: 2000,
+			Args: map[string]float64{"b": 2, "a": 1, "c": 3}},
+	}
+	render := func() string {
+		var buf bytes.Buffer
+		if err := WriteChromeTrace(&buf, spans, 7); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a := render()
+	for i := 0; i < 10; i++ {
+		if render() != a {
+			t.Fatal("trace bytes differ across renders (args key order leaked)")
+		}
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("got %d events, want 0", len(events))
+	}
+}

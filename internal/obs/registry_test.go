@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a")
+	g := r.Gauge("b")
+	h := r.Histogram("c")
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	h.Observe(100)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil handles recorded values")
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil WriteText = %q, %v", sb.String(), err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Counter("a").Inc()
+		r.Gauge("b").Set(1)
+		r.Histogram("c").Observe(1)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil registry path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestCounterMonotonic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored
+	c.Add(0)   // ignored
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("reqs") != c {
+		t.Fatal("re-registration returned a different handle")
+	}
+}
+
+func TestGaugeSet(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Set(2)
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %d, want 2", g.Value())
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, v := range []int64{1, 2, 3, 100, -5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 106 { // -5 clamps to 0
+		t.Fatalf("sum = %d, want 106", h.Sum())
+	}
+	if q := h.Quantile(0.5); q != 3 { // rank 3 lands in bucket [2,4): upper 3
+		t.Fatalf("p50 = %d, want 3", q)
+	}
+	if q := h.Quantile(1.0); q != 127 { // 100 lands in [64,128): upper 127
+		t.Fatalf("p100 = %d, want 127", q)
+	}
+}
+
+func TestWriteTextDeterministicOrder(t *testing.T) {
+	render := func() string {
+		r := NewRegistry()
+		r.Counter("zeta_total").Add(2)
+		r.Counter("alpha_total").Add(1)
+		r.Gauge("queue_depth").Set(3)
+		r.Histogram("latency_ns").Observe(5)
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	got := render()
+	want := `# TYPE alpha_total counter
+alpha_total 1
+# TYPE zeta_total counter
+zeta_total 2
+# TYPE queue_depth gauge
+queue_depth 3
+# TYPE latency_ns histogram
+latency_ns_bucket{le="0"} 0
+latency_ns_bucket{le="1"} 0
+latency_ns_bucket{le="3"} 0
+latency_ns_bucket{le="7"} 1
+latency_ns_bucket{le="+Inf"} 1
+latency_ns_sum 5
+latency_ns_count 1
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if again := render(); again != got {
+		t.Fatal("two identical registries render differently")
+	}
+}
+
+func TestWriteTextEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty")
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE empty histogram\nempty_bucket{le=\"+Inf\"} 0\nempty_sum 0\nempty_count 0\n"
+	if sb.String() != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}

@@ -1,0 +1,116 @@
+package obs
+
+import "sync"
+
+// Span is one completed timed region. Start and Dur are nanoseconds on the
+// tracer's injected clock; Dir distinguishes the training pass ("fwd",
+// "bwd", or "" for spans outside a pass); TID selects the Chrome-trace track
+// the span renders on (0 renders as track 1); Args carries optional numeric
+// annotations that export into the trace event's args object.
+type Span struct {
+	Name  string
+	Cat   string
+	Dir   string
+	TID   int
+	Start int64
+	Dur   int64
+	Args  map[string]float64
+}
+
+// Tracer records spans against an injected monotonic clock. The zero value
+// is not useful — build one with NewTracer — but the *nil* tracer is: every
+// method no-ops on a nil receiver without allocating, so call sites thread a
+// possibly-nil *Tracer unconditionally.
+//
+// A mutex guards the span buffer: spans are normally recorded from the
+// executor's goroutine in deterministic order, but the tracer must stay safe
+// if two executors (or a serving replica) share one.
+type Tracer struct {
+	clock func() int64
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTracer builds a tracer over the given monotonic nanosecond clock
+// (obs.WallClock() in commands, obs.StepClock(n) for deterministic traces).
+// A nil clock yields a tracer whose spans all record at time zero.
+func NewTracer(clock func() int64) *Tracer {
+	if clock == nil {
+		clock = func() int64 { return 0 }
+	}
+	return &Tracer{clock: clock}
+}
+
+// Enabled reports whether spans will actually be recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Begin reads the clock and returns the timestamp an eventual End will use
+// as the span's start. On a nil tracer it returns 0 without reading anything.
+func (t *Tracer) Begin() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+// End records a span from start (a Begin result) to now. On a nil tracer it
+// returns immediately; no argument is evaluated into an allocation.
+func (t *Tracer) End(name, cat, dir string, tid int, start int64) {
+	if t == nil {
+		return
+	}
+	t.append(Span{Name: name, Cat: cat, Dir: dir, TID: tid, Start: start, Dur: t.clock() - start})
+}
+
+// EndArgs is End with numeric annotations attached to the span. Callers
+// should build the args map only after checking Enabled, so the disabled
+// path stays allocation-free.
+func (t *Tracer) EndArgs(name, cat, dir string, tid int, start int64, args map[string]float64) {
+	if t == nil {
+		return
+	}
+	t.append(Span{Name: name, Cat: cat, Dir: dir, TID: tid, Start: start, Dur: t.clock() - start, Args: args})
+}
+
+func (t *Tracer) append(s Span) {
+	if s.Dur < 0 {
+		s.Dur = 0
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of everything recorded so far, in recording order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Reset discards every recorded span, keeping the clock. cmd/bnff-profile
+// resets between fusion scenarios so each breakdown aggregates one run.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = t.spans[:0]
+	t.mu.Unlock()
+}

@@ -17,6 +17,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"bnff/internal/obs"
 )
 
 // MaxWorkers caps a pool's size. Requesting more workers than cores is
@@ -31,12 +33,23 @@ const MaxWorkers = 1024
 // multiplexes them onto OS threads.
 type Pool struct {
 	workers int
+	tracer  *obs.Tracer
 }
 
 // New returns a pool that splits work across up to n goroutines, clamped to
 // [1, MaxWorkers].
 func New(n int) *Pool {
 	return &Pool{workers: clamp(n)}
+}
+
+// WithTracer returns a pool with the same worker count whose concurrent Run
+// calls record dispatch and drain spans on t (categories obs.CatPool). A nil
+// tracer returns an untraced pool; serial Runs never touch the tracer, so the
+// one-worker hot path stays as cheap as before. Only the dispatching
+// goroutine reads the clock — workers never do — so span order stays
+// deterministic at any worker count.
+func (p *Pool) WithTracer(t *obs.Tracer) *Pool {
+	return &Pool{workers: p.Workers(), tracer: t}
 }
 
 func clamp(n int) int {
@@ -77,6 +90,7 @@ func (p *Pool) Run(n int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
+	dispatch := p.tracer.Begin()
 	var wg sync.WaitGroup
 	for k := 0; k < w; k++ {
 		lo, hi := n*k/w, n*(k+1)/w
@@ -89,7 +103,10 @@ func (p *Pool) Run(n int, fn func(lo, hi int)) {
 			fn(lo, hi)
 		}(lo, hi)
 	}
+	p.tracer.End("pool.dispatch", obs.CatPool, "", obs.TIDPool, dispatch)
+	drain := p.tracer.Begin()
 	wg.Wait()
+	p.tracer.End("pool.drain", obs.CatPool, "", obs.TIDPool, drain)
 }
 
 // defaultWorkers is the process-wide construction-time default consulted by

@@ -3,6 +3,8 @@ package serve
 import (
 	"fmt"
 	"time"
+
+	"bnff/internal/obs"
 )
 
 // Config parameterizes an Engine. The zero value is usable: Load applies the
@@ -47,6 +49,13 @@ type Config struct {
 	// inject deterministic fakes; with a nil Clock all latencies record as
 	// zero and the quantiles read zero.
 	Clock func() int64
+
+	// Metrics, when non-nil, is the registry the engine publishes its
+	// serving metrics into (bnff_serve_* counters, gauges, and the latency
+	// histogram) — inject one to aggregate several engines or to scrape from
+	// elsewhere. With a nil Metrics the engine creates a private registry, so
+	// GET /metrics always has something to expose.
+	Metrics *obs.Registry
 }
 
 // withDefaults returns the config with unset fields defaulted.

@@ -9,6 +9,7 @@ import (
 
 	"bnff/internal/core"
 	"bnff/internal/graph"
+	"bnff/internal/obs"
 	"bnff/internal/tensor"
 )
 
@@ -48,6 +49,16 @@ type Engine struct {
 	wg       sync.WaitGroup
 	rejected atomic.Uint64
 
+	// Metrics registry and its pre-resolved handles (atomic counters; the
+	// request path never takes the registry lock).
+	metrics     *obs.Registry
+	mRequests   *obs.Counter
+	mBatches    *obs.Counter
+	mRejected   *obs.Counter
+	mQueueDepth *obs.Gauge
+	mOccupancy  *obs.Gauge
+	mLatency    *obs.Histogram
+
 	replicas []*replica
 }
 
@@ -82,7 +93,17 @@ func newEngine(builder Builder, ckpt io.Reader, cfg Config) (*Engine, error) {
 		queue:   make(chan *request, cfg.QueueDepth),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
+		metrics: cfg.Metrics,
 	}
+	if e.metrics == nil {
+		e.metrics = obs.NewRegistry()
+	}
+	e.mRequests = e.metrics.Counter("bnff_serve_requests_total")
+	e.mBatches = e.metrics.Counter("bnff_serve_batches_total")
+	e.mRejected = e.metrics.Counter("bnff_serve_rejected_total")
+	e.mQueueDepth = e.metrics.Gauge("bnff_serve_queue_depth")
+	e.mOccupancy = e.metrics.Gauge("bnff_serve_batch_occupancy")
+	e.mLatency = e.metrics.Histogram("bnff_serve_latency_ns")
 
 	// Probe at batch size 1: resolves the input/output shapes and fails fast
 	// on a checkpoint/model mismatch before any request is accepted.
@@ -195,6 +216,7 @@ func (e *Engine) Predict(img []float32) ([]float32, error) {
 	case e.queue <- req:
 	default:
 		e.rejected.Add(1)
+		e.mRejected.Inc()
 		return nil, ErrOverloaded
 	}
 	select {
@@ -236,6 +258,11 @@ func (e *Engine) Stats() Stats {
 	st.P99Nanos = quantile(&lat, 0.99)
 	return st
 }
+
+// Metrics returns the engine's registry — the one injected via
+// Config.Metrics, or the private one the engine made without it. GET /metrics
+// exposes it in the Prometheus text format.
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
 
 // Closed reports whether Close has begun.
 func (e *Engine) Closed() bool { return e.closed.Load() }

@@ -101,6 +101,12 @@ func (r *replica) run(batch []*request) {
 		lats[i] = end - req.start
 	}
 	r.stats.record(k, lats)
+	r.e.mRequests.Add(int64(k))
+	r.e.mBatches.Inc()
+	r.e.mOccupancy.Set(int64(k))
+	for _, l := range lats {
+		r.e.mLatency.Observe(l)
+	}
 }
 
 // exec returns the replica's executor for batch size k, building and

@@ -29,6 +29,7 @@ type PredictResponse struct {
 //	POST /predict  one image in, logits + argmax class out
 //	GET  /healthz  200 while serving, 503 once closed
 //	GET  /stats    Stats snapshot as JSON
+//	GET  /metrics  the engine's registry in Prometheus text format
 //
 // Load shedding maps to status codes: a full queue answers 429, a closed
 // engine 503, a malformed or wrong-sized image 400.
@@ -37,6 +38,7 @@ func (e *Engine) Handler() http.Handler {
 	mux.HandleFunc("POST /predict", e.handlePredict)
 	mux.HandleFunc("GET /healthz", e.handleHealthz)
 	mux.HandleFunc("GET /stats", e.handleStats)
+	mux.HandleFunc("GET /metrics", e.handleMetrics)
 	return mux
 }
 
@@ -81,6 +83,13 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (e *Engine) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, e.Stats())
+}
+
+func (e *Engine) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// Queue depth is instantaneous; sample it at scrape time.
+	e.mQueueDepth.Set(int64(len(e.queue)))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = e.metrics.WriteText(w)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -13,6 +13,7 @@ import (
 	"bnff/internal/core"
 	"bnff/internal/det"
 	"bnff/internal/layers"
+	"bnff/internal/obs"
 	"bnff/internal/tensor"
 	"bnff/internal/workload"
 )
@@ -124,6 +125,13 @@ func WithClipNorm(max float64) TrainerOption { return func(t *Trainer) { t.clipN
 // place need not touch the executor separately.
 func WithWorkers(n int) TrainerOption { return func(t *Trainer) { t.Exec.SetWorkers(n) } }
 
+// WithTracer attaches a span tracer to the underlying executor (forwarding to
+// core.Executor.SetTracer) and additionally records one obs.CatStep envelope
+// span per optimizer step, so a trace shows where pass time sits inside the
+// whole update cycle. Combines with WithWorkers in either order — both
+// SetWorkers and SetTracer rethread the tracer through the executor's pool.
+func WithTracer(tr *obs.Tracer) TrainerOption { return func(t *Trainer) { t.Exec.SetTracer(tr) } }
+
 // NewTrainer wires up a training run over the executor and data source,
 // configured by functional options:
 //
@@ -166,6 +174,8 @@ func (t *Trainer) Step() (StepResult, error) {
 // StepOn runs one cycle on a caller-provided batch — the equivalence tests
 // feed identical batches to baseline and restructured trainers.
 func (t *Trainer) StepOn(x *tensor.Tensor, labels []int) (StepResult, error) {
+	tr := t.Exec.Tracer()
+	stepStart := tr.Begin()
 	logits, err := t.Exec.Forward(x)
 	if err != nil {
 		return StepResult{}, err
@@ -198,6 +208,10 @@ func (t *Trainer) StepOn(x *tensor.Tensor, labels []int) (StepResult, error) {
 	}
 	res := StepResult{Step: len(t.History), Loss: loss, Accuracy: acc}
 	t.History = append(t.History, res)
+	if tr.Enabled() {
+		tr.EndArgs("step", obs.CatStep, "", obs.TIDStep, stepStart,
+			map[string]float64{"step": float64(res.Step), "batch": float64(len(labels))})
+	}
 	return res, nil
 }
 

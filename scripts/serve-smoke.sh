@@ -41,6 +41,15 @@ stats=$(curl -sf "http://$ADDR/stats")
 echo "stats: $stats"
 echo "$stats" | grep -q '"requests":1' || { echo "stats did not count the request" >&2; exit 1; }
 
+# /metrics must scrape as Prometheus text exposition and count the request.
+metrics=$(curl -sf "http://$ADDR/metrics")
+echo "$metrics" | grep -q '^# TYPE bnff_serve_requests_total counter' \
+    || { echo "metrics missing requests_total TYPE line" >&2; exit 1; }
+echo "$metrics" | grep -q '^bnff_serve_requests_total 1$' \
+    || { echo "metrics did not count the request" >&2; exit 1; }
+echo "$metrics" | grep -q '^bnff_serve_latency_ns_count 1$' \
+    || { echo "metrics latency histogram did not observe the request" >&2; exit 1; }
+
 # Graceful shutdown: SIGTERM must produce a clean exit.
 kill -TERM "$PID"
 if ! wait "$PID"; then
