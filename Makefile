@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint bench smoke profile-smoke check
+.PHONY: build test vet race lint bench smoke profile-smoke alloc-guard check
 
 build:
 	$(GO) build ./...
@@ -49,4 +49,12 @@ smoke:
 profile-smoke:
 	./scripts/profile-smoke.sh
 
-check: vet race lint smoke profile-smoke
+# Allocation-regression guard: steady-state per-step heap allocations with the
+# arena on must stay within the committed budget
+# (internal/core/testdata/arena_alloc_budget.txt) and at least 10x below the
+# legacy path. Runs without -race: the race runtime inflates AllocsPerRun, so
+# the test skips itself there (see raceEnabled in internal/core).
+alloc-guard:
+	$(GO) test ./internal/core/ -run TestArenaForwardAllocBudget -count=1 -v
+
+check: vet race lint smoke profile-smoke alloc-guard

@@ -26,6 +26,7 @@ import (
 
 	"bnff/internal/core"
 	"bnff/internal/graph"
+	"bnff/internal/memplan"
 	"bnff/internal/memsim"
 	"bnff/internal/models"
 	"bnff/internal/obs"
@@ -41,9 +42,10 @@ func main() {
 	tracePfx := flag.String("trace", "bnff-profile", "path prefix for Chrome trace files (empty: no files)")
 	clock := flag.String("clock", "wall", "span clock: wall (real time) or step (deterministic fake)")
 	seed := flag.Uint64("seed", 42, "parameter and data seed")
+	arena := flag.Bool("arena", true, "serve activations from the liveness-driven arena and report measured vs planned peak")
 	flag.Parse()
 
-	if err := run(*model, *batch, *steps, *workers, *tracePfx, *clock, *seed); err != nil {
+	if err := run(*model, *batch, *steps, *workers, *tracePfx, *clock, *seed, *arena); err != nil {
 		fmt.Fprintln(os.Stderr, "bnff-profile:", err)
 		os.Exit(1)
 	}
@@ -65,22 +67,24 @@ func newClock(kind string) (func() int64, error) {
 
 // scenarioResult is one scenario's measured and modeled outcome.
 type scenarioResult struct {
-	scenario core.Scenario
-	measured obs.Breakdown
-	modeled  map[string]float64 // share of modeled iteration time per class
-	modelSec float64            // memsim total iteration seconds
+	scenario  core.Scenario
+	measured  obs.Breakdown
+	modeled   map[string]float64 // share of modeled iteration time per class
+	modelSec  float64            // memsim total iteration seconds
+	arenaPeak int64              // measured arena peak bytes (0 without -arena)
+	planPeak  int64              // memplan's predicted activation peak bytes
 }
 
-func run(model string, batch, steps, workers int, tracePfx, clockKind string, seed uint64) error {
+func run(model string, batch, steps, workers int, tracePfx, clockKind string, seed uint64, arena bool) error {
 	if steps < 1 {
 		return fmt.Errorf("steps %d < 1", steps)
 	}
-	fmt.Printf("model=%s batch=%d steps=%d workers=%d clock=%s machine=Skylake\n\n",
-		model, batch, steps, workers, clockKind)
+	fmt.Printf("model=%s batch=%d steps=%d workers=%d clock=%s arena=%t machine=Skylake\n\n",
+		model, batch, steps, workers, clockKind, arena)
 
 	var results []scenarioResult
 	for _, scenario := range core.Scenarios() {
-		res, err := profileScenario(model, scenario, batch, steps, workers, tracePfx, clockKind, seed)
+		res, err := profileScenario(model, scenario, batch, steps, workers, tracePfx, clockKind, seed, arena)
 		if err != nil {
 			return fmt.Errorf("%v: %w", scenario, err)
 		}
@@ -97,7 +101,7 @@ func run(model string, batch, steps, workers int, tracePfx, clockKind string, se
 }
 
 func profileScenario(model string, scenario core.Scenario, batch, steps, workers int,
-	tracePfx, clockKind string, seed uint64) (scenarioResult, error) {
+	tracePfx, clockKind string, seed uint64, arena bool) (scenarioResult, error) {
 
 	g, err := models.Build(model, batch)
 	if err != nil {
@@ -122,7 +126,18 @@ func profileScenario(model string, scenario core.Scenario, batch, steps, workers
 		return scenarioResult{}, err
 	}
 	tracer := obs.NewTracer(clk)
-	exec, err := core.NewExecutor(g, core.WithSeed(seed), core.WithWorkers(workers), core.WithTracer(tracer))
+	opts := []core.Option{core.WithSeed(seed), core.WithWorkers(workers), core.WithTracer(tracer)}
+	if arena {
+		// Predicted peak comes from the same intervals the arena's release
+		// table is compiled from, so measured-vs-planned is apples to apples.
+		plan, err := memplan.PlanTraining(g)
+		if err != nil {
+			return scenarioResult{}, err
+		}
+		res.planPeak = plan.PeakBytes
+		opts = append(opts, core.WithArena())
+	}
+	exec, err := core.NewExecutor(g, opts...)
 	if err != nil {
 		return scenarioResult{}, err
 	}
@@ -141,6 +156,9 @@ func profileScenario(model string, scenario core.Scenario, batch, steps, workers
 		return scenarioResult{}, err
 	}
 	res.measured = obs.LayerBreakdown(tracer.Spans())
+	if arena {
+		res.arenaPeak = exec.ArenaStats().PeakBytes
+	}
 
 	if tracePfx != "" {
 		if err := writeTraces(tracePfx, scenario, tracer, report); err != nil {
@@ -233,6 +251,16 @@ func summarize(w *os.File, results []scenarioResult) error {
 		m, _ := nonConv(last)
 		fmt.Fprintf(w, "\nnon-CONV share: %.1f%% (%v) -> %.1f%% (%v)\n",
 			100*base, results[0].scenario, 100*m, last.scenario)
+	}
+	if results[0].arenaPeak > 0 {
+		fmt.Fprintf(w, "\n== activation memory: arena peak, measured vs planned ==\n")
+		fmt.Fprintf(w, "%-10s %14s %14s %8s\n", "scenario", "measured MB", "planned MB", "ratio")
+		for _, r := range results {
+			fmt.Fprintf(w, "%-10v %14.2f %14.2f %7.2fx\n",
+				r.scenario, float64(r.arenaPeak)/1e6, float64(r.planPeak)/1e6,
+				float64(r.arenaPeak)/float64(r.planPeak))
+		}
+		fmt.Fprintf(w, "(planned = memplan training-interval peak; measured includes workspace the plan prices identically)\n")
 	}
 	return nil
 }

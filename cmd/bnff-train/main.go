@@ -38,13 +38,14 @@ func main() {
 	schedule := flag.String("schedule", "constant", "learning-rate schedule: constant, step, cosine")
 	tracePath := flag.String("trace", "", "write a Chrome trace of the restructured run's spans to this path")
 	profile := flag.Bool("profile", false, "print the measured per-class layer breakdown after training")
+	arena := flag.Bool("arena", true, "serve activations from the liveness-driven arena (bit-identical; off = legacy per-step allocation)")
 	flag.Parse()
 
 	if err := run(runConfig{
 		model: *model, scen: *scen, steps: *steps, batch: *batch, lr: *lr,
 		seed: *seed, compare: *compare, every: *every, workers: *workers,
 		save: *save, load: *load, schedule: *schedule,
-		trace: *tracePath, profile: *profile,
+		trace: *tracePath, profile: *profile, arena: *arena,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "bnff-train:", err)
 		os.Exit(1)
@@ -61,6 +62,7 @@ type runConfig struct {
 	save, load, schedule string
 	trace                string
 	profile              bool
+	arena                bool
 }
 
 func scheduleOf(name string, base float64, steps int) (train.Schedule, error) {
@@ -102,7 +104,7 @@ func parseScenario(s string) (core.Scenario, error) {
 }
 
 func newTrainer(model string, scenario core.Scenario, batch, workers int, lr float64, seed uint64,
-	sched train.Schedule) (*train.Trainer, error) {
+	sched train.Schedule, arena bool) (*train.Trainer, error) {
 	g, classes, err := buildGraph(model, batch)
 	if err != nil {
 		return nil, err
@@ -110,7 +112,11 @@ func newTrainer(model string, scenario core.Scenario, batch, workers int, lr flo
 	if err := core.Restructure(g, scenario.Options()); err != nil {
 		return nil, err
 	}
-	exec, err := core.NewExecutor(g, core.WithSeed(seed), core.WithWorkers(workers))
+	opts := []core.Option{core.WithSeed(seed), core.WithWorkers(workers)}
+	if arena {
+		opts = append(opts, core.WithArena())
+	}
+	exec, err := core.NewExecutor(g, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +142,7 @@ func run(cfg runConfig) error {
 	if err != nil {
 		return err
 	}
-	tr, err := newTrainer(cfg.model, scenario, cfg.batch, cfg.workers, cfg.lr, cfg.seed, sched)
+	tr, err := newTrainer(cfg.model, scenario, cfg.batch, cfg.workers, cfg.lr, cfg.seed, sched, cfg.arena)
 	if err != nil {
 		return err
 	}
@@ -158,7 +164,7 @@ func run(cfg runConfig) error {
 
 	var base *train.Trainer
 	if cfg.compare && scenario != core.Baseline {
-		base, err = newTrainer(cfg.model, core.Baseline, cfg.batch, cfg.workers, cfg.lr, cfg.seed, sched)
+		base, err = newTrainer(cfg.model, core.Baseline, cfg.batch, cfg.workers, cfg.lr, cfg.seed, sched, cfg.arena)
 		if err != nil {
 			return err
 		}

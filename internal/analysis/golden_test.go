@@ -163,6 +163,13 @@ func TestNoGlobalsGolden(t *testing.T) {
 	runGolden(t, NoGlobals, "noglobals", "bnff/internal/layers")
 }
 
+func TestNoGlobalsInTensorScope(t *testing.T) {
+	// internal/tensor entered the scope with the Arena: a package-level free
+	// list would couple executors through shared process state, so the same
+	// fixture loaded under the tensor path must produce the same findings.
+	runGolden(t, NoGlobals, "noglobals", "bnff/internal/tensor")
+}
+
 func TestNoGlobalsOutOfScope(t *testing.T) {
 	// Outside the hot-path packages the same declarations are legal.
 	pkg := loadFixture(t, "noglobals", "bnff/internal/experiments")

@@ -13,11 +13,16 @@ import (
 // exactly the regression this analyzer locks out. internal/parallel is in
 // scope so the one construction-time default backing the deprecated shim
 // stays a visible, suppressed exception rather than a precedent.
+// internal/tensor joined when it grew the Arena: a process-wide shared
+// free-list would silently couple executors (and break the per-executor
+// determinism story), so arenas must stay instance state behind
+// core.WithArena.
 var noGlobalsScope = []string{
 	"bnff/internal/layers",
 	"bnff/internal/kernels",
 	"bnff/internal/core",
 	"bnff/internal/parallel",
+	"bnff/internal/tensor",
 }
 
 // NoGlobals forbids new package-level `var` declarations of non-error type
@@ -28,7 +33,7 @@ var noGlobalsScope = []string{
 // never slip back in silently.
 var NoGlobals = &Analyzer{
 	Name: "noglobals",
-	Doc: "forbid package-level mutable state (non-error var declarations) in internal/{layers,kernels,core,parallel}; " +
+	Doc: "forbid package-level mutable state (non-error var declarations) in internal/{layers,kernels,core,parallel,tensor}; " +
 		"configuration must thread through executor construction options",
 	Run: runNoGlobals,
 }

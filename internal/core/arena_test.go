@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bnff/internal/memplan"
+	"bnff/internal/models"
+	"bnff/internal/obs"
+	"bnff/internal/tensor"
+)
+
+func bitEqual(a, b *tensor.Tensor) bool {
+	if !a.Shape().Equal(b.Shape()) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Float32bits(a.Data[i]) != math.Float32bits(b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestArenaBitIdentical is the arena's correctness contract: with the arena
+// on, every forward output and every parameter gradient is bit-identical to
+// the legacy allocation path — across the tiny model registry, for both the
+// baseline and fully restructured graphs, serial and pooled, and across
+// repeated iterations (the second iteration is the one that actually
+// exercises recycled buffers). It also asserts the leak invariant: after a
+// complete forward+backward, every arena buffer has been returned.
+func TestArenaBitIdentical(t *testing.T) {
+	const iters = 3
+	for _, name := range models.Names() {
+		t.Run(name, func(t *testing.T) {
+			if !strings.HasPrefix(name, "tiny-") {
+				t.Skipf("%s is analytical-only; numeric equivalence runs on tiny-* models", name)
+			}
+			for _, scen := range []Scenario{Baseline, BNFF} {
+				for _, workers := range []int{1, 4} {
+					t.Run(fmt.Sprintf("%v/workers=%d", scen, workers), func(t *testing.T) {
+						g, err := models.Build(name, 6)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if err := Restructure(g, scen.Options()); err != nil {
+							t.Fatal(err)
+						}
+						legacy, err := NewExecutor(g, WithSeed(42), WithWorkers(workers))
+						if err != nil {
+							t.Fatal(err)
+						}
+						arena, err := NewExecutor(g, WithSeed(42), WithWorkers(workers), WithArena())
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !arena.ArenaEnabled() || legacy.ArenaEnabled() {
+							t.Fatal("WithArena wiring broken")
+						}
+						in := tensor.New(g.Nodes[0].OutShape...)
+						tensor.NewRNG(3).FillNormal(in, 0, 1)
+						for it := 0; it < iters; it++ {
+							outL, err := legacy.Forward(in)
+							if err != nil {
+								t.Fatal(err)
+							}
+							outA, err := arena.Forward(in)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !bitEqual(outL, outA) {
+								t.Fatalf("iteration %d: arena-on forward output differs", it)
+							}
+							dOut := tensor.New(outL.Shape()...)
+							tensor.NewRNG(5).FillUniform(dOut, -1, 1)
+							gradsL, err := legacy.Backward(dOut)
+							if err != nil {
+								t.Fatal(err)
+							}
+							gradsA, err := arena.Backward(dOut)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if len(gradsL) != len(gradsA) {
+								t.Fatalf("iteration %d: gradient maps differ in size", it)
+							}
+							for k, gl := range gradsL {
+								ga := gradsA[k]
+								if ga == nil {
+									t.Fatalf("iteration %d: arena-on missing gradient %q", it, k)
+								}
+								if !bitEqual(gl, ga) {
+									t.Fatalf("iteration %d: gradient %q differs", it, k)
+								}
+							}
+							if inUse := arena.ArenaStats().BytesInUse; inUse != 0 {
+								t.Fatalf("iteration %d: %d bytes still checked out after backward (leak)", it, inUse)
+							}
+						}
+						s := arena.ArenaStats()
+						if s.Hits == 0 {
+							t.Error("repeated iterations never hit the free lists")
+						}
+						if s.PeakBytes == 0 || s.Misses == 0 {
+							t.Errorf("implausible arena stats: %+v", s)
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestArenaInferenceBitIdentical covers the inference path, whose lifetimes
+// differ (dropout aliases its input, so per-step releases are skipped and
+// buffers recycle at the next pass boundary).
+func TestArenaInferenceBitIdentical(t *testing.T) {
+	for _, name := range []string{"tiny-cnn", "tiny-densenet"} {
+		t.Run(name, func(t *testing.T) {
+			g, err := models.Build(name, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			legacy, err := NewExecutor(g, WithSeed(9), WithInference())
+			if err != nil {
+				t.Fatal(err)
+			}
+			arena, err := NewExecutor(g, WithSeed(9), WithInference(), WithArena())
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := tensor.New(g.Nodes[0].OutShape...)
+			tensor.NewRNG(11).FillNormal(in, 0, 1)
+			for it := 0; it < 3; it++ {
+				outL, err := legacy.Forward(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				outA, err := arena.Forward(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bitEqual(outL, outA) {
+					t.Fatalf("iteration %d: inference output differs with arena on", it)
+				}
+			}
+		})
+	}
+}
+
+// TestArenaPeakWithinPredicted ties the measured footprint to the analytical
+// one: the arena's high-water mark on a real training iteration must land
+// within 2× of memplan's predicted activation peak (the arena additionally
+// carries layer scratch, statistics vectors, and argmax indices the
+// analytical plan does not model, and per-buffer reuse can round sizes up).
+func TestArenaPeakWithinPredicted(t *testing.T) {
+	for _, scen := range []Scenario{Baseline, BNFF} {
+		t.Run(scen.String(), func(t *testing.T) {
+			g, err := models.TinyDenseNet(16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Restructure(g, scen.Options()); err != nil {
+				t.Fatal(err)
+			}
+			plan, err := memplan.PlanTraining(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg := obs.NewRegistry()
+			exec, err := NewExecutor(g, WithSeed(1), WithArena(), WithMetrics(reg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := tensor.New(g.Nodes[0].OutShape...)
+			tensor.NewRNG(2).FillNormal(in, 0, 1)
+			for it := 0; it < 2; it++ {
+				out, err := exec.Forward(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dOut := tensor.New(out.Shape()...)
+				dOut.Fill(1)
+				if _, err := exec.Backward(dOut); err != nil {
+					t.Fatal(err)
+				}
+			}
+			measured := exec.ArenaStats().PeakBytes
+			predicted := plan.PeakBytes
+			t.Logf("%s: measured arena peak %.2f MB, memplan predicted %.2f MB (%.2fx)",
+				scen, float64(measured)/1e6, float64(predicted)/1e6, float64(measured)/float64(predicted))
+			if measured < predicted {
+				t.Errorf("measured peak %d below the modeled lower bound %d — the plan should undercount scratch, not overcount", measured, predicted)
+			}
+			if measured > 2*predicted {
+				t.Errorf("measured peak %d exceeds 2x the predicted %d", measured, predicted)
+			}
+			if got := reg.Gauge("arena_peak_bytes").Value(); got != measured {
+				t.Errorf("arena_peak_bytes gauge = %d, want %d", got, measured)
+			}
+			if reg.Gauge("arena_hits").Value() == 0 {
+				t.Error("arena_hits gauge never published")
+			}
+		})
+	}
+}
+
+// TestArenaForwardAllocBudget is the allocation-regression guard: the
+// steady-state per-step heap allocation count of an arena-on tiny-densenet
+// forward must stay at or below the committed budget
+// (testdata/arena_alloc_budget.txt), and at least 10x below the arena-off
+// path. CI runs this in the bench job; raising the budget is a reviewed
+// change to the committed file, not a silent drift.
+func TestArenaForwardAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("testing.AllocsPerRun is unreliable under the race detector")
+	}
+	raw, err := os.ReadFile("testdata/arena_alloc_budget.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget, err := strconv.ParseFloat(strings.TrimSpace(string(raw)), 64)
+	if err != nil {
+		t.Fatalf("parsing committed budget: %v", err)
+	}
+	build := func(opts ...Option) (*Executor, *tensor.Tensor) {
+		g, err := models.TinyDenseNet(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Restructure(g, BNFF.Options()); err != nil {
+			t.Fatal(err)
+		}
+		exec, err := NewExecutor(g, append([]Option{WithSeed(1)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := tensor.New(g.Nodes[0].OutShape...)
+		tensor.NewRNG(2).FillNormal(in, 0, 1)
+		if _, err := exec.Forward(in); err != nil { // warm the free lists
+			t.Fatal(err)
+		}
+		return exec, in
+	}
+	arena, inA := build(WithArena())
+	on := testing.AllocsPerRun(5, func() {
+		if _, err := arena.Forward(inA); err != nil {
+			t.Fatal(err)
+		}
+	})
+	legacy, inL := build()
+	off := testing.AllocsPerRun(5, func() {
+		if _, err := legacy.Forward(inL); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("tiny-densenet forward allocs/step: arena-on %.0f, arena-off %.0f (%.1fx), budget %.0f",
+		on, off, off/on, budget)
+	if on > budget {
+		t.Errorf("arena-on forward allocates %.0f per step, budget is %.0f (testdata/arena_alloc_budget.txt)", on, budget)
+	}
+	if off < 10*on {
+		t.Errorf("arena reduces allocs only %.1fx (on=%.0f off=%.0f), want >= 10x", off/on, on, off)
+	}
+}
+
+// benchArenaStep is the shared body of the arena on/off benchmark pair:
+// tiny-densenet BNFF at one worker, forward only or a full training step.
+// The pair quantifies the tentpole claim — steady-state per-step heap
+// allocations with the arena on versus the legacy allocation path (compare
+// allocs/op between On and Off).
+func benchArenaStep(b *testing.B, backward bool, opts ...Option) {
+	g, err := models.TinyDenseNet(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := Restructure(g, BNFF.Options()); err != nil {
+		b.Fatal(err)
+	}
+	exec, err := NewExecutor(g, append([]Option{WithSeed(1), WithWorkers(1)}, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := tensor.New(g.Nodes[0].OutShape...)
+	tensor.NewRNG(2).FillNormal(in, 0, 1)
+	dOut := tensor.New(g.Output.OutShape...)
+	dOut.Fill(1)
+	step := func() {
+		if _, err := exec.Forward(in); err != nil {
+			b.Fatal(err)
+		}
+		if backward {
+			if _, err := exec.Backward(dOut); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	step() // warm the free lists
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}
+
+func BenchmarkForwardArenaOff(b *testing.B)   { benchArenaStep(b, false) }
+func BenchmarkForwardArenaOn(b *testing.B)    { benchArenaStep(b, false, WithArena()) }
+func BenchmarkTrainStepArenaOff(b *testing.B) { benchArenaStep(b, true) }
+func BenchmarkTrainStepArenaOn(b *testing.B)  { benchArenaStep(b, true, WithArena()) }

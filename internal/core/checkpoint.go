@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"bnff/internal/det"
@@ -172,17 +173,47 @@ func (e *Executor) Load(r io.Reader) error {
 	return nil
 }
 
-// SaveFile writes a checkpoint to path, creating or truncating it.
+// SaveFile writes a checkpoint to path atomically: the bytes go to a
+// temporary file in the same directory, are synced to stable storage, and
+// only then rename over path. A crash — or any write error — mid-save can
+// therefore never leave a truncated or half-written checkpoint at path: the
+// previous file survives untouched, and the temporary is removed on error.
 func (e *Executor) SaveFile(path string) error {
-	f, err := os.Create(path)
+	return saveFileAtomic(path, e.Save)
+}
+
+// saveFileAtomic is SaveFile's write-temp/sync/rename machinery with the
+// serializer injected, so tests can fail a save mid-write and assert the
+// previous checkpoint survives.
+func saveFileAtomic(path string, save func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	if err := e.Save(f); err != nil {
+	tmp := f.Name()
+	cleanup := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := save(f); err != nil {
+		return cleanup(err)
+	}
+	// Sync before rename: the rename must not become durable ahead of the
+	// data it points at.
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // LoadFile restores a checkpoint from path.

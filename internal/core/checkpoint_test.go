@@ -2,6 +2,9 @@ package core
 
 import (
 	"bytes"
+	"errors"
+	"io"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -170,5 +173,98 @@ func TestCheckpointFileRoundTrip(t *testing.T) {
 	}
 	if err := e2.LoadFile(filepath.Join(dir, "missing.bnff")); err == nil {
 		t.Error("loaded a missing file")
+	}
+}
+
+// TestSaveFileCrashSafety injects a mid-write failure into the atomic save
+// machinery and asserts the previous checkpoint at the target path survives
+// byte-identical, with no temporary files left behind.
+func TestSaveFileCrashSafety(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.bnff")
+	g, _ := models.TinyCNN(2, 8, 4)
+	e, err := NewExecutor(g, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A save that emits half a header and then dies mid-write.
+	boom := errors.New("injected mid-write failure")
+	err = saveFileAtomic(path, func(w io.Writer) error {
+		if _, err := w.Write([]byte("BNFF\x01\x00")); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("saveFileAtomic error = %v, want injected failure", err)
+	}
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("previous checkpoint gone after failed save: %v", err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("failed save corrupted the previous checkpoint")
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*.tmp*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Errorf("temporary files left behind: %v", names)
+	}
+	// The surviving checkpoint still loads.
+	if err := e.LoadFile(path); err != nil {
+		t.Errorf("surviving checkpoint no longer loads: %v", err)
+	}
+}
+
+// TestSaveLoadSaveByteIdentical: serialization is a pure function of the
+// model state, so a load/save cycle reproduces the exact bytes — the
+// property resumable training relies on when it re-checkpoints.
+func TestSaveLoadSaveByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.bnff")
+	p2 := filepath.Join(dir, "b.bnff")
+	g, _ := models.TinyDenseNet(2)
+	e, err := NewExecutor(g, WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range e.Running {
+		tensor.NewRNG(13).FillUniform(r, 0, 2)
+	}
+	if err := e.SaveFile(p1); err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := models.TinyDenseNet(2)
+	e2, err := NewExecutor(g2, WithSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.LoadFile(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.SaveFile(p2); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("save -> load -> save is not byte-identical")
 	}
 }

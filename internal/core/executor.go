@@ -63,11 +63,19 @@ type Executor struct {
 	foldBN bool        // WithFoldedBN: compile the fold after the next checkpoint load
 	folded bool        // FoldBN already ran; the graph and parameters are rewritten
 
+	alloc   *tensor.Arena // nil: legacy per-pass heap allocation (see WithArena)
+	aplan   *arenaPlan    // compiled release table; invalidated by FoldBN
+	metrics *obs.Registry // nil: no metrics publication (see WithMetrics)
+	agauges *arenaGauges  // lazily resolved arena gauges
+	live    []*graph.Node // cached G.Live() schedule; invalidated by FoldBN
+
 	vals    map[int]*tensor.Tensor
 	stats   map[int]*layers.BNStats // keyed by statistics-producer node ID
 	xhats   map[int]*tensor.Tensor  // keyed by normalize-owner node ID
 	poolCtx map[int]*layers.PoolContext
 	masks   map[int]*tensor.Tensor // dropout masks, keyed by node ID
+
+	concatIns []*tensor.Tensor // reusable input-gather scratch for OpConcat
 
 	dropRNG *tensor.RNG
 }
@@ -211,14 +219,16 @@ func (e *Executor) CopyParamsFrom(o *Executor) error {
 // The *Of helpers attach the executor's pool to a copy of the node's layer
 // descriptor; the graph's shared descriptors stay execution-state-free.
 func (e *Executor) bnOf(n *graph.Node) layers.BatchNorm {
-	return layers.NewBatchNorm(n.BN.Channels).WithPool(e.pool)
+	return layers.NewBatchNorm(n.BN.Channels).WithPool(e.pool).WithAlloc(e.alloc)
 }
 
 func (e *Executor) bnOfAttr(a *graph.BNAttr) layers.BatchNorm {
-	return layers.NewBatchNorm(a.Channels).WithPool(e.pool)
+	return layers.NewBatchNorm(a.Channels).WithPool(e.pool).WithAlloc(e.alloc)
 }
 
-func (e *Executor) convOf(n *graph.Node) layers.Conv2D { return n.Conv.WithPool(e.pool) }
+func (e *Executor) convOf(n *graph.Node) layers.Conv2D {
+	return n.Conv.WithPool(e.pool).WithAlloc(e.alloc)
+}
 
 func (e *Executor) gamma(n *graph.Node) *tensor.Tensor { return e.Params[n.BN.ParamName+".gamma"] }
 func (e *Executor) beta(n *graph.Node) *tensor.Tensor  { return e.Params[n.BN.ParamName+".beta"] }
@@ -279,17 +289,32 @@ func (e *Executor) statsFor(n *graph.Node) (*layers.BNStats, error) {
 // Forward executes one forward pass and returns the output node's value.
 // The input must match the graph's input shape.
 func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
-	e.vals = make(map[int]*tensor.Tensor)
-	e.stats = make(map[int]*layers.BNStats)
-	e.xhats = make(map[int]*tensor.Tensor)
-	e.poolCtx = make(map[int]*layers.PoolContext)
-	e.masks = make(map[int]*tensor.Tensor)
+	if e.alloc != nil && e.vals != nil {
+		// Arena path: recycle whatever the previous pass left checked out and
+		// reuse the map storage instead of reallocating it.
+		e.resetPass()
+	} else {
+		e.vals = make(map[int]*tensor.Tensor)
+		e.stats = make(map[int]*layers.BNStats)
+		e.xhats = make(map[int]*tensor.Tensor)
+		e.poolCtx = make(map[int]*layers.PoolContext)
+		e.masks = make(map[int]*tensor.Tensor)
+	}
+	// Per-step releases follow the training schedule; an inference pass has
+	// different lifetimes (dropout aliases its input), so it recycles via the
+	// resetPass sweep above instead.
+	stepRelease := e.alloc != nil && !e.Inference
+	if stepRelease {
+		if _, err := e.arenaPlanFor(); err != nil {
+			return nil, err
+		}
+	}
 	if e.dropRNG == nil {
 		e.dropRNG = tensor.NewRNG(0x5eed)
 	}
 	passStart := e.tracer.Begin()
 
-	for _, n := range e.G.Live() {
+	for step, n := range e.liveNodes() {
 		var err error
 		nodeStart := e.tracer.Begin()
 		switch n.Kind {
@@ -343,7 +368,7 @@ func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 			e.vals[n.ID], e.xhats[n.ID] = y, xhat
 
 		case graph.OpReLU:
-			e.vals[n.ID] = layers.ReLUForwardOn(e.pool, e.in(n, 0))
+			e.vals[n.ID] = layers.ReLUForwardAlloc(e.pool, e.alloc, e.in(n, 0))
 
 		case graph.OpReLUConv:
 			e.vals[n.ID], err = kernels.ReLUConvForward(e.convOf(n), e.in(n, 0), e.Params[n.Name+".w"])
@@ -368,24 +393,25 @@ func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 		case graph.OpPool:
 			var y *tensor.Tensor
 			var ctx *layers.PoolContext
-			y, ctx, err = n.Pool.WithPool(e.pool).Forward(e.in(n, 0))
+			y, ctx, err = n.Pool.WithPool(e.pool).WithAlloc(e.alloc).Forward(e.in(n, 0))
 			e.vals[n.ID], e.poolCtx[n.ID] = y, ctx
 
 		case graph.OpGlobalPool:
-			e.vals[n.ID], err = layers.GlobalAvgPoolForwardOn(e.pool, e.in(n, 0))
+			e.vals[n.ID], err = layers.GlobalAvgPoolForwardAlloc(e.pool, e.alloc, e.in(n, 0))
 
 		case graph.OpFC:
-			e.vals[n.ID], err = n.FC.WithPool(e.pool).Forward(e.in(n, 0), e.Params[n.Name+".w"], e.Params[n.Name+".b"])
+			e.vals[n.ID], err = n.FC.WithPool(e.pool).WithAlloc(e.alloc).Forward(e.in(n, 0), e.Params[n.Name+".w"], e.Params[n.Name+".b"])
 
 		case graph.OpConcat:
-			ins := make([]*tensor.Tensor, len(n.Inputs))
+			ins := e.concatIns[:0]
 			for i := range n.Inputs {
-				ins[i] = e.in(n, i)
+				ins = append(ins, e.in(n, i))
 			}
-			e.vals[n.ID], err = layers.ConcatForward(ins...)
+			e.concatIns = ins // keep the grown backing array for the next concat
+			e.vals[n.ID], err = layers.ConcatForwardAlloc(e.alloc, ins...)
 
 		case graph.OpEWS:
-			e.vals[n.ID], err = layers.EWSForward(e.in(n, 0), e.in(n, 1))
+			e.vals[n.ID], err = layers.EWSForwardAlloc(e.alloc, e.in(n, 0), e.in(n, 1))
 
 		case graph.OpFlatten:
 			e.vals[n.ID], err = e.in(n, 0).Reshape(n.OutShape...)
@@ -396,7 +422,7 @@ func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 				break
 			}
 			var y, mask *tensor.Tensor
-			y, mask, err = n.Dropout.Forward(e.in(n, 0), e.dropRNG)
+			y, mask, err = n.Dropout.ForwardAlloc(e.alloc, e.in(n, 0), e.dropRNG)
 			e.vals[n.ID], e.masks[n.ID] = y, mask
 
 		default:
@@ -407,6 +433,9 @@ func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 		}
 		if n.Kind != graph.OpInput {
 			e.endNodeSpan(n, "fwd", nodeStart)
+		}
+		if stepRelease {
+			e.releaseForwardStep(step)
 		}
 	}
 
@@ -419,12 +448,26 @@ func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	if out == nil {
 		return nil, fmt.Errorf("core: output node %q produced no value", e.G.Output.Name)
 	}
+	// The caller owns the output from here on; detach it so the arena never
+	// recycles storage the caller may still read.
+	e.alloc.Detach(out)
+	e.publishArenaMetrics()
 	e.tracer.End("forward", obs.CatPass, "fwd", obs.TIDPass, passStart)
 	return out, nil
 }
 
+// liveNodes returns the execution schedule, cached so steady-state passes do
+// not rebuild the topological-order slice. FoldBN rewrites the graph and
+// drops the cache alongside the arena release table.
+func (e *Executor) liveNodes() []*graph.Node {
+	if e.live == nil {
+		e.live = e.G.Live()
+	}
+	return e.live
+}
+
 func (e *Executor) updateRunning() error {
-	for _, n := range e.G.Live() {
+	for _, n := range e.liveNodes() {
 		st := e.stats[n.ID]
 		if st == nil {
 			continue
@@ -454,10 +497,13 @@ func (e *Executor) in(n *graph.Node, i int) *tensor.Tensor {
 
 // accumGrad folds a fresh gradient contribution into the per-node map.
 // The first contribution takes ownership of the tensor (every producer
-// returns a fresh tensor, so no aliasing).
-func accumGrad(gmap map[int]*tensor.Tensor, n *graph.Node, g *tensor.Tensor) error {
+// returns a fresh tensor, so no aliasing); later contributions are folded
+// in place and their now-dead buffer goes back to the arena.
+func (e *Executor) accumGrad(gmap map[int]*tensor.Tensor, n *graph.Node, g *tensor.Tensor) error {
 	if cur := gmap[n.ID]; cur != nil {
-		return cur.AddInPlace(g)
+		err := cur.AddInPlace(g)
+		e.alloc.Put(g)
+		return err
 	}
 	gmap[n.ID] = g
 	return nil
@@ -481,7 +527,7 @@ func (e *Executor) Backward(dOut *tensor.Tensor) (map[string]*tensor.Tensor, err
 	stash := make(map[int]*bnStash)
 	passStart := e.tracer.Begin()
 
-	live := e.G.Live()
+	live := e.liveNodes()
 	for i := len(live) - 1; i >= 0; i-- {
 		n := live[i]
 		if n.Kind == graph.OpInput {
@@ -492,7 +538,21 @@ func (e *Executor) Backward(dOut *tensor.Tensor) (map[string]*tensor.Tensor, err
 			return nil, fmt.Errorf("core: backward of node %q: %w", n.Name, err)
 		}
 		e.endNodeSpan(n, "bwd", nodeStart)
+		if e.alloc != nil && e.aplan != nil {
+			e.releaseBackwardStep(2*len(live)-1-i, gmap, stash)
+		}
 	}
+	if e.alloc != nil {
+		// Gradient slots nothing reads — the graph inputs' — are written but
+		// have no release step; sweep them back in schedule order.
+		for _, n := range live {
+			if g := gmap[n.ID]; g != nil {
+				e.alloc.Put(g)
+				delete(gmap, n.ID)
+			}
+		}
+	}
+	e.publishArenaMetrics()
 	e.tracer.End("backward", obs.CatPass, "bwd", obs.TIDPass, passStart)
 	return grads, nil
 }
@@ -504,11 +564,20 @@ func (e *Executor) backwardNode(n *graph.Node, gmap map[int]*tensor.Tensor,
 	// Conv-like nodes with a StatsOut epilogue receive their upstream
 	// gradient through the sub-BN2' stash instead of the gradient map: the
 	// following BN's element-wise input gradient (sub-BN1') is produced in
-	// the same fused sweep this CONV's backward consumes.
+	// the same fused sweep this CONV's backward consumes. The synthesized dy
+	// is a within-step transient; the conv cases below recycle it as soon as
+	// the weight/input gradients have been computed from it.
+	synth := false
 	if n.Kind.IsConvLike() && n.StatsOut != nil {
 		st := stash[n.ID]
 		if st == nil {
 			return fmt.Errorf("no sub-BN2' stash for statistics producer")
+		}
+		if dy != nil {
+			// The stash is a statistics producer's only upstream path;
+			// recycle anything that still reached the gradient map.
+			e.alloc.Put(dy)
+			delete(gmap, n.ID)
 		}
 		var err error
 		dy, err = e.bnOfAttr(n.StatsOut).BackwardInput(st.dv, st.xhat, e.gammaOf(n.StatsOut),
@@ -516,6 +585,8 @@ func (e *Executor) backwardNode(n *graph.Node, gmap map[int]*tensor.Tensor,
 		if err != nil {
 			return err
 		}
+		synth = true
+		e.releaseStats(n.ID)
 	} else if n.Kind != graph.OpSubBN1 && dy == nil {
 		return fmt.Errorf("no gradient reached node (kind %v)", n.Kind)
 	}
@@ -529,8 +600,11 @@ func (e *Executor) backwardNode(n *graph.Node, gmap map[int]*tensor.Tensor,
 		if err != nil {
 			return err
 		}
+		if synth {
+			e.alloc.Put(dy)
+		}
 		grads[n.Name+".w"] = dw
-		return accumGrad(gmap, n.Inputs[0], dx)
+		return e.accumGrad(gmap, n.Inputs[0], dx)
 
 	case graph.OpBN:
 		ctx := &layers.BNContext{XHat: e.xhats[n.ID], Stats: e.stats[n.ID]}
@@ -538,9 +612,10 @@ func (e *Executor) backwardNode(n *graph.Node, gmap map[int]*tensor.Tensor,
 		if err != nil {
 			return err
 		}
+		e.releaseStats(n.ID)
 		grads[n.BN.ParamName+".gamma"] = dgamma
 		grads[n.BN.ParamName+".beta"] = dbeta
-		return accumGrad(gmap, n.Inputs[0], dx)
+		return e.accumGrad(gmap, n.Inputs[0], dx)
 
 	case graph.OpSubBN1:
 		st := stash[n.ID]
@@ -551,7 +626,8 @@ func (e *Executor) backwardNode(n *graph.Node, gmap map[int]*tensor.Tensor,
 		if err != nil {
 			return err
 		}
-		return accumGrad(gmap, n.Inputs[0], du)
+		e.releaseStats(n.ID)
+		return e.accumGrad(gmap, n.Inputs[0], du)
 
 	case graph.OpSubBN2:
 		bn := e.bnOf(n)
@@ -565,25 +641,31 @@ func (e *Executor) backwardNode(n *graph.Node, gmap map[int]*tensor.Tensor,
 		return nil
 
 	case graph.OpReLU:
-		dx, err := layers.ReLUBackwardOn(e.pool, dy, e.in(n, 0))
+		dx, err := layers.ReLUBackwardAlloc(e.pool, e.alloc, dy, e.in(n, 0))
 		if err != nil {
 			return err
 		}
-		return accumGrad(gmap, n.Inputs[0], dx)
+		return e.accumGrad(gmap, n.Inputs[0], dx)
 
 	case graph.OpReLUConv:
 		dx, dw, err := kernels.ReLUConvBackward(e.convOf(n), dy, e.in(n, 0), e.Params[n.Name+".w"])
 		if err != nil {
 			return err
 		}
+		if synth {
+			e.alloc.Put(dy)
+		}
 		grads[n.Name+".w"] = dw
-		return accumGrad(gmap, n.Inputs[0], dx)
+		return e.accumGrad(gmap, n.Inputs[0], dx)
 
 	case graph.OpBNReLUConv:
 		dv, dw, dgamma, dbeta, err := kernels.FusedConvBackwardReLUBNReduce(e.convOf(n), e.bnOf(n),
 			dy, e.xhats[n.ID], e.gamma(n), e.beta(n), e.Params[n.Name+".w"])
 		if err != nil {
 			return err
+		}
+		if synth {
+			e.alloc.Put(dy)
 		}
 		grads[n.Name+".w"] = dw
 		grads[n.BN.ParamName+".gamma"] = dgamma
@@ -592,64 +674,70 @@ func (e *Executor) backwardNode(n *graph.Node, gmap map[int]*tensor.Tensor,
 		return nil
 
 	case graph.OpPool:
-		dx, err := n.Pool.WithPool(e.pool).Backward(dy, e.poolCtx[n.ID])
+		ctx := e.poolCtx[n.ID]
+		dx, err := n.Pool.WithPool(e.pool).WithAlloc(e.alloc).Backward(dy, ctx)
 		if err != nil {
 			return err
 		}
-		return accumGrad(gmap, n.Inputs[0], dx)
+		if e.alloc != nil && ctx != nil {
+			// The argmax scatter indices die with this step.
+			e.alloc.PutInts(ctx.ArgMax)
+			delete(e.poolCtx, n.ID)
+		}
+		return e.accumGrad(gmap, n.Inputs[0], dx)
 
 	case graph.OpGlobalPool:
-		dx, err := layers.GlobalAvgPoolBackwardOn(e.pool, dy, n.Inputs[0].OutShape)
+		dx, err := layers.GlobalAvgPoolBackwardAlloc(e.pool, e.alloc, dy, n.Inputs[0].OutShape)
 		if err != nil {
 			return err
 		}
-		return accumGrad(gmap, n.Inputs[0], dx)
+		return e.accumGrad(gmap, n.Inputs[0], dx)
 
 	case graph.OpFC:
-		dx, dw, db, err := n.FC.WithPool(e.pool).Backward(dy, e.in(n, 0), e.Params[n.Name+".w"])
+		dx, dw, db, err := n.FC.WithPool(e.pool).WithAlloc(e.alloc).Backward(dy, e.in(n, 0), e.Params[n.Name+".w"])
 		if err != nil {
 			return err
 		}
 		grads[n.Name+".w"] = dw
 		grads[n.Name+".b"] = db
-		return accumGrad(gmap, n.Inputs[0], dx)
+		return e.accumGrad(gmap, n.Inputs[0], dx)
 
 	case graph.OpConcat:
 		channels := make([]int, len(n.Inputs))
 		for i, in := range n.Inputs {
 			channels[i] = in.OutShape[1]
 		}
-		parts, err := layers.ConcatBackward(dy, channels)
+		parts, err := layers.ConcatBackwardAlloc(e.alloc, dy, channels)
 		if err != nil {
 			return err
 		}
 		for i, p := range parts {
-			if err := accumGrad(gmap, n.Inputs[i], p); err != nil {
+			if err := e.accumGrad(gmap, n.Inputs[i], p); err != nil {
 				return err
 			}
 		}
 		return nil
 
 	case graph.OpEWS:
-		da, db := layers.EWSBackward(dy)
-		if err := accumGrad(gmap, n.Inputs[0], da); err != nil {
+		da, db := layers.EWSBackwardAlloc(e.alloc, dy)
+		if err := e.accumGrad(gmap, n.Inputs[0], da); err != nil {
 			return err
 		}
-		return accumGrad(gmap, n.Inputs[1], db)
+		return e.accumGrad(gmap, n.Inputs[1], db)
 
 	case graph.OpFlatten:
 		dx, err := dy.Reshape(n.Inputs[0].OutShape...)
 		if err != nil {
 			return err
 		}
-		return accumGrad(gmap, n.Inputs[0], dx.Clone())
+		return e.accumGrad(gmap, n.Inputs[0], e.alloc.Clone(dx))
 
 	case graph.OpDropout:
-		dx, err := n.Dropout.Backward(dy, e.masks[n.ID])
+		dx, err := n.Dropout.BackwardAlloc(e.alloc, dy, e.masks[n.ID])
 		if err != nil {
 			return err
 		}
-		return accumGrad(gmap, n.Inputs[0], dx)
+		return e.accumGrad(gmap, n.Inputs[0], dx)
 
 	default:
 		return fmt.Errorf("executor cannot differentiate kind %v", n.Kind)

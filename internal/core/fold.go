@@ -48,6 +48,10 @@ func (e *Executor) FoldBN() error {
 		}
 	}
 	e.folded = true
+	// The graph changed; drop the cached schedule and any compiled arena
+	// release table.
+	e.aplan = nil
+	e.live = nil
 	return nil
 }
 

@@ -15,6 +15,13 @@
 //   - MVF removes the mean→variance dependency via V(X)=E(X²)−E(X)².
 //   - RCF fuses any remaining ReLU into its following CONV (OpReLUConv).
 //   - ICF extends fusion across Concat/Split at composite-layer boundaries.
+//
+// The executor can additionally serve every per-pass buffer — node outputs,
+// saved x̂ maps, dropout masks, gradients, and layer workspace — from a
+// liveness-driven tensor.Arena (see WithArena): buffers return to the arena
+// at the End step of the live interval memplan.TrainingIntervals computes,
+// so steady-state training iterations run almost allocation-free while
+// producing bit-identical outputs to the legacy allocation path.
 package core
 
 import (

@@ -31,11 +31,14 @@ func FusedConvBackwardReLUBNReduce(conv layers.Conv2D, bn layers.BatchNorm,
 		return nil, nil, nil, nil, fmt.Errorf("kernels: dy %v, want %v", dy.Shape(), conv.OutShape(xhat.Shape()))
 	}
 	n, c, h, wd := xhat.Dims4()
+	a := conv.Alloc()
 
 	// Regenerate z from x̂ (register-resident tile in the real kernel; a
 	// scratch buffer here — the arithmetic matches the stored-z baseline
-	// bit for bit because it is the same expression).
-	z := tensor.New(xhat.Shape()...)
+	// bit for bit because it is the same expression). Only positive values
+	// are written; the zeroed remainder comes from the arena's zero-on-reuse
+	// guarantee (or a fresh heap buffer when no arena is set).
+	z := a.Get(xhat.Shape()...)
 	conv.Pool().Run(n, func(nLo, nHi int) {
 		for in := nLo; in < nHi; in++ {
 			for ic := 0; ic < c; ic++ {
@@ -50,14 +53,17 @@ func FusedConvBackwardReLUBNReduce(conv layers.Conv2D, bn layers.BatchNorm,
 		}
 	})
 
-	dz := tensor.New(xhat.Shape()...)
+	// dz accumulates (+=) inside BackwardInto, so it needs the zeroed buffer
+	// the arena guarantees; dW escapes into the caller's gradient map and
+	// stays a plain allocation.
+	dz := a.Get(xhat.Shape()...)
 	dw = tensor.New(w.Shape()...)
 	if err := conv.BackwardInto(dy, z, w, dz, dw); err != nil {
 		return nil, nil, nil, nil, err
 	}
 
 	// Fused epilogue: ReLU mask + dγ/dβ reductions in the dv-writing sweep.
-	dv = dz // reuse the buffer: dv is dz masked in place
+	dv = dz // reuse the buffer: dv is dz masked in place (arena-owned; the executor returns it)
 	dgamma = tensor.New(c)
 	dbeta = tensor.New(c)
 	dg := make([]float64, c)
@@ -99,6 +105,7 @@ func FusedConvBackwardReLUBNReduce(conv layers.Conv2D, bn layers.BatchNorm,
 		dgamma.Data[ic] = float32(dg[ic])
 		dbeta.Data[ic] = float32(db[ic])
 	}
+	a.Put(z)
 	return dv, dw, dgamma, dbeta, nil
 }
 
@@ -126,8 +133,9 @@ func FusedBNInputConvBackward(conv layers.Conv2D, bn layers.BatchNorm,
 	}
 	n, c, h, wd := dv.Dims4()
 	m := float32(n * h * wd)
-	inv := bn.InvStd(stats)
-	du = tensor.New(dv.Shape()...)
+	a := conv.Alloc()
+	inv := bn.InvStdScratch(stats)
+	du = a.Get(dv.Shape()...)
 	conv.Pool().Run(n, func(nLo, nHi int) {
 		for in := nLo; in < nHi; in++ {
 			for ic := 0; ic < c; ic++ {
@@ -140,7 +148,10 @@ func FusedBNInputConvBackward(conv layers.Conv2D, bn layers.BatchNorm,
 			}
 		}
 	})
-	dx = tensor.New(x.Shape()...)
+	bn.Alloc().PutFloats(inv)
+	// dx accumulates (+=) inside BackwardInto and needs the zeroed buffer
+	// the arena guarantees; dW escapes and stays a plain allocation.
+	dx = a.Get(x.Shape()...)
 	dw = tensor.New(w.Shape()...)
 	if err := conv.BackwardInto(du, x, w, dx, dw); err != nil {
 		return nil, nil, nil, err
@@ -161,7 +172,10 @@ func ReLUConvBackward(conv layers.Conv2D, dy, x, w *tensor.Tensor) (dx, dw *tens
 	}
 	// Regenerate z = ReLU(x) for the weight gradient, as the forward never
 	// stored it. Flat element-range splits with disjoint writes: bit-identical.
-	z := tensor.New(x.Shape()...)
+	// z writes only positives and dz accumulates, so both rely on the zeroed
+	// buffers the arena guarantees.
+	a := conv.Alloc()
+	z := a.Get(x.Shape()...)
 	conv.Pool().Run(len(x.Data), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if v := x.Data[i]; v > 0 {
@@ -169,11 +183,12 @@ func ReLUConvBackward(conv layers.Conv2D, dy, x, w *tensor.Tensor) (dx, dw *tens
 			}
 		}
 	})
-	dz := tensor.New(x.Shape()...)
+	dz := a.Get(x.Shape()...)
 	dw = tensor.New(w.Shape()...)
 	if err := conv.BackwardInto(dy, z, w, dz, dw); err != nil {
 		return nil, nil, err
 	}
+	a.Put(z)
 	dx = dz // mask in place
 	conv.Pool().Run(len(dx.Data), func(lo, hi int) {
 		for i := lo; i < hi; i++ {

@@ -35,15 +35,17 @@ func ConcatForwardStats(bn layers.BatchNorm, xs ...*tensor.Tensor) (*tensor.Tens
 	if totalC != bn.Channels {
 		return nil, nil, fmt.Errorf("kernels: concat produces %d channels, BN expects %d", totalC, bn.Channels)
 	}
-	y := tensor.New(n, totalC, h, w)
-	sum := make([]float32, totalC)
-	sumsq := make([]float32, totalC)
+	a := bn.Alloc()
+	y := a.Get(n, totalC, h, w)
+	sum := a.Floats(totalC)
+	sumsq := a.Floats(totalC)
 	hw := h * w
 	// Samples split on the BN's pool; copies are per-sample disjoint and the
 	// per-sample Σx/Σx² partials are reduced in sample order below, matching
-	// the serial accumulation order bit for bit.
-	psum := make([]float32, n*totalC)
-	psumsq := make([]float32, n*totalC)
+	// the serial accumulation order bit for bit. Scratch comes from the BN's
+	// arena on the dispatching goroutine (workers never touch the arena).
+	psum := a.Floats(n * totalC)
+	psumsq := a.Floats(n * totalC)
 	bn.Pool().Run(n, func(nLo, nHi int) {
 		for in := nLo; in < nHi; in++ {
 			cOff := 0
@@ -74,8 +76,8 @@ func ConcatForwardStats(bn layers.BatchNorm, xs ...*tensor.Tensor) (*tensor.Tens
 		}
 	}
 	m := float32(n * hw)
-	mean := tensor.New(totalC)
-	variance := tensor.New(totalC)
+	mean := a.Get(totalC)
+	variance := a.Get(totalC)
 	for ic := 0; ic < totalC; ic++ {
 		mu := sum[ic] / m
 		mean.Data[ic] = mu
@@ -85,7 +87,11 @@ func ConcatForwardStats(bn layers.BatchNorm, xs ...*tensor.Tensor) (*tensor.Tens
 		}
 		variance.Data[ic] = v
 	}
-	return y, &layers.BNStats{Mean: mean, Var: variance}, nil
+	a.PutFloats(psumsq)
+	a.PutFloats(psum)
+	a.PutFloats(sumsq)
+	a.PutFloats(sum)
+	return y, &layers.BNStats{Mean: mean, Var: variance, M: n * hw}, nil
 }
 
 // FusedSplitBNInputBackward is the ICF backward fusion: the boundary BN's
@@ -111,8 +117,9 @@ func FusedSplitBNInputBackward(bn layers.BatchNorm, dv, xhat, gamma *tensor.Tens
 	}
 	n, c, h, w := dv.Dims4()
 	m := float32(n * h * w)
-	inv := bn.InvStd(stats)
-	out := tensor.New(dv.Shape()...)
+	a := bn.Alloc()
+	inv := bn.InvStdScratch(stats)
+	out := a.Get(dv.Shape()...)
 	bn.Pool().Run(n, func(nLo, nHi int) {
 		for in := nLo; in < nHi; in++ {
 			for ic := 0; ic < c; ic++ {
@@ -130,5 +137,6 @@ func FusedSplitBNInputBackward(bn layers.BatchNorm, dv, xhat, gamma *tensor.Tens
 			}
 		}
 	})
+	a.PutFloats(inv)
 	return out, nil
 }

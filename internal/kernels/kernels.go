@@ -45,17 +45,19 @@ func ConvForwardStats(conv layers.Conv2D, x, w *tensor.Tensor) (*tensor.Tensor, 
 	}
 	n, c, h, wd := y.Dims4()
 	m := float32(n * h * wd)
-	sum := make([]float32, c)
-	sumsq := make([]float32, c)
+	a := conv.Alloc()
+	sum := a.Floats(c)
+	sumsq := a.Floats(c)
 	// Epilogue over the freshly written ofmap tile. In the MKL-DNN
 	// implementation this happens before the tile leaves registers; here it
 	// is a separate loop over data that is still cache-resident, which keeps
 	// the arithmetic identical. On a pool each sample writes a private
 	// per-channel partial that is reduced in sample order below — the serial
 	// loop adds one per-sample partial per channel in the same order, so the
-	// pooled statistics are bit-identical.
-	psum := make([]float32, n*c)
-	psumsq := make([]float32, n*c)
+	// pooled statistics are bit-identical. All scratch comes from the conv's
+	// arena on the dispatching goroutine (workers never touch the arena).
+	psum := a.Floats(n * c)
+	psumsq := a.Floats(n * c)
 	conv.Pool().Run(n, func(nLo, nHi int) {
 		for in := nLo; in < nHi; in++ {
 			for ic := 0; ic < c; ic++ {
@@ -79,8 +81,8 @@ func ConvForwardStats(conv layers.Conv2D, x, w *tensor.Tensor) (*tensor.Tensor, 
 			sumsq[ic] += psumsq[in*c+ic]
 		}
 	}
-	mean := tensor.New(c)
-	variance := tensor.New(c)
+	mean := a.Get(c)
+	variance := a.Get(c)
 	for ic := 0; ic < c; ic++ {
 		mu := sum[ic] / m
 		mean.Data[ic] = mu
@@ -90,7 +92,11 @@ func ConvForwardStats(conv layers.Conv2D, x, w *tensor.Tensor) (*tensor.Tensor, 
 		}
 		variance.Data[ic] = v
 	}
-	return y, &layers.BNStats{Mean: mean, Var: variance}, nil
+	a.PutFloats(psumsq)
+	a.PutFloats(psum)
+	a.PutFloats(sumsq)
+	a.PutFloats(sum)
+	return y, &layers.BNStats{Mean: mean, Var: variance, M: n * h * wd}, nil
 }
 
 // ReLUConvForward computes y = conv(ReLU(x), w) without materializing the
@@ -101,7 +107,7 @@ func ReLUConvForward(conv layers.Conv2D, x, w *tensor.Tensor) (*tensor.Tensor, e
 	if err := convCheck(conv, x, w); err != nil {
 		return nil, err
 	}
-	y := tensor.New(conv.OutShape(x.Shape())...)
+	y := conv.Alloc().Get(conv.OutShape(x.Shape())...)
 	n, cin, h, wd := x.Dims4()
 	_, cout, oh, ow := y.Dims4()
 	kh, kw, s, p := conv.KernelH, conv.KernelW, conv.Stride, conv.Pad
@@ -177,9 +183,10 @@ func FusedBNReLUConvForward(conv layers.Conv2D, bn layers.BatchNorm, x *tensor.T
 		return nil, nil, err
 	}
 	n, c, h, wd := x.Dims4()
-	inv := bn.InvStd(stats)
-	xhat = tensor.New(x.Shape()...)
-	y = tensor.New(conv.OutShape(x.Shape())...)
+	a := conv.Alloc()
+	inv := bn.InvStdScratch(stats)
+	xhat = a.Get(x.Shape()...)
+	y = a.Get(conv.OutShape(x.Shape())...)
 	_, cout, oh, ow := y.Dims4()
 	kh, kw, s, p := conv.KernelH, conv.KernelW, conv.Stride, conv.Pad
 	wdat, yd := w.Data, y.Data
@@ -190,61 +197,106 @@ func FusedBNReLUConvForward(conv layers.Conv2D, bn layers.BatchNorm, x *tensor.T
 	// Samples split on the conv's pool; each chunk owns a private per-sample
 	// tile of rectified normalized activations (1/N of a batch tensor, the
 	// cache-resident working set), and all writes (x̂, y) are per-sample
-	// disjoint — pooled execution is bit-identical to serial.
-	conv.Pool().Run(n, func(nLo, nHi int) {
-		tile := make([]float32, c*h*wd)
-		for in := nLo; in < nHi; in++ {
-			// One pass: read x, write x̂ (O2'), fill the tile with ReLU(γx̂+β).
-			for ic := 0; ic < c; ic++ {
-				base := (in*c + ic) * h * wd
-				tbase := ic * h * wd
-				mu, is, gc, bc := stats.Mean.Data[ic], inv[ic], g[ic], b[ic]
-				for i := 0; i < h*wd; i++ {
-					xh := (x.Data[base+i] - mu) * is
-					xhat.Data[base+i] = xh
-					if z := gc*xh + bc; z > 0 {
-						tile[tbase+i] = z
-					} else {
-						tile[tbase+i] = 0
-					}
-				}
-			}
-			// Convolve this sample from the tile.
-			for oc := 0; oc < cout; oc++ {
-				icLo := (oc / coutG) * cinG
-				wBase := oc * cinG * kh * kw
-				outBase := (in*cout + oc) * oh * ow
-				for oy := 0; oy < oh; oy++ {
-					iy0 := oy*s - p
-					for ox := 0; ox < ow; ox++ {
-						ix0 := ox*s - p
-						var acc float32
-						for ig := 0; ig < cinG; ig++ {
-							tbase := (icLo + ig) * h * wd
-							wcBase := wBase + ig*kh*kw
-							for ky := 0; ky < kh; ky++ {
-								iy := iy0 + ky
-								if iy < 0 || iy >= h {
-									continue
-								}
-								row := tbase + iy*wd
-								wrow := wcBase + ky*kw
-								for kx := 0; kx < kw; kx++ {
-									ix := ix0 + kx
-									if ix < 0 || ix >= wd {
-										continue
-									}
-									acc += tile[row+ix] * wdat[wrow+kx]
-								}
-							}
-						}
-						yd[outBase+oy*ow+ox] = acc
-					}
+	// disjoint — pooled execution is bit-identical to serial. The tiles live
+	// in one dispatcher-allocated slab indexed by chunk, so workers never
+	// touch the arena and the scratch recycles across steps.
+	tileLen := c * h * wd
+	slab := a.Floats(conv.Pool().NumChunks(n) * tileLen)
+	// The serial path runs the chunk body as a plain method call on a
+	// stack spec — no closure, no heap traffic on the one-worker steady
+	// state. The pooled path builds its own spec so only that copy escapes
+	// into the dispatched closure.
+	if conv.Pool().Serial() {
+		sp := fusedFwdSpec{
+			xd: x.Data, xh: xhat.Data, yd: yd, wdat: wdat,
+			mean: stats.Mean.Data, inv: inv, g: g, b: b, slab: slab,
+			c: c, h: h, wd: wd, cout: cout, oh: oh, ow: ow,
+			kh: kh, kw: kw, s: s, p: p,
+			cinG: cinG, coutG: coutG, tileLen: tileLen,
+		}
+		sp.run(0, 0, n)
+	} else {
+		sp := fusedFwdSpec{
+			xd: x.Data, xh: xhat.Data, yd: yd, wdat: wdat,
+			mean: stats.Mean.Data, inv: inv, g: g, b: b, slab: slab,
+			c: c, h: h, wd: wd, cout: cout, oh: oh, ow: ow,
+			kh: kh, kw: kw, s: s, p: p,
+			cinG: cinG, coutG: coutG, tileLen: tileLen,
+		}
+		conv.Pool().RunChunked(n, func(chunk, nLo, nHi int) {
+			sp.run(chunk, nLo, nHi)
+		})
+	}
+	a.PutFloats(slab)
+	bn.Alloc().PutFloats(inv)
+	return y, xhat, nil
+}
+
+// fusedFwdSpec carries FusedBNReLUConvForward's loop state into its chunk
+// body, so the serial path can invoke it without allocating a closure.
+type fusedFwdSpec struct {
+	xd, xh, yd, wdat       []float32
+	mean, inv, g, b, slab  []float32
+	c, h, wd, cout, oh, ow int
+	kh, kw, s, p           int
+	cinG, coutG, tileLen   int
+}
+
+// run is the per-chunk body: normalize+rectify one sample into the chunk's
+// private tile, then convolve the sample from the tile.
+func (sp *fusedFwdSpec) run(chunk, nLo, nHi int) {
+	c, h, wd := sp.c, sp.h, sp.wd
+	tile := sp.slab[chunk*sp.tileLen : (chunk+1)*sp.tileLen]
+	for in := nLo; in < nHi; in++ {
+		// One pass: read x, write x̂ (O2'), fill the tile with ReLU(γx̂+β).
+		for ic := 0; ic < c; ic++ {
+			base := (in*c + ic) * h * wd
+			tbase := ic * h * wd
+			mu, is, gc, bc := sp.mean[ic], sp.inv[ic], sp.g[ic], sp.b[ic]
+			for i := 0; i < h*wd; i++ {
+				xh := (sp.xd[base+i] - mu) * is
+				sp.xh[base+i] = xh
+				if z := gc*xh + bc; z > 0 {
+					tile[tbase+i] = z
+				} else {
+					tile[tbase+i] = 0
 				}
 			}
 		}
-	})
-	return y, xhat, nil
+		// Convolve this sample from the tile.
+		for oc := 0; oc < sp.cout; oc++ {
+			icLo := (oc / sp.coutG) * sp.cinG
+			wBase := oc * sp.cinG * sp.kh * sp.kw
+			outBase := (in*sp.cout + oc) * sp.oh * sp.ow
+			for oy := 0; oy < sp.oh; oy++ {
+				iy0 := oy*sp.s - sp.p
+				for ox := 0; ox < sp.ow; ox++ {
+					ix0 := ox*sp.s - sp.p
+					var acc float32
+					for ig := 0; ig < sp.cinG; ig++ {
+						tbase := (icLo + ig) * h * wd
+						wcBase := wBase + ig*sp.kh*sp.kw
+						for ky := 0; ky < sp.kh; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							row := tbase + iy*wd
+							wrow := wcBase + ky*sp.kw
+							for kx := 0; kx < sp.kw; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= wd {
+									continue
+								}
+								acc += tile[row+ix] * sp.wdat[wrow+kx]
+							}
+						}
+					}
+					sp.yd[outBase+oy*sp.ow+ox] = acc
+				}
+			}
+		}
+	}
 }
 
 func convCheck(conv layers.Conv2D, x, w *tensor.Tensor) error {

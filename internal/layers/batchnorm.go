@@ -25,7 +25,8 @@ type BatchNorm struct {
 	Eps      float32
 	Momentum float32 // running-statistics update rate, e.g. 0.1
 
-	pool *parallel.Pool
+	pool  *parallel.Pool
+	alloc *tensor.Arena
 }
 
 // NewBatchNorm returns a BatchNorm with the conventional ε=1e-5, momentum 0.1.
@@ -45,12 +46,28 @@ func (b BatchNorm) WithPool(p *parallel.Pool) BatchNorm {
 // Pool returns the worker pool the layer executes on (nil = serial).
 func (b BatchNorm) Pool() *parallel.Pool { return b.pool }
 
+// WithAlloc returns a copy of the layer that obtains its outputs, statistics
+// tensors, and reduction scratch from the given arena (nil means plain heap
+// allocation, bit-identical). The arena is only consulted from the
+// dispatching goroutine, never inside pooled closures.
+func (b BatchNorm) WithAlloc(a *tensor.Arena) BatchNorm {
+	b.alloc = a
+	return b
+}
+
+// Alloc returns the arena the layer allocates from (nil = heap).
+func (b BatchNorm) Alloc() *tensor.Arena { return b.alloc }
+
 // BNStats holds per-channel mini-batch statistics (rank-1, length C).
 // Var is the biased variance (divided by the sample count M), matching the
-// normalization denominator of the original BN formulation.
+// normalization denominator of the original BN formulation. M records that
+// sample count (N·H·W) so UpdateRunning can apply the unbiased M/(M−1)
+// correction; statistics built without a count (M == 0, e.g. running
+// statistics re-wrapped for inference) are folded as-is.
 type BNStats struct {
 	Mean *tensor.Tensor
 	Var  *tensor.Tensor
+	M    int
 }
 
 // BNContext is what the baseline backward pass needs: the normalized
@@ -90,13 +107,13 @@ func (b BatchNorm) ComputeStats(x *tensor.Tensor) (*BNStats, error) {
 	}
 	n, c, h, w := x.Dims4()
 	m := float64(n * h * w)
-	mean := tensor.New(c)
-	variance := tensor.New(c)
+	mean := b.alloc.Get(c)
+	variance := b.alloc.Get(c)
 
 	// Pass 1: mean. One partial per (sample, channel), reduced in sample
 	// order — the same association the serial sweep uses, so pooled
 	// execution is bit-identical.
-	pmean := make([]float32, n*c)
+	pmean := b.alloc.Floats(n * c)
 	b.pool.Run(n, func(lo, hi int) {
 		for in := lo; in < hi; in++ {
 			for ic := 0; ic < c; ic++ {
@@ -116,8 +133,9 @@ func (b BatchNorm) ComputeStats(x *tensor.Tensor) (*BNStats, error) {
 			mean.Data[ic] += pmean[in*c+ic]
 		}
 	}
+	b.alloc.PutFloats(pmean)
 	// Pass 2: variance around the mean, same partial scheme.
-	pvar := make([]float32, n*c)
+	pvar := b.alloc.Floats(n * c)
 	b.pool.Run(n, func(lo, hi int) {
 		for in := lo; in < hi; in++ {
 			for ic := 0; ic < c; ic++ {
@@ -138,7 +156,8 @@ func (b BatchNorm) ComputeStats(x *tensor.Tensor) (*BNStats, error) {
 			variance.Data[ic] += pvar[in*c+ic]
 		}
 	}
-	return &BNStats{Mean: mean, Var: variance}, nil
+	b.alloc.PutFloats(pvar)
+	return &BNStats{Mean: mean, Var: variance, M: n * h * w}, nil
 }
 
 // ComputeStatsMVF evaluates the same statistics in a single sweep using
@@ -151,25 +170,20 @@ func (b BatchNorm) ComputeStatsMVF(x *tensor.Tensor) (*BNStats, error) {
 	}
 	n, c, h, w := x.Dims4()
 	m := float32(n * h * w)
-	sum := make([]float32, c)
-	sumsq := make([]float32, c)
-	psum := make([]float32, n*c)
-	psumsq := make([]float32, n*c)
-	b.pool.Run(n, func(lo, hi int) {
-		for in := lo; in < hi; in++ {
-			for ic := 0; ic < c; ic++ {
-				base := (in*c + ic) * h * w
-				var s, sq float32
-				for i := 0; i < h*w; i++ {
-					v := x.Data[base+i]
-					s += v
-					sq += v * v
-				}
-				psum[in*c+ic] = s
-				psumsq[in*c+ic] = sq
-			}
-		}
-	})
+	sum := b.alloc.Floats(c)
+	sumsq := b.alloc.Floats(c)
+	psum := b.alloc.Floats(n * c)
+	psumsq := b.alloc.Floats(n * c)
+	// The serial path calls the chunk body directly: a closure handed to
+	// Run is heap-allocated (its parameter reaches a go statement), and on
+	// the one-worker steady state that per-step garbage is the whole cost.
+	if b.pool.Serial() {
+		bnPartialSums(x.Data, psum, psumsq, c, h*w, 0, n)
+	} else {
+		b.pool.Run(n, func(lo, hi int) {
+			bnPartialSums(x.Data, psum, psumsq, c, h*w, lo, hi)
+		})
+	}
 	// det-reduce: the serial sweep adds one per-sample partial per channel
 	// in exactly this order, so the pooled result is bit-identical.
 	for in := 0; in < n; in++ {
@@ -178,8 +192,8 @@ func (b BatchNorm) ComputeStatsMVF(x *tensor.Tensor) (*BNStats, error) {
 			sumsq[ic] += psumsq[in*c+ic]
 		}
 	}
-	mean := tensor.New(c)
-	variance := tensor.New(c)
+	mean := b.alloc.Get(c)
+	variance := b.alloc.Get(c)
 	for ic := 0; ic < c; ic++ {
 		mu := sum[ic] / m
 		mean.Data[ic] = mu
@@ -189,7 +203,30 @@ func (b BatchNorm) ComputeStatsMVF(x *tensor.Tensor) (*BNStats, error) {
 		}
 		variance.Data[ic] = v
 	}
-	return &BNStats{Mean: mean, Var: variance}, nil
+	b.alloc.PutFloats(psumsq)
+	b.alloc.PutFloats(psum)
+	b.alloc.PutFloats(sumsq)
+	b.alloc.PutFloats(sum)
+	return &BNStats{Mean: mean, Var: variance, M: n * h * w}, nil
+}
+
+// bnPartialSums fills the per-(sample, channel) sum and sum-of-squares
+// partials of the single-sweep MVF statistics. It is the chunk body of
+// ComputeStatsMVF's pooled dispatch, shared with the serial fast path.
+func bnPartialSums(xd, psum, psumsq []float32, c, hw, lo, hi int) {
+	for in := lo; in < hi; in++ {
+		for ic := 0; ic < c; ic++ {
+			base := (in*c + ic) * hw
+			var s, sq float32
+			for i := 0; i < hw; i++ {
+				v := xd[base+i]
+				s += v
+				sq += v * v
+			}
+			psum[in*c+ic] = s
+			psumsq[in*c+ic] = sq
+		}
+	}
 }
 
 // ComputeStatsMVF64 is ComputeStatsMVF with float64 accumulators — the
@@ -227,8 +264,11 @@ func (b BatchNorm) ComputeStatsMVF64(x *tensor.Tensor) (*BNStats, error) {
 			sumsq[ic] += psumsq[in*c+ic]
 		}
 	}
-	mean := tensor.New(c)
-	variance := tensor.New(c)
+	// The float64 partials stay plain heap slices — the arena recycles
+	// float32 storage only, and this precision-ablation path is not a
+	// steady-state hot path.
+	mean := b.alloc.Get(c)
+	variance := b.alloc.Get(c)
 	for ic := 0; ic < c; ic++ {
 		mu := sum[ic] / m
 		mean.Data[ic] = float32(mu)
@@ -238,16 +278,30 @@ func (b BatchNorm) ComputeStatsMVF64(x *tensor.Tensor) (*BNStats, error) {
 		}
 		variance.Data[ic] = float32(v)
 	}
-	return &BNStats{Mean: mean, Var: variance}, nil
+	return &BNStats{Mean: mean, Var: variance, M: n * h * w}, nil
 }
 
 // InvStd returns per-channel 1/sqrt(var+ε) for the given statistics.
 func (b BatchNorm) InvStd(stats *BNStats) []float32 {
 	inv := make([]float32, b.Channels)
+	b.invStdInto(inv, stats)
+	return inv
+}
+
+// InvStdScratch is InvStd drawing the slice from the layer's arena (nil =
+// heap, bit-identical); callers return it with Alloc().PutFloats when their
+// sweep completes. The fused kernels use it so the per-channel scale vector
+// recycles instead of costing a heap allocation per step.
+func (b BatchNorm) InvStdScratch(stats *BNStats) []float32 {
+	inv := b.alloc.Floats(b.Channels)
+	b.invStdInto(inv, stats)
+	return inv
+}
+
+func (b BatchNorm) invStdInto(inv []float32, stats *BNStats) {
 	for i, v := range stats.Var.Data {
 		inv[i] = float32(1 / math.Sqrt(float64(v)+float64(b.Eps)))
 	}
-	return inv
 }
 
 // Normalize is sub-BN2: y = γ·(x−μ)/√(σ²+ε) + β. It also returns x̂, which
@@ -264,25 +318,37 @@ func (b BatchNorm) Normalize(x *tensor.Tensor, stats *BNStats, gamma, beta *tens
 		return nil, nil, err
 	}
 	n, c, h, w := x.Dims4()
-	inv := b.InvStd(stats)
-	y = tensor.New(x.Shape()...)
-	xhat = tensor.New(x.Shape()...)
+	inv := b.InvStdScratch(stats)
+	y = b.alloc.Get(x.Shape()...)
+	xhat = b.alloc.Get(x.Shape()...)
 	// Element-wise with per-sample disjoint writes: pooled execution is
-	// bit-identical to serial.
-	b.pool.Run(n, func(lo, hi int) {
-		for in := lo; in < hi; in++ {
-			for ic := 0; ic < c; ic++ {
-				base := (in*c + ic) * h * w
-				mu, is, g, be := stats.Mean.Data[ic], inv[ic], gamma.Data[ic], beta.Data[ic]
-				for i := 0; i < h*w; i++ {
-					xh := (x.Data[base+i] - mu) * is
-					xhat.Data[base+i] = xh
-					y.Data[base+i] = g*xh + be
-				}
+	// bit-identical to serial. The serial path calls the chunk body
+	// directly so the steady state allocates no closure.
+	if b.pool.Serial() {
+		bnNormalizeChunk(x.Data, xhat.Data, y.Data, stats.Mean.Data, inv, gamma.Data, beta.Data, c, h*w, 0, n)
+	} else {
+		b.pool.Run(n, func(lo, hi int) {
+			bnNormalizeChunk(x.Data, xhat.Data, y.Data, stats.Mean.Data, inv, gamma.Data, beta.Data, c, h*w, lo, hi)
+		})
+	}
+	b.alloc.PutFloats(inv)
+	return y, xhat, nil
+}
+
+// bnNormalizeChunk is Normalize's chunk body: write x̂ and y = γx̂+β for the
+// samples in [lo, hi).
+func bnNormalizeChunk(xd, xh, yd, mean, inv, gamma, beta []float32, c, hw, lo, hi int) {
+	for in := lo; in < hi; in++ {
+		for ic := 0; ic < c; ic++ {
+			base := (in*c + ic) * hw
+			mu, is, g, be := mean[ic], inv[ic], gamma[ic], beta[ic]
+			for i := 0; i < hw; i++ {
+				v := (xd[base+i] - mu) * is
+				xh[base+i] = v
+				yd[base+i] = g*v + be
 			}
 		}
-	})
-	return y, xhat, nil
+	}
 }
 
 // Forward is the baseline composition: two-pass statistics, then normalize.
@@ -361,8 +427,8 @@ func (b BatchNorm) BackwardInput(dy, xhat, gamma *tensor.Tensor, stats *BNStats,
 	}
 	n, c, h, w := dy.Dims4()
 	m := float32(n * h * w)
-	inv := b.InvStd(stats)
-	dx := tensor.New(dy.Shape()...)
+	inv := b.InvStdScratch(stats)
+	dx := b.alloc.Get(dy.Shape()...)
 	b.pool.Run(n, func(lo, hi int) {
 		for in := lo; in < hi; in++ {
 			for ic := 0; ic < c; ic++ {
@@ -375,6 +441,7 @@ func (b BatchNorm) BackwardInput(dy, xhat, gamma *tensor.Tensor, stats *BNStats,
 			}
 		}
 	})
+	b.alloc.PutFloats(inv)
 	return dx, nil
 }
 
@@ -393,6 +460,14 @@ func (b BatchNorm) Backward(dy *tensor.Tensor, ctx *BNContext, gamma *tensor.Ten
 
 // UpdateRunning folds the batch statistics into the running (inference)
 // statistics in place: r ← (1−momentum)·r + momentum·batch.
+//
+// The variance folded in is the unbiased estimate: the normalizer divides by
+// the mini-batch sample count M, but the inference-time running variance
+// follows the cuDNN/PyTorch convention of scaling each batch's contribution
+// by M/(M−1) (Bessel's correction) so it estimates the population variance.
+// Statistics constructed without a sample count (M < 2) are folded biased,
+// as this layer did before the convention was fixed — that keeps hand-built
+// BNStats values meaningful and degenerate single-sample batches finite.
 func (b BatchNorm) UpdateRunning(runningMean, runningVar *tensor.Tensor, stats *BNStats) error {
 	if err := b.checkParam("runningMean", runningMean); err != nil {
 		return err
@@ -401,9 +476,13 @@ func (b BatchNorm) UpdateRunning(runningMean, runningVar *tensor.Tensor, stats *
 		return err
 	}
 	mom := b.Momentum
+	corr := float32(1)
+	if stats.M > 1 {
+		corr = float32(stats.M) / float32(stats.M-1)
+	}
 	for i := 0; i < b.Channels; i++ {
 		runningMean.Data[i] = (1-mom)*runningMean.Data[i] + mom*stats.Mean.Data[i]
-		runningVar.Data[i] = (1-mom)*runningVar.Data[i] + mom*stats.Var.Data[i]
+		runningVar.Data[i] = (1-mom)*runningVar.Data[i] + mom*corr*stats.Var.Data[i]
 	}
 	return nil
 }

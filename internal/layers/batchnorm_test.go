@@ -315,3 +315,98 @@ func TestQuickBNAffineInvariance(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestBNUpdateRunningBesselTwoBatch drives two successive running-statistics
+// updates from real mini-batches and checks every intermediate against hand
+// arithmetic. The variance blended into the running estimate must be the
+// unbiased one — biased batch variance times M/(M−1) (Bessel's correction),
+// matching what the normalize path at inference expects.
+func TestBNUpdateRunningBesselTwoBatch(t *testing.T) {
+	bn := NewBatchNorm(1) // momentum 0.1
+	rm := tensor.MustFromSlice([]float32{0}, 1)
+	rv := tensor.MustFromSlice([]float32{1}, 1)
+
+	// Batch 1: x = [1 2 3 4] over one channel (M = 4).
+	// mean = 2.5, biased var = 7.5 − 6.25 = 1.25, unbiased = 1.25·4/3 = 5/3.
+	x1 := tensor.MustFromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	s1, err := bn.ComputeStats(x1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Mean.Data[0] != 2.5 || s1.Var.Data[0] != 1.25 || s1.M != 4 {
+		t.Fatalf("batch-1 stats mean=%v var=%v M=%d, want 2.5 / 1.25 / 4",
+			s1.Mean.Data[0], s1.Var.Data[0], s1.M)
+	}
+	if err := bn.UpdateRunning(rm, rv, s1); err != nil {
+		t.Fatal(err)
+	}
+	// rm = 0.9·0 + 0.1·2.5 = 0.25; rv = 0.9·1 + 0.1·(5/3) = 1.0666667.
+	if got, want := rm.Data[0], float32(0.25); !closeTo(got, want) {
+		t.Errorf("running mean after batch 1 = %v, want %v", got, want)
+	}
+	if got, want := rv.Data[0], float32(0.9+0.1*5.0/3.0); !closeTo(got, want) {
+		t.Errorf("running var after batch 1 = %v, want %v (Bessel-corrected)", got, want)
+	}
+	// The uncorrected blend would be 0.9 + 0.1·1.25 = 1.025 — assert we are
+	// distinguishably away from it.
+	if closeTo(rv.Data[0], 1.025) {
+		t.Error("running var matches the biased blend; Bessel correction missing")
+	}
+
+	// Batch 2: x = [2 4 6 8]. mean = 5, biased var = 30 − 25 = 5,
+	// unbiased = 20/3.
+	x2 := tensor.MustFromSlice([]float32{2, 4, 6, 8}, 1, 1, 2, 2)
+	s2, err := bn.ComputeStats(x2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bn.UpdateRunning(rm, rv, s2); err != nil {
+		t.Fatal(err)
+	}
+	// rm = 0.9·0.25 + 0.1·5 = 0.725
+	// rv = 0.9·1.0666667 + 0.1·20/3 = 1.6266667
+	if got, want := rm.Data[0], float32(0.9*0.25+0.1*5); !closeTo(got, want) {
+		t.Errorf("running mean after batch 2 = %v, want %v", got, want)
+	}
+	if got, want := rv.Data[0], float32(0.9*(0.9+0.1*5.0/3.0)+0.1*20.0/3.0); !closeTo(got, want) {
+		t.Errorf("running var after batch 2 = %v, want %v", got, want)
+	}
+}
+
+// TestBNUpdateRunningSingleElement: with M = 1 the unbiased variance is
+// undefined; UpdateRunning must fall back to the biased value rather than
+// divide by zero.
+func TestBNUpdateRunningSingleElement(t *testing.T) {
+	bn := NewBatchNorm(1)
+	rm := tensor.MustFromSlice([]float32{0}, 1)
+	rv := tensor.MustFromSlice([]float32{1}, 1)
+	st := &BNStats{
+		Mean: tensor.MustFromSlice([]float32{3}, 1),
+		Var:  tensor.MustFromSlice([]float32{0}, 1),
+		M:    1,
+	}
+	if err := bn.UpdateRunning(rm, rv, st); err != nil {
+		t.Fatal(err)
+	}
+	if got := rv.Data[0]; got != 0.9 {
+		t.Errorf("running var = %v, want 0.9 (biased fallback at M=1)", got)
+	}
+}
+
+// closeTo compares within a few float32 ulps worth of slack — the hand
+// arithmetic above is exact in real numbers but rounds differently than the
+// float32 evaluation order.
+func closeTo(a, b float32) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-6*(1+abs32(b))
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -13,6 +13,12 @@ import (
 // (the paper's reference treats it so); the numeric implementation here
 // materializes the result because downstream layers index it densely.
 func ConcatForward(xs ...*tensor.Tensor) (*tensor.Tensor, error) {
+	return ConcatForwardAlloc(nil, xs...)
+}
+
+// ConcatForwardAlloc is ConcatForward drawing the output from an arena
+// (nil = heap, bit-identical).
+func ConcatForwardAlloc(a *tensor.Arena, xs ...*tensor.Tensor) (*tensor.Tensor, error) {
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("concat: no inputs")
 	}
@@ -25,7 +31,7 @@ func ConcatForward(xs ...*tensor.Tensor) (*tensor.Tensor, error) {
 		}
 		totalC += xc
 	}
-	y := tensor.New(n, totalC, h, w)
+	y := a.Get(n, totalC, h, w)
 	hw := h * w
 	for in := 0; in < n; in++ {
 		cOff := 0
@@ -43,6 +49,13 @@ func ConcatForward(xs ...*tensor.Tensor) (*tensor.Tensor, error) {
 // ConcatBackward slices the upstream gradient back into per-input gradients
 // with the given channel counts.
 func ConcatBackward(dy *tensor.Tensor, channels []int) ([]*tensor.Tensor, error) {
+	return ConcatBackwardAlloc(nil, dy, channels)
+}
+
+// ConcatBackwardAlloc is ConcatBackward drawing the per-input gradients from
+// an arena (nil = heap, bit-identical). The returned slice header itself is
+// freshly allocated; only the tensors are arena-managed.
+func ConcatBackwardAlloc(a *tensor.Arena, dy *tensor.Tensor, channels []int) ([]*tensor.Tensor, error) {
 	n, c, h, w := dy.Dims4()
 	total := 0
 	for _, ch := range channels {
@@ -54,7 +67,7 @@ func ConcatBackward(dy *tensor.Tensor, channels []int) ([]*tensor.Tensor, error)
 	hw := h * w
 	out := make([]*tensor.Tensor, len(channels))
 	for i, ch := range channels {
-		out[i] = tensor.New(n, ch, h, w)
+		out[i] = a.Get(n, ch, h, w)
 	}
 	for in := 0; in < n; in++ {
 		cOff := 0

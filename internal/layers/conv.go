@@ -24,7 +24,8 @@ type Conv2D struct {
 	Pad         int
 	Groups      int
 
-	pool *parallel.Pool
+	pool  *parallel.Pool
+	alloc *tensor.Arena
 }
 
 // WithPool returns a copy of the descriptor that executes on the given
@@ -39,6 +40,19 @@ func (c Conv2D) WithPool(p *parallel.Pool) Conv2D {
 // Pool returns the worker pool the descriptor executes on (nil = serial).
 // Fused kernels in internal/kernels use it for their own batch loops.
 func (c Conv2D) Pool() *parallel.Pool { return c.pool }
+
+// WithAlloc returns a copy of the descriptor that obtains its output and
+// workspace buffers from the given arena (nil means plain heap allocation,
+// bit-identical to the arena-free path). The arena is only ever consulted
+// from the dispatching goroutine, never inside pooled closures.
+func (c Conv2D) WithAlloc(a *tensor.Arena) Conv2D {
+	c.alloc = a
+	return c
+}
+
+// Alloc returns the arena the descriptor allocates from (nil = heap). Fused
+// kernels in internal/kernels use it for their own buffers.
+func (c Conv2D) Alloc() *tensor.Arena { return c.alloc }
 
 // NewConv2D builds a square-kernel dense convolution descriptor.
 func NewConv2D(in, out, kernel, stride, pad int) Conv2D {
@@ -120,7 +134,7 @@ func (c Conv2D) Forward(x, w *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := c.checkForward(x, w); err != nil {
 		return nil, err
 	}
-	y := tensor.New(c.OutShape(x.Shape())...)
+	y := c.alloc.Get(c.OutShape(x.Shape())...)
 	c.dispatchForward(x, w, y, nil)
 	return y, nil
 }
@@ -137,7 +151,7 @@ func (c Conv2D) ForwardBias(x, w, bias *tensor.Tensor) (*tensor.Tensor, error) {
 	if bias.Rank() != 1 || bias.Dim(0) != c.OutChannels {
 		return nil, fmt.Errorf("conv: bias shape %v, want [%d]", bias.Shape(), c.OutChannels)
 	}
-	y := tensor.New(c.OutShape(x.Shape())...)
+	y := c.alloc.Get(c.OutShape(x.Shape())...)
 	c.dispatchForward(x, w, y, bias.Data)
 	return y, nil
 }
@@ -233,7 +247,10 @@ func (c Conv2D) Backward(dy, x, w *tensor.Tensor) (dx, dw *tensor.Tensor, err er
 	if !dy.Shape().Equal(c.OutShape(x.Shape())) {
 		return nil, nil, fmt.Errorf("conv: dY shape %v, want %v", dy.Shape(), c.OutShape(x.Shape()))
 	}
-	dx = tensor.New(x.Shape()...)
+	// dx follows the gradient schedule and may come from the arena; dW
+	// escapes into the caller's gradient map, whose lifetime the schedule
+	// does not bound, so it is always a plain allocation.
+	dx = c.alloc.Get(x.Shape()...)
 	dw = tensor.New(w.Shape()...)
 	c.dispatchBackward(dy, x, w, dx, dw)
 	return dx, dw, nil

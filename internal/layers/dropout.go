@@ -26,11 +26,18 @@ func (d Dropout) Validate() error {
 // Forward applies dropout to x using rng, returning the output and the
 // mask (0 or 1/(1−rate) per element) the backward pass reuses.
 func (d Dropout) Forward(x *tensor.Tensor, rng *tensor.RNG) (y, mask *tensor.Tensor, err error) {
+	return d.ForwardAlloc(nil, x, rng)
+}
+
+// ForwardAlloc is Forward drawing the output and mask from an arena (nil =
+// heap, bit-identical). Only surviving elements are written; the zeroed
+// remainder comes from the arena's zero-on-reuse guarantee.
+func (d Dropout) ForwardAlloc(a *tensor.Arena, x *tensor.Tensor, rng *tensor.RNG) (y, mask *tensor.Tensor, err error) {
 	if err := d.Validate(); err != nil {
 		return nil, nil, err
 	}
-	y = tensor.New(x.Shape()...)
-	mask = tensor.New(x.Shape()...)
+	y = a.Get(x.Shape()...)
+	mask = a.Get(x.Shape()...)
 	scale := float32(1 / (1 - d.Rate))
 	for i, v := range x.Data {
 		if rng.Float64() >= d.Rate {
@@ -43,10 +50,16 @@ func (d Dropout) Forward(x *tensor.Tensor, rng *tensor.RNG) (y, mask *tensor.Ten
 
 // Backward applies the saved mask to the upstream gradient.
 func (d Dropout) Backward(dy, mask *tensor.Tensor) (*tensor.Tensor, error) {
+	return d.BackwardAlloc(nil, dy, mask)
+}
+
+// BackwardAlloc is Backward drawing dx from an arena (nil = heap,
+// bit-identical).
+func (d Dropout) BackwardAlloc(a *tensor.Arena, dy, mask *tensor.Tensor) (*tensor.Tensor, error) {
 	if !dy.Shape().Equal(mask.Shape()) {
 		return nil, fmt.Errorf("dropout: dy %v vs mask %v", dy.Shape(), mask.Shape())
 	}
-	dx := tensor.New(dy.Shape()...)
+	dx := a.Get(dy.Shape()...)
 	for i := range dy.Data {
 		dx.Data[i] = dy.Data[i] * mask.Data[i]
 	}

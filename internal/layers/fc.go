@@ -13,7 +13,8 @@ type FC struct {
 	In  int
 	Out int
 
-	pool *parallel.Pool
+	pool  *parallel.Pool
+	alloc *tensor.Arena
 }
 
 // WithPool returns a copy of the descriptor that executes on the given
@@ -25,6 +26,18 @@ func (f FC) WithPool(p *parallel.Pool) FC {
 	f.pool = p
 	return f
 }
+
+// WithAlloc returns a copy of the descriptor that obtains its output, dX,
+// and per-sample reduction scratch from the given arena (nil means plain
+// heap allocation, bit-identical). dW and dB escape into the caller's
+// gradient map and stay plain allocations.
+func (f FC) WithAlloc(a *tensor.Arena) FC {
+	f.alloc = a
+	return f
+}
+
+// Alloc returns the arena the descriptor allocates from (nil = heap).
+func (f FC) Alloc() *tensor.Arena { return f.alloc }
 
 // WeightShape returns the (Out, In) weight shape.
 func (f FC) WeightShape() tensor.Shape { return tensor.Shape{f.Out, f.In} }
@@ -51,7 +64,7 @@ func (f FC) Forward(x, w, b *tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, err
 	}
 	n := x.Dim(0)
-	y := tensor.New(n, f.Out)
+	y := f.alloc.Get(n, f.Out)
 	f.pool.Run(n, func(lo, hi int) {
 		for in := lo; in < hi; in++ {
 			xRow := x.Data[in*f.In : (in+1)*f.In]
@@ -81,7 +94,9 @@ func (f FC) Backward(dy, x, w *tensor.Tensor) (dx, dw, db *tensor.Tensor, err er
 	if !dy.Shape().Equal(tensor.Shape{n, f.Out}) {
 		return nil, nil, nil, fmt.Errorf("fc: dy shape %v, want [%d %d]", dy.Shape(), n, f.Out)
 	}
-	dx = tensor.New(n, f.In)
+	// dx follows the gradient schedule (arena-eligible); dW/dB escape into
+	// the caller's gradient map and stay plain allocations.
+	dx = f.alloc.Get(n, f.In)
 	dw = tensor.New(f.Out, f.In)
 	db = tensor.New(f.Out)
 	if f.pool.Serial() || n == 1 {
@@ -90,26 +105,28 @@ func (f FC) Backward(dy, x, w *tensor.Tensor) (dx, dw, db *tensor.Tensor, err er
 		}
 		return dx, dw, db, nil
 	}
-	pdw := make([][]float32, n)
-	pdb := make([][]float32, n)
+	// Per-sample dW/dB partials live in slabs the dispatching goroutine
+	// allocates (workers must not touch the arena); samples index disjoint
+	// regions, so the pooled writes are race-free.
+	ws := f.alloc.Floats(n * f.Out * f.In)
+	bs := f.alloc.Floats(n * f.Out)
 	f.pool.Run(n, func(lo, hi int) {
 		for in := lo; in < hi; in++ {
-			pw := make([]float32, f.Out*f.In)
-			pb := make([]float32, f.Out)
-			f.backwardSample(dy, x, w, dx, pw, pb, in)
-			pdw[in], pdb[in] = pw, pb
+			f.backwardSample(dy, x, w, dx, ws[in*f.Out*f.In:(in+1)*f.Out*f.In], bs[in*f.Out:(in+1)*f.Out], in)
 		}
 	})
 	// det-reduce: per-sample dW/dB partials combined in sample order — one
 	// contribution per sample per element, matching serial bit for bit.
 	for in := 0; in < n; in++ {
-		for j, v := range pdw[in] {
+		for j, v := range ws[in*f.Out*f.In : (in+1)*f.Out*f.In] {
 			dw.Data[j] += v
 		}
-		for j, v := range pdb[in] {
+		for j, v := range bs[in*f.Out : (in+1)*f.Out] {
 			db.Data[j] += v
 		}
 	}
+	f.alloc.PutFloats(bs)
+	f.alloc.PutFloats(ws)
 	return dx, dw, db, nil
 }
 

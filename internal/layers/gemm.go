@@ -21,18 +21,21 @@ func (c Conv2D) ForwardGEMM(x, w *tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, err
 	}
 	n, cin, h, wd := x.Dims4()
-	out := tensor.New(c.OutShape(x.Shape())...)
+	out := c.alloc.Get(c.OutShape(x.Shape())...)
 	_, cout, oh, ow := out.Dims4()
 	kh, kw, s, p := c.KernelH, c.KernelW, c.Stride, c.Pad
 	g := c.groups()
 	cinG, coutG := cin/g, cout/g
 
 	colRows := cinG * kh * kw
-	// Samples split across the pool; each chunk owns a private column matrix,
-	// and output rows are per-sample disjoint, so pooled execution is
-	// bit-identical to serial.
-	c.pool.Run(n, func(nLo, nHi int) {
-		cols := make([]float32, colRows*oh*ow)
+	// Samples split across the pool; each chunk owns a private column matrix
+	// carved from one slab the dispatcher allocates (workers must not touch
+	// the arena), and output rows are per-sample disjoint, so pooled
+	// execution is bit-identical to serial.
+	colsLen := colRows * oh * ow
+	slab := c.alloc.Floats(c.pool.NumChunks(n) * colsLen)
+	c.pool.RunChunked(n, func(chunk, nLo, nHi int) {
+		cols := slab[chunk*colsLen : (chunk+1)*colsLen]
 		for in := nLo; in < nHi; in++ {
 			for grp := 0; grp < g; grp++ {
 				// im2col for this sample and group.
@@ -77,6 +80,7 @@ func (c Conv2D) ForwardGEMM(x, w *tensor.Tensor) (*tensor.Tensor, error) {
 			}
 		}
 	})
+	c.alloc.PutFloats(slab)
 	return out, nil
 }
 

@@ -15,7 +15,8 @@ type Pool2D struct {
 	Pad    int
 	Max    bool // true: max pooling; false: average pooling
 
-	pool *parallel.Pool
+	pool  *parallel.Pool
+	alloc *tensor.Arena
 }
 
 // WithPool returns a copy of the descriptor that executes on the given
@@ -26,6 +27,18 @@ func (p Pool2D) WithPool(wp *parallel.Pool) Pool2D {
 	p.pool = wp
 	return p
 }
+
+// WithAlloc returns a copy of the descriptor that obtains its output, argmax
+// scratch, and gradient buffers from the given arena (nil means plain heap
+// allocation, bit-identical).
+func (p Pool2D) WithAlloc(a *tensor.Arena) Pool2D {
+	p.alloc = a
+	return p
+}
+
+// Alloc returns the arena the descriptor allocates from (nil = heap). The
+// executor uses it to return the argmax indices after the backward scatter.
+func (p Pool2D) Alloc() *tensor.Arena { return p.alloc }
 
 // OutSize returns the output spatial extent for an input extent.
 func (p Pool2D) OutSize(in int) int { return (in+2*p.Pad-p.Kernel)/p.Stride + 1 }
@@ -64,66 +77,78 @@ func (p Pool2D) Forward(x *tensor.Tensor) (*tensor.Tensor, *PoolContext, error) 
 	}
 	n, c, h, w := x.Dims4()
 	oh, ow := p.OutSize(h), p.OutSize(w)
-	y := tensor.New(n, c, oh, ow)
+	y := p.alloc.Get(n, c, oh, ow)
 	ctx := &PoolContext{InShape: x.Shape().Clone()}
 	if p.Max {
-		ctx.ArgMax = make([]int32, y.NumElems())
+		ctx.ArgMax = p.alloc.Ints(y.NumElems())
 	}
-	p.pool.Run(n, func(nLo, nHi int) {
-		for in := nLo; in < nHi; in++ {
-			for ic := 0; ic < c; ic++ {
-				base := (in*c + ic) * h * w
-				oi := (in*c + ic) * oh * ow
-				for oy := 0; oy < oh; oy++ {
-					for ox := 0; ox < ow; ox++ {
-						y0, x0 := oy*p.Stride-p.Pad, ox*p.Stride-p.Pad
-						if p.Max {
-							best := float32(math.Inf(-1))
-							bestIdx := -1
-							for ky := 0; ky < p.Kernel; ky++ {
-								iy := y0 + ky
-								if iy < 0 || iy >= h {
+	// Per-sample disjoint writes; the serial path runs the chunk body as a
+	// plain call so the steady state allocates no closure.
+	if p.pool.Serial() {
+		p.forwardChunk(x.Data, y.Data, ctx.ArgMax, c, h, w, oh, ow, 0, n)
+	} else {
+		p.pool.Run(n, func(nLo, nHi int) {
+			p.forwardChunk(x.Data, y.Data, ctx.ArgMax, c, h, w, oh, ow, nLo, nHi)
+		})
+	}
+	return y, ctx, nil
+}
+
+// forwardChunk pools the samples in [nLo, nHi): max with argmax capture, or
+// in-bounds-count average.
+func (p Pool2D) forwardChunk(xd, yd []float32, argmax []int32, c, h, w, oh, ow, nLo, nHi int) {
+	for in := nLo; in < nHi; in++ {
+		for ic := 0; ic < c; ic++ {
+			base := (in*c + ic) * h * w
+			oi := (in*c + ic) * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					y0, x0 := oy*p.Stride-p.Pad, ox*p.Stride-p.Pad
+					if p.Max {
+						best := float32(math.Inf(-1))
+						bestIdx := -1
+						for ky := 0; ky < p.Kernel; ky++ {
+							iy := y0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < p.Kernel; kx++ {
+								ix := x0 + kx
+								if ix < 0 || ix >= w {
 									continue
 								}
-								for kx := 0; kx < p.Kernel; kx++ {
-									ix := x0 + kx
-									if ix < 0 || ix >= w {
-										continue
-									}
-									v := x.Data[base+iy*w+ix]
-									if bestIdx < 0 || v > best {
-										best, bestIdx = v, base+iy*w+ix
-									}
+								v := xd[base+iy*w+ix]
+								if bestIdx < 0 || v > best {
+									best, bestIdx = v, base+iy*w+ix
 								}
 							}
-							y.Data[oi] = best
-							ctx.ArgMax[oi] = int32(bestIdx)
-						} else {
-							var sum float32
-							cnt := 0
-							for ky := 0; ky < p.Kernel; ky++ {
-								iy := y0 + ky
-								if iy < 0 || iy >= h {
-									continue
-								}
-								for kx := 0; kx < p.Kernel; kx++ {
-									ix := x0 + kx
-									if ix < 0 || ix >= w {
-										continue
-									}
-									sum += x.Data[base+iy*w+ix]
-									cnt++
-								}
-							}
-							y.Data[oi] = sum / float32(cnt)
 						}
-						oi++
+						yd[oi] = best
+						argmax[oi] = int32(bestIdx)
+					} else {
+						var sum float32
+						cnt := 0
+						for ky := 0; ky < p.Kernel; ky++ {
+							iy := y0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < p.Kernel; kx++ {
+								ix := x0 + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								sum += xd[base+iy*w+ix]
+								cnt++
+							}
+						}
+						yd[oi] = sum / float32(cnt)
 					}
+					oi++
 				}
 			}
 		}
-	})
-	return y, ctx, nil
+	}
 }
 
 // Backward scatters the upstream gradient: to the argmax cell for max
@@ -134,7 +159,7 @@ func (p Pool2D) Backward(dy *tensor.Tensor, ctx *PoolContext) (*tensor.Tensor, e
 	if !dy.Shape().Equal(tensor.Shape{n, c, oh, ow}) {
 		return nil, fmt.Errorf("pool: dy shape %v, want %v", dy.Shape(), tensor.Shape{n, c, oh, ow})
 	}
-	dx := tensor.New(ctx.InShape...)
+	dx := p.alloc.Get(ctx.InShape...)
 	// Per-sample scatter targets are disjoint (argmax indices point inside
 	// their own sample's region), so the sample split is race-free and
 	// bit-identical.
@@ -196,11 +221,17 @@ func GlobalAvgPoolForward(x *tensor.Tensor) (*tensor.Tensor, error) {
 // per-channel reductions stay within one sample, so pooled execution is
 // bit-identical to serial.
 func GlobalAvgPoolForwardOn(p *parallel.Pool, x *tensor.Tensor) (*tensor.Tensor, error) {
+	return GlobalAvgPoolForwardAlloc(p, nil, x)
+}
+
+// GlobalAvgPoolForwardAlloc is GlobalAvgPoolForwardOn drawing the output
+// from an arena (nil = heap, bit-identical).
+func GlobalAvgPoolForwardAlloc(p *parallel.Pool, a *tensor.Arena, x *tensor.Tensor) (*tensor.Tensor, error) {
 	if x.Rank() != 4 {
 		return nil, fmt.Errorf("gap: input must be rank 4, got %v", x.Shape())
 	}
 	n, c, h, w := x.Dims4()
-	y := tensor.New(n, c)
+	y := a.Get(n, c)
 	hw := float32(h * w)
 	p.Run(n, func(lo, hi int) {
 		for in := lo; in < hi; in++ {
@@ -226,11 +257,17 @@ func GlobalAvgPoolBackward(dy *tensor.Tensor, inShape tensor.Shape) (*tensor.Ten
 // GlobalAvgPoolBackwardOn is GlobalAvgPoolBackward on a worker pool
 // (bit-identical to serial: per-sample disjoint writes).
 func GlobalAvgPoolBackwardOn(p *parallel.Pool, dy *tensor.Tensor, inShape tensor.Shape) (*tensor.Tensor, error) {
+	return GlobalAvgPoolBackwardAlloc(p, nil, dy, inShape)
+}
+
+// GlobalAvgPoolBackwardAlloc is GlobalAvgPoolBackwardOn drawing dx from an
+// arena (nil = heap, bit-identical).
+func GlobalAvgPoolBackwardAlloc(p *parallel.Pool, a *tensor.Arena, dy *tensor.Tensor, inShape tensor.Shape) (*tensor.Tensor, error) {
 	n, c, h, w := inShape[0], inShape[1], inShape[2], inShape[3]
 	if !dy.Shape().Equal(tensor.Shape{n, c}) {
 		return nil, fmt.Errorf("gap: dy shape %v, want [%d %d]", dy.Shape(), n, c)
 	}
-	dx := tensor.New(inShape...)
+	dx := a.Get(inShape...)
 	hw := float32(h * w)
 	p.Run(n, func(lo, hi int) {
 		for in := lo; in < hi; in++ {

@@ -10,13 +10,21 @@ import (
 // ReLUForward returns max(x, 0) as a fresh tensor. In the baseline graph
 // this costs one read and one write sweep of the feature map; RCF eliminates
 // both by clipping while the following CONV reads its ifmap.
-func ReLUForward(x *tensor.Tensor) *tensor.Tensor { return ReLUForwardOn(nil, x) }
+func ReLUForward(x *tensor.Tensor) *tensor.Tensor { return ReLUForwardAlloc(nil, nil, x) }
 
 // ReLUForwardOn is ReLUForward on a worker pool: the flat element range is
 // split into contiguous chunks with disjoint writes, so the result is
 // bit-identical to serial.
 func ReLUForwardOn(p *parallel.Pool, x *tensor.Tensor) *tensor.Tensor {
-	y := tensor.New(x.Shape()...)
+	return ReLUForwardAlloc(p, nil, x)
+}
+
+// ReLUForwardAlloc is ReLUForwardOn drawing the output from an arena (nil =
+// heap, bit-identical). The kernel writes only positive elements and relies
+// on the zeroed buffer for the rest, which the arena's default zero-on-reuse
+// guarantees.
+func ReLUForwardAlloc(p *parallel.Pool, a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	y := a.Get(x.Shape()...)
 	p.Run(len(x.Data), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if v := x.Data[i]; v > 0 {
@@ -29,15 +37,21 @@ func ReLUForwardOn(p *parallel.Pool, x *tensor.Tensor) *tensor.Tensor {
 
 // ReLUBackward computes dx = dy ⊙ 1[x > 0] from the saved forward input.
 func ReLUBackward(dy, x *tensor.Tensor) (*tensor.Tensor, error) {
-	return ReLUBackwardOn(nil, dy, x)
+	return ReLUBackwardAlloc(nil, nil, dy, x)
 }
 
 // ReLUBackwardOn is ReLUBackward on a worker pool (bit-identical to serial).
 func ReLUBackwardOn(p *parallel.Pool, dy, x *tensor.Tensor) (*tensor.Tensor, error) {
+	return ReLUBackwardAlloc(p, nil, dy, x)
+}
+
+// ReLUBackwardAlloc is ReLUBackwardOn drawing dx from an arena (nil = heap,
+// bit-identical).
+func ReLUBackwardAlloc(p *parallel.Pool, a *tensor.Arena, dy, x *tensor.Tensor) (*tensor.Tensor, error) {
 	if !dy.Shape().Equal(x.Shape()) {
 		return nil, fmt.Errorf("relu: dy shape %v vs x %v", dy.Shape(), x.Shape())
 	}
-	dx := tensor.New(x.Shape()...)
+	dx := a.Get(x.Shape()...)
 	p.Run(len(x.Data), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if x.Data[i] > 0 {
@@ -50,10 +64,16 @@ func ReLUBackwardOn(p *parallel.Pool, dy, x *tensor.Tensor) (*tensor.Tensor, err
 
 // EWSForward is the element-wise sum used by ResNet identity shortcuts.
 func EWSForward(a, b *tensor.Tensor) (*tensor.Tensor, error) {
+	return EWSForwardAlloc(nil, a, b)
+}
+
+// EWSForwardAlloc is EWSForward drawing the output from an arena (nil =
+// heap, bit-identical).
+func EWSForwardAlloc(al *tensor.Arena, a, b *tensor.Tensor) (*tensor.Tensor, error) {
 	if !a.Shape().Equal(b.Shape()) {
 		return nil, fmt.Errorf("ews: shape mismatch %v vs %v", a.Shape(), b.Shape())
 	}
-	y := a.Clone()
+	y := al.Clone(a)
 	if err := y.AddInPlace(b); err != nil {
 		return nil, err
 	}
@@ -64,5 +84,11 @@ func EWSForward(a, b *tensor.Tensor) (*tensor.Tensor, error) {
 // Both returned tensors are independent copies so downstream accumulation
 // cannot alias.
 func EWSBackward(dy *tensor.Tensor) (da, db *tensor.Tensor) {
-	return dy.Clone(), dy.Clone()
+	return EWSBackwardAlloc(nil, dy)
+}
+
+// EWSBackwardAlloc is EWSBackward drawing both copies from an arena (nil =
+// heap, bit-identical).
+func EWSBackwardAlloc(a *tensor.Arena, dy *tensor.Tensor) (da, db *tensor.Tensor) {
+	return a.Clone(dy), a.Clone(dy)
 }

@@ -8,6 +8,13 @@
 // and the rectified output — while the restructured graph keeps only the
 // normalized map x̂ (Figure 5's O2'), so BNFF reduces peak training memory
 // as well as traffic.
+//
+// The interval computation itself (TrainingIntervals in intervals.go) is a
+// shared library: PlanTraining aggregates the intervals into the analytical
+// report below, and core.WithArena replays the same intervals at runtime to
+// return every buffer to the executor's tensor.Arena at its last-reader
+// step. Because the runtime trusts the intervals for reuse, they model what
+// the executor actually reads, not a conservative superset.
 package memplan
 
 import (
@@ -44,141 +51,43 @@ func featureBytes(n *graph.Node) int64 {
 
 // PlanTraining computes liveness for one iteration: forward nodes execute at
 // steps 0..F−1 in topological order, backward nodes at steps F..2F−1 in
-// reverse order. Three buffer families are tracked:
+// reverse order. Four buffer families are tracked (see TrainingIntervals for
+// the exact read sets):
 //
 //	activations — born at the producer's forward step, alive through the
 //	last forward consumer and any backward step that re-reads them (saved
-//	ifmaps for dW, BN/ReLU backward inputs);
-//	x̂ maps — born when a BNReLUConv writes O2', alive until the statistics
-//	producer's backward consumes them;
-//	gradients — born at the (latest) backward writer, dead after the
-//	producer's own backward step reads them.
+//	ifmaps for dW, ReLU sign checks);
+//	x̂ maps — the saved normalized maps: a monolithic BN keeps x̂ for its
+//	own backward, SubBN2/BNReLUConv keep O2' until the statistics
+//	producer's backward consumes it;
+//	dropout masks — forward to backward of the dropout node;
+//	gradients — born at the first contributing consumer backward, dead
+//	after the producer's own backward step reads them (a SubBN2's gradient
+//	survives to its statistics producer's backward as the stashed dv).
 //
 // Weights and per-channel vectors are excluded (they are static and small
 // next to mini-batch maps).
 func PlanTraining(g *graph.Graph) (*Result, error) {
-	if err := g.Validate(); err != nil {
+	sched, ivs, err := TrainingIntervals(g)
+	if err != nil {
 		return nil, err
 	}
-	live := g.Live()
-	f := len(live)
-	fwdStep := make(map[int]int, f) // node ID → forward step
-	bwdStep := make(map[int]int, f) // node ID → backward step
-	for i, n := range live {
-		fwdStep[n.ID] = i
-		bwdStep[n.ID] = 2*f - 1 - i
+	buffers := make([]Buffer, 0, len(ivs))
+	for _, iv := range ivs {
+		name := iv.Node.Name
+		switch iv.Kind {
+		case BufXHat:
+			name += ".xhat"
+		case BufMask:
+			name += ".mask"
+		case BufGrad:
+			name += ".grad"
+		}
+		buffers = append(buffers, Buffer{Name: name, Bytes: iv.Bytes, Start: iv.Start, End: iv.End})
 	}
-	cons := g.Consumers()
-
-	var buffers []Buffer
-
-	// Activations.
-	for _, n := range live {
-		if n.Kind == graph.OpInput || n.Kind == graph.OpFlatten || n.Kind == graph.OpSubBN1 {
-			continue // inputs are external; flatten is a view; SubBN1 has no data output
-		}
-		end := fwdStep[n.ID]
-		for _, c := range cons[n.ID] {
-			if s := fwdStep[c.ID]; s > end {
-				end = s
-			}
-			// Does the consumer's backward re-read this activation?
-			if consumerBackwardReadsInput(c) {
-				if s := bwdStep[c.ID]; s > end {
-					end = s
-				}
-			}
-		}
-		// A statistics producer's own backward recomputes x̂ from its output
-		// when no materialized x̂ exists (standalone SubBN2 partner).
-		if n.StatsOut != nil && !hasMaterializedXHat(cons[n.ID]) {
-			if s := bwdStep[n.ID]; s > end {
-				end = s
-			}
-		}
-		buffers = append(buffers, Buffer{
-			Name: n.Name, Bytes: featureBytes(n), Start: fwdStep[n.ID], End: end,
-		})
-	}
-
-	// x̂ maps (O2'): owned by the normalize node, consumed by both its own
-	// backward and the statistics producer's backward.
-	for _, n := range live {
-		if n.Kind != graph.OpBNReLUConv {
-			continue
-		}
-		end := bwdStep[n.ID]
-		if s := bwdStep[n.StatsFrom.ID]; s > end {
-			end = s
-		}
-		buffers = append(buffers, Buffer{
-			Name: n.Name + ".xhat", Bytes: featureBytes(n.Inputs[0]),
-			Start: fwdStep[n.ID], End: end,
-		})
-	}
-
-	// Dropout masks: born at the dropout's forward, consumed by its backward.
-	for _, n := range live {
-		if n.Kind != graph.OpDropout {
-			continue
-		}
-		buffers = append(buffers, Buffer{
-			Name: n.Name + ".mask", Bytes: featureBytes(n),
-			Start: fwdStep[n.ID], End: bwdStep[n.ID],
-		})
-	}
-
-	// Gradients: the gradient of node n's output is written by its
-	// consumers' backward steps (or materializes at n's backward for the
-	// output node) and is last read at n's own backward step.
-	for _, n := range live {
-		if n.Kind == graph.OpInput || n.Kind == graph.OpFlatten {
-			continue
-		}
-		start := bwdStep[n.ID]
-		for _, c := range cons[n.ID] {
-			// Normalize-side fused consumers route the gradient through the
-			// statistics producer; the buffer appears when that side runs.
-			if s := bwdStep[c.ID]; s < start {
-				start = s
-			}
-		}
-		buffers = append(buffers, Buffer{
-			Name: n.Name + ".grad", Bytes: featureBytes(n), Start: start, End: bwdStep[n.ID],
-		})
-	}
-
-	res := &Result{Buffers: buffers, Steps: 2 * f}
+	res := &Result{Buffers: buffers, Steps: sched.Steps}
 	res.computePeak()
 	return res, nil
-}
-
-// consumerBackwardReadsInput reports whether an operator's backward pass
-// re-reads its forward input (the "saved tensor" set of each kind).
-func consumerBackwardReadsInput(n *graph.Node) bool {
-	switch n.Kind {
-	case graph.OpConv, graph.OpReLUConv, graph.OpFC, graph.OpBN, graph.OpReLU,
-		graph.OpSubBN1, graph.OpSubBN2:
-		return true
-	case graph.OpBNReLUConv:
-		// Backward regenerates everything from x̂; the raw input is not kept.
-		return false
-	default:
-		// Pooling keeps argmax indices, not the input; Concat/EWS/GAP keep
-		// nothing.
-		return false
-	}
-}
-
-// hasMaterializedXHat reports whether any consumer is a BNReLUConv (which
-// writes O2') as opposed to a standalone SubBN2 (which recomputes x̂).
-func hasMaterializedXHat(consumers []*graph.Node) bool {
-	for _, c := range consumers {
-		if c.Kind == graph.OpBNReLUConv {
-			return true
-		}
-	}
-	return false
 }
 
 func (r *Result) computePeak() {

@@ -1,4 +1,4 @@
-package memplan
+package memplan_test
 
 import (
 	"testing"
@@ -6,13 +6,14 @@ import (
 	"bnff/internal/core"
 	"bnff/internal/graph"
 	"bnff/internal/layers"
+	"bnff/internal/memplan"
 	"bnff/internal/models"
 	"bnff/internal/tensor"
 )
 
-func plan(t *testing.T, g *graph.Graph) *Result {
+func plan(t *testing.T, g *graph.Graph) *memplan.Result {
 	t.Helper()
-	r, err := PlanTraining(g)
+	r, err := memplan.PlanTraining(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestPlanSimpleChain(t *testing.T) {
 	}
 	// conv output (2·4·4·4·4 = 512B) is read by relu's forward AND relu's
 	// backward (mask), so it must live past the midpoint.
-	var convBuf *Buffer
+	var convBuf *memplan.Buffer
 	for i := range res.Buffers {
 		if res.Buffers[i].Name == "conv" {
 			convBuf = &res.Buffers[i]
@@ -145,7 +146,7 @@ func TestPlanRejectsInvalidGraph(t *testing.T) {
 	n := g.AddNode(&graph.Node{Kind: graph.OpSubBN2, Name: "orphan",
 		Inputs: []*graph.Node{in}, OutShape: in.OutShape.Clone(), CPL: -1})
 	g.Output = n
-	if _, err := PlanTraining(g); err == nil {
+	if _, err := memplan.PlanTraining(g); err == nil {
 		t.Error("accepted invalid graph (SubBN2 without statistics source)")
 	}
 }

@@ -109,6 +109,60 @@ func (p *Pool) Run(n int, fn func(lo, hi int)) {
 	p.tracer.End("pool.drain", obs.CatPool, "", obs.TIDPool, drain)
 }
 
+// NumChunks returns the number of chunks Run and RunChunked will split an
+// n-item range into: min(Workers(), n), at least 1 for positive n. Callers
+// that pre-size per-chunk scratch slabs (so workers never allocate inside the
+// dispatched closure) size them as NumChunks(n) × per-chunk capacity.
+func (p *Pool) NumChunks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// RunChunked is Run with the chunk index exposed: fn(chunk, lo, hi) where
+// chunk ∈ [0, NumChunks(n)) identifies the partition slot. It exists so
+// dispatchers can hand each worker a disjoint slice of a pre-allocated
+// workspace slab (im2col columns, fused-kernel tiles) instead of having the
+// closure allocate per call — arena buffers must never be requested from
+// inside a worker, so the dispatching goroutine carves the slab up front and
+// workers index it by chunk. Partitioning, tracing, and the serial inline
+// path match Run exactly.
+func (p *Pool) RunChunked(n int, fn func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		fn(0, 0, n)
+		return
+	}
+	dispatch := p.tracer.Begin()
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		lo, hi := n*k/w, n*(k+1)/w
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			fn(k, lo, hi)
+		}(k, lo, hi)
+	}
+	p.tracer.End("pool.dispatch", obs.CatPool, "", obs.TIDPool, dispatch)
+	drain := p.tracer.Begin()
+	wg.Wait()
+	p.tracer.End("pool.drain", obs.CatPool, "", obs.TIDPool, drain)
+}
+
 // defaultWorkers is the process-wide construction-time default consulted by
 // executors built without an explicit worker option. It exists only to back
 // the deprecated layers.SetConvWorkers shim; nothing reads it on a dispatch

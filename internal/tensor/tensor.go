@@ -6,6 +6,17 @@
 // index directly without stride bookkeeping. The package also carries the
 // small numeric utilities (fills, comparisons, reductions) that the test
 // suite leans on.
+//
+// Arena adds buffer recycling on top: an exact-size, LIFO free-list
+// allocator that hands out tensors and scratch slices and takes them back
+// when the caller knows their lifetime is over. Recycled storage is zeroed
+// by default, so a Get from an arena is observationally identical to a
+// fresh allocation; ownership checks make Put safe to call on anything
+// (foreign tensors, views, doubles all fall through as no-ops); and a nil
+// *Arena degrades to plain allocation, so call sites need no branching.
+// Arenas are instance state — one per executor, never shared, never
+// package-level (enforced by the noglobals analyzer) — and are not
+// goroutine-safe: only the owning dispatcher goroutine may call them.
 package tensor
 
 import (
