@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint bench smoke profile-smoke alloc-guard check
+.PHONY: build test vet race lint bench smoke profile-smoke exp-smoke alloc-guard check
 
 build:
 	$(GO) build ./...
@@ -25,9 +25,8 @@ race:
 # internal/serve, and internal/obs (poolonly), no order-sensitive sinks in map
 # ranges (maporder), no package-level mutable state in the hot-path packages
 # (noglobals), det-reduce markers on every cross-partition combine loop
-# (detreduce), all randomness through the seeded tensor RNG and all library
-# timing through injected clocks (seededrand), and no deprecated
-# compatibility shims in cmd/ or examples/ (deprecated). Suppress individual
+# (detreduce), and all randomness through the seeded tensor RNG and all
+# library timing through injected clocks (seededrand). Suppress individual
 # findings with
 # "//lint:ignore <analyzer> <reason>" on or directly above the line.
 lint:
@@ -49,6 +48,13 @@ smoke:
 profile-smoke:
 	./scripts/profile-smoke.sh
 
+# Smoke run of the paper-grade experiment harness: build cmd/bnff-exp, run
+# the committed grid's smoke subset with repeats, validate the emitted
+# BENCH_train.json / BENCH_serve.json (embedded checks must all pass), and
+# prove the canonical forms are byte-deterministic across two runs.
+exp-smoke:
+	./scripts/paper/run_all.sh -smoke
+
 # Allocation-regression guard: steady-state per-step heap allocations with the
 # arena on must stay within the committed budget
 # (internal/core/testdata/arena_alloc_budget.txt) and at least 10x below the
@@ -57,4 +63,4 @@ profile-smoke:
 alloc-guard:
 	$(GO) test ./internal/core/ -run TestArenaForwardAllocBudget -count=1 -v
 
-check: vet race lint smoke profile-smoke alloc-guard
+check: vet race lint smoke profile-smoke exp-smoke alloc-guard

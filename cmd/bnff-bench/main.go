@@ -7,8 +7,8 @@
 //	bnff-bench -exp fig7       # one experiment
 //	bnff-bench -exp headline -batch 64
 //
-// Experiment identifiers: table1, fig1, fig3, fig4, fig6, fig7, fig8, gpu,
-// headline, or "all".
+// Experiment identifiers: table1, fig1..fig8, gpu, headline, structure,
+// ext-mobilenet, ext-footprint, ext-energy, or "all".
 //
 // With -profile (optionally -trace), bnff-bench instead prints the *modeled*
 // per-class layer breakdown of one model across every restructuring scenario
@@ -31,20 +31,40 @@ import (
 	"bnff/internal/memsim"
 	"bnff/internal/models"
 	"bnff/internal/obs"
+	"bnff/internal/scenario"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1, fig1..fig8, gpu, headline, ext-mobilenet, all)")
+	exp := flag.String("exp", "all", "experiment id (table1, fig1..fig8, gpu, headline, structure, ext-*, all)")
 	batch := flag.Int("batch", experiments.DefaultBatch, "mini-batch size for the simulated training iteration")
 	format := flag.String("format", "text", "output format: text, csv")
 	profile := flag.Bool("profile", false, "print the modeled layer breakdown of -model per scenario instead of running experiments")
+	scenName := flag.String("scenario", "", "with -profile: take model/batch from this builtin train scenario; set flags override")
 	model := flag.String("model", "tiny-densenet", fmt.Sprintf("model for -profile/-trace: one of %v", models.Names()))
 	tracePfx := flag.String("trace", "", "with -profile: path prefix for modeled Chrome trace files (<prefix>.<scenario>.model.trace.json)")
 	flag.Parse()
 
 	var err error
 	if *profile || *tracePfx != "" {
-		err = runProfile(*model, *batch, *tracePfx)
+		var sp scenario.Spec
+		sp, err = resolveSpec(*scenName, func(sp *scenario.Spec) {
+			flag.Visit(func(f *flag.Flag) {
+				switch f.Name {
+				case "model":
+					sp.Model = *model
+				case "batch":
+					sp.Batch = *batch
+				}
+			})
+		}, scenario.Spec{
+			Name:  "cli/bench",
+			Kind:  scenario.KindTrain,
+			Model: *model,
+			Batch: *batch,
+		})
+		if err == nil {
+			err = runProfile(sp, *tracePfx)
+		}
 	} else {
 		err = run(*exp, *batch, *format)
 	}
@@ -54,25 +74,46 @@ func main() {
 	}
 }
 
+// resolveSpec layers explicitly set flags over the named builtin scenario,
+// or returns the flag-assembled spec when no name is given.
+func resolveSpec(name string, override func(*scenario.Spec), fromFlags scenario.Spec) (scenario.Spec, error) {
+	sp := fromFlags
+	if name != "" {
+		reg := scenario.Builtin()
+		got, ok := reg.Get(name)
+		if !ok {
+			return scenario.Spec{}, fmt.Errorf("unknown scenario %q (builtin: %v)", name, reg.Names())
+		}
+		if got.Kind != scenario.KindTrain {
+			return scenario.Spec{}, fmt.Errorf("scenario %q is a %s scenario; -profile models training", name, got.Kind)
+		}
+		sp = got
+		override(&sp)
+	}
+	if err := sp.Normalize(); err != nil {
+		return scenario.Spec{}, err
+	}
+	return sp, nil
+}
+
 // runProfile prints the memsim-predicted per-class breakdown for every
 // restructuring scenario of one model and optionally writes the modeled
 // Chrome traces. Breakdown rows reuse obs's table renderer, so this output
 // lines up column-for-column with bnff-profile's measured tables.
-func runProfile(model string, batch int, tracePfx string) error {
-	fmt.Printf("modeled breakdown: model=%s batch=%d machine=Skylake\n\n", model, batch)
-	for _, scenario := range core.Scenarios() {
-		g, err := models.Build(model, batch)
+func runProfile(sp scenario.Spec, tracePfx string) error {
+	fmt.Printf("modeled breakdown: model=%s batch=%d machine=Skylake\n\n", sp.Model, sp.Batch)
+	for _, sc := range core.Scenarios() {
+		spScen := sp
+		spScen.Restructure = strings.ToLower(sc.String())
+		g, err := spScen.BuildGraph(spScen.Batch)
 		if err != nil {
-			return err
-		}
-		if err := core.Restructure(g, scenario.Options()); err != nil {
 			return err
 		}
 		report, err := memsim.Simulate(g, memsim.Skylake())
 		if err != nil {
 			return err
 		}
-		fmt.Printf("== %v ==\n", scenario)
+		fmt.Printf("== %v ==\n", sc)
 		total := report.Total()
 		byClass := report.TimeByClass()
 		fwd, bwd := report.PassTime(graph.Forward), report.PassTime(graph.Backward)
@@ -84,7 +125,7 @@ func runProfile(model string, batch int, tracePfx string) error {
 		fmt.Printf("total %.3f ms (fwd %.3f, bwd %.3f); non-CONV %.1f%%\n\n",
 			total*1e3, fwd*1e3, bwd*1e3, 100*nonConv/(conv+nonConv))
 		if tracePfx != "" {
-			name := strings.ReplaceAll(strings.ToLower(scenario.String()), "+", "-")
+			name := strings.ReplaceAll(spScen.Restructure, "+", "-")
 			path := fmt.Sprintf("%s.%s.model.trace.json", tracePfx, name)
 			f, err := os.Create(path)
 			if err != nil {

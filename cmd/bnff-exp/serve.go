@@ -1,0 +1,425 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"bnff/internal/core"
+	"bnff/internal/experiments"
+	"bnff/internal/models"
+	"bnff/internal/obs"
+	"bnff/internal/parallel"
+	"bnff/internal/scenario"
+	"bnff/internal/serve"
+	"bnff/internal/tensor"
+	"bnff/internal/workload"
+)
+
+// maxServeImages caps the distinct request images per scenario; every
+// request cycles through this set, and each image has one precomputed
+// batch-1 reference logits vector to bit-compare against.
+const maxServeImages = 8
+
+// runServe executes one serving scenario Repeats times: load an engine from
+// a deterministic checkpoint, replay the spec's traffic plan through
+// concurrent clients, and evaluate the embedded checks — every answered
+// request bit-matching the batch-1 reference, plus the chaos drill the
+// traffic shape selects. Request counts are deterministic except under
+// overload (shedding depends on scheduling), so those aggregates carry the
+// timing flag there.
+func (r *runner) runServe(sp scenario.Spec) (experiments.BenchScenario, error) {
+	ckpt, err := r.checkpoint(sp)
+	if err != nil {
+		return experiments.BenchScenario{}, err
+	}
+	images, refs, err := r.references(sp, ckpt)
+	if err != nil {
+		return experiments.BenchScenario{}, err
+	}
+	var refBytes bytes.Buffer
+	for _, logits := range refs {
+		for _, v := range logits {
+			fmt.Fprintf(&refBytes, "%08x", math.Float32bits(v))
+		}
+	}
+
+	var answered, shed, p50s, p99s []float64
+	failures := map[string]string{} // check name → first failure detail
+	for rep := 0; rep < sp.Repeats; rep++ {
+		out, err := r.serveOnce(sp, ckpt, images, refs)
+		if err != nil {
+			return experiments.BenchScenario{}, err
+		}
+		answered = append(answered, float64(out.answered))
+		shed = append(shed, float64(out.shed))
+		p50s = append(p50s, float64(out.p50))
+		p99s = append(p99s, float64(out.p99))
+		for name, detail := range out.failures {
+			if _, seen := failures[name]; !seen {
+				failures[name] = fmt.Sprintf("repeat %d: %s", rep, detail)
+			}
+		}
+	}
+
+	var checks []experiments.BenchCheck
+	for _, name := range sp.Checks() {
+		detail, failed := failures[name]
+		checks = append(checks, experiments.BenchCheck{Name: name, Pass: !failed, Detail: detail})
+	}
+	// Under overload the split between answered and shed depends on goroutine
+	// scheduling; elsewhere every request is answered, deterministically.
+	countsVary := sp.Traffic == scenario.TrafficOverload
+	return experiments.BenchScenario{
+		Name:    sp.Name,
+		Spec:    sp,
+		Repeats: sp.Repeats,
+		Digest:  digestOf(refBytes.Bytes()),
+		Checks:  checks,
+		Metrics: []experiments.BenchMetric{
+			{Name: "answered", Unit: "requests", Timing: countsVary, Agg: obs.Aggregate(answered)},
+			{Name: "shed", Unit: "requests", Timing: countsVary, Agg: obs.Aggregate(shed)},
+			{Name: "latency_p50", Unit: "ns", Timing: true, Agg: obs.Aggregate(p50s)},
+			{Name: "latency_p99", Unit: "ns", Timing: true, Agg: obs.Aggregate(p99s)},
+		},
+	}, nil
+}
+
+// serveOutcome is one repeat's tallies and check failures.
+type serveOutcome struct {
+	answered, shed, errored int
+	p50, p99                int64
+	failures                map[string]string
+}
+
+func (o *serveOutcome) fail(check, format string, args ...any) {
+	if _, seen := o.failures[check]; !seen {
+		o.failures[check] = fmt.Sprintf(format, args...)
+	}
+}
+
+// serveOnce runs one repeat of the scenario's drill.
+func (r *runner) serveOnce(sp scenario.Spec, ckpt []byte, images, refs [][]float32) (*serveOutcome, error) {
+	out := &serveOutcome{failures: map[string]string{}}
+	eng, err := serve.Load(sp.ServeBuilder(), bytes.NewReader(ckpt), sp.ServeConfig(r.clock, nil))
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+
+	switch sp.Traffic {
+	case scenario.TrafficCrash:
+		err = r.crashDrill(sp, eng, ckpt, images, refs, out)
+	case scenario.TrafficDiskFull:
+		if derr := r.diskFullDrill(sp, ckpt); derr != nil {
+			out.fail("checkpoint-survives-failed-save", "%v", derr)
+		}
+		// The drill must not have disturbed serving: replay the full plan.
+		err = r.runPlan(sp, eng, sp.Requests, images, refs, out)
+	default:
+		err = r.runPlan(sp, eng, sp.Requests, images, refs, out)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if sp.Traffic == scenario.TrafficOverload {
+		if out.shed == 0 {
+			out.fail("overload-sheds", "queue depth %d absorbed all %d requests from %d clients",
+				sp.QueueDepth, sp.Requests, sp.Clients)
+		}
+		if out.answered == 0 {
+			out.fail("overload-sheds", "no request was answered under overload")
+		}
+	} else if out.shed > 0 {
+		out.fail("logits-match-reference", "%d requests shed under %s traffic", out.shed, sp.Traffic)
+	}
+	if out.errored > 0 {
+		out.fail("logits-match-reference", "%d requests failed with unexpected errors", out.errored)
+	}
+
+	st := eng.Stats()
+	out.p50, out.p99 = st.P50Nanos, st.P99Nanos
+	return out, nil
+}
+
+// runPlan replays a traffic plan of n requests through one goroutine per
+// client (via the sanctioned pool fan-out; each client writes only its own
+// tally slot) and merges the tallies in client order.
+func (r *runner) runPlan(sp scenario.Spec, eng *serve.Engine, n int, images, refs [][]float32, out *serveOutcome) error {
+	burst, delayNs := pacing(sp)
+	plan, err := workload.PlanTraffic(workload.TrafficConfig{
+		Clients:  sp.Clients,
+		Requests: n,
+		Burst:    burst,
+		DelayNs:  delayNs,
+		Images:   len(images),
+	})
+	if err != nil {
+		return err
+	}
+	type tally struct {
+		answered, shed, errored int
+		mismatch                string
+	}
+	tallies := make([]tally, len(plan.PerClient))
+	pool := parallel.New(sp.Clients)
+	pool.Run(len(plan.PerClient), func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			t := &tallies[c]
+			for _, op := range plan.PerClient[c] {
+				if op.DelayNs > 0 {
+					time.Sleep(time.Duration(op.DelayNs))
+				}
+				logits, err := eng.Predict(images[op.Image])
+				switch {
+				case err == nil:
+					t.answered++
+					if !equalF32(logits, refs[op.Image]) && t.mismatch == "" {
+						t.mismatch = fmt.Sprintf("image %d logits differ from batch-1 reference", op.Image)
+					}
+				case errors.Is(err, serve.ErrOverloaded):
+					t.shed++
+				default:
+					t.errored++
+					if t.mismatch == "" {
+						t.mismatch = err.Error()
+					}
+				}
+			}
+		}
+	})
+	for _, t := range tallies {
+		out.answered += t.answered
+		out.shed += t.shed
+		out.errored += t.errored
+		if t.mismatch != "" {
+			out.fail("logits-match-reference", "%s", t.mismatch)
+		}
+	}
+	return nil
+}
+
+// crashDrill is the replica-crash availability drill: serve half the
+// traffic, kill replica 0 mid-service, and require the survivors to answer
+// the second half bit-identically; then shut down, confirm ErrClosed, and
+// confirm a fresh engine loaded from the same checkpoint still bit-matches.
+func (r *runner) crashDrill(sp scenario.Spec, eng *serve.Engine, ckpt []byte, images, refs [][]float32, out *serveOutcome) error {
+	const check = "replica-crash-recovery"
+	half := sp.Requests / 2
+	if err := r.runPlan(sp, eng, half, images, refs, out); err != nil {
+		return err
+	}
+	if err := eng.CrashReplica(0); err != nil {
+		return err
+	}
+	before := out.answered
+	if err := r.runPlan(sp, eng, sp.Requests-half, images, refs, out); err != nil {
+		return err
+	}
+	if out.answered-before != sp.Requests-half {
+		out.fail(check, "surviving replicas answered %d of %d post-crash requests",
+			out.answered-before, sp.Requests-half)
+	}
+	eng.Close()
+	if _, err := eng.Predict(images[0]); !errors.Is(err, serve.ErrClosed) {
+		out.fail(check, "Predict after Close returned %v, want ErrClosed", err)
+	}
+	fresh, err := serve.Load(sp.ServeBuilder(), bytes.NewReader(ckpt), sp.ServeConfig(r.clock, nil))
+	if err != nil {
+		return err
+	}
+	defer fresh.Close()
+	logits, err := fresh.Predict(images[0])
+	if err != nil {
+		out.fail(check, "reloaded engine: %v", err)
+	} else if !equalF32(logits, refs[0]) {
+		out.fail(check, "reloaded engine's logits differ from the reference")
+	}
+	return nil
+}
+
+// diskFullDrill simulates checkpointing onto a full disk while serving: a
+// save through a writer that runs out of space must fail, leave the previous
+// checkpoint byte-identical on disk, and leave no temp-file debris behind.
+func (r *runner) diskFullDrill(sp scenario.Spec, ckpt []byte) error {
+	dir, err := os.MkdirTemp("", "bnff-exp-diskfull")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "model.ckpt")
+	if err := os.WriteFile(path, ckpt, 0o644); err != nil {
+		return err
+	}
+	exec, err := r.refExecutor(sp, ckpt)
+	if err != nil {
+		return err
+	}
+	saveErr := exec.SaveFileVia(path, func(w io.Writer) io.Writer {
+		return &capWriter{w: w, left: 64}
+	})
+	if saveErr == nil {
+		return fmt.Errorf("save onto a full disk unexpectedly succeeded")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, ckpt) {
+		return fmt.Errorf("failed save corrupted the previous checkpoint")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	if len(entries) != 1 {
+		return fmt.Errorf("failed save left %d files in the checkpoint directory, want 1", len(entries))
+	}
+	return nil
+}
+
+// pacing maps the spec's traffic shape onto plan parameters: slow-client
+// delays every request, bursty inserts a 1 ms gap between bursts, everything
+// else sends as fast as the blocking Predict allows.
+func pacing(sp scenario.Spec) (burst int, delayNs int64) {
+	switch sp.Traffic {
+	case scenario.TrafficSlowClient:
+		return 1, int64(sp.ClientDelayMS) * int64(time.Millisecond)
+	case scenario.TrafficBursty:
+		return sp.Burst, int64(time.Millisecond)
+	default:
+		return 0, 0
+	}
+}
+
+// checkpoint builds (once per model+seed) the deterministic checkpoint every
+// serve scenario loads: seeded parameters plus running statistics tracked
+// over a few forward passes of the model's synthetic dataset.
+func (r *runner) checkpoint(sp scenario.Spec) ([]byte, error) {
+	key := fmt.Sprintf("%s/%d", sp.Model, sp.Seed)
+	if b, ok := r.ckpts[key]; ok {
+		return b, nil
+	}
+	const batch = 4
+	g, err := models.Build(sp.Model, batch)
+	if err != nil {
+		return nil, err
+	}
+	exec, err := core.NewExecutor(g, core.WithSeed(sp.Seed), core.WithRunningStats())
+	if err != nil {
+		return nil, err
+	}
+	ds, err := sp.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 4; i++ {
+		x, _, err := ds.Batch(batch)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := exec.Forward(x); err != nil {
+			return nil, err
+		}
+	}
+	var buf bytes.Buffer
+	if err := exec.Save(&buf); err != nil {
+		return nil, err
+	}
+	r.ckpts[key] = buf.Bytes()
+	return r.ckpts[key], nil
+}
+
+// refExecutor builds the batch-1 reference executor exactly the way the
+// engine builds its replicas (same seed, workers, inference mode, and fold),
+// so its logits are the bit-exact ground truth for served answers.
+func (r *runner) refExecutor(sp scenario.Spec, ckpt []byte) (*core.Executor, error) {
+	g, err := models.Build(sp.Model, 1)
+	if err != nil {
+		return nil, err
+	}
+	opts := []core.Option{core.WithSeed(sp.Seed), core.WithWorkers(sp.Workers), core.WithInference()}
+	if sp.Fold {
+		opts = append(opts, core.WithFoldedBN())
+	}
+	exec, err := core.NewExecutor(g, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := exec.Load(bytes.NewReader(ckpt)); err != nil {
+		return nil, err
+	}
+	return exec, nil
+}
+
+// references precomputes the request images (per-class dataset patterns) and
+// their batch-1 reference logits.
+func (r *runner) references(sp scenario.Spec, ckpt []byte) (images, refs [][]float32, err error) {
+	ds, err := sp.Dataset()
+	if err != nil {
+		return nil, nil, err
+	}
+	exec, err := r.refExecutor(sp, ckpt)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := ds.Classes
+	if n > maxServeImages {
+		n = maxServeImages
+	}
+	for i := 0; i < n; i++ {
+		pat, err := ds.Pattern(i)
+		if err != nil {
+			return nil, nil, err
+		}
+		img := append([]float32(nil), pat.Data...)
+		x := tensor.New(1, ds.Channels, ds.Size, ds.Size)
+		copy(x.Data, img)
+		y, err := exec.Forward(x)
+		if err != nil {
+			return nil, nil, err
+		}
+		images = append(images, img)
+		refs = append(refs, append([]float32(nil), y.Data...))
+	}
+	return images, refs, nil
+}
+
+// capWriter fails like a full disk after its byte allowance is spent.
+type capWriter struct {
+	w    io.Writer
+	left int
+}
+
+func (c *capWriter) Write(p []byte) (int, error) {
+	if len(p) > c.left {
+		n := c.left
+		c.left = 0
+		if n > 0 {
+			if _, err := c.w.Write(p[:n]); err != nil {
+				return 0, err
+			}
+		}
+		return n, fmt.Errorf("capWriter: no space left on device")
+	}
+	c.left -= len(p)
+	return c.w.Write(p)
+}
+
+func equalF32(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+
+	"bnff/internal/experiments"
+	"bnff/internal/obs"
+	"bnff/internal/scenario"
+)
+
+// runTrain executes one training scenario Repeats times from identical
+// starting conditions and verifies the bit-identical-repeats contract: the
+// same seed must yield the same final loss and the same trained-parameter
+// checkpoint, byte for byte, every time. The trained-checkpoint digest of the
+// first repeat is the scenario's recorded digest.
+func (r *runner) runTrain(sp scenario.Spec) (experiments.BenchScenario, error) {
+	var (
+		digests []string
+		losses  []float64
+		times   []float64
+	)
+	for rep := 0; rep < sp.Repeats; rep++ {
+		tr, err := sp.NewTrainer()
+		if err != nil {
+			return experiments.BenchScenario{}, err
+		}
+		t0 := r.clock()
+		res, err := tr.Run(sp.Steps)
+		if err != nil {
+			return experiments.BenchScenario{}, err
+		}
+		times = append(times, float64(r.clock()-t0))
+		losses = append(losses, res.Loss)
+		var buf bytes.Buffer
+		if err := tr.Exec.Save(&buf); err != nil {
+			return experiments.BenchScenario{}, err
+		}
+		digests = append(digests, digestOf(buf.Bytes()))
+	}
+
+	check := experiments.BenchCheck{Name: "bit-identical-repeats", Pass: true}
+	for i := 1; i < sp.Repeats; i++ {
+		if digests[i] != digests[0] {
+			check.Pass = false
+			check.Detail = fmt.Sprintf("repeat %d checkpoint %s != repeat 0 %s", i, digests[i], digests[0])
+			break
+		}
+		if losses[i] != losses[0] {
+			check.Pass = false
+			check.Detail = fmt.Sprintf("repeat %d final loss %v != repeat 0 %v", i, losses[i], losses[0])
+			break
+		}
+	}
+
+	return experiments.BenchScenario{
+		Name:    sp.Name,
+		Spec:    sp,
+		Repeats: sp.Repeats,
+		Digest:  digests[0],
+		Checks:  []experiments.BenchCheck{check},
+		Metrics: []experiments.BenchMetric{
+			{Name: "final_loss", Unit: "loss", Agg: obs.Aggregate(losses)},
+			{Name: "train_time", Unit: "ns", Timing: true, Agg: obs.Aggregate(times)},
+		},
+	}, nil
+}

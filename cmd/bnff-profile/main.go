@@ -30,11 +30,12 @@ import (
 	"bnff/internal/memsim"
 	"bnff/internal/models"
 	"bnff/internal/obs"
+	"bnff/internal/scenario"
 	"bnff/internal/train"
-	"bnff/internal/workload"
 )
 
 func main() {
+	scenName := flag.String("scenario", "", "start from this builtin train scenario; set flags override its fields")
 	model := flag.String("model", "tiny-densenet", fmt.Sprintf("model: one of %v", models.Names()))
 	batch := flag.Int("batch", 16, "mini-batch size")
 	steps := flag.Int("steps", 1, "traced training steps per scenario")
@@ -45,10 +46,64 @@ func main() {
 	arena := flag.Bool("arena", true, "serve activations from the liveness-driven arena and report measured vs planned peak")
 	flag.Parse()
 
-	if err := run(*model, *batch, *steps, *workers, *tracePfx, *clock, *seed, *arena); err != nil {
+	sp, err := resolveSpec(*scenName, func(sp *scenario.Spec) {
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "model":
+				sp.Model = *model
+			case "batch":
+				sp.Batch = *batch
+			case "steps":
+				sp.Steps = *steps
+			case "workers":
+				sp.Workers = *workers
+			case "seed":
+				sp.Seed = *seed
+			case "arena":
+				sp.NoArena = !*arena
+			}
+		})
+	}, scenario.Spec{
+		Name:    "cli/profile",
+		Kind:    scenario.KindTrain,
+		Model:   *model,
+		Batch:   *batch,
+		Steps:   *steps,
+		Workers: *workers,
+		Seed:    *seed,
+		NoArena: !*arena,
+	})
+	if err == nil {
+		err = run(sp, *tracePfx, *clock)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bnff-profile:", err)
 		os.Exit(1)
 	}
+}
+
+// resolveSpec layers explicitly set flags over the named builtin scenario,
+// or returns the flag-assembled spec when no name is given. The profile
+// sweeps every restructuring itself, so the spec's own Restructure field is
+// overwritten per iteration.
+func resolveSpec(name string, override func(*scenario.Spec), fromFlags scenario.Spec) (scenario.Spec, error) {
+	sp := fromFlags
+	if name != "" {
+		reg := scenario.Builtin()
+		got, ok := reg.Get(name)
+		if !ok {
+			return scenario.Spec{}, fmt.Errorf("unknown scenario %q (builtin: %v)", name, reg.Names())
+		}
+		if got.Kind != scenario.KindTrain {
+			return scenario.Spec{}, fmt.Errorf("scenario %q is a %s scenario; this command profiles training", name, got.Kind)
+		}
+		sp = got
+		override(&sp)
+	}
+	if err := sp.Normalize(); err != nil {
+		return scenario.Spec{}, err
+	}
+	return sp, nil
 }
 
 // newClock builds the tracer clock named by -clock. The step clock advances a
@@ -75,48 +130,41 @@ type scenarioResult struct {
 	planPeak  int64              // memplan's predicted activation peak bytes
 }
 
-func run(model string, batch, steps, workers int, tracePfx, clockKind string, seed uint64, arena bool) error {
-	if steps < 1 {
-		return fmt.Errorf("steps %d < 1", steps)
-	}
+func run(sp scenario.Spec, tracePfx, clockKind string) error {
 	fmt.Printf("model=%s batch=%d steps=%d workers=%d clock=%s arena=%t machine=Skylake\n\n",
-		model, batch, steps, workers, clockKind, arena)
+		sp.Model, sp.Batch, sp.Steps, sp.Workers, clockKind, !sp.NoArena)
 
 	var results []scenarioResult
-	for _, scenario := range core.Scenarios() {
-		res, err := profileScenario(model, scenario, batch, steps, workers, tracePfx, clockKind, seed, arena)
+	for _, sc := range core.Scenarios() {
+		spScen := sp
+		spScen.Restructure = strings.ToLower(sc.String())
+		res, err := profileScenario(spScen, sc, tracePfx, clockKind)
 		if err != nil {
-			return fmt.Errorf("%v: %w", scenario, err)
+			return fmt.Errorf("%v: %w", sc, err)
 		}
 		results = append(results, res)
 
-		fmt.Printf("== %v ==\n", scenario)
+		fmt.Printf("== %v ==\n", sc)
 		if err := res.measured.WriteTable(os.Stdout, res.modeled); err != nil {
 			return err
 		}
 		fmt.Printf("measured %.1f ms over %d step(s); model predicts %.3f ms/iteration\n\n",
-			float64(res.measured.TotalNs)/1e6, steps, res.modelSec*1e3)
+			float64(res.measured.TotalNs)/1e6, sp.Steps, res.modelSec*1e3)
 	}
 	return summarize(os.Stdout, results)
 }
 
-func profileScenario(model string, scenario core.Scenario, batch, steps, workers int,
-	tracePfx, clockKind string, seed uint64, arena bool) (scenarioResult, error) {
-
-	g, err := models.Build(model, batch)
+func profileScenario(sp scenario.Spec, sc core.Scenario, tracePfx, clockKind string) (scenarioResult, error) {
+	g, err := sp.BuildGraph(sp.Batch)
 	if err != nil {
 		return scenarioResult{}, err
 	}
-	if err := core.Restructure(g, scenario.Options()); err != nil {
-		return scenarioResult{}, err
-	}
-
 	report, err := memsim.Simulate(g, memsim.Skylake())
 	if err != nil {
 		return scenarioResult{}, err
 	}
 	res := scenarioResult{
-		scenario: scenario,
+		scenario: sc,
 		modeled:  modeledShares(report),
 		modelSec: report.Total(),
 	}
@@ -126,8 +174,7 @@ func profileScenario(model string, scenario core.Scenario, batch, steps, workers
 		return scenarioResult{}, err
 	}
 	tracer := obs.NewTracer(clk)
-	opts := []core.Option{core.WithSeed(seed), core.WithWorkers(workers), core.WithTracer(tracer)}
-	if arena {
+	if !sp.NoArena {
 		// Predicted peak comes from the same intervals the arena's release
 		// table is compiled from, so measured-vs-planned is apples to apples.
 		plan, err := memplan.PlanTraining(g)
@@ -135,33 +182,21 @@ func profileScenario(model string, scenario core.Scenario, batch, steps, workers
 			return scenarioResult{}, err
 		}
 		res.planPeak = plan.PeakBytes
-		opts = append(opts, core.WithArena())
 	}
-	exec, err := core.NewExecutor(g, opts...)
+	tr, err := sp.NewTrainer(train.WithTracer(tracer))
 	if err != nil {
 		return scenarioResult{}, err
 	}
-	data, err := workload.New(workload.Config{
-		Classes: g.Output.OutShape[1], Channels: 3, Size: g.Nodes[0].OutShape[2],
-		Noise: 0.3, Seed: seed + 1,
-	})
-	if err != nil {
-		return scenarioResult{}, err
-	}
-	tr, err := train.NewTrainer(exec, data, train.WithBatchSize(batch))
-	if err != nil {
-		return scenarioResult{}, err
-	}
-	if _, err := tr.Run(steps); err != nil {
+	if _, err := tr.Run(sp.Steps); err != nil {
 		return scenarioResult{}, err
 	}
 	res.measured = obs.LayerBreakdown(tracer.Spans())
-	if arena {
-		res.arenaPeak = exec.ArenaStats().PeakBytes
+	if !sp.NoArena {
+		res.arenaPeak = tr.Exec.ArenaStats().PeakBytes
 	}
 
 	if tracePfx != "" {
-		if err := writeTraces(tracePfx, scenario, tracer, report); err != nil {
+		if err := writeTraces(tracePfx, sc, tracer, report); err != nil {
 			return scenarioResult{}, err
 		}
 	}

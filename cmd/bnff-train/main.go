@@ -2,9 +2,14 @@
 // restructuring scenario and, with -compare, runs the baseline side by side
 // on identical batches to demonstrate loss parity and per-step wall-clock.
 //
+// The run is declared by a scenario.Spec: either assembled from the flags,
+// or — with -scenario — looked up in the builtin registry, with explicitly
+// set flags overriding the named spec's fields.
+//
 // Usage:
 //
 //	bnff-train -model tiny-densenet -restructure bnff -steps 100
+//	bnff-train -scenario train/tiny-densenet/bnff -steps 200
 //	bnff-train -model tiny-cnn -restructure bnff -compare
 package main
 
@@ -14,18 +19,18 @@ import (
 	"os"
 	"time"
 
-	"bnff/internal/core"
-	"bnff/internal/graph"
 	"bnff/internal/models"
 	"bnff/internal/obs"
 	"bnff/internal/parallel"
+	"bnff/internal/scenario"
 	"bnff/internal/train"
 	"bnff/internal/workload"
 )
 
 func main() {
+	scenName := flag.String("scenario", "", "start from this builtin scenario; set flags override its fields")
 	model := flag.String("model", "tiny-densenet", fmt.Sprintf("model: one of %v (tiny-* train quickly)", models.Names()))
-	scen := flag.String("restructure", "bnff", "scenario: baseline, rcf, rcf+mvf, bnff, bnff+icf")
+	restructure := flag.String("restructure", "bnff", "scenario: baseline, rcf, rcf+mvf, bnff, bnff+icf")
 	steps := flag.Int("steps", 60, "training steps")
 	batch := flag.Int("batch", 16, "mini-batch size")
 	lr := flag.Float64("lr", 0.01, "learning rate")
@@ -41,130 +46,101 @@ func main() {
 	arena := flag.Bool("arena", true, "serve activations from the liveness-driven arena (bit-identical; off = legacy per-step allocation)")
 	flag.Parse()
 
-	if err := run(runConfig{
-		model: *model, scen: *scen, steps: *steps, batch: *batch, lr: *lr,
-		seed: *seed, compare: *compare, every: *every, workers: *workers,
-		save: *save, load: *load, schedule: *schedule,
-		trace: *tracePath, profile: *profile, arena: *arena,
-	}); err != nil {
+	sp, err := resolveSpec(*scenName, func(sp *scenario.Spec) {
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "model":
+				sp.Model = *model
+			case "restructure":
+				sp.Restructure = *restructure
+			case "steps":
+				sp.Steps = *steps
+			case "batch":
+				sp.Batch = *batch
+			case "lr":
+				sp.LR = *lr
+			case "seed":
+				sp.Seed = *seed
+			case "workers":
+				sp.Workers = *workers
+			case "schedule":
+				sp.Schedule = *schedule
+			case "arena":
+				sp.NoArena = !*arena
+			}
+		})
+	}, scenario.Spec{
+		Name:        "cli/train",
+		Kind:        scenario.KindTrain,
+		Model:       *model,
+		Restructure: *restructure,
+		Steps:       *steps,
+		Batch:       *batch,
+		LR:          *lr,
+		Seed:        *seed,
+		Workers:     *workers,
+		Schedule:    *schedule,
+		NoArena:     !*arena,
+	})
+	if err == nil {
+		err = run(sp, *compare, *every, *save, *load, *tracePath, *profile)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bnff-train:", err)
 		os.Exit(1)
 	}
 }
 
-type runConfig struct {
-	model, scen          string
-	steps, batch, every  int
-	workers              int
-	lr                   float64
-	seed                 uint64
-	compare              bool
-	save, load, schedule string
-	trace                string
-	profile              bool
-	arena                bool
+// resolveSpec produces the normalized spec a command runs: the named builtin
+// scenario with explicitly set flags layered on top, or — without -scenario —
+// the spec assembled from every flag value.
+func resolveSpec(name string, override func(*scenario.Spec), fromFlags scenario.Spec) (scenario.Spec, error) {
+	sp := fromFlags
+	if name != "" {
+		reg := scenario.Builtin()
+		got, ok := reg.Get(name)
+		if !ok {
+			return scenario.Spec{}, fmt.Errorf("unknown scenario %q (builtin: %v)", name, reg.Names())
+		}
+		if got.Kind != scenario.KindTrain {
+			return scenario.Spec{}, fmt.Errorf("scenario %q is a %s scenario; this command trains", name, got.Kind)
+		}
+		sp = got
+		override(&sp)
+	}
+	if err := sp.Normalize(); err != nil {
+		return scenario.Spec{}, err
+	}
+	return sp, nil
 }
 
-func scheduleOf(name string, base float64, steps int) (train.Schedule, error) {
-	switch name {
-	case "constant":
-		return train.ConstantLR(base), nil
-	case "step":
-		return train.StepDecay{Base: base, Gamma: 0.1, Every: steps / 3}, nil
-	case "cosine":
-		return train.CosineDecay{Base: base, Floor: base / 100, Total: steps}, nil
-	default:
-		return nil, fmt.Errorf("unknown schedule %q", name)
-	}
-}
-
-func buildGraph(model string, batch int) (*graph.Graph, int, error) {
-	g, err := models.Build(model, batch)
-	if err != nil {
-		return nil, 0, err
-	}
-	return g, g.Output.OutShape[1], nil
-}
-
-func parseScenario(s string) (core.Scenario, error) {
-	switch s {
-	case "baseline":
-		return core.Baseline, nil
-	case "rcf":
-		return core.RCF, nil
-	case "rcf+mvf", "mvf":
-		return core.RCFMVF, nil
-	case "bnff":
-		return core.BNFF, nil
-	case "bnff+icf", "icf":
-		return core.BNFFICF, nil
-	default:
-		return 0, fmt.Errorf("unknown scenario %q", s)
-	}
-}
-
-func newTrainer(model string, scenario core.Scenario, batch, workers int, lr float64, seed uint64,
-	sched train.Schedule, arena bool) (*train.Trainer, error) {
-	g, classes, err := buildGraph(model, batch)
-	if err != nil {
-		return nil, err
-	}
-	if err := core.Restructure(g, scenario.Options()); err != nil {
-		return nil, err
-	}
-	opts := []core.Option{core.WithSeed(seed), core.WithWorkers(workers)}
-	if arena {
-		opts = append(opts, core.WithArena())
-	}
-	exec, err := core.NewExecutor(g, opts...)
-	if err != nil {
-		return nil, err
-	}
-	size := g.Nodes[0].OutShape[2]
-	data, err := workload.New(workload.Config{
-		Classes: classes, Channels: 3, Size: size, Noise: 0.3, Seed: seed + 1,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return train.NewTrainer(exec, data,
-		train.WithBatchSize(batch),
-		train.WithOptimizer(train.NewSGD(lr, 0.9, 1e-4)),
-		train.WithSchedule(sched))
-}
-
-func run(cfg runConfig) error {
-	scenario, err := parseScenario(cfg.scen)
-	if err != nil {
-		return err
-	}
-	sched, err := scheduleOf(cfg.schedule, cfg.lr, cfg.steps)
-	if err != nil {
-		return err
-	}
-	tr, err := newTrainer(cfg.model, scenario, cfg.batch, cfg.workers, cfg.lr, cfg.seed, sched, cfg.arena)
+func run(sp scenario.Spec, compare bool, every int, save, load, tracePath string, profile bool) error {
+	tr, err := sp.NewTrainer()
 	if err != nil {
 		return err
 	}
 	var tracer *obs.Tracer
-	if cfg.trace != "" || cfg.profile {
+	if tracePath != "" || profile {
 		// Spans are wall-clock here: a cmd may read real time (the library
 		// cannot), and a training profile is only meaningful in real time.
 		tracer = obs.NewTracer(obs.WallClock())
 		tr.Exec.SetTracer(tracer)
 	}
-	if cfg.load != "" {
-		if err := tr.Exec.LoadFile(cfg.load); err != nil {
+	if load != "" {
+		if err := tr.Exec.LoadFile(load); err != nil {
 			return fmt.Errorf("load checkpoint: %w", err)
 		}
-		fmt.Printf("restored checkpoint %s\n", cfg.load)
+		fmt.Printf("restored checkpoint %s\n", load)
 	}
-	fmt.Printf("model=%s scenario=%v batch=%d steps=%d lr=%g schedule=%s workers=%d\n",
-		cfg.model, scenario, cfg.batch, cfg.steps, cfg.lr, cfg.schedule, tr.Exec.Workers())
+	fmt.Printf("model=%s scenario=%s batch=%d steps=%d lr=%g schedule=%s workers=%d\n",
+		sp.Model, sp.Restructure, sp.Batch, sp.Steps, sp.LR, sp.Schedule, tr.Exec.Workers())
 
 	var base *train.Trainer
-	if cfg.compare && scenario != core.Baseline {
-		base, err = newTrainer(cfg.model, core.Baseline, cfg.batch, cfg.workers, cfg.lr, cfg.seed, sched, cfg.arena)
+	if compare && sp.Restructure != "baseline" {
+		spBase := sp
+		spBase.Name = sp.Name + "/baseline-compare"
+		spBase.Restructure = "baseline"
+		base, err = spBase.NewTrainer()
 		if err != nil {
 			return err
 		}
@@ -174,17 +150,20 @@ func run(cfg runConfig) error {
 		}
 	}
 
+	// The comparison batches come from their own stream (seed+2), distinct
+	// from both the parameter seed and the trainers' internal datasets.
+	in := tr.Exec.G.Nodes[0].OutShape
 	data, err := workload.New(workload.Config{
-		Classes: classesOf(cfg.model), Channels: 3, Size: tr.Exec.G.Nodes[0].OutShape[2],
-		Noise: 0.3, Seed: cfg.seed + 2,
+		Classes: tr.Exec.G.Output.OutShape[1], Channels: in[1], Size: in[2],
+		Noise: 0.3, Seed: sp.Seed + 2,
 	})
 	if err != nil {
 		return err
 	}
 
 	var tScenario, tBase time.Duration
-	for i := 0; i < cfg.steps; i++ {
-		x, labels, err := data.Batch(cfg.batch)
+	for i := 0; i < sp.Steps; i++ {
+		x, labels, err := data.Batch(sp.Batch)
 		if err != nil {
 			return err
 		}
@@ -202,35 +181,35 @@ func run(cfg runConfig) error {
 				return err
 			}
 			tBase += time.Since(t0)
-			if (i+1)%cfg.every == 0 {
+			if (i+1)%every == 0 {
 				fmt.Printf("step %4d  loss %.4f (baseline %.4f, |Δ| %.2g)  acc %.3f\n",
 					i+1, res.Loss, resB.Loss, abs(res.Loss-resB.Loss), res.Accuracy)
 			}
 			continue
 		}
-		if (i+1)%cfg.every == 0 {
+		if (i+1)%every == 0 {
 			fmt.Printf("step %4d  loss %.4f  acc %.3f  lr %.4g\n", i+1, res.Loss, res.Accuracy, tr.Opt.LR)
 		}
 	}
-	fmt.Printf("%v wall-clock: %.1f ms/step\n", scenario, float64(tScenario.Milliseconds())/float64(cfg.steps))
+	fmt.Printf("%s wall-clock: %.1f ms/step\n", sp.Restructure, float64(tScenario.Milliseconds())/float64(sp.Steps))
 	if base != nil {
-		fmt.Printf("baseline wall-clock: %.1f ms/step\n", float64(tBase.Milliseconds())/float64(cfg.steps))
-		fmt.Printf("final mean loss: %v %.4f vs baseline %.4f\n", scenario, tr.MeanLoss(10), base.MeanLoss(10))
+		fmt.Printf("baseline wall-clock: %.1f ms/step\n", float64(tBase.Milliseconds())/float64(sp.Steps))
+		fmt.Printf("final mean loss: %s %.4f vs baseline %.4f\n", sp.Restructure, tr.MeanLoss(10), base.MeanLoss(10))
 	}
-	if cfg.save != "" {
-		if err := tr.Exec.SaveFile(cfg.save); err != nil {
+	if save != "" {
+		if err := tr.Exec.SaveFile(save); err != nil {
 			return fmt.Errorf("save checkpoint: %w", err)
 		}
-		fmt.Printf("saved checkpoint to %s\n", cfg.save)
+		fmt.Printf("saved checkpoint to %s\n", save)
 	}
-	if cfg.profile {
-		fmt.Printf("\nmeasured layer breakdown (%v, %d steps):\n", scenario, cfg.steps)
+	if profile {
+		fmt.Printf("\nmeasured layer breakdown (%s, %d steps):\n", sp.Restructure, sp.Steps)
 		if err := obs.LayerBreakdown(tracer.Spans()).WriteTable(os.Stdout, nil); err != nil {
 			return err
 		}
 	}
-	if cfg.trace != "" {
-		f, err := os.Create(cfg.trace)
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
 		if err != nil {
 			return err
 		}
@@ -241,17 +220,9 @@ func run(cfg runConfig) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("trace written to %s\n", cfg.trace)
+		fmt.Printf("trace written to %s\n", tracePath)
 	}
 	return nil
-}
-
-func classesOf(model string) int {
-	c, err := models.Classes(model, 1)
-	if err != nil {
-		return 10
-	}
-	return c
 }
 
 func abs(x float64) float64 {

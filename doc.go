@@ -28,9 +28,8 @@
 //
 // Parallel execution is deterministic: forward passes are bit-identical to
 // serial execution and backward passes stay within float32 round-off (see
-// internal/parallel for the contract). The old package-global
-// layers.SetConvWorkers knob survives only as a deprecated shim over the
-// construction-time default; no hot path reads a global.
+// internal/parallel for the contract). Configuration is options-only
+// (core.With*, train.With*); no hot path reads a global.
 //
 // # Serving
 //
@@ -79,12 +78,11 @@
 // over a map; iterate det.SortedKeys instead), noglobals (no package-level
 // mutable state in the hot-path packages), detreduce (every cross-partition
 // float combine after a pool dispatch reduces in partition order under a
-// `// det-reduce:` marker), seededrand (math/rand and time.Now are confined
-// to internal/tensor/rand.go, internal/obs/clock.go, and cmd/), and
-// deprecated (cmd/ and examples/ may not use the compatibility shims — they
-// model the options-based APIs). Deliberate exceptions are
-// suppressed inline with `//lint:ignore <analyzer> <reason>`. See the
-// "Static analysis" section of README.md.
+// `// det-reduce:` marker), and seededrand (math/rand and time.Now are
+// confined to internal/tensor/rand.go, internal/obs/clock.go, and cmd/).
+// Deliberate exceptions are suppressed inline with
+// `//lint:ignore <analyzer> <reason>`. See the "Static analysis" section
+// of README.md.
 //
 // The root package holds the benchmark harness: one testing.B benchmark per
 // paper table/figure plus real-kernel, parallel-speedup, and ablation

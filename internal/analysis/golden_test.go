@@ -213,25 +213,6 @@ func TestSeededRandClockExemptionIsPerPackage(t *testing.T) {
 	}
 }
 
-func TestDeprecatedGolden(t *testing.T) {
-	runGolden(t, Deprecated, "deprecated", "bnff/cmd/bnff-fixture")
-}
-
-func TestDeprecatedGoldenInExamples(t *testing.T) {
-	// examples/ is in scope too: the runnable examples are the snippets
-	// people copy, so they must model the options-based APIs.
-	runGolden(t, Deprecated, "deprecated", "bnff/examples/fixture")
-}
-
-func TestDeprecatedOutOfScope(t *testing.T) {
-	// Library packages may still reference the shims (their definitions and
-	// pinned-behavior tests live there until removal).
-	pkg := loadFixture(t, "deprecated", "bnff/internal/evalhelper")
-	if diags := RunAnalyzers(pkg, []*Analyzer{Deprecated}); len(diags) != 0 {
-		t.Fatalf("deprecated must only fire under cmd/ and examples/, got %v", diags)
-	}
-}
-
 func TestDiagnosticFormat(t *testing.T) {
 	pkg := loadFixture(t, "poolonly", "bnff/internal/layers")
 	diags := RunAnalyzers(pkg, []*Analyzer{PoolOnly})

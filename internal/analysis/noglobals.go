@@ -8,11 +8,9 @@ import (
 
 // noGlobalsScope lists the packages where package-level mutable state is
 // banned: the hot-path packages whose behavior must be a pure function of
-// the executor that owns them. The old layers.SetConvWorkers atomic global —
-// which let one executor's configuration leak into another's dispatch — is
-// exactly the regression this analyzer locks out. internal/parallel is in
-// scope so the one construction-time default backing the deprecated shim
-// stays a visible, suppressed exception rather than a precedent.
+// the executor that owns them. The long-gone process-global worker-count
+// setting — which let one executor's configuration leak into another's
+// dispatch — is exactly the regression this analyzer locks out.
 // internal/tensor joined when it grew the Arena: a process-wide shared
 // free-list would silently couple executors (and break the per-executor
 // determinism story), so arenas must stay instance state behind

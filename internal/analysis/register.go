@@ -4,7 +4,6 @@ package analysis
 // and bnff-lint -list use. New analyzers register here.
 func All() []*Analyzer {
 	return []*Analyzer{
-		Deprecated,
 		DetReduce,
 		MapOrder,
 		NoGlobals,

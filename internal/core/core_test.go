@@ -503,7 +503,7 @@ func TestRunningStatsUpdate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex.TrackRunning = true
+	ex.trackRunning = true
 	in := tensor.New(4, 3, 8, 8)
 	tensor.NewRNG(11).FillNormal(in, 1, 2)
 	if _, err := ex.Forward(in); err != nil {

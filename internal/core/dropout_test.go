@@ -156,7 +156,7 @@ func TestDropoutInferenceIsIdentity(t *testing.T) {
 		t.Error("training-mode dropout produced identical outputs twice")
 	}
 	// ...inference forwards are deterministic.
-	ex.Inference = true
+	ex.inference = true
 	z1, err := ex.Forward(in)
 	if err != nil {
 		t.Fatal(err)

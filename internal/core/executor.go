@@ -30,32 +30,28 @@ type Executor struct {
 	G      *graph.Graph
 	Params map[string]*tensor.Tensor
 
-	// TrackRunning enables running-statistics updates ("<bn>.rmean",
-	// "<bn>.rvar" in Running) during Forward, as training would.
-	//
-	// Deprecated: prefer WithRunningStats at construction. The field remains
-	// writable because evaluation helpers toggle it around inference passes.
-	TrackRunning bool
-	Running      map[string]*tensor.Tensor
+	Running map[string]*tensor.Tensor
 
-	// Inference switches every BN (monolithic or restructured) to the
+	// trackRunning enables running-statistics updates ("<bn>.rmean",
+	// "<bn>.rvar" in Running) during Forward, as training would. Set with
+	// WithRunningStats or TrackRunningStats.
+	trackRunning bool
+
+	// inference switches every BN (monolithic or restructured) to the
 	// running statistics instead of mini-batch statistics — the deployment
 	// mode in which BN is element-wise and the classic inference-time
 	// CONV+BN folding (the related work the paper contrasts with) applies.
-	// Backward is unavailable in inference mode.
-	//
-	// Deprecated: prefer WithInference at construction. The field remains
-	// writable because evaluation helpers toggle it around inference passes.
-	Inference bool
+	// Backward is unavailable in inference mode. Set with WithInference or
+	// toggled around evaluation passes via EvalMode.
+	inference bool
 
-	// PreciseStats switches the MVF accumulators to float64 — the paper's
+	// preciseStats switches the MVF accumulators to float64 — the paper's
 	// §3.2 fallback for when E(X²) cancellation would hurt accuracy ("we can
 	// use higher-precision representations to store intermediate data...
 	// using higher-precision representations and arithmetic does not impact
-	// training performance" since BN stays bandwidth-bound).
-	//
-	// Deprecated: prefer WithPreciseStats at construction.
-	PreciseStats bool
+	// training performance" since BN stays bandwidth-bound). Set with
+	// WithPreciseStats.
+	preciseStats bool
 
 	seed   uint64
 	pool   *parallel.Pool
@@ -89,8 +85,7 @@ type Option func(*Executor)
 func WithSeed(seed uint64) Option { return func(e *Executor) { e.seed = seed } }
 
 // WithWorkers sets the executor's worker-pool size, clamped to
-// [1, parallel.MaxWorkers]. One worker (the default, unless
-// layers.SetConvWorkers raised the process default) executes every layer
+// [1, parallel.MaxWorkers]. One worker (the default) executes every layer
 // serially; more workers split batches, reductions, and element ranges
 // across goroutines with deterministic results (forward bit-identical,
 // backward within float32 round-off — see internal/parallel).
@@ -98,7 +93,7 @@ func WithWorkers(n int) Option { return func(e *Executor) { e.pool = parallel.Ne
 
 // WithInference builds the executor in inference mode: every BN uses running
 // statistics and Backward is unavailable.
-func WithInference() Option { return func(e *Executor) { e.Inference = true } }
+func WithInference() Option { return func(e *Executor) { e.inference = true } }
 
 // WithFoldedBN arms the inference-time BN-fold compile pass: after the next
 // checkpoint Load the executor rewrites every foldable CONV→BN pair into a
@@ -110,17 +105,17 @@ func WithInference() Option { return func(e *Executor) { e.Inference = true } }
 func WithFoldedBN() Option {
 	return func(e *Executor) {
 		e.foldBN = true
-		e.Inference = true
+		e.inference = true
 	}
 }
 
 // WithPreciseStats switches the MVF statistics accumulators to float64
 // (the paper's §3.2 precision fallback).
-func WithPreciseStats() Option { return func(e *Executor) { e.PreciseStats = true } }
+func WithPreciseStats() Option { return func(e *Executor) { e.preciseStats = true } }
 
 // WithRunningStats enables running-statistics tracking during Forward, as
 // training does; train.NewTrainer applies it to its executor automatically.
-func WithRunningStats() Option { return func(e *Executor) { e.TrackRunning = true } }
+func WithRunningStats() Option { return func(e *Executor) { e.trackRunning = true } }
 
 // Workers returns the executor's worker-pool size.
 func (e *Executor) Workers() int { return e.pool.Workers() }
@@ -134,6 +129,30 @@ func (e *Executor) SetWorkers(n int) { e.pool = parallel.New(n).WithTracer(e.tra
 // stochastic models across restructuring.
 func (e *Executor) SetDropoutSeed(seed uint64) { e.dropRNG = tensor.NewRNG(seed) }
 
+// TrackRunningStats switches running-statistics updates on or off between
+// passes — the construction-time equivalent is WithRunningStats.
+// train.NewTrainer enables it on the executor it is handed.
+func (e *Executor) TrackRunningStats(on bool) { e.trackRunning = on }
+
+// TracksRunning reports whether Forward updates the running statistics.
+func (e *Executor) TracksRunning() bool { return e.trackRunning }
+
+// InferenceMode reports whether the executor runs BN on running statistics
+// (inference) rather than mini-batch statistics (training).
+func (e *Executor) InferenceMode() bool { return e.inference }
+
+// EvalMode flips the executor into inference mode with running-statistics
+// tracking paused and returns a closure restoring the previous modes.
+// Evaluation helpers wrap held-out passes in it:
+//
+//	restore := exec.EvalMode()
+//	defer restore()
+func (e *Executor) EvalMode() (restore func()) {
+	prevInf, prevTrack := e.inference, e.trackRunning
+	e.inference, e.trackRunning = true, false
+	return func() { e.inference, e.trackRunning = prevInf, prevTrack }
+}
+
 // bnStash carries the sub-BN2' results (dv, dγ, dβ, x̂) from the
 // normalize-side backward to the statistics-side backward, keyed by the
 // statistics producer's node ID.
@@ -144,8 +163,8 @@ type bnStash struct {
 
 // NewExecutor validates the graph, applies the options, and allocates
 // initialized parameters: He-normal convolution and FC weights, γ=1, β=0,
-// zeroed running statistics. Without WithWorkers the pool size snapshots the
-// process default (1 unless layers.SetConvWorkers raised it).
+// zeroed running statistics. Without WithWorkers the executor runs with one
+// worker (serial execution).
 func NewExecutor(g *graph.Graph, opts ...Option) (*Executor, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -157,7 +176,7 @@ func NewExecutor(g *graph.Graph, opts ...Option) (*Executor, error) {
 		G:       g,
 		Params:  make(map[string]*tensor.Tensor),
 		Running: make(map[string]*tensor.Tensor),
-		pool:    parallel.New(parallel.Default()),
+		pool:    parallel.New(1),
 	}
 	for _, opt := range opts {
 		opt(e)
@@ -239,7 +258,7 @@ func (e *Executor) gammaOf(a *graph.BNAttr) *tensor.Tensor { return e.Params[a.P
 // output — the sub-BN1 epilogue of the fused kernel, which always uses the
 // single-sweep MVF accumulation (float64 under PreciseStats).
 func (e *Executor) epilogueStats(n *graph.Node, y *tensor.Tensor) (*layers.BNStats, error) {
-	if e.PreciseStats {
+	if e.preciseStats {
 		return e.bnOfAttr(n.StatsOut).ComputeStatsMVF64(y)
 	}
 	return e.bnOfAttr(n.StatsOut).ComputeStatsMVF(y)
@@ -249,12 +268,12 @@ func (e *Executor) epilogueStats(n *graph.Node, y *tensor.Tensor) (*layers.BNSta
 // two-pass statistics according to the node's BN attributes. In inference
 // mode the stored running statistics are returned instead.
 func (e *Executor) computeStats(n *graph.Node, x *tensor.Tensor) (*layers.BNStats, error) {
-	if e.Inference {
+	if e.inference {
 		return e.runningStats(n.BN)
 	}
 	bn := e.bnOf(n)
 	if n.BN.MVF {
-		if e.PreciseStats {
+		if e.preciseStats {
 			return bn.ComputeStatsMVF64(x)
 		}
 		return bn.ComputeStatsMVF(x)
@@ -276,7 +295,7 @@ func (e *Executor) runningStats(attr *graph.BNAttr) (*layers.BNStats, error) {
 // producer's mini-batch statistics in training, the running statistics in
 // inference.
 func (e *Executor) statsFor(n *graph.Node) (*layers.BNStats, error) {
-	if e.Inference {
+	if e.inference {
 		return e.runningStats(n.BN)
 	}
 	st := e.stats[n.StatsFrom.ID]
@@ -303,7 +322,7 @@ func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	// Per-step releases follow the training schedule; an inference pass has
 	// different lifetimes (dropout aliases its input), so it recycles via the
 	// resetPass sweep above instead.
-	stepRelease := e.alloc != nil && !e.Inference
+	stepRelease := e.alloc != nil && !e.inference
 	if stepRelease {
 		if _, err := e.arenaPlanFor(); err != nil {
 			return nil, err
@@ -328,11 +347,11 @@ func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 			switch {
 			case n.FoldedBias:
 				e.vals[n.ID], err = e.convOf(n).ForwardBias(e.in(n, 0), e.Params[n.Name+".w"], e.Params[n.Name+".b"])
-			case n.StatsOut != nil && !e.Inference && !e.PreciseStats:
+			case n.StatsOut != nil && !e.inference && !e.preciseStats:
 				var st *layers.BNStats
 				e.vals[n.ID], st, err = kernels.ConvForwardStats(e.convOf(n), e.in(n, 0), e.Params[n.Name+".w"])
 				e.stats[n.ID] = st
-			case n.StatsOut != nil && !e.Inference:
+			case n.StatsOut != nil && !e.inference:
 				e.vals[n.ID], err = e.convOf(n).Forward(e.in(n, 0), e.Params[n.Name+".w"])
 				if err == nil {
 					e.stats[n.ID], err = e.epilogueStats(n, e.vals[n.ID])
@@ -352,7 +371,7 @@ func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 			e.vals[n.ID], e.stats[n.ID], e.xhats[n.ID] = y, st, xhat
 
 		case graph.OpSubBN1:
-			if !e.Inference { // inference needs no mini-batch statistics
+			if !e.inference { // inference needs no mini-batch statistics
 				e.stats[n.ID], err = e.computeStats(n, e.in(n, 0))
 			}
 			// SubBN1 produces statistics only; it has no data output.
@@ -372,7 +391,7 @@ func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 
 		case graph.OpReLUConv:
 			e.vals[n.ID], err = kernels.ReLUConvForward(e.convOf(n), e.in(n, 0), e.Params[n.Name+".w"])
-			if err == nil && n.StatsOut != nil && !e.Inference {
+			if err == nil && n.StatsOut != nil && !e.inference {
 				e.stats[n.ID], err = e.epilogueStats(n, e.vals[n.ID])
 			}
 
@@ -386,7 +405,7 @@ func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 			y, xhat, err = kernels.FusedBNReLUConvForward(e.convOf(n), e.bnOf(n), e.in(n, 0), st,
 				e.gamma(n), e.beta(n), e.Params[n.Name+".w"])
 			e.vals[n.ID], e.xhats[n.ID] = y, xhat
-			if err == nil && n.StatsOut != nil && !e.Inference {
+			if err == nil && n.StatsOut != nil && !e.inference {
 				e.stats[n.ID], err = e.epilogueStats(n, y)
 			}
 
@@ -417,7 +436,7 @@ func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 			e.vals[n.ID], err = e.in(n, 0).Reshape(n.OutShape...)
 
 		case graph.OpDropout:
-			if e.Inference {
+			if e.inference {
 				e.vals[n.ID] = e.in(n, 0) // inverted dropout: inference is identity
 				break
 			}
@@ -439,7 +458,7 @@ func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 		}
 	}
 
-	if e.TrackRunning {
+	if e.trackRunning {
 		if err := e.updateRunning(); err != nil {
 			return nil, err
 		}
@@ -513,7 +532,7 @@ func (e *Executor) accumGrad(gmap map[int]*tensor.Tensor, n *graph.Node, g *tens
 // through the graph and returns parameter gradients keyed like Params.
 // Forward must have been called first.
 func (e *Executor) Backward(dOut *tensor.Tensor) (map[string]*tensor.Tensor, error) {
-	if e.Inference {
+	if e.inference {
 		return nil, fmt.Errorf("core: Backward unavailable in inference mode")
 	}
 	if e.vals == nil {

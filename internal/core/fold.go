@@ -35,7 +35,7 @@ func (e *Executor) FoldBN() error {
 	if e.folded {
 		return nil
 	}
-	if !e.Inference {
+	if !e.inference {
 		return fmt.Errorf("core: FoldBN requires an inference-mode executor (WithInference or WithFoldedBN)")
 	}
 	pairs, err := graph.FoldBN(e.G)

@@ -11,7 +11,7 @@ import (
 // inference statistics are meaningful.
 func trainBriefly(t *testing.T, ex *Executor, inShape tensor.Shape, steps int) {
 	t.Helper()
-	ex.TrackRunning = true
+	ex.trackRunning = true
 	rng := tensor.NewRNG(77)
 	for i := 0; i < steps; i++ {
 		x := tensor.New(inShape...)
@@ -20,7 +20,7 @@ func trainBriefly(t *testing.T, ex *Executor, inShape tensor.Shape, steps int) {
 			t.Fatal(err)
 		}
 	}
-	ex.TrackRunning = false
+	ex.trackRunning = false
 }
 
 // In inference mode a sample's output must not depend on its batch peers —
@@ -40,7 +40,7 @@ func TestInferenceBatchIndependence(t *testing.T) {
 		}
 		trainBriefly(t, ex, tensor.Shape{4, 3, 8, 8}, 5)
 
-		ex.Inference = true
+		ex.inference = true
 		batch := tensor.New(4, 3, 8, 8)
 		tensor.NewRNG(88).FillNormal(batch, 0, 1)
 		yBatch, err := ex.Forward(batch)
@@ -65,7 +65,7 @@ func TestInferenceBatchIndependence(t *testing.T) {
 		for name, r := range ex.Running {
 			copy(ex1.Running[name].Data, r.Data)
 		}
-		ex1.Inference = true
+		ex1.inference = true
 
 		// Sample 0 alone must produce sample 0's batch output.
 		per := 3 * 8 * 8
@@ -113,7 +113,7 @@ func TestInferenceScenarioEquivalence(t *testing.T) {
 		copy(fused.Running[name].Data, r.Data)
 	}
 
-	base.Inference, fused.Inference = true, true
+	base.inference, fused.inference = true, true
 	x := tensor.New(4, 3, 16, 16)
 	tensor.NewRNG(33).FillNormal(x, 0, 1)
 	yb, err := base.Forward(x)
@@ -136,7 +136,7 @@ func TestInferenceBackwardRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex.Inference = true
+	ex.inference = true
 	x := tensor.New(2, 3, 8, 8)
 	if _, err := ex.Forward(x); err != nil {
 		t.Fatal(err)
@@ -154,7 +154,7 @@ func TestInferenceDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	trainBriefly(t, ex, tensor.Shape{2, 3, 16, 16}, 3)
-	ex.Inference = true
+	ex.inference = true
 	x := tensor.New(2, 3, 16, 16)
 	tensor.NewRNG(10).FillNormal(x, 0, 1)
 	y1, err := ex.Forward(x)

@@ -26,6 +26,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"bnff/internal/graph"
 )
@@ -53,6 +54,25 @@ func (s Scenario) String() string {
 
 // Scenarios lists every configuration in evaluation order.
 func Scenarios() []Scenario { return []Scenario{Baseline, RCF, RCFMVF, BNFF, BNFFICF} }
+
+// ParseScenario maps a user-facing configuration name onto its Scenario.
+// Matching is case-insensitive; "mvf" and "icf" are accepted as shorthand
+// for "rcf+mvf" and "bnff+icf".
+func ParseScenario(s string) (Scenario, error) {
+	switch strings.ToLower(s) {
+	case "baseline":
+		return Baseline, nil
+	case "rcf":
+		return RCF, nil
+	case "rcf+mvf", "mvf":
+		return RCFMVF, nil
+	case "bnff":
+		return BNFF, nil
+	case "bnff+icf", "icf":
+		return BNFFICF, nil
+	}
+	return Baseline, fmt.Errorf("core: unknown scenario %q (want baseline, rcf, rcf+mvf, bnff, or bnff+icf)", s)
+}
 
 // Options are the individual restructuring switches; Scenario.Options maps
 // the paper's configurations onto them.

@@ -36,7 +36,7 @@ func TestPreciseStatsTracksBaselineTighter(t *testing.T) {
 
 	fused32 := build()
 	fused64 := build()
-	fused64.PreciseStats = true
+	fused64.preciseStats = true
 	if err := fused32.CopyParamsFrom(base); err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func TestPreciseStatsBackwardWorks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex.PreciseStats = true
+	ex.preciseStats = true
 	in := tensor.New(4, 3, 8, 8)
 	tensor.NewRNG(5).FillNormal(in, 0, 1)
 	y, err := ex.Forward(in)

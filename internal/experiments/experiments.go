@@ -417,7 +417,12 @@ func GPUResults(batch int) (*Experiment, error) {
 	fmt.Fprintf(&detail, "%-12s %-9s %9s %9s\n", "model", "scenario", "total s", "gain")
 	for _, model := range []string{"densenet121", "resnet50"} {
 		var baseTotal float64
-		for _, s := range []core.Scenario{core.Baseline, core.RCF, core.RCFMVF, core.BNFF} {
+		// The full ladder except ICF: the paper's GPU table stops at BNFF,
+		// and neither GPU model has the concatenation inputs ICF targets.
+		for _, s := range core.Scenarios() {
+			if s == core.BNFFICF {
+				continue
+			}
 			r, err := simulate(model, batch, s, mach)
 			if err != nil {
 				return nil, err
@@ -495,7 +500,12 @@ func MobileNetExtension(batch int) (*Experiment, error) {
 	var base *memsim.Report
 	var detail strings.Builder
 	fmt.Fprintf(&detail, "%-9s %9s %9s %10s\n", "scenario", "total s", "gain", "DRAM GB")
-	for _, s := range []core.Scenario{core.Baseline, core.RCF, core.RCFMVF, core.BNFF} {
+	// MobileNet's blocks have no concatenations, so ICF is a no-op; sweep
+	// the rest of the ladder.
+	for _, s := range core.Scenarios() {
+		if s == core.BNFFICF {
+			continue
+		}
 		r, err := simulate("mobilenet", batch, s, memsim.Skylake())
 		if err != nil {
 			return nil, err
@@ -623,6 +633,7 @@ func All(batch int) ([]*Experiment, error) {
 		func() (*Experiment, error) { return MobileNetExtension(batch) },
 		func() (*Experiment, error) { return FootprintExtension(batch) },
 		func() (*Experiment, error) { return EnergyExtension(batch) },
+		StructureChecks,
 	}
 	for _, gen := range gens {
 		e, err := gen()
@@ -668,7 +679,9 @@ func ByID(id string, batch int) (*Experiment, error) {
 		return FootprintExtension(batch)
 	case "ext-energy":
 		return EnergyExtension(batch)
+	case "structure":
+		return StructureChecks()
 	default:
-		return nil, fmt.Errorf("experiments: unknown experiment %q (want table1, fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, gpu, headline, ext-mobilenet)", id)
+		return nil, fmt.Errorf("experiments: unknown experiment %q (want table1, fig1..fig8, gpu, headline, structure, ext-mobilenet, ext-footprint, ext-energy)", id)
 	}
 }

@@ -265,8 +265,8 @@ func TestAllAndByID(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 14 {
-		t.Errorf("All produced %d experiments, want 14", len(all))
+	if len(all) != 15 {
+		t.Errorf("All produced %d experiments, want 15", len(all))
 	}
 	ids := map[string]bool{}
 	for _, e := range all {
@@ -275,7 +275,7 @@ func TestAllAndByID(t *testing.T) {
 			t.Errorf("%s renders empty", e.ID)
 		}
 	}
-	for _, id := range []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "gpu", "headline", "ext-mobilenet", "ext-footprint", "ext-energy"} {
+	for _, id := range []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "gpu", "headline", "ext-mobilenet", "ext-footprint", "ext-energy", "structure"} {
 		if !ids[id] {
 			t.Errorf("All missing %s", id)
 		}

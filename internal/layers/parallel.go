@@ -1,7 +1,6 @@
 package layers
 
 import (
-	"bnff/internal/parallel"
 	"bnff/internal/tensor"
 )
 
@@ -19,24 +18,6 @@ import (
 // (BN statistics, dγ/dβ, FC dW/dB) stay bit-identical; conv dW partials
 // associate the same additions differently and land within float32
 // round-off.
-
-// SetConvWorkers sets the process-wide default worker count that executors
-// snapshot at construction when built without an explicit worker option,
-// clamped to [1, parallel.MaxWorkers]. It returns the previous setting.
-//
-// Deprecated: use core.WithWorkers (or train.WithWorkers) instead. The old
-// per-dispatch global read inside the convolution kernels is gone; this shim
-// no longer affects layer descriptors that already exist, only executors
-// constructed afterwards.
-func SetConvWorkers(n int) int { return parallel.SetDefault(n) }
-
-// ConvWorkers returns the current construction-time default worker count.
-//
-// Deprecated: query the owning executor's Workers method instead.
-func ConvWorkers() int { return parallel.Default() }
-
-// DefaultConvWorkers returns the recommended worker count for this machine.
-func DefaultConvWorkers() int { return parallel.NumCPU() }
 
 // sampleView returns a rank-4 view of sample i of a batch tensor.
 func sampleView(t *tensor.Tensor, i int) *tensor.Tensor {

@@ -70,29 +70,11 @@ func TestParallelBackwardBitIdentical(t *testing.T) {
 	}
 }
 
-// The deprecated SetConvWorkers shim forwards to the construction-time
-// default in internal/parallel with the same clamping contract it always had.
-func TestSetConvWorkersClamps(t *testing.T) {
-	prev := SetConvWorkers(0)
-	if ConvWorkers() != 1 {
-		t.Errorf("workers = %d, want clamp to 1", ConvWorkers())
-	}
-	SetConvWorkers(1 << 20)
-	if got := ConvWorkers(); got != parallel.MaxWorkers {
-		t.Errorf("workers = %d, want clamp to %d", got, parallel.MaxWorkers)
-	}
-	if SetConvWorkers(prev) != parallel.MaxWorkers {
-		t.Error("SetConvWorkers did not return the previous value")
-	}
-	if DefaultConvWorkers() < 1 {
-		t.Error("DefaultConvWorkers below 1")
-	}
-	// The shim no longer reaches existing descriptors: a conv built before or
-	// after the call stays serial unless WithPool attaches a pool.
-	SetConvWorkers(8)
-	defer SetConvWorkers(prev)
+// Descriptors have no worker setting of their own: a fresh conv stays serial
+// until WithPool attaches an executor's pool.
+func TestFreshDescriptorIsSerial(t *testing.T) {
 	if c := NewConv2D(1, 1, 1, 1, 0); !c.Pool().Serial() {
-		t.Error("SetConvWorkers leaked into a fresh descriptor's pool")
+		t.Error("fresh descriptor's pool is not serial")
 	}
 }
 

@@ -1,0 +1,65 @@
+package obs
+
+import "sort"
+
+// Repeat aggregation: experiment harnesses run each scenario several times
+// and report distribution summaries rather than single samples. Aggregate is
+// the one shared definition of that summary, so BENCH files, profiles, and
+// span reports agree on what "median" means (odd count: middle element;
+// even count: mean of the two middle elements).
+
+// Agg summarizes repeated measurements of one metric.
+type Agg struct {
+	N      int     `json:"n"`
+	Min    float64 `json:"min"`
+	Median float64 `json:"median"`
+	Mean   float64 `json:"mean"`
+	Max    float64 `json:"max"`
+}
+
+// Aggregate summarizes xs. An empty input yields the zero Agg.
+func Aggregate(xs []float64) Agg {
+	if len(xs) == 0 {
+		return Agg{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	mid := len(s) / 2
+	median := s[mid]
+	if len(s)%2 == 0 {
+		median = (s[mid-1] + s[mid]) / 2
+	}
+	return Agg{
+		N:      len(s),
+		Min:    s[0],
+		Median: median,
+		Mean:   sum / float64(len(s)),
+		Max:    s[len(s)-1],
+	}
+}
+
+// AggregateNs summarizes nanosecond samples (e.g. per-repeat span totals).
+func AggregateNs(ns []int64) Agg {
+	xs := make([]float64, len(ns))
+	for i, v := range ns {
+		xs[i] = float64(v)
+	}
+	return Aggregate(xs)
+}
+
+// SpanTotalNs sums the durations of the spans with the given name ("" sums
+// every span) — the bridge from a tracer's raw spans to one aggregatable
+// sample per run.
+func SpanTotalNs(spans []Span, name string) int64 {
+	var total int64
+	for _, sp := range spans {
+		if name == "" || sp.Name == name {
+			total += sp.Dur
+		}
+	}
+	return total
+}

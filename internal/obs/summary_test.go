@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAggregateOdd(t *testing.T) {
+	a := Aggregate([]float64{5, 1, 3})
+	if a.N != 3 || a.Min != 1 || a.Max != 5 || a.Median != 3 || math.Abs(a.Mean-3) > 1e-12 {
+		t.Errorf("agg = %+v", a)
+	}
+}
+
+func TestAggregateEven(t *testing.T) {
+	a := Aggregate([]float64{4, 1, 2, 3})
+	if a.Median != 2.5 {
+		t.Errorf("even median = %v, want 2.5", a.Median)
+	}
+	if a.Mean != 2.5 {
+		t.Errorf("mean = %v, want 2.5", a.Mean)
+	}
+}
+
+func TestAggregateEmptyAndInputUntouched(t *testing.T) {
+	if a := Aggregate(nil); a != (Agg{}) {
+		t.Errorf("empty agg = %+v, want zero", a)
+	}
+	xs := []float64{3, 1, 2}
+	Aggregate(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Aggregate sorted the caller's slice")
+	}
+}
+
+func TestAggregateNs(t *testing.T) {
+	a := AggregateNs([]int64{10, 30, 20})
+	if a.Median != 20 || a.Min != 10 || a.Max != 30 {
+		t.Errorf("ns agg = %+v", a)
+	}
+}
+
+func TestSpanTotalNs(t *testing.T) {
+	spans := []Span{
+		{Name: "step", Dur: 5},
+		{Name: "pool.drain", Dur: 2},
+		{Name: "step", Dur: 7},
+	}
+	if got := SpanTotalNs(spans, "step"); got != 12 {
+		t.Errorf("step total = %d, want 12", got)
+	}
+	if got := SpanTotalNs(spans, ""); got != 14 {
+		t.Errorf("all-span total = %d, want 14", got)
+	}
+}

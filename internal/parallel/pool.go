@@ -2,8 +2,7 @@
 // layer path. An Executor owns one Pool and threads it through convolution,
 // batch-normalization statistics, normalize epilogues, ReLU, pooling, FC,
 // and GEMM kernels, so two executors with different worker settings never
-// interfere (the old package-global SetConvWorkers could not guarantee
-// that).
+// interfere — there is no package-global worker setting to race on.
 //
 // Determinism contract: Run always partitions the index range the same way
 // for a given (n, workers) pair, and callers reduce per-item partials in
@@ -16,7 +15,6 @@ package parallel
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"bnff/internal/obs"
 )
@@ -162,25 +160,6 @@ func (p *Pool) RunChunked(n int, fn func(chunk, lo, hi int)) {
 	wg.Wait()
 	p.tracer.End("pool.drain", obs.CatPool, "", obs.TIDPool, drain)
 }
-
-// defaultWorkers is the process-wide construction-time default consulted by
-// executors built without an explicit worker option. It exists only to back
-// the deprecated layers.SetConvWorkers shim; nothing reads it on a dispatch
-// hot path. Migration: callers should move to core.WithWorkers(n) /
-// train.WithWorkers(n); this variable (and the shim) disappear with them.
-//
-//lint:ignore noglobals construction-time default backing the deprecated SetConvWorkers shim only; migrate to core.WithWorkers and delete
-var defaultWorkers int64 = 1
-
-// SetDefault sets the default worker count new executors snapshot at
-// construction when no explicit option is given, clamped like New. It
-// returns the previous default.
-func SetDefault(n int) int {
-	return int(atomic.SwapInt64(&defaultWorkers, int64(clamp(n))))
-}
-
-// Default returns the current construction-time default worker count.
-func Default() int { return int(atomic.LoadInt64(&defaultWorkers)) }
 
 // NumCPU returns the recommended worker count for this machine.
 func NumCPU() int { return runtime.GOMAXPROCS(0) }

@@ -113,18 +113,7 @@ func TestRunMoreWorkersThanItems(t *testing.T) {
 	}
 }
 
-func TestDefaultRoundTrips(t *testing.T) {
-	prev := SetDefault(5)
-	defer SetDefault(prev)
-	if Default() != 5 {
-		t.Errorf("Default() = %d after SetDefault(5)", Default())
-	}
-	if SetDefault(0) != 5 {
-		t.Error("SetDefault did not return the previous value")
-	}
-	if Default() != 1 {
-		t.Errorf("SetDefault(0) clamped to %d, want 1", Default())
-	}
+func TestNumCPUAtLeastOne(t *testing.T) {
 	if NumCPU() < 1 {
 		t.Error("NumCPU below 1")
 	}

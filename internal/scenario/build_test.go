@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"bnff/internal/graph"
+)
+
+func TestBuildGraphRestructures(t *testing.T) {
+	s := validTrain()
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.BuildGraph(s.Batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := 0
+	for _, n := range g.Live() {
+		if n.Kind == graph.OpBNReLUConv || n.StatsOut != nil {
+			fused++
+		}
+	}
+	if fused == 0 {
+		t.Error("bnff spec built a graph with no fused BN nodes")
+	}
+}
+
+func TestNewTrainerRunsAStep(t *testing.T) {
+	s := Spec{Name: "t", Kind: KindTrain, Model: "tiny-cnn", Restructure: "bnff", Batch: 4, Steps: 1, Seed: 7}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.NewTrainer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.BatchSize != 4 {
+		t.Errorf("trainer batch %d, want 4", tr.BatchSize)
+	}
+	if _, err := tr.Step(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewExecutorRejectsServeSpec(t *testing.T) {
+	s := validServe()
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NewExecutor(); err == nil {
+		t.Error("NewExecutor accepted a serve spec")
+	}
+}
+
+func TestServeConfigMapping(t *testing.T) {
+	s := validServe()
+	s.MaxWaitMS = 3
+	s.QueueDepth = 9
+	s.Fold = true
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := s.ServeConfig(nil, nil)
+	if cfg.MaxBatch != s.MaxBatch || cfg.Replicas != s.Replicas ||
+		cfg.QueueDepth != 9 || cfg.MaxWait != 3*time.Millisecond || !cfg.FoldBN {
+		t.Errorf("serve config mapping wrong: %+v from %+v", cfg, s)
+	}
+	b := s.ServeBuilder()
+	g, err := b(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Nodes[0].OutShape[0] != 2 {
+		t.Errorf("builder batch dim %d, want 2", g.Nodes[0].OutShape[0])
+	}
+}

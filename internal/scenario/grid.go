@@ -1,0 +1,127 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// GridSchemaVersion stamps the experiments.json format. Bump on any
+// incompatible change to Grid or Spec field semantics.
+const GridSchemaVersion = 1
+
+// Grid is the on-disk experiment grid (scripts/paper/experiments.json):
+// the train and serve scenario lists plus the names the smoke subset runs
+// in CI. Decoding normalizes every spec and rejects duplicates, unknown
+// smoke names, and kind/list mismatches.
+type Grid struct {
+	SchemaVersion int      `json:"schema_version"`
+	Train         []Spec   `json:"train"`
+	Serve         []Spec   `json:"serve"`
+	Smoke         []string `json:"smoke,omitempty"`
+}
+
+// DefaultGrid renders the builtin registry as a grid, with the smoke subset
+// covering one restructured training run and every chaos serve drill.
+func DefaultGrid() *Grid {
+	reg := Builtin()
+	g := &Grid{
+		SchemaVersion: GridSchemaVersion,
+		Train:         reg.Kind(KindTrain),
+		Serve:         reg.Kind(KindServe),
+		Smoke: []string{
+			"train/tiny-densenet/baseline",
+			"train/tiny-densenet/bnff",
+			"serve/tiny-densenet/overload",
+			"serve/tiny-cnn/replica-crash",
+			"serve/tiny-cnn/disk-full-checkpoint",
+		},
+	}
+	return g
+}
+
+// ParseGrid decodes and validates a grid. Unknown JSON fields are errors so
+// a typoed knob cannot silently revert to its default.
+func ParseGrid(r io.Reader) (*Grid, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var g Grid
+	if err := dec.Decode(&g); err != nil {
+		return nil, fmt.Errorf("scenario: decoding grid: %w", err)
+	}
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// LoadGrid reads and validates a grid file.
+func LoadGrid(path string) (*Grid, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := ParseGrid(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+func (g *Grid) validate() error {
+	if g.SchemaVersion != GridSchemaVersion {
+		return fmt.Errorf("scenario: grid schema_version %d, this binary speaks %d", g.SchemaVersion, GridSchemaVersion)
+	}
+	seen := make(map[string]bool, len(g.Train)+len(g.Serve))
+	check := func(specs []Spec, kind string) error {
+		for i := range specs {
+			if err := specs[i].Normalize(); err != nil {
+				return err
+			}
+			if specs[i].Kind != kind {
+				return fmt.Errorf("scenario %q: kind %q listed under %q", specs[i].Name, specs[i].Kind, kind)
+			}
+			if seen[specs[i].Name] {
+				return fmt.Errorf("scenario: duplicate name %q", specs[i].Name)
+			}
+			seen[specs[i].Name] = true
+		}
+		return nil
+	}
+	if err := check(g.Train, KindTrain); err != nil {
+		return err
+	}
+	if err := check(g.Serve, KindServe); err != nil {
+		return err
+	}
+	for _, name := range g.Smoke {
+		if !seen[name] {
+			return fmt.Errorf("scenario: smoke entry %q names no grid scenario", name)
+		}
+	}
+	return nil
+}
+
+// Registry indexes the grid's scenarios. The grid must have been produced by
+// ParseGrid/LoadGrid or DefaultGrid (specs normalized).
+func (g *Grid) Registry() (*Registry, error) {
+	return NewRegistry(append(append([]Spec{}, g.Train...), g.Serve...)...)
+}
+
+// MarshalCanonical renders the grid in its canonical byte form: two-space
+// indented JSON, fixed field order, trailing newline. Encoding the same grid
+// always yields identical bytes, which is what lets a committed
+// experiments.json double as the registry-determinism golden file.
+func (g *Grid) MarshalCanonical() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(g); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

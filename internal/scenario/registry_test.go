@@ -1,0 +1,114 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"sort"
+	"testing"
+)
+
+func TestBuiltinDeterministicOrder(t *testing.T) {
+	a, b := Builtin(), Builtin()
+	na, nb := a.Names(), b.Names()
+	if len(na) == 0 {
+		t.Fatal("builtin registry empty")
+	}
+	if !sort.StringsAreSorted(na) {
+		t.Errorf("names not sorted: %v", na)
+	}
+	if len(na) != len(nb) {
+		t.Fatalf("two constructions disagree: %d vs %d", len(na), len(nb))
+	}
+	for i := range na {
+		if na[i] != nb[i] {
+			t.Errorf("name order differs at %d: %q vs %q", i, na[i], nb[i])
+		}
+	}
+}
+
+func TestRegistryRejectsDuplicates(t *testing.T) {
+	s1, s2 := validTrain(), validTrain()
+	if _, err := NewRegistry(s1, s2); err == nil {
+		t.Error("registry accepted duplicate names")
+	}
+}
+
+func TestRegistryKindSplit(t *testing.T) {
+	reg := Builtin()
+	train, serveSpecs := reg.Kind(KindTrain), reg.Kind(KindServe)
+	if len(train)+len(serveSpecs) != reg.Len() {
+		t.Errorf("kind split loses specs: %d + %d != %d", len(train), len(serveSpecs), reg.Len())
+	}
+	for _, s := range serveSpecs {
+		if s.Kind != KindServe {
+			t.Errorf("%s leaked into serve list", s.Name)
+		}
+	}
+	// Every chaos shape must be represented so the paper harness always
+	// exercises the failure drills.
+	byTraffic := map[string]bool{}
+	for _, s := range serveSpecs {
+		byTraffic[s.Traffic] = true
+	}
+	for _, tr := range []string{TrafficOverload, TrafficCrash, TrafficDiskFull} {
+		if !byTraffic[tr] {
+			t.Errorf("builtin registry has no %s serve scenario", tr)
+		}
+	}
+}
+
+// The committed experiments.json is the cross-process determinism golden:
+// any difference between a fresh in-process rendering of the builtin grid
+// and the bytes a previous process committed is a determinism (or staleness)
+// failure. Regenerate with: go run ./cmd/bnff-exp -write-grid
+func TestDefaultGridMatchesCommittedExperimentsJSON(t *testing.T) {
+	got, err := DefaultGrid().MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("../../scripts/paper/experiments.json")
+	if err != nil {
+		t.Fatalf("reading committed grid (regenerate with `go run ./cmd/bnff-exp -write-grid`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("scripts/paper/experiments.json is stale or rendering is nondeterministic;\nregenerate with `go run ./cmd/bnff-exp -write-grid`\n got %d bytes, want %d bytes", len(got), len(want))
+	}
+}
+
+func TestDefaultGridRoundTrips(t *testing.T) {
+	b, err := DefaultGrid().MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseGrid(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := g.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Error("grid decode/encode not byte-stable")
+	}
+	if _, err := g.Registry(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseGridRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad version":   `{"schema_version": 99, "train": [], "serve": []}`,
+		"unknown field": `{"schema_version": 1, "train": [], "serve": [], "extra": 1}`,
+		"kind mismatch": `{"schema_version": 1, "train": [{"name":"x","kind":"serve","model":"tiny-cnn"}], "serve": []}`,
+		"bad smoke":     `{"schema_version": 1, "train": [], "serve": [], "smoke": ["ghost"]}`,
+		"dup name": `{"schema_version": 1, "train": [
+			{"name":"x","kind":"train","model":"tiny-cnn"},
+			{"name":"x","kind":"train","model":"tiny-cnn"}], "serve": []}`,
+	}
+	for name, raw := range cases {
+		if _, err := ParseGrid(bytes.NewReader([]byte(raw))); err == nil {
+			t.Errorf("%s: grid accepted", name)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package scenario is the declarative experiment layer: a Spec names one
+// reproducible run — a training configuration (model × restructuring ×
+// batch/workers/arena) or a serving configuration (model × traffic shape ×
+// engine knobs) — with validation-with-defaults in Normalize, a
+// deterministic sorted-name registry, and JSON (de)serialization so whole
+// grids live in scripts/paper/experiments.json. cmd/bnff-exp executes grids
+// and emits the BENCH_*.json evidence files; cmd/bnff-train, cmd/bnff-bench
+// and cmd/bnff-profile resolve their flags onto a Spec instead of carrying
+// private flag→executor wiring.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"bnff/internal/core"
+	"bnff/internal/models"
+	"bnff/internal/parallel"
+)
+
+// Spec kinds.
+const (
+	KindTrain = "train"
+	KindServe = "serve"
+)
+
+// Serve traffic shapes. The first three are steady-state load patterns; the
+// last three are chaos drills with embedded assertions (see Checks).
+const (
+	TrafficSteady     = "steady"
+	TrafficBursty     = "bursty"
+	TrafficSlowClient = "slow-client"
+	TrafficOverload   = "overload"
+	TrafficCrash      = "replica-crash"
+	TrafficDiskFull   = "disk-full-checkpoint"
+)
+
+// trafficShapes lists every traffic shape in presentation order.
+func trafficShapes() []string {
+	return []string{TrafficSteady, TrafficBursty, TrafficSlowClient,
+		TrafficOverload, TrafficCrash, TrafficDiskFull}
+}
+
+// Spec declares one experiment scenario. The zero value is not runnable;
+// Normalize fills defaults and validates, and every consumer (registry,
+// grid, builders) normalizes before use. Field semantics:
+//
+//   - shared: Name, Kind (train|serve), Model (a models registry name),
+//     Restructure (a core.Scenario name, canonicalized lowercase), Workers,
+//     Seed, Repeats.
+//   - train only: Batch, Steps, LR, Schedule, NoArena.
+//   - serve only: Fold, Replicas, MaxBatch, MaxWaitMS, QueueDepth, Traffic,
+//     Requests, Clients, Burst, ClientDelayMS.
+//
+// Setting a field of the other kind is a Normalize error, so a grid cannot
+// silently carry dead configuration.
+type Spec struct {
+	Name        string `json:"name"`
+	Kind        string `json:"kind"`
+	Model       string `json:"model"`
+	Restructure string `json:"restructure,omitempty"`
+	Workers     int    `json:"workers,omitempty"`
+	Seed        uint64 `json:"seed,omitempty"`
+	Repeats     int    `json:"repeats,omitempty"`
+
+	// Training fields.
+	Batch    int     `json:"batch,omitempty"`
+	Steps    int     `json:"steps,omitempty"`
+	LR       float64 `json:"lr,omitempty"`
+	Schedule string  `json:"schedule,omitempty"`
+	NoArena  bool    `json:"no_arena,omitempty"`
+
+	// Serving fields.
+	Fold          bool   `json:"fold,omitempty"`
+	Replicas      int    `json:"replicas,omitempty"`
+	MaxBatch      int    `json:"max_batch,omitempty"`
+	MaxWaitMS     int    `json:"max_wait_ms,omitempty"`
+	QueueDepth    int    `json:"queue_depth,omitempty"`
+	Traffic       string `json:"traffic,omitempty"`
+	Requests      int    `json:"requests,omitempty"`
+	Clients       int    `json:"clients,omitempty"`
+	Burst         int    `json:"burst,omitempty"`
+	ClientDelayMS int    `json:"client_delay_ms,omitempty"`
+}
+
+// Normalize fills defaults in place and validates the result. It is
+// idempotent: normalizing a normalized spec changes nothing, which is what
+// keeps the JSON round trip byte-stable.
+func (s *Spec) Normalize() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: name required")
+	}
+	if strings.ContainsAny(s.Name, " \t\n") {
+		return fmt.Errorf("scenario %q: name must not contain whitespace", s.Name)
+	}
+	switch s.Kind {
+	case KindTrain, KindServe:
+	case "":
+		return fmt.Errorf("scenario %q: kind required (train or serve)", s.Name)
+	default:
+		return fmt.Errorf("scenario %q: unknown kind %q (want train or serve)", s.Name, s.Kind)
+	}
+	if s.Model == "" {
+		return fmt.Errorf("scenario %q: model required (one of %v)", s.Name, models.Names())
+	}
+	if !knownModel(s.Model) {
+		return fmt.Errorf("scenario %q: unknown model %q (want one of %v)", s.Name, s.Model, models.Names())
+	}
+	if s.Restructure == "" {
+		s.Restructure = "baseline"
+	}
+	sc, err := core.ParseScenario(s.Restructure)
+	if err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	s.Restructure = strings.ToLower(sc.String())
+	if s.Workers == 0 {
+		s.Workers = 1
+	}
+	if s.Workers < 1 || s.Workers > parallel.MaxWorkers {
+		return fmt.Errorf("scenario %q: workers %d outside [1, %d]", s.Name, s.Workers, parallel.MaxWorkers)
+	}
+	if s.Repeats == 0 {
+		s.Repeats = 3
+	}
+	if s.Repeats < 1 {
+		return fmt.Errorf("scenario %q: repeats %d must be positive", s.Name, s.Repeats)
+	}
+	switch s.Kind {
+	case KindTrain:
+		return s.normalizeTrain()
+	default:
+		return s.normalizeServe()
+	}
+}
+
+func (s *Spec) normalizeTrain() error {
+	if s.Fold || s.Replicas != 0 || s.MaxBatch != 0 || s.MaxWaitMS != 0 ||
+		s.QueueDepth != 0 || s.Traffic != "" || s.Requests != 0 ||
+		s.Clients != 0 || s.Burst != 0 || s.ClientDelayMS != 0 {
+		return fmt.Errorf("scenario %q: serve fields set on a train scenario", s.Name)
+	}
+	if s.Batch == 0 {
+		s.Batch = 16
+	}
+	if s.Batch < 1 {
+		return fmt.Errorf("scenario %q: batch %d must be positive", s.Name, s.Batch)
+	}
+	if s.Steps == 0 {
+		s.Steps = 5
+	}
+	if s.Steps < 1 {
+		return fmt.Errorf("scenario %q: steps %d must be positive", s.Name, s.Steps)
+	}
+	if s.LR == 0 {
+		s.LR = 0.01
+	}
+	if s.LR < 0 {
+		return fmt.Errorf("scenario %q: lr %v must be positive", s.Name, s.LR)
+	}
+	if s.Schedule == "" {
+		s.Schedule = "constant"
+	}
+	switch s.Schedule {
+	case "constant", "step", "cosine":
+	default:
+		return fmt.Errorf("scenario %q: unknown schedule %q (want constant, step, or cosine)", s.Name, s.Schedule)
+	}
+	return nil
+}
+
+func (s *Spec) normalizeServe() error {
+	if s.Batch != 0 || s.Steps != 0 || s.LR != 0 || s.Schedule != "" || s.NoArena {
+		return fmt.Errorf("scenario %q: train fields set on a serve scenario", s.Name)
+	}
+	if s.Restructure != "baseline" {
+		// Serving executes inference graphs; the BN-fold compile pass (and the
+		// training-restructured forms) do not compose, so a serve scenario
+		// always builds the baseline graph and differentiates via Fold.
+		return fmt.Errorf("scenario %q: serve scenarios require restructure=baseline (got %q)", s.Name, s.Restructure)
+	}
+	if s.Replicas == 0 {
+		s.Replicas = 2
+	}
+	if s.Replicas < 1 {
+		return fmt.Errorf("scenario %q: replicas %d must be positive", s.Name, s.Replicas)
+	}
+	if s.MaxBatch == 0 {
+		s.MaxBatch = 8
+	}
+	if s.MaxBatch < 1 {
+		return fmt.Errorf("scenario %q: max_batch %d must be positive", s.Name, s.MaxBatch)
+	}
+	if s.MaxWaitMS < 0 {
+		return fmt.Errorf("scenario %q: max_wait_ms %d must be non-negative", s.Name, s.MaxWaitMS)
+	}
+	if s.QueueDepth < 0 {
+		return fmt.Errorf("scenario %q: queue_depth %d must be non-negative", s.Name, s.QueueDepth)
+	}
+	if s.Traffic == "" {
+		s.Traffic = TrafficSteady
+	}
+	known := false
+	for _, tr := range trafficShapes() {
+		if s.Traffic == tr {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("scenario %q: unknown traffic shape %q (want one of %v)", s.Name, s.Traffic, trafficShapes())
+	}
+	if s.Requests == 0 {
+		s.Requests = 64
+	}
+	if s.Requests < 1 {
+		return fmt.Errorf("scenario %q: requests %d must be positive", s.Name, s.Requests)
+	}
+	if s.Clients == 0 {
+		s.Clients = 4
+	}
+	if s.Clients < 1 {
+		return fmt.Errorf("scenario %q: clients %d must be positive", s.Name, s.Clients)
+	}
+	switch s.Traffic {
+	case TrafficBursty:
+		if s.Burst == 0 {
+			s.Burst = s.MaxBatch
+		}
+		if s.Burst < 1 {
+			return fmt.Errorf("scenario %q: burst %d must be positive", s.Name, s.Burst)
+		}
+	default:
+		if s.Burst != 0 {
+			return fmt.Errorf("scenario %q: burst only applies to %s traffic", s.Name, TrafficBursty)
+		}
+	}
+	switch s.Traffic {
+	case TrafficSlowClient:
+		if s.ClientDelayMS == 0 {
+			s.ClientDelayMS = 2
+		}
+		if s.ClientDelayMS < 1 {
+			return fmt.Errorf("scenario %q: client_delay_ms %d must be positive", s.Name, s.ClientDelayMS)
+		}
+	default:
+		if s.ClientDelayMS != 0 {
+			return fmt.Errorf("scenario %q: client_delay_ms only applies to %s traffic", s.Name, TrafficSlowClient)
+		}
+	}
+	if s.Traffic == TrafficCrash && s.Replicas < 2 {
+		return fmt.Errorf("scenario %q: %s needs at least 2 replicas to keep serving", s.Name, TrafficCrash)
+	}
+	return nil
+}
+
+// knownModel reports whether the models registry has name.
+func knownModel(name string) bool {
+	for _, n := range models.Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// CoreScenario returns the restructuring configuration the spec names.
+// The spec must be normalized.
+func (s Spec) CoreScenario() (core.Scenario, error) {
+	return core.ParseScenario(s.Restructure)
+}
+
+// Checks lists the embedded assertions an experiment runner must evaluate
+// for this scenario, in fixed order. Train scenarios promise bit-identical
+// repeats (same seed, same data, same trajectory). Serve scenarios promise
+// logits bit-identical to a batch-1 reference pass; chaos shapes add their
+// drill-specific assertions.
+func (s Spec) Checks() []string {
+	if s.Kind == KindTrain {
+		return []string{"bit-identical-repeats"}
+	}
+	checks := []string{"logits-match-reference"}
+	switch s.Traffic {
+	case TrafficOverload:
+		checks = append(checks, "overload-sheds")
+	case TrafficCrash:
+		checks = append(checks, "replica-crash-recovery")
+	case TrafficDiskFull:
+		checks = append(checks, "checkpoint-survives-failed-save")
+	}
+	return checks
+}
+
+// MarshalCanonical renders the spec as its canonical indented JSON —
+// normalized field values, fixed field order, trailing newline — the byte
+// form grids and BENCH files embed.
+func (s Spec) MarshalCanonical() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -136,6 +136,7 @@ func newEngine(builder Builder, ckpt io.Reader, cfg Config) (*Engine, error) {
 			index: i,
 			execs: map[int]*core.Executor{},
 			stats: replicaStats{batchHist: make([]uint64, cfg.MaxBatch)},
+			die:   make(chan struct{}),
 		}
 	}
 	// The probe is a perfectly good batch-1 executor; seed replica 0 with it.
@@ -266,6 +267,24 @@ func (e *Engine) Metrics() *obs.Registry { return e.metrics }
 
 // Closed reports whether Close has begun.
 func (e *Engine) Closed() bool { return e.closed.Load() }
+
+// Replicas returns the engine's replica count.
+func (e *Engine) Replicas() int { return len(e.replicas) }
+
+// CrashReplica kills replica i's worker loop mid-service — a chaos hook for
+// availability drills. The batch the replica holds (if any) finishes and is
+// answered; afterwards the replica drains nothing more, while the remaining
+// replicas keep serving the shared queue. Crashing every replica stalls the
+// queue (Predict callers block until Close). Idempotent per replica; the
+// index must be in range.
+func (e *Engine) CrashReplica(i int) error {
+	if i < 0 || i >= len(e.replicas) {
+		return fmt.Errorf("serve: replica index %d out of range [0, %d)", i, len(e.replicas))
+	}
+	r := e.replicas[i]
+	r.dieOnce.Do(func() { close(r.die) })
+	return nil
+}
 
 // Close shuts the engine down: no new requests are accepted, in-flight
 // batches finish, replicas exit, and any requests still queued are answered

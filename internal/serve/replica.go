@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"sync"
 	"time"
 
 	"bnff/internal/core"
@@ -17,6 +18,9 @@ type replica struct {
 	execs map[int]*core.Executor // keyed by batch size, loop-goroutine-local after start
 	stats replicaStats
 	buf   []*request // reusable collect buffer
+
+	die     chan struct{} // closed by Engine.CrashReplica: this loop alone exits
+	dieOnce sync.Once
 }
 
 // loop drains the engine queue until Close: block for one request, coalesce
@@ -27,6 +31,8 @@ func (r *replica) loop() {
 		select {
 		case first := <-r.e.queue:
 			r.run(r.collect(first))
+		case <-r.die:
+			return
 		case <-r.e.stop:
 			return
 		}

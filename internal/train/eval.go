@@ -27,9 +27,8 @@ func Evaluate(exec *core.Executor, data *workload.Dataset, batches, batchSize in
 	if batches < 1 || batchSize < 1 {
 		return EvalResult{}, fmt.Errorf("train: evaluate needs positive batches (%d) and batch size (%d)", batches, batchSize)
 	}
-	prevInf, prevTrack := exec.Inference, exec.TrackRunning
-	exec.Inference, exec.TrackRunning = true, false
-	defer func() { exec.Inference, exec.TrackRunning = prevInf, prevTrack }()
+	restore := exec.EvalMode()
+	defer restore()
 
 	var res EvalResult
 	for i := 0; i < batches; i++ {
@@ -83,10 +82,3 @@ func ClipGradients(grads map[string]*tensor.Tensor, maxNorm float64) (float64, e
 	}
 	return norm, nil
 }
-
-// ClipNorm, when positive, makes Trainer.StepOn clip gradients before the
-// optimizer update.
-//
-// Deprecated: prefer WithClipNorm at construction; this mutator remains for
-// callers that change the threshold mid-run.
-func (t *Trainer) SetClipNorm(maxNorm float64) { t.clipNorm = maxNorm }

@@ -34,10 +34,10 @@ func TestEvaluateAfterTraining(t *testing.T) {
 		t.Errorf("held-out loss %v invalid", res.Loss)
 	}
 	// Evaluate must restore the executor's mode.
-	if tr.Exec.Inference {
+	if tr.Exec.InferenceMode() {
 		t.Error("Evaluate left the executor in inference mode")
 	}
-	if !tr.Exec.TrackRunning {
+	if !tr.Exec.TracksRunning() {
 		t.Error("Evaluate disabled running-stat tracking permanently")
 	}
 	if _, err := Evaluate(tr.Exec, val, 0, 4); err == nil {
@@ -99,8 +99,7 @@ func TestClipGradientsNoOpUnderThreshold(t *testing.T) {
 }
 
 func TestTrainerClipNormApplies(t *testing.T) {
-	tr := newTinyTrainer(t, core.Baseline, 7)
-	tr.SetClipNorm(1e-6) // absurdly tight: updates become tiny
+	tr := newTinyTrainer(t, core.Baseline, 7, WithClipNorm(1e-6)) // absurdly tight: updates become tiny
 	before := make(map[string][]float32)
 	for name, p := range tr.Exec.Params {
 		before[name] = append([]float32{}, p.Data...)

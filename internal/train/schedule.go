@@ -67,13 +67,6 @@ func (w WarmupWrap) LR(step int) float64 {
 	return lr
 }
 
-// UseSchedule attaches a schedule to the optimizer; Trainer.StepOn consults
-// it before each update. A nil schedule keeps the fixed LR.
-//
-// Deprecated: prefer WithSchedule at construction; this mutator remains for
-// callers that swap schedules mid-run.
-func (t *Trainer) UseSchedule(s Schedule) { t.schedule = s }
-
 // validateSchedule sanity-checks user-provided schedule parameters.
 func validateSchedule(s Schedule) error {
 	switch v := s.(type) {

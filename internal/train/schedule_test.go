@@ -90,8 +90,7 @@ func TestValidateSchedule(t *testing.T) {
 }
 
 func TestTrainerAppliesSchedule(t *testing.T) {
-	tr := newTinyTrainer(t, core.Baseline, 42)
-	tr.UseSchedule(StepDecay{Base: 0.02, Gamma: 0.5, Every: 2})
+	tr := newTinyTrainer(t, core.Baseline, 42, WithSchedule(StepDecay{Base: 0.02, Gamma: 0.5, Every: 2}))
 	for i := 0; i < 5; i++ {
 		if _, err := tr.Step(); err != nil {
 			t.Fatal(err)
@@ -101,8 +100,8 @@ func TestTrainerAppliesSchedule(t *testing.T) {
 	if math.Abs(tr.Opt.LR-0.005) > 1e-12 {
 		t.Errorf("optimizer LR = %v, want 0.005", tr.Opt.LR)
 	}
-	tr.UseSchedule(ConstantLR(0))
-	if _, err := tr.Step(); err == nil {
+	bad := newTinyTrainer(t, core.Baseline, 42, WithSchedule(ConstantLR(0)))
+	if _, err := bad.Step(); err == nil {
 		t.Error("trainer accepted invalid schedule at step time")
 	}
 }

@@ -158,7 +158,7 @@ func NewTrainer(exec *core.Executor, data *workload.Dataset, opts ...TrainerOpti
 	if t.Opt == nil {
 		return nil, fmt.Errorf("train: nil optimizer")
 	}
-	exec.TrackRunning = true
+	exec.TrackRunningStats(true)
 	return t, nil
 }
 

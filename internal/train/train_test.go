@@ -10,7 +10,7 @@ import (
 	"bnff/internal/workload"
 )
 
-func newTinyTrainer(t *testing.T, scenario core.Scenario, seed uint64) *Trainer {
+func newTinyTrainer(t *testing.T, scenario core.Scenario, seed uint64, opts ...TrainerOption) *Trainer {
 	t.Helper()
 	g, err := models.TinyCNN(8, 8, 4)
 	if err != nil {
@@ -27,7 +27,8 @@ func newTinyTrainer(t *testing.T, scenario core.Scenario, seed uint64) *Trainer 
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := NewTrainer(exec, data, WithBatchSize(8), WithOptimizer(NewSGD(0.01, 0.9, 1e-4)))
+	tr, err := NewTrainer(exec, data,
+		append([]TrainerOption{WithBatchSize(8), WithOptimizer(NewSGD(0.01, 0.9, 1e-4))}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,81 @@
+package workload
+
+import "fmt"
+
+// Traffic planning: a TrafficPlan pre-computes, entirely deterministically,
+// which client stream sends which image when. The serve experiment harness
+// (cmd/bnff-exp) derives a plan from a scenario's traffic shape — steady,
+// bursty, slow-client, overload — and replays it against an engine; because
+// the plan is a pure function of its config, every run issues the identical
+// request sequence and the non-timing half of the results is reproducible.
+//
+// Shapes reduce to pacing: Burst sends back-to-back within a stream, then a
+// DelayNs pause. Burst 1 with no delay is a steady flood (also the overload
+// and chaos-drill shape); Burst n with a delay is bursty; Burst 1 with a
+// delay is a slow client.
+
+// SendOp is one planned request: the workload image index to send and how
+// long the client stream pauses before sending it.
+type SendOp struct {
+	Image   int
+	DelayNs int64
+}
+
+// TrafficConfig parameterizes PlanTraffic.
+type TrafficConfig struct {
+	Clients  int   // parallel client streams
+	Requests int   // total sends across all streams
+	Burst    int   // sends per pacing gap within a stream (0 → 1)
+	DelayNs  int64 // pause between bursts within a stream
+	Images   int   // distinct image indices cycled through
+}
+
+// TrafficPlan is the per-client send schedule.
+type TrafficPlan struct {
+	PerClient [][]SendOp
+}
+
+// Requests returns the total planned send count.
+func (p *TrafficPlan) Requests() int {
+	n := 0
+	for _, ops := range p.PerClient {
+		n += len(ops)
+	}
+	return n
+}
+
+// PlanTraffic lays Requests sends out round-robin across Clients streams:
+// global request k goes to stream k mod Clients carrying image k mod Images,
+// so the mapping is a pure function of the config. Within a stream, every
+// Burst-th send (after the first) waits DelayNs first.
+func PlanTraffic(cfg TrafficConfig) (*TrafficPlan, error) {
+	if cfg.Clients < 1 {
+		return nil, fmt.Errorf("workload: traffic needs at least one client, got %d", cfg.Clients)
+	}
+	if cfg.Requests < 1 {
+		return nil, fmt.Errorf("workload: traffic needs at least one request, got %d", cfg.Requests)
+	}
+	if cfg.Images < 1 {
+		return nil, fmt.Errorf("workload: traffic needs at least one image, got %d", cfg.Images)
+	}
+	burst := cfg.Burst
+	if burst == 0 {
+		burst = 1
+	}
+	if burst < 1 {
+		return nil, fmt.Errorf("workload: burst %d must be positive", cfg.Burst)
+	}
+	if cfg.DelayNs < 0 {
+		return nil, fmt.Errorf("workload: delay %d must be non-negative", cfg.DelayNs)
+	}
+	p := &TrafficPlan{PerClient: make([][]SendOp, cfg.Clients)}
+	for k := 0; k < cfg.Requests; k++ {
+		c := k % cfg.Clients
+		op := SendOp{Image: k % cfg.Images}
+		if i := len(p.PerClient[c]); i > 0 && i%burst == 0 {
+			op.DelayNs = cfg.DelayNs
+		}
+		p.PerClient[c] = append(p.PerClient[c], op)
+	}
+	return p, nil
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPlanTrafficDeterministic(t *testing.T) {
+	cfg := TrafficConfig{Clients: 3, Requests: 20, Burst: 4, DelayNs: 1000, Images: 6}
+	a, err := PlanTraffic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlanTraffic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("identical configs produced different plans")
+	}
+	if a.Requests() != 20 {
+		t.Errorf("plan carries %d requests, want 20", a.Requests())
+	}
+	if len(a.PerClient) != 3 {
+		t.Fatalf("plan has %d client streams, want 3", len(a.PerClient))
+	}
+}
+
+func TestPlanTrafficRoundRobinAndImages(t *testing.T) {
+	p, err := PlanTraffic(TrafficConfig{Clients: 2, Requests: 5, Images: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global k → client k%2, image k%3.
+	if len(p.PerClient[0]) != 3 || len(p.PerClient[1]) != 2 {
+		t.Fatalf("split = %d/%d, want 3/2", len(p.PerClient[0]), len(p.PerClient[1]))
+	}
+	wantC0 := []int{0, 2, 1} // k = 0, 2, 4
+	for i, op := range p.PerClient[0] {
+		if op.Image != wantC0[i] {
+			t.Errorf("client 0 op %d image %d, want %d", i, op.Image, wantC0[i])
+		}
+	}
+}
+
+func TestPlanTrafficBurstPacing(t *testing.T) {
+	p, err := PlanTraffic(TrafficConfig{Clients: 1, Requests: 7, Burst: 3, DelayNs: 42, Images: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delays []int64
+	for _, op := range p.PerClient[0] {
+		delays = append(delays, op.DelayNs)
+	}
+	want := []int64{0, 0, 0, 42, 0, 0, 42}
+	if !reflect.DeepEqual(delays, want) {
+		t.Errorf("delays = %v, want %v", delays, want)
+	}
+}
+
+func TestPlanTrafficValidation(t *testing.T) {
+	bad := []TrafficConfig{
+		{Clients: 0, Requests: 1, Images: 1},
+		{Clients: 1, Requests: 0, Images: 1},
+		{Clients: 1, Requests: 1, Images: 0},
+		{Clients: 1, Requests: 1, Images: 1, Burst: -1},
+		{Clients: 1, Requests: 1, Images: 1, DelayNs: -5},
+	}
+	for i, cfg := range bad {
+		if _, err := PlanTraffic(cfg); err == nil {
+			t.Errorf("case %d: accepted invalid config %+v", i, cfg)
+		}
+	}
+}
