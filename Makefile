@@ -25,10 +25,13 @@ race:
 # internal/serve, and internal/obs (poolonly), no order-sensitive sinks in map
 # ranges (maporder), no package-level mutable state in the hot-path packages
 # (noglobals), det-reduce markers on every cross-partition combine loop
-# (detreduce), and all randomness through the seeded tensor RNG and all
-# library timing through injected clocks (seededrand). Suppress individual
-# findings with
-# "//lint:ignore <analyzer> <reason>" on or directly above the line.
+# (detreduce), all randomness through the seeded tensor RNG and all library
+# timing through injected clocks (seededrand), arena buffers released or
+# detached on every path (arenaown), tracer spans ended on every path
+# (spanpair), and no heap-allocating constructs inside "hot-path:" functions
+# or pool-dispatched closures (hotalloc). Suppress individual findings with
+# "//lint:ignore <analyzer> <reason>" on or directly above the line; a
+# suppression whose finding disappears is itself flagged (staleignore).
 lint:
 	$(GO) run ./cmd/bnff-lint ./...
 

@@ -13,20 +13,28 @@
 //
 // Usage:
 //
-//	bnff-lint [-list] [-analyzers name,name] [packages]
+//	bnff-lint [-list] [-analyzers name,name] [-json] [-workers n] [packages]
 //
 // The package arguments accept the go-tool spelling: "./..." (the default)
 // lints every package in the module; an explicit relative directory lints
 // just that package. Test files are not linted — the determinism contracts
 // govern shipped code, and _test.go files legitimately use goroutines and
 // channels to exercise it.
+//
+// -json switches the findings to newline-delimited JSON objects
+// ({"file","line","col","analyzer","message"}), one per finding, for
+// machine consumers; the exit status is unchanged. Loading and type-checking
+// fan out over -workers goroutines (default GOMAXPROCS); diagnostics print
+// in the same deterministic order at any worker count.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"bnff/internal/analysis"
@@ -35,8 +43,10 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list registered analyzers and exit")
 	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as newline-delimited JSON objects")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "goroutines for package loading and type-checking")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: bnff-lint [-list] [-analyzers name,name] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bnff-lint [-list] [-analyzers name,name] [-json] [-workers n] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -77,19 +87,32 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	pkgs, err := loader.LoadAll(dirs, *workers)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	enc := json.NewEncoder(os.Stdout)
 	findings := 0
-	for _, dir := range dirs {
-		pkg, err := loader.Load(dir)
-		if err != nil {
-			fatalf("loading %s: %v", dir, err)
-		}
+	for _, pkg := range pkgs {
 		if pkg.TypeErr != nil {
 			// Analyzers degrade without full type information; tell the user
 			// so a surprising silence is explainable.
 			fmt.Fprintf(os.Stderr, "bnff-lint: warning: type-checking %s: %v\n", pkg.ImportPath, pkg.TypeErr)
 		}
 		for _, d := range analysis.RunAnalyzers(pkg, analyzers) {
-			fmt.Println(d.String())
+			if *jsonOut {
+				if err := enc.Encode(jsonFinding{
+					File:     d.Pos.Filename,
+					Line:     d.Pos.Line,
+					Col:      d.Pos.Column,
+					Analyzer: d.Analyzer,
+					Message:  d.Message,
+				}); err != nil {
+					fatalf("%v", err)
+				}
+			} else {
+				fmt.Println(d.String())
+			}
 			findings++
 		}
 	}
@@ -97,6 +120,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bnff-lint: %d finding(s)\n", findings)
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is the -json wire format: one object per line, stable field
+// names, module-relative file paths — the shape the CI problem matcher and
+// any dashboard ingestion parse.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 // resolvePatterns maps go-tool-style package arguments onto module-relative

@@ -13,14 +13,37 @@
 // golang.org/x/tools), with a source-based importer so type information is
 // available for every package in the module and its stdlib imports.
 //
-// Diagnostics print as "file:line: [analyzer] message". A finding can be
+// Two kinds of analyzer share the framework. The syntactic ones (poolonly,
+// maporder, noglobals, detreduce, seededrand) match forbidden shapes
+// directly on the AST. The flow-sensitive ones (arenaown, spanpair,
+// hotalloc) run an intra-procedural dataflow analysis: cfg.go lowers each
+// function body to a control-flow graph over block statements (branches,
+// loops, switch/select, labeled break/continue, goto), and dataflow.go runs
+// a forward worklist fixpoint over per-variable bitmask states with union
+// join — so "released on every path" and "ended on every path" are checked
+// against all paths, not just straight-line code. Function literals are
+// separate analysis units; the analysis does not cross call boundaries.
+//
+// The hot-path allocation contract is opt-in per function: a doc comment
+// containing "hot-path:" marks the function's body as a hot region, and
+// closures dispatched directly through parallel.Pool.Run/RunChunked are hot
+// regions implicitly. Inside a hot region, hotalloc flags every construct
+// the compiler lowers to a heap allocation (closures, append, non-constant
+// make, new, slice/map literals, interface boxing, tensor.New/FromSlice).
+//
+// Diagnostics print as "file:line: [analyzer] message" (bnff-lint -json
+// emits the same findings as newline-delimited JSON). A finding can be
 // suppressed with an inline directive on the offending line or the line
 // directly above it:
 //
 //	//lint:ignore <analyzer> <reason>
 //
-// The reason is mandatory; a directive without one is inert. See cmd/bnff-lint
-// for the driver and the package-level analyzer registry in register.go.
+// The reason is mandatory; a directive without one is inert. Suppressions
+// are themselves audited: a directive whose analyzer ran but reported
+// nothing on the covered line is stale and becomes a finding under the
+// pseudo-analyzer "staleignore", as does one naming an unregistered
+// analyzer. See cmd/bnff-lint for the driver and the package-level analyzer
+// registry in register.go.
 package analysis
 
 import (
@@ -94,19 +117,21 @@ func (d Diagnostic) String() string {
 // nothing.
 var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s+(\S.*)$`)
 
-// ignoreKey identifies the lines an //lint:ignore directive covers.
-type ignoreKey struct {
-	file     string
-	line     int
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	pos      token.Position
 	analyzer string
 }
 
-// collectIgnores scans a package's comments for suppression directives and
-// returns the set of (file, line, analyzer) triples they cover. A directive
-// on line L covers findings on L and L+1, so it works both as a trailing
-// comment on the offending line and as a comment on the line directly above.
-func collectIgnores(pkg *Package) map[ignoreKey]bool {
-	ignores := make(map[ignoreKey]bool)
+// StaleIgnoreName is the pseudo-analyzer name under which unused or
+// malformed suppression directives are reported. It is not a registered
+// analyzer — the check needs the cross-analyzer view RunAnalyzers has — but
+// it participates in suppression and diagnostics like one.
+const StaleIgnoreName = "staleignore"
+
+// collectDirectives scans a package's comments for suppression directives.
+func collectDirectives(pkg *Package) []directive {
+	var dirs []directive
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -114,32 +139,86 @@ func collectIgnores(pkg *Package) map[ignoreKey]bool {
 				if m == nil {
 					continue
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					ignores[ignoreKey{pos.Filename, line, m[1]}] = true
-				}
+				dirs = append(dirs, directive{pkg.Fset.Position(c.Pos()), m[1]})
 			}
 		}
 	}
-	return ignores
+	return dirs
+}
+
+// covers reports whether the directive suppresses a finding at (file, line):
+// its own line or the line directly below, so it works both as a trailing
+// comment on the offending line and as a comment on the line above.
+func (d directive) covers(file string, line int) bool {
+	return d.pos.Filename == file && (d.pos.Line == line || d.pos.Line+1 == line)
 }
 
 // RunAnalyzers applies every analyzer to the package and returns the
 // surviving findings, sorted by file, line, and analyzer, with suppressed
-// findings removed.
+// findings removed. Suppressions are themselves checked: a //lint:ignore
+// directive that names an analyzer in the run set but suppresses nothing is
+// stale and becomes a finding (pseudo-analyzer "staleignore"), as does a
+// directive naming an analyzer that does not exist — both shapes otherwise
+// rot silently when the code they excused is refactored away.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	inRun := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
+		inRun[a.Name] = true
 		pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
 		a.Run(pass)
 	}
-	ignores := collectIgnores(pkg)
+	directives := collectDirectives(pkg)
+	used := make([]bool, len(directives))
 	kept := diags[:0]
 	for _, d := range diags {
-		if ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+		suppressed := false
+		for i, dir := range directives {
+			if dir.analyzer == d.Analyzer && dir.covers(d.Pos.Filename, d.Pos.Line) {
+				used[i] = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	var stale []Diagnostic
+	for i, dir := range directives {
+		if used[i] || dir.analyzer == StaleIgnoreName {
 			continue
 		}
-		kept = append(kept, d)
+		var msg string
+		switch {
+		case inRun[dir.analyzer]:
+			msg = fmt.Sprintf("stale //lint:ignore: %s no longer reports a finding on this line; delete the directive", dir.analyzer)
+		case Lookup(dir.analyzer) == nil:
+			msg = fmt.Sprintf("//lint:ignore names unknown analyzer %q; run bnff-lint -list for the registered names", dir.analyzer)
+		default:
+			continue // known analyzer outside this run's subset: not judgeable
+		}
+		stale = append(stale, Diagnostic{Pos: dir.pos, Analyzer: StaleIgnoreName, Message: msg})
+	}
+	// Stale findings are suppressible like any other — a deliberate
+	// keep-while-refactoring escape hatch — and a staleignore directive
+	// that itself suppresses nothing is in turn stale.
+	for _, d := range stale {
+		suppressed := false
+		for i, dir := range directives {
+			if dir.analyzer == StaleIgnoreName && dir.covers(d.Pos.Filename, d.Pos.Line) {
+				used[i] = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for i, dir := range directives {
+		if !used[i] && dir.analyzer == StaleIgnoreName {
+			kept = append(kept, Diagnostic{Pos: dir.pos, Analyzer: StaleIgnoreName,
+				Message: "stale //lint:ignore: staleignore suppresses nothing on this line; delete the directive"})
+		}
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		if kept[i].Pos.Filename != kept[j].Pos.Filename {

@@ -1,0 +1,330 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfg.go builds the intra-procedural control-flow graph the flow-sensitive
+// analyzers (arenaown, spanpair) run over. The graph is deliberately modest:
+// basic blocks over the statements of one function body, with edges for
+// if/else, for, range, switch, type switch, select, labeled break/continue,
+// goto, and return. Function literals are atomic nodes — each literal body is
+// analyzed as its own function with its own graph — and panics are ignored
+// (a panic aborts the process-level invariants the analyzers guard anyway).
+
+// A block is one straight-line run of nodes with successor edges. The nodes
+// are statements in execution order, plus the condition/tag expressions of
+// the control statement that ends the block, so a transfer function sees
+// every evaluated expression exactly once.
+type block struct {
+	nodes []ast.Node
+	succs []*block
+}
+
+// funcCFG is the graph of one function body. entry begins the body; exit is
+// the single sink every return statement and the body's natural fall-off
+// edge lead to, so "on every path" questions reduce to the dataflow state
+// joined at exit.
+type funcCFG struct {
+	entry  *block
+	exit   *block
+	blocks []*block // creation order — deterministic for report replay
+}
+
+// buildCFG constructs the graph for a function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{
+		cfg:    &funcCFG{},
+		labels: make(map[string]*block),
+	}
+	b.cfg.entry = b.newBlock()
+	b.cfg.exit = b.newBlock()
+	if end := b.stmts(b.cfg.entry, body.List); end != nil {
+		b.edge(end, b.cfg.exit)
+	}
+	b.resolveGotos()
+	return b.cfg
+}
+
+// scope is one enclosing breakable (and possibly continuable) construct.
+type scope struct {
+	label      string
+	breakTo    *block
+	continueTo *block // nil for switch/select scopes
+}
+
+type pendingGoto struct {
+	from  *block
+	label string
+}
+
+type cfgBuilder struct {
+	cfg    *funcCFG
+	scopes []scope
+	label  string // label waiting to attach to the next for/range/switch/select
+	labels map[string]*block
+	gotos  []pendingGoto
+	fall   *block // fallthrough target inside a switch case body
+}
+
+func (b *cfgBuilder) newBlock() *block {
+	blk := &block{}
+	b.cfg.blocks = append(b.cfg.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *block) { from.succs = append(from.succs, to) }
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.label
+	b.label = ""
+	return l
+}
+
+func (b *cfgBuilder) push(s scope) { b.scopes = append(b.scopes, s) }
+func (b *cfgBuilder) pop()         { b.scopes = b.scopes[:len(b.scopes)-1] }
+
+// target finds the break or continue destination for a branch statement.
+func (b *cfgBuilder) target(label string, wantContinue bool) *block {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		s := b.scopes[i]
+		if label != "" && s.label != label {
+			continue
+		}
+		if wantContinue {
+			if s.continueTo != nil {
+				return s.continueTo
+			}
+			if label != "" {
+				return nil
+			}
+			continue
+		}
+		return s.breakTo
+	}
+	return nil
+}
+
+// stmts threads a statement list through cur, returning the block where
+// control falls off the end, or nil when every path terminated.
+func (b *cfgBuilder) stmts(cur *block, list []ast.Stmt) *block {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after a terminating statement: give it a
+			// detached block so its nodes still exist but feed no facts.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(cur *block, s ast.Stmt) *block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(cur, s.List)
+
+	case *ast.LabeledStmt:
+		lb := b.newBlock()
+		b.edge(cur, lb)
+		b.labels[s.Label.Name] = lb
+		b.label = s.Label.Name
+		out := b.stmt(lb, s.Stmt)
+		b.label = ""
+		return out
+
+	case *ast.ReturnStmt:
+		cur.nodes = append(cur.nodes, s)
+		b.edge(cur, b.cfg.exit)
+		return nil
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK, token.CONTINUE:
+			if t := b.target(label, s.Tok == token.CONTINUE); t != nil {
+				b.edge(cur, t)
+			} else {
+				b.edge(cur, b.cfg.exit) // malformed input: fail safe
+			}
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{cur, label})
+		case token.FALLTHROUGH:
+			if b.fall != nil {
+				b.edge(cur, b.fall)
+			}
+		}
+		return nil
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+		}
+		cur.nodes = append(cur.nodes, s.Cond)
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cur, then)
+		if end := b.stmts(then, s.Body.List); end != nil {
+			b.edge(end, after)
+		}
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cur, els)
+			if end := b.stmt(els, s.Else); end != nil {
+				b.edge(end, after)
+			}
+		} else {
+			b.edge(cur, after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+		}
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, after) // condition false
+		}
+		var cont *block = head
+		var post *block
+		if s.Post != nil {
+			post = b.newBlock()
+			post.nodes = append(post.nodes, s.Post)
+			b.edge(post, head)
+			cont = post
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.push(scope{label: label, breakTo: after, continueTo: cont})
+		if end := b.stmts(body, s.Body.List); end != nil {
+			b.edge(end, cont)
+		}
+		b.pop()
+		return after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		b.edge(cur, head)
+		// The ranged expression is evaluated at the head; key/value
+		// assignments introduce fresh objects the analyzers don't track.
+		head.nodes = append(head.nodes, s.X)
+		after := b.newBlock()
+		b.edge(head, after) // range exhausted
+		body := b.newBlock()
+		b.edge(head, body)
+		b.push(scope{label: label, breakTo: after, continueTo: head})
+		if end := b.stmts(body, s.Body.List); end != nil {
+			b.edge(end, head)
+		}
+		b.pop()
+		return after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+		}
+		if s.Tag != nil {
+			cur.nodes = append(cur.nodes, s.Tag)
+		}
+		return b.switchClauses(cur, label, s.Body.List, true)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur = b.stmt(cur, s.Init)
+		}
+		cur.nodes = append(cur.nodes, s.Assign)
+		return b.switchClauses(cur, label, s.Body.List, false)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		after := b.newBlock()
+		b.push(scope{label: label, breakTo: after})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			cb := b.newBlock()
+			b.edge(cur, cb)
+			if cc.Comm != nil {
+				cb.nodes = append(cb.nodes, cc.Comm)
+			}
+			if end := b.stmts(cb, cc.Body); end != nil {
+				b.edge(end, after)
+			}
+		}
+		b.pop()
+		if len(s.Body.List) == 0 {
+			b.edge(cur, after)
+		}
+		return after
+
+	default:
+		// Plain statements — assignments, calls, declarations, defers,
+		// go statements, sends, inc/dec, empty — are atomic nodes.
+		cur.nodes = append(cur.nodes, s)
+		return cur
+	}
+}
+
+// switchClauses wires the case bodies of a switch or type switch: every
+// clause is entered from the dispatching block, bodies flow to after, and
+// (for expression switches) fallthrough jumps into the next clause's body.
+func (b *cfgBuilder) switchClauses(cur *block, label string, clauses []ast.Stmt, allowFall bool) *block {
+	after := b.newBlock()
+	bodies := make([]*block, len(clauses))
+	hasDefault := false
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	b.push(scope{label: label, breakTo: after})
+	savedFall := b.fall
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			bodies[i].nodes = append(bodies[i].nodes, e)
+		}
+		b.edge(cur, bodies[i])
+		b.fall = nil
+		if allowFall && i+1 < len(clauses) {
+			b.fall = bodies[i+1]
+		}
+		if end := b.stmts(bodies[i], cc.Body); end != nil {
+			b.edge(end, after)
+		}
+	}
+	b.fall = savedFall
+	b.pop()
+	if !hasDefault || len(clauses) == 0 {
+		b.edge(cur, after) // no case matched
+	}
+	return after
+}
+
+// resolveGotos connects recorded goto statements to their labeled blocks.
+// An unresolved label (malformed input) falls through to exit, which keeps
+// the analysis conservative rather than wrong.
+func (b *cfgBuilder) resolveGotos() {
+	for _, g := range b.gotos {
+		if t, ok := b.labels[g.label]; ok {
+			b.edge(g.from, t)
+		} else {
+			b.edge(g.from, b.cfg.exit)
+		}
+	}
+}

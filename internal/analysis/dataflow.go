@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// dataflow.go is the forward fixpoint engine under the flow-sensitive
+// analyzers. The abstract domain is deliberately small: each tracked local
+// variable (identified by its types.Object) carries a *set* of possible
+// states — a bitmask — and the join at a control-flow merge is per-variable
+// set union. The lattice is finite and transfer functions only add bits or
+// overwrite on strong updates, so the worklist iteration terminates.
+//
+// Analyzers use the engine in two passes over the same graph: a silent
+// fixpoint pass that converges the per-block entry states, then a replay
+// pass over the converged states with reporting enabled. Replay visits
+// blocks in creation order, which keeps diagnostics deterministic.
+
+// stateSet is a bitmask of abstract states one variable may be in. The
+// meaning of each bit belongs to the analyzer that owns the transfer
+// function.
+type stateSet uint8
+
+// flowState maps tracked variables to their possible-state sets at one
+// program point. A variable absent from the map is untracked.
+type flowState map[types.Object]stateSet
+
+func (s flowState) clone() flowState {
+	c := make(flowState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// joinFrom unions other into s, reporting whether s changed.
+func (s flowState) joinFrom(other flowState) bool {
+	changed := false
+	for k, v := range other {
+		if old, ok := s[k]; !ok || old|v != old {
+			s[k] = old | v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// runFlow converges a forward dataflow over the graph and returns each
+// reachable block's entry state. transfer mutates st in place for one node;
+// it must be deterministic and, for termination, monotone (never remove a
+// possibility another path added, except by strong update on assignment).
+func runFlow(c *funcCFG, transfer func(n ast.Node, st flowState)) map[*block]flowState {
+	in := map[*block]flowState{c.entry: {}}
+	worklist := []*block{c.entry}
+	queued := map[*block]bool{c.entry: true}
+	for len(worklist) > 0 {
+		b := worklist[0]
+		worklist = worklist[1:]
+		queued[b] = false
+		st := in[b].clone()
+		for _, n := range b.nodes {
+			transfer(n, st)
+		}
+		for _, succ := range b.succs {
+			if existing, ok := in[succ]; !ok {
+				in[succ] = st.clone()
+			} else if !existing.joinFrom(st) {
+				continue
+			}
+			if !queued[succ] {
+				queued[succ] = true
+				worklist = append(worklist, succ)
+			}
+		}
+	}
+	return in
+}
+
+// replayFlow re-runs the transfer function over the converged entry states,
+// block by block in creation order. Analyzers pass a reporting transfer
+// here; unreachable blocks (no entry state) are skipped, matching the
+// fixpoint pass.
+func replayFlow(c *funcCFG, in map[*block]flowState, transfer func(n ast.Node, st flowState)) {
+	for _, b := range c.blocks {
+		entry, ok := in[b]
+		if !ok {
+			continue
+		}
+		st := entry.clone()
+		for _, n := range b.nodes {
+			transfer(n, st)
+		}
+	}
+}
+
+// funcUnits returns every analyzable function body in a file: each top-level
+// FuncDecl and each FuncLit (at any nesting depth). The literal bodies are
+// returned as their own units because the CFG treats a FuncLit as an atomic
+// node of its enclosing function.
+type funcUnit struct {
+	node    ast.Node // *ast.FuncDecl or *ast.FuncLit
+	body    *ast.BlockStmt
+	results *ast.FieldList // for named-result handling on bare returns
+}
+
+func funcUnits(f *ast.File) []funcUnit {
+	var units []funcUnit
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				units = append(units, funcUnit{n, n.Body, n.Type.Results})
+			}
+		case *ast.FuncLit:
+			units = append(units, funcUnit{n, n.Body, n.Type.Results})
+		}
+		return true
+	})
+	return units
+}
+
+// namedResults returns the objects of a unit's named result parameters, the
+// variables a bare `return` implicitly reads.
+func namedResults(pass *Pass, results *ast.FieldList) []types.Object {
+	if results == nil {
+		return nil
+	}
+	info := pass.TypesInfo()
+	if info == nil {
+		return nil
+	}
+	var objs []types.Object
+	for _, field := range results.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				objs = append(objs, obj)
+			}
+		}
+	}
+	return objs
+}
+
+// declaredWithin reports whether obj's declaration lies inside the unit's
+// source range — the guard that keeps a unit from tracking variables
+// captured from an enclosing function (the enclosing unit tracks those).
+func declaredWithin(obj types.Object, unit ast.Node) bool {
+	return obj != nil && unit.Pos() <= obj.Pos() && obj.Pos() <= unit.End()
+}

@@ -104,6 +104,20 @@ func parseWants(t *testing.T, pkg *Package) []want {
 	return wants
 }
 
+// analyzerDiags filters a diagnostic list down to one analyzer. The
+// out-of-scope tests use it so a fixture's //lint:ignore directives — which
+// are (correctly) stale when the named analyzer is exempt at that path —
+// don't fail assertions about the analyzer under test.
+func analyzerDiags(diags []Diagnostic, name string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == name {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // runGolden asserts the analyzer's post-suppression findings on a fixture
 // exactly satisfy its want comments.
 func runGolden(t *testing.T, a *Analyzer, fixture, importPath string) {
@@ -141,7 +155,7 @@ func TestPoolOnlyExemptInPoolPackage(t *testing.T) {
 	// The same fixture loaded AS internal/parallel produces no findings: the
 	// pool package is the one place allowed to spawn and join goroutines.
 	pkg := loadFixture(t, "poolonly", "bnff/internal/parallel")
-	if diags := RunAnalyzers(pkg, []*Analyzer{PoolOnly}); len(diags) != 0 {
+	if diags := analyzerDiags(RunAnalyzers(pkg, []*Analyzer{PoolOnly}), PoolOnly.Name); len(diags) != 0 {
 		t.Fatalf("poolonly must not fire inside internal/parallel, got %v", diags)
 	}
 }
@@ -150,7 +164,7 @@ func TestPoolOnlyExemptInObsPackage(t *testing.T) {
 	// internal/obs is allowlisted: its tracer and registry must be safe to
 	// update from replica goroutines without routing through a compute pool.
 	pkg := loadFixture(t, "poolonly", "bnff/internal/obs")
-	if diags := RunAnalyzers(pkg, []*Analyzer{PoolOnly}); len(diags) != 0 {
+	if diags := analyzerDiags(RunAnalyzers(pkg, []*Analyzer{PoolOnly}), PoolOnly.Name); len(diags) != 0 {
 		t.Fatalf("poolonly must not fire inside internal/obs, got %v", diags)
 	}
 }
@@ -173,7 +187,7 @@ func TestNoGlobalsInTensorScope(t *testing.T) {
 func TestNoGlobalsOutOfScope(t *testing.T) {
 	// Outside the hot-path packages the same declarations are legal.
 	pkg := loadFixture(t, "noglobals", "bnff/internal/experiments")
-	if diags := RunAnalyzers(pkg, []*Analyzer{NoGlobals}); len(diags) != 0 {
+	if diags := analyzerDiags(RunAnalyzers(pkg, []*Analyzer{NoGlobals}), NoGlobals.Name); len(diags) != 0 {
 		t.Fatalf("noglobals must only fire in its scoped packages, got %v", diags)
 	}
 }
@@ -191,7 +205,7 @@ func TestSeededRandExemptUnderCmd(t *testing.T) {
 	// and logging their own work is their job. The same fixture under a cmd
 	// path must therefore be silent.
 	pkg := loadFixture(t, "seededrand", "bnff/cmd/bnff-fixture")
-	if diags := RunAnalyzers(pkg, []*Analyzer{SeededRand}); len(diags) != 0 {
+	if diags := analyzerDiags(RunAnalyzers(pkg, []*Analyzer{SeededRand}), SeededRand.Name); len(diags) != 0 {
 		t.Fatalf("seededrand must not fire under cmd/, got %v", diags)
 	}
 }
@@ -210,6 +224,63 @@ func TestSeededRandClockExemptionIsPerPackage(t *testing.T) {
 	diags := RunAnalyzers(pkg, []*Analyzer{SeededRand})
 	if len(diags) != 3 {
 		t.Fatalf("expected 3 findings (Now+Since in clock.go, Now in tracer.go) outside obs, got %d: %v", len(diags), diags)
+	}
+}
+
+func TestArenaOwnGolden(t *testing.T) {
+	runGolden(t, ArenaOwn, "arenaown", "bnff/internal/layers")
+}
+
+func TestArenaOwnExemptUnderCmd(t *testing.T) {
+	// Tools under cmd/ allocate once at startup and exit; the ownership
+	// discipline is a hot-loop contract, so the same fixture is silent there.
+	pkg := loadFixture(t, "arenaown", "bnff/cmd/bnff-fixture")
+	if diags := analyzerDiags(RunAnalyzers(pkg, []*Analyzer{ArenaOwn}), ArenaOwn.Name); len(diags) != 0 {
+		t.Fatalf("arenaown must not fire under cmd/, got %v", diags)
+	}
+}
+
+func TestSpanPairGolden(t *testing.T) {
+	runGolden(t, SpanPair, "spanpair", "bnff/internal/layers")
+}
+
+func TestSpanPairExemptInObsPackage(t *testing.T) {
+	// internal/obs owns the tracer: its own plumbing opens and closes spans
+	// in ways the intra-procedural analysis cannot follow, so it is exempt.
+	pkg := loadFixture(t, "spanpair", "bnff/internal/obs")
+	if diags := analyzerDiags(RunAnalyzers(pkg, []*Analyzer{SpanPair}), SpanPair.Name); len(diags) != 0 {
+		t.Fatalf("spanpair must not fire inside internal/obs, got %v", diags)
+	}
+}
+
+func TestHotAllocGolden(t *testing.T) {
+	runGolden(t, HotAlloc, "hotalloc", "bnff/internal/layers")
+}
+
+func TestHotAllocExemptUnderCmd(t *testing.T) {
+	pkg := loadFixture(t, "hotalloc", "bnff/cmd/bnff-fixture")
+	if diags := analyzerDiags(RunAnalyzers(pkg, []*Analyzer{HotAlloc}), HotAlloc.Name); len(diags) != 0 {
+		t.Fatalf("hotalloc must not fire under cmd/, got %v", diags)
+	}
+}
+
+func TestStaleIgnoreGolden(t *testing.T) {
+	// The stale-suppression check rides along with any analyzer run: dead
+	// directives naming maporder (in the run) or an unknown analyzer are
+	// findings; the live directive in the same fixture stays silent.
+	runGolden(t, MapOrder, "staleignore", "bnff/internal/graph")
+}
+
+func TestStaleIgnoreSkipsAnalyzersOutsideRun(t *testing.T) {
+	// A directive naming a registered analyzer that is NOT part of this run
+	// must not be called stale — bnff-lint -only runs subsets, and a
+	// directive is only provably dead when its analyzer actually ran.
+	pkg := loadFixture(t, "maporder", "bnff/internal/graph")
+	diags := RunAnalyzers(pkg, []*Analyzer{NoGlobals})
+	for _, d := range diags {
+		if d.Analyzer == StaleIgnoreName {
+			t.Errorf("maporder directive flagged stale in a run without maporder: %s", d)
+		}
 	}
 }
 
@@ -279,16 +350,59 @@ func TestModuleIsLintClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, dir := range dirs {
-		pkg, err := l.Load(dir)
-		if err != nil {
-			t.Fatalf("loading %s: %v", dir, err)
-		}
+	// Load through the parallel path with more workers than cores so the
+	// importer's locking is exercised even on single-core runners.
+	pkgs, err := l.LoadAll(dirs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
 		if pkg.TypeErr != nil {
 			t.Errorf("type-checking %s: %v", pkg.ImportPath, pkg.TypeErr)
 		}
 		for _, d := range RunAnalyzers(pkg, All()) {
 			t.Errorf("lint finding: %s", d)
+		}
+	}
+}
+
+// TestLoadAllMatchesLoad pins the parallel loader to the sequential one: the
+// same directories produce packages with the same import paths and the same
+// diagnostics, in the same order, at any worker count.
+func TestLoadAllMatchesLoad(t *testing.T) {
+	l := loaderFor(t)
+	dirs := []string{
+		filepath.Join("internal", "tensor"),
+		filepath.Join("internal", "parallel"),
+		filepath.Join("internal", "analysis"),
+	}
+	pkgs, err := l.LoadAll(dirs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != len(dirs) {
+		t.Fatalf("LoadAll returned %d packages for %d dirs", len(pkgs), len(dirs))
+	}
+	for i, dir := range dirs {
+		seq, err := l.Load(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pkgs[i].ImportPath != seq.ImportPath {
+			t.Errorf("package %d: LoadAll import path %q, Load %q", i, pkgs[i].ImportPath, seq.ImportPath)
+		}
+		if pkgs[i].TypeErr != nil {
+			t.Errorf("%s: unexpected type error: %v", pkgs[i].ImportPath, pkgs[i].TypeErr)
+		}
+		par := RunAnalyzers(pkgs[i], All())
+		want := RunAnalyzers(seq, All())
+		if len(par) != len(want) {
+			t.Fatalf("%s: %d diagnostics via LoadAll, %d via Load", dirs[i], len(par), len(want))
+		}
+		for j := range par {
+			if par[j].String() != want[j].String() {
+				t.Errorf("%s: diagnostic %d differs: %q vs %q", dirs[i], j, par[j], want[j])
+			}
 		}
 	}
 }

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // typeOf returns the type of an expression, or nil when type information is
@@ -57,6 +58,31 @@ func (p *Pass) refersToPackage(ident *ast.Ident, path string) bool {
 		}
 	}
 	return ident.Name == last
+}
+
+// recvTypeSuffix reports whether x's type, after stripping one level of
+// pointer, is the named type identified by a "/pkg.Type" suffix of its
+// fully qualified string (e.g. "/tensor.Arena", "/obs.Tracer"). Matching on
+// the suffix keeps fixtures loaded under virtual module paths in scope.
+// Without type information the answer is false: the protocol analyzers stay
+// quiet rather than guess.
+func (p *Pass) recvTypeSuffix(x ast.Expr, suffix string) bool {
+	t := p.typeOf(x)
+	if t == nil {
+		return false
+	}
+	return strings.HasSuffix(strings.TrimPrefix(t.String(), "*"), suffix)
+}
+
+// isPoolRunCall reports whether call dispatches work through a
+// parallel.Pool (Run or RunChunked) — the sanctioned fan-out point whose
+// closures borrow, rather than take, captured buffers.
+func (p *Pass) isPoolRunCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Run" && sel.Sel.Name != "RunChunked") {
+		return false
+	}
+	return p.isPoolRecv(sel.X)
 }
 
 // enclosing returns all nodes from candidates whose source range strictly

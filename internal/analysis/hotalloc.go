@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotMarker is the doc-comment tag that opts a function into the hot-path
+// allocation contract:
+//
+//	// hot-path: inner loop of the fused forward kernel
+//	func bnNormalizeChunk(...) { ... }
+//
+// Closures dispatched directly through parallel.Pool.Run/RunChunked are hot
+// implicitly — they run once per worker per layer invocation.
+const hotMarker = "hot-path:"
+
+// HotAlloc is the static complement of the runtime alloc-budget guard: in
+// hot regions (marked functions and pool-dispatched closures) it flags the
+// constructs the compiler turns into heap allocations — closure literals,
+// append, make of non-constant size (or of maps/channels), new, slice/map
+// composite literals, address-taken composite literals, and implicit
+// conversions to interface parameters (fmt helpers being the classic
+// offender). Hot kernels pre-size everything through the arena or the
+// dispatcher-carved slab; anything this analyzer flags either moves out of
+// the region or documents itself with a //lint:ignore justification.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "forbid heap-allocating constructs (closures, append, non-constant make, new, slice/map " +
+		"literals, implicit interface conversions) inside '// hot-path:' functions and closures " +
+		"dispatched through parallel.Pool.Run/RunChunked",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	if !inFlowScope(pass) {
+		return
+	}
+	for _, f := range pass.Files() {
+		// Closures handed directly to a pool dispatch are hot regions of
+		// their own; inside any other hot region their creation is exempt
+		// (the dispatch idiom) because their bodies are checked separately.
+		dispatched := make(map[*ast.FuncLit]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !pass.isPoolRunCall(call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := unparen(arg).(*ast.FuncLit); ok {
+					dispatched[lit] = true
+				}
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasHotMarker(fd.Doc) {
+				continue
+			}
+			checkHotRegion(pass, fd.Body, dispatched)
+		}
+		// Deterministic order: walk the file, not the map.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && dispatched[lit] {
+				checkHotRegion(pass, lit.Body, dispatched)
+			}
+			return true
+		})
+	}
+}
+
+func hasHotMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.Contains(c.Text, hotMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotRegion flags heap-allocating constructs inside one hot body.
+func checkHotRegion(pass *Pass, body *ast.BlockStmt, dispatched map[*ast.FuncLit]bool) {
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if dispatched[n] {
+				return false // its own hot region, checked separately
+			}
+			pass.Reportf(n.Pos(), "closure literal on the hot path: the closure header escapes to the heap; hoist the function or dispatch it through the pool")
+			return true
+		case *ast.UnaryExpr:
+			if lit, ok := n.X.(*ast.CompositeLit); ok && n.Op.String() == "&" {
+				pass.Reportf(n.Pos(), "address-taken composite literal on the hot path allocates; reuse a caller-provided or arena-backed value")
+				ast.Walk(inspector(visit), lit) // still check the elements
+				return false
+			}
+		case *ast.CompositeLit:
+			t := pass.typeOf(n)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					pass.Reportf(n.Pos(), "slice literal on the hot path allocates its backing array; preallocate outside the region")
+				case *types.Map:
+					pass.Reportf(n.Pos(), "map literal on the hot path allocates; build the map outside the region")
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, n)
+		}
+		return true
+	}
+	ast.Walk(inspector(visit), body)
+}
+
+// inspector adapts a bool-returning visit function to ast.Walk (ast.Inspect
+// cannot resume a custom walk from within a case, which the &composite case
+// above needs).
+type inspector func(ast.Node) bool
+
+func (f inspector) Visit(n ast.Node) ast.Visitor {
+	if n == nil || !f(n) {
+		return nil
+	}
+	return f
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr) {
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if isBuiltin(pass, id) {
+			switch id.Name {
+			case "new":
+				pass.Reportf(call.Pos(), "new on the hot path allocates; take the value from the arena or a caller-provided buffer")
+			case "append":
+				pass.Reportf(call.Pos(), "append on the hot path may grow the backing array; preallocate with the dispatcher-carved slab")
+			case "make":
+				if !isConstSizeMake(pass, call) {
+					pass.Reportf(call.Pos(), "make of non-constant size on the hot path allocates; hoist it to the dispatcher or use the arena")
+				}
+			}
+			return
+		}
+	}
+	// The module's own heap constructors are allocations too: tensor.New and
+	// tensor.FromSlice build a fresh buffer or header per call. Hot regions
+	// draw tensors from the arena (Get/Clone recycle) or receive views the
+	// dispatcher prepared.
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && pass.TypesInfo() != nil {
+		if fn, ok := pass.TypesInfo().Uses[sel.Sel].(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "bnff/internal/tensor" &&
+			fn.Type().(*types.Signature).Recv() == nil {
+			switch fn.Name() {
+			case "New":
+				pass.Reportf(call.Pos(), "tensor.New on the hot path allocates a fresh buffer per call; draw it from the arena or a dispatcher-carved slab")
+			case "FromSlice":
+				pass.Reportf(call.Pos(), "tensor.FromSlice on the hot path allocates a header per call; build the views in the dispatcher before the sweep")
+			}
+		}
+	}
+	// Implicit interface conversions at the call boundary: a concrete
+	// argument passed to an interface parameter boxes on the heap.
+	sig, ok := pass.typeOf(call.Fun).(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				paramType = sl.Elem()
+			}
+		case i < params.Len():
+			paramType = params.At(i).Type()
+		}
+		if paramType == nil {
+			continue
+		}
+		if _, isIface := paramType.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		argType := pass.typeOf(arg)
+		if argType == nil || argType == types.Typ[types.UntypedNil] {
+			continue
+		}
+		if _, argIsIface := argType.Underlying().(*types.Interface); argIsIface {
+			continue
+		}
+		if tv, ok := pass.TypesInfo().Types[arg]; ok && tv.Value != nil {
+			// Constant arguments (string literals, numeric constants) box
+			// into read-only interned data or tiny stack temporaries; the
+			// contract targets per-element boxing of runtime values.
+			continue
+		}
+		pass.Reportf(arg.Pos(), "implicit conversion to interface parameter on the hot path boxes the value on the heap")
+	}
+}
+
+// isBuiltin reports whether id resolves to a predeclared builtin function.
+func isBuiltin(pass *Pass, id *ast.Ident) bool {
+	info := pass.TypesInfo()
+	if info == nil {
+		// Without types, treat the canonical builtin names as builtins —
+		// conservative in the direction of enforcing the contract.
+		switch id.Name {
+		case "make", "new", "append", "panic", "len", "cap", "copy":
+			return true
+		}
+		return false
+	}
+	obj := info.Uses[id]
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// isConstSizeMake reports whether every size argument of a make call is a
+// compile-time constant and the made type is a slice (constant-size slice
+// buffers can be stack-allocated; maps and channels never are).
+func isConstSizeMake(pass *Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	if t := pass.typeOf(call.Args[0]); t != nil {
+		if _, ok := t.Underlying().(*types.Slice); !ok {
+			return false
+		}
+	}
+	info := pass.TypesInfo()
+	if info == nil {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		tv, ok := info.Types[arg]
+		if !ok || tv.Value == nil {
+			return false
+		}
+	}
+	return len(call.Args) > 1
+}

@@ -10,7 +10,10 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
+
+	"bnff/internal/parallel"
 )
 
 // A Package is one loaded, parsed, and (best-effort) type-checked package,
@@ -137,16 +140,26 @@ func PackageDirs(root string) ([]string, error) {
 // analyzers enforce govern shipped code, while _test.go files are free to
 // use goroutines and channels to exercise it.
 func (l *Loader) Load(relDir string) (*Package, error) {
-	dir := filepath.Join(l.ModuleRoot, relDir)
-	importPath := l.ModulePath
+	importPath, dir, files, err := l.parseDir(relDir)
+	if err != nil {
+		return nil, err
+	}
+	return l.check(importPath, dir, files), nil
+}
+
+// parseDir reads and parses the non-test files of one package directory
+// without type-checking it. Parsing into the shared FileSet is
+// concurrency-safe, so LoadAll fans parseDir out across a worker pool.
+func (l *Loader) parseDir(relDir string) (importPath, dir string, files []*ast.File, err error) {
+	dir = filepath.Join(l.ModuleRoot, relDir)
+	importPath = l.ModulePath
 	if relDir != "." {
 		importPath = l.ModulePath + "/" + filepath.ToSlash(relDir)
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return "", "", nil, err
 	}
-	var files []*ast.File
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
@@ -154,21 +167,81 @@ func (l *Loader) Load(relDir string) (*Package, error) {
 		}
 		src, err := os.ReadFile(filepath.Join(dir, name))
 		if err != nil {
-			return nil, err
+			return "", "", nil, err
 		}
 		// Record positions with module-root-relative filenames so
 		// diagnostics print stable, clickable paths.
 		relName := filepath.ToSlash(filepath.Join(relDir, name))
 		f, err := parser.ParseFile(l.fset, relName, src, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, fmt.Errorf("analysis: parsing %s: %w", relName, err)
+			return "", "", nil, fmt.Errorf("analysis: parsing %s: %w", relName, err)
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+		return "", "", nil, fmt.Errorf("analysis: no Go files in %s", dir)
 	}
-	return l.check(importPath, dir, files), nil
+	return importPath, dir, files, nil
+}
+
+// LoadAll loads the given package directories using up to workers
+// goroutines, in three phases: parse every package in parallel (the FileSet
+// serializes internally), warm the shared importer serially with every
+// distinct import so the dependency graph type-checks exactly once with
+// cycle detection intact, then type-check the target packages in parallel
+// against the warmed cache. Packages come back in input order with the same
+// contents Load would have produced; a parse failure aborts with the error
+// of the lowest-indexed failing directory, matching the sequential loop it
+// replaces.
+func (l *Loader) LoadAll(relDirs []string, workers int) ([]*Package, error) {
+	type parsed struct {
+		importPath string
+		dir        string
+		files      []*ast.File
+		err        error
+	}
+	pool := parallel.New(workers)
+	results := make([]parsed, len(relDirs))
+	pool.Run(len(relDirs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := &results[i]
+			p.importPath, p.dir, p.files, p.err = l.parseDir(relDirs[i])
+		}
+	})
+	for i := range results {
+		if results[i].err != nil {
+			return nil, fmt.Errorf("analysis: loading %s: %w", relDirs[i], results[i].err)
+		}
+	}
+
+	// Warm the importer with every distinct import, sorted so the dependency
+	// graph is explored in a deterministic order. Failures are deliberately
+	// ignored here: the per-package type check reports them as that package's
+	// TypeErr, exactly as the sequential path does.
+	seen := make(map[string]bool)
+	var imports []string
+	for _, p := range results {
+		for _, f := range p.files {
+			for _, spec := range f.Imports {
+				if path, err := strconv.Unquote(spec.Path.Value); err == nil && !seen[path] {
+					seen[path] = true
+					imports = append(imports, path)
+				}
+			}
+		}
+	}
+	sort.Strings(imports)
+	for _, path := range imports {
+		_, _ = l.imp.Import(path)
+	}
+
+	pkgs := make([]*Package, len(relDirs))
+	pool.Run(len(relDirs), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pkgs[i] = l.check(results[i].importPath, results[i].dir, results[i].files)
+		}
+	})
+	return pkgs, nil
 }
 
 // LoadFiles parses the given .go files as one package with a caller-chosen

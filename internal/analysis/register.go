@@ -4,11 +4,14 @@ package analysis
 // and bnff-lint -list use. New analyzers register here.
 func All() []*Analyzer {
 	return []*Analyzer{
+		ArenaOwn,
 		DetReduce,
+		HotAlloc,
 		MapOrder,
 		NoGlobals,
 		PoolOnly,
 		SeededRand,
+		SpanPair,
 	}
 }
 

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Abstract states for one span-start variable.
+const (
+	spOpen stateSet = 1 << iota // Begin() ran; nothing has consumed the start yet
+	spDone                      // ended, deferred, handed off, or otherwise consumed
+)
+
+// SpanPair enforces the tracer protocol flow-sensitively: every span started
+// with obs.Tracer.Begin must be ended on every path before the function
+// returns — by End/EndArgs (inline or deferred) or by handing the start
+// timestamp to another function that ends it. An early return that skips the
+// End truncates the Chrome-trace export mid-span, which is exactly what this
+// analyzer makes impossible. internal/obs itself is exempt: the tracer
+// implementation manipulates raw clock readings and cannot be held to its
+// own client-side protocol.
+var SpanPair = &Analyzer{
+	Name: "spanpair",
+	Doc: "require every obs.Tracer.Begin to reach End/EndArgs (inline, deferred, or handed off) " +
+		"on every path before the function returns, so trace exports are never truncated mid-span",
+	Run: runSpanPair,
+}
+
+func runSpanPair(pass *Pass) {
+	if !inFlowScope(pass) || pathWithin(pass.Pkg.ImportPath, "bnff/internal/obs") {
+		return
+	}
+	for _, f := range pass.Files() {
+		for _, unit := range funcUnits(f) {
+			analyzeSpanUnit(pass, unit)
+		}
+	}
+}
+
+func analyzeSpanUnit(pass *Pass, unit funcUnit) {
+	cfg := buildCFG(unit.body)
+	t := &spanTracker{
+		pass:   pass,
+		unit:   unit,
+		begins: make(map[types.Object]token.Pos),
+	}
+	in := runFlow(cfg, t.transfer)
+	exit := in[cfg.exit]
+	for _, obj := range t.order {
+		if exit[obj]&spOpen != 0 {
+			pass.Reportf(t.begins[obj],
+				"span started here (%s) is not ended on every path: call End/EndArgs before each return, or defer it",
+				obj.Name())
+		}
+	}
+}
+
+type spanTracker struct {
+	pass   *Pass
+	unit   funcUnit
+	begins map[types.Object]token.Pos
+	order  []types.Object
+}
+
+func (t *spanTracker) objOf(id *ast.Ident) types.Object {
+	info := t.pass.TypesInfo()
+	if info == nil {
+		return nil
+	}
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// transfer: an assignment from Begin() opens a span; any later mention of
+// the start variable — an End argument, a handoff to a helper, a store, a
+// return — consumes it. The analyzer therefore flags exactly the paths
+// where the start value is never looked at again.
+func (t *spanTracker) transfer(n ast.Node, st flowState) {
+	if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+		t.assign(as, st)
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if lit, ok := m.(*ast.FuncLit); ok {
+			// A nested literal is its own unit; mentions of our tracked
+			// starts inside it are captures — consumption by the closure.
+			t.consumeCaptures(lit, st)
+			return false
+		}
+		if id, ok := m.(*ast.Ident); ok {
+			t.consume(id, st)
+		}
+		return true
+	})
+}
+
+// assign handles a pairwise assignment: `start := tr.Begin()` opens a span
+// for the matching left-hand variable; every other mention of a tracked
+// start (an alias copy, a store, an overwrite) consumes it.
+func (t *spanTracker) assign(as *ast.AssignStmt, st flowState) {
+	opened := make(map[types.Object]bool)
+	for i, rhs := range as.Rhs {
+		call, ok := unparen(rhs).(*ast.CallExpr)
+		if !ok || !t.isBeginCall(call) {
+			// Mention of a tracked start on the RHS consumes it (alias/handoff).
+			ast.Inspect(rhs, func(m ast.Node) bool {
+				if lit, ok := m.(*ast.FuncLit); ok {
+					t.consumeCaptures(lit, st)
+					return false
+				}
+				if id, ok := m.(*ast.Ident); ok {
+					t.consume(id, st)
+				}
+				return true
+			})
+			continue
+		}
+		if id, ok := unparen(as.Lhs[i]).(*ast.Ident); ok && id.Name != "_" {
+			if obj := t.objOf(id); obj != nil && declaredWithin(obj, t.unit.node) {
+				st[obj] = spOpen
+				opened[obj] = true
+				if _, seen := t.begins[obj]; !seen {
+					t.begins[obj] = id.Pos()
+					t.order = append(t.order, obj)
+				}
+			}
+		}
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := unparen(lhs).(*ast.Ident); ok {
+			if obj := t.objOf(id); obj != nil && !opened[obj] {
+				t.consume(id, st)
+			}
+			continue
+		}
+		ast.Inspect(lhs, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				t.consume(id, st)
+			}
+			return true
+		})
+	}
+}
+
+func (t *spanTracker) consume(id *ast.Ident, st flowState) {
+	obj := t.objOf(id)
+	if obj == nil {
+		return
+	}
+	if _, tracked := st[obj]; tracked {
+		st[obj] = spDone
+	}
+}
+
+func (t *spanTracker) consumeCaptures(lit *ast.FuncLit, st flowState) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := t.objOf(id); obj != nil && !declaredWithin(obj, lit) {
+				if _, tracked := st[obj]; tracked {
+					st[obj] = spDone
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isBeginCall reports whether e is obs.Tracer.Begin.
+func (t *spanTracker) isBeginCall(e *ast.CallExpr) bool {
+	sel, ok := e.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Begin" && len(e.Args) == 0 &&
+		t.pass.recvTypeSuffix(sel.X, "/obs.Tracer")
+}

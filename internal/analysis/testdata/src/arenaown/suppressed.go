@@ -1,0 +1,11 @@
+package fixture
+
+import "bnff/internal/tensor"
+
+// warmPersistent pins a buffer for the life of the process — a deliberate
+// leak by the analyzer's definition, suppressed with the reason why.
+func warmPersistent(a *tensor.Arena, n int) {
+	//lint:ignore arenaown buffer deliberately pinned for the process lifetime
+	buf := a.Get(n)
+	buf.Data[0] = 1
+}

@@ -1,0 +1,105 @@
+// Package fixture exercises the hotalloc analyzer: functions carrying the
+// `hot-path:` doc marker, and closures dispatched through the worker pool,
+// must not contain constructs that allocate per call.
+package fixture
+
+import (
+	"fmt"
+
+	"bnff/internal/parallel"
+	"bnff/internal/tensor"
+)
+
+// hot-path: per-element sweep; the scratch slice below reallocates per call.
+func hotSweep(xs, out []float32, scale float32) {
+	tmp := make([]float32, len(xs)) // want "make of non-constant size"
+	for i := range xs {
+		tmp[i] = xs[i] * scale
+	}
+	for i := range tmp {
+		out[i] = tmp[i]
+	}
+}
+
+// hot-path: accumulates into a growing slice — the classic hidden realloc.
+func hotAppend(xs []float32) []float32 {
+	var out []float32
+	for _, v := range xs {
+		if v > 0 {
+			out = append(out, v) // want "append on the hot path"
+		}
+	}
+	return out
+}
+
+// hot-path: builds a fresh closure every call.
+func hotClosure(xs []float32) float32 {
+	square := func(v float32) float32 { return v * v } // want "closure literal on the hot path"
+	var s float32
+	for _, v := range xs {
+		s += square(v)
+	}
+	return s
+}
+
+// hot-path: new allocates per call.
+func hotNew(x float32) *float32 {
+	c := new(float32) // want "new on the hot path"
+	*c = x
+	return c
+}
+
+// hot-path: a slice literal allocates its backing array per call.
+func hotSliceLit(x float32) float32 {
+	w := []float32{x, 2 * x} // want "slice literal on the hot path"
+	return w[0] + w[1]
+}
+
+// hot-path: passing a float to a variadic interface parameter boxes it.
+func hotBoxing(xs []float32) string {
+	return fmt.Sprint(xs[0]) // want "implicit conversion to interface parameter"
+}
+
+// hot-path: the module's own heap constructors count as allocations too.
+func hotTensorNew(a *tensor.Arena, n int) *tensor.Tensor {
+	scratch := tensor.New(n) // want "tensor.New on the hot path"
+	scratch.Data[0] = 1
+	out := a.Get(n) // arena draws recycle: no finding
+	out.Data[0] = scratch.Data[0]
+	a.Detach(out)
+	return out
+}
+
+// dispatchAllocates is not itself hot, but the closure it hands to the pool
+// runs on the hot path and is checked as a region of its own.
+func dispatchAllocates(p *parallel.Pool, xs, out []float32) {
+	p.Run(len(xs), func(lo, hi int) {
+		buf := make([]float32, hi-lo) // want "make of non-constant size"
+		for i := lo; i < hi; i++ {
+			buf[i-lo] = xs[i]
+			out[i] = buf[i-lo]
+		}
+	})
+}
+
+// coldPath carries no marker: the identical constructs are legal off the hot
+// path. No finding.
+func coldPath(xs []float32) []float32 {
+	out := make([]float32, 0, len(xs))
+	for _, v := range xs {
+		out = append(out, v)
+	}
+	return out
+}
+
+// hot-path: constant-size scratch and plain arithmetic never allocate. No
+// finding.
+func hotConstScratch(xs, out []float32) {
+	var acc [8]float32
+	for i, v := range xs {
+		acc[i%8] += v
+	}
+	for i := range out {
+		out[i] = acc[i%8]
+	}
+}

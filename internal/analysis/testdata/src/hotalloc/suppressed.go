@@ -1,0 +1,12 @@
+package fixture
+
+// hot-path: warmup sweep that runs once per process; the growth below is
+// deliberate and suppressed with the reason why.
+func hotWarmup(xs []float32) []float32 {
+	out := make([]float32, 0, 4)
+	for _, v := range xs {
+		//lint:ignore hotalloc warmup runs once per process; growth is acceptable
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+// Package fixture exercises the spanpair analyzer: every Tracer.Begin must
+// be ended on every path out of the function — by a defer, by End/EndArgs
+// before each return, or by handing the start stamp to someone who will.
+package fixture
+
+import (
+	"fmt"
+
+	"bnff/internal/obs"
+)
+
+// abandonedOnError opens a span and forgets it on the error return, leaving
+// the trace truncated mid-span.
+func abandonedOnError(tr *obs.Tracer, n int) error {
+	start := tr.Begin() // want "not ended on every path"
+	if n < 0 {
+		return fmt.Errorf("fixture: negative batch %d", n)
+	}
+	tr.End("work", "compute", "fwd", 1, start)
+	return nil
+}
+
+// endsOnlyWhenVerbose closes the span on one branch only.
+func endsOnlyWhenVerbose(tr *obs.Tracer, verbose bool) {
+	start := tr.Begin() // want "not ended on every path"
+	if verbose {
+		tr.End("work", "compute", "fwd", 1, start)
+	}
+}
+
+// endedOnEveryPath is the contract-conformant shape of abandonedOnError. No
+// finding.
+func endedOnEveryPath(tr *obs.Tracer, n int) error {
+	start := tr.Begin()
+	if n < 0 {
+		tr.End("work", "compute", "fwd", 1, start)
+		return fmt.Errorf("fixture: negative batch %d", n)
+	}
+	tr.End("work", "compute", "fwd", 1, start)
+	return nil
+}
+
+// deferredEnd covers every path with one defer — the idiom the executor's
+// pass envelopes use. No finding.
+func deferredEnd(tr *obs.Tracer, n int) int {
+	start := tr.Begin()
+	defer tr.End("work", "compute", "fwd", 1, start)
+	if n < 0 {
+		return 0
+	}
+	return n * 2
+}
+
+// handsOff returns the start stamp: responsibility for ending the span moves
+// to the caller. No finding.
+func handsOff(tr *obs.Tracer) int64 {
+	start := tr.Begin()
+	return start
+}

@@ -1,0 +1,25 @@
+// Package fixture exercises the stale-suppression check: a //lint:ignore
+// whose named analyzer reports nothing on the covered line is itself a
+// finding, as is one naming an analyzer that does not exist. The live
+// directive in sum proves real suppressions survive untouched.
+package fixture
+
+func sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		//lint:ignore maporder fixture exercises a live suppression
+		s += v
+	}
+	return s
+}
+
+func count(xs []int) int {
+	n := 0
+	//lint:ignore maporder nothing here ranges over a map // want "no longer reports a finding"
+	for range xs {
+		n++
+	}
+	//lint:ignore nosuchanalyzer the analyzer name is a typo // want "unknown analyzer"
+	n += len(xs)
+	return n
+}

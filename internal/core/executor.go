@@ -332,17 +332,25 @@ func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 		e.dropRNG = tensor.NewRNG(0x5eed)
 	}
 	passStart := e.tracer.Begin()
+	defer e.tracer.End("forward", obs.CatPass, "fwd", obs.TIDPass, passStart)
 
 	for step, n := range e.liveNodes() {
-		var err error
-		nodeStart := e.tracer.Begin()
-		switch n.Kind {
-		case graph.OpInput:
+		// Input binding is bookkeeping, not compute: handle it before the
+		// node span opens so every Begin below is paired with an end on
+		// every path.
+		if n.Kind == graph.OpInput {
 			if !x.Shape().Equal(n.OutShape) {
 				return nil, fmt.Errorf("core: input shape %v, graph expects %v", x.Shape(), n.OutShape)
 			}
 			e.vals[n.ID] = x
-
+			if stepRelease {
+				e.releaseForwardStep(step)
+			}
+			continue
+		}
+		var err error
+		nodeStart := e.tracer.Begin()
+		switch n.Kind {
 		case graph.OpConv:
 			switch {
 			case n.FoldedBias:
@@ -445,13 +453,11 @@ func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 			e.vals[n.ID], e.masks[n.ID] = y, mask
 
 		default:
-			return nil, fmt.Errorf("core: executor cannot run kind %v (node %q)", n.Kind, n.Name)
+			err = fmt.Errorf("core: executor cannot run kind %v", n.Kind)
 		}
+		e.endNodeSpan(n, "fwd", nodeStart)
 		if err != nil {
 			return nil, fmt.Errorf("core: forward of node %q: %w", n.Name, err)
-		}
-		if n.Kind != graph.OpInput {
-			e.endNodeSpan(n, "fwd", nodeStart)
 		}
 		if stepRelease {
 			e.releaseForwardStep(step)
@@ -471,7 +477,6 @@ func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 	// recycles storage the caller may still read.
 	e.alloc.Detach(out)
 	e.publishArenaMetrics()
-	e.tracer.End("forward", obs.CatPass, "fwd", obs.TIDPass, passStart)
 	return out, nil
 }
 
@@ -545,6 +550,7 @@ func (e *Executor) Backward(dOut *tensor.Tensor) (map[string]*tensor.Tensor, err
 	gmap := map[int]*tensor.Tensor{e.G.Output.ID: dOut}
 	stash := make(map[int]*bnStash)
 	passStart := e.tracer.Begin()
+	defer e.tracer.End("backward", obs.CatPass, "bwd", obs.TIDPass, passStart)
 
 	live := e.liveNodes()
 	for i := len(live) - 1; i >= 0; i-- {
@@ -553,10 +559,11 @@ func (e *Executor) Backward(dOut *tensor.Tensor) (map[string]*tensor.Tensor, err
 			continue
 		}
 		nodeStart := e.tracer.Begin()
-		if err := e.backwardNode(n, gmap, grads, stash); err != nil {
+		err := e.backwardNode(n, gmap, grads, stash)
+		e.endNodeSpan(n, "bwd", nodeStart)
+		if err != nil {
 			return nil, fmt.Errorf("core: backward of node %q: %w", n.Name, err)
 		}
-		e.endNodeSpan(n, "bwd", nodeStart)
 		if e.alloc != nil && e.aplan != nil {
 			e.releaseBackwardStep(2*len(live)-1-i, gmap, stash)
 		}
@@ -572,7 +579,6 @@ func (e *Executor) Backward(dOut *tensor.Tensor) (map[string]*tensor.Tensor, err
 		}
 	}
 	e.publishArenaMetrics()
-	e.tracer.End("backward", obs.CatPass, "bwd", obs.TIDPass, passStart)
 	return grads, nil
 }
 

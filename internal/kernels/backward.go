@@ -59,6 +59,8 @@ func FusedConvBackwardReLUBNReduce(conv layers.Conv2D, bn layers.BatchNorm,
 	dz := a.Get(xhat.Shape()...)
 	dw = tensor.New(w.Shape()...)
 	if err := conv.BackwardInto(dy, z, w, dz, dw); err != nil {
+		a.Put(z)
+		a.Put(dz)
 		return nil, nil, nil, nil, err
 	}
 
@@ -154,6 +156,8 @@ func FusedBNInputConvBackward(conv layers.Conv2D, bn layers.BatchNorm,
 	dx = a.Get(x.Shape()...)
 	dw = tensor.New(w.Shape()...)
 	if err := conv.BackwardInto(du, x, w, dx, dw); err != nil {
+		a.Put(dx)
+		a.Put(du)
 		return nil, nil, nil, err
 	}
 	return dx, dw, du, nil
@@ -186,6 +190,8 @@ func ReLUConvBackward(conv layers.Conv2D, dy, x, w *tensor.Tensor) (dx, dw *tens
 	dz := a.Get(x.Shape()...)
 	dw = tensor.New(w.Shape()...)
 	if err := conv.BackwardInto(dy, z, w, dz, dw); err != nil {
+		a.Put(z)
+		a.Put(dz)
 		return nil, nil, err
 	}
 	a.Put(z)

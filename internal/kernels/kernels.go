@@ -244,6 +244,9 @@ type fusedFwdSpec struct {
 
 // run is the per-chunk body: normalize+rectify one sample into the chunk's
 // private tile, then convolve the sample from the tile.
+//
+// hot-path: the fused sub-BN2'-ReLU-CONV2 sweep; the tile is carved from the
+// dispatcher's slab, so the body allocates nothing.
 func (sp *fusedFwdSpec) run(chunk, nLo, nHi int) {
 	c, h, wd := sp.c, sp.h, sp.wd
 	tile := sp.slab[chunk*sp.tileLen : (chunk+1)*sp.tileLen]

@@ -213,6 +213,8 @@ func (b BatchNorm) ComputeStatsMVF(x *tensor.Tensor) (*BNStats, error) {
 // bnPartialSums fills the per-(sample, channel) sum and sum-of-squares
 // partials of the single-sweep MVF statistics. It is the chunk body of
 // ComputeStatsMVF's pooled dispatch, shared with the serial fast path.
+//
+// hot-path: runs once per sample per step; all buffers are caller-provided.
 func bnPartialSums(xd, psum, psumsq []float32, c, hw, lo, hi int) {
 	for in := lo; in < hi; in++ {
 		for ic := 0; ic < c; ic++ {
@@ -337,6 +339,8 @@ func (b BatchNorm) Normalize(x *tensor.Tensor, stats *BNStats, gamma, beta *tens
 
 // bnNormalizeChunk is Normalize's chunk body: write x̂ and y = γx̂+β for the
 // samples in [lo, hi).
+//
+// hot-path: runs once per sample per step; all buffers are caller-provided.
 func bnNormalizeChunk(xd, xh, yd, mean, inv, gamma, beta []float32, c, hw, lo, hi int) {
 	for in := lo; in < hi; in++ {
 		for ic := 0; ic < c; ic++ {

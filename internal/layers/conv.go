@@ -177,6 +177,9 @@ func (c Conv2D) dispatchBackward(dy, x, w, dx, dw *tensor.Tensor) {
 // A non-nil bias (length Cout) seeds each output accumulator — the folded
 // CONV+BN path — and a nil bias seeds zero, reproducing the plain
 // convolution bit for bit.
+//
+// hot-path: the module's dominant FLOP loop; everything lives in caller
+// buffers and loop-local scalars.
 func (c Conv2D) forwardInto(x, w, y *tensor.Tensor, bias []float32) {
 	n, cin, h, wd := x.Dims4()
 	_, cout, oh, ow := y.Dims4()
@@ -274,6 +277,9 @@ func (c Conv2D) BackwardInto(dy, x, w, dx, dw *tensor.Tensor) error {
 	return nil
 }
 
+// backwardInto runs the combined dX/dW inner loops into caller buffers.
+//
+// hot-path: the backward twin of forwardInto; no per-call allocation.
 func (c Conv2D) backwardInto(dy, x, w, dx, dw *tensor.Tensor) {
 	n, cin, h, wd := x.Dims4()
 	_, cout, oh, ow := dy.Dims4()

@@ -132,6 +132,9 @@ func (f FC) Backward(dy, x, w *tensor.Tensor) (dx, dw, db *tensor.Tensor, err er
 
 // backwardSample accumulates sample in's contribution into dx (disjoint row)
 // and the given dW/dB accumulators.
+//
+// hot-path: per-sample body of the pooled FC backward; writes only into
+// caller accumulators.
 func (f FC) backwardSample(dy, x, w, dx *tensor.Tensor, dwd, dbd []float32, in int) {
 	xRow := x.Data[in*f.In : (in+1)*f.In]
 	dxRow := dx.Data[in*f.In : (in+1)*f.In]

@@ -46,12 +46,20 @@ func (c Conv2D) forwardParallel(x, w, y *tensor.Tensor, bias []float32) {
 // float32 round-off (dX rows are per-sample disjoint: identical).
 func (c Conv2D) backwardParallel(dy, x, w, dx, dw *tensor.Tensor) {
 	n := x.Dim(0)
+	// Per-sample dW partials index disjoint regions of one slab the
+	// dispatching goroutine carves (workers must not touch the arena), and
+	// the sample views are built before the dispatch, so the hot closure
+	// allocates nothing. backwardInto accumulates (+=), seeded by the zeroed
+	// buffer the arena guarantees (or a fresh heap slab when no arena is set).
+	wlen := len(w.Data)
+	slab := c.alloc.Floats(n * wlen)
 	partial := make([]*tensor.Tensor, n)
+	for i := range partial {
+		partial[i], _ = tensor.FromSlice(slab[i*wlen:(i+1)*wlen], w.Shape()...)
+	}
 	c.pool.Run(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			pdw := tensor.New(w.Shape()...)
-			c.backwardInto(sampleView(dy, i), sampleView(x, i), w, sampleView(dx, i), pdw)
-			partial[i] = pdw
+			c.backwardInto(sampleView(dy, i), sampleView(x, i), w, sampleView(dx, i), partial[i])
 		}
 	})
 	// det-reduce: per-sample dW partials combined in sample order; the
@@ -62,4 +70,5 @@ func (c Conv2D) backwardParallel(dy, x, w, dx, dw *tensor.Tensor) {
 			dw.Data[j] += v
 		}
 	}
+	c.alloc.PutFloats(slab)
 }

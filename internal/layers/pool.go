@@ -96,6 +96,8 @@ func (p Pool2D) Forward(x *tensor.Tensor) (*tensor.Tensor, *PoolContext, error) 
 
 // forwardChunk pools the samples in [nLo, nHi): max with argmax capture, or
 // in-bounds-count average.
+//
+// hot-path: per-sample pooling body; argmax and output are caller-provided.
 func (p Pool2D) forwardChunk(xd, yd []float32, argmax []int32, c, h, w, oh, ow, nLo, nHi int) {
 	for in := nLo; in < nHi; in++ {
 		for ic := 0; ic < c; ic++ {

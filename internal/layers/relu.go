@@ -75,6 +75,7 @@ func EWSForwardAlloc(al *tensor.Arena, a, b *tensor.Tensor) (*tensor.Tensor, err
 	}
 	y := al.Clone(a)
 	if err := y.AddInPlace(b); err != nil {
+		al.Put(y)
 		return nil, err
 	}
 	return y, nil

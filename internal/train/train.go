@@ -175,7 +175,17 @@ func (t *Trainer) Step() (StepResult, error) {
 // feed identical batches to baseline and restructured trainers.
 func (t *Trainer) StepOn(x *tensor.Tensor, labels []int) (StepResult, error) {
 	tr := t.Exec.Tracer()
+	step := len(t.History)
 	stepStart := tr.Begin()
+	// Deferred so an error return from any stage still closes the step
+	// envelope — a trace must never end mid-span. The Enabled guard only
+	// skips building the args map; EndArgs itself no-ops when disabled.
+	defer func() {
+		if tr.Enabled() {
+			tr.EndArgs("step", obs.CatStep, "", obs.TIDStep, stepStart,
+				map[string]float64{"step": float64(step), "batch": float64(len(labels))})
+		}
+	}()
 	logits, err := t.Exec.Forward(x)
 	if err != nil {
 		return StepResult{}, err
@@ -206,12 +216,8 @@ func (t *Trainer) StepOn(x *tensor.Tensor, labels []int) (StepResult, error) {
 	if err := t.Opt.Step(t.Exec.Params, grads); err != nil {
 		return StepResult{}, err
 	}
-	res := StepResult{Step: len(t.History), Loss: loss, Accuracy: acc}
+	res := StepResult{Step: step, Loss: loss, Accuracy: acc}
 	t.History = append(t.History, res)
-	if tr.Enabled() {
-		tr.EndArgs("step", obs.CatStep, "", obs.TIDStep, stepStart,
-			map[string]float64{"step": float64(res.Step), "batch": float64(len(labels))})
-	}
 	return res, nil
 }
 
