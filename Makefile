@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint bench smoke profile-smoke exp-smoke alloc-guard check
+.PHONY: build test vet race lint bench smoke profile-smoke exp-smoke ddp-smoke alloc-guard check
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,8 @@ race:
 # enforces the determinism, pool-dispatch, and numerics contracts the README
 # "Static analysis" section documents: no ad-hoc goroutines or channels
 # outside the allowlisted concurrency domains internal/parallel,
-# internal/serve, and internal/obs (poolonly), no order-sensitive sinks in map
+# internal/serve, internal/obs, and internal/ddp (poolonly), no
+# order-sensitive sinks in map
 # ranges (maporder), no package-level mutable state in the hot-path packages
 # (noglobals), det-reduce markers on every cross-partition combine loop
 # (detreduce), all randomness through the seeded tensor RNG and all library
@@ -58,6 +59,13 @@ profile-smoke:
 exp-smoke:
 	./scripts/paper/run_all.sh -smoke
 
+# End-to-end check of data-parallel training through cmd/bnff-train: 2-replica
+# sync-BN and ghost-batch runs are byte-deterministic across repeats, the two
+# strategies produce different checkpoints, and -replicas 1 matches the plain
+# trainer byte for byte.
+ddp-smoke:
+	./scripts/ddp-smoke.sh
+
 # Allocation-regression guard: steady-state per-step heap allocations with the
 # arena on must stay within the committed budget
 # (internal/core/testdata/arena_alloc_budget.txt) and at least 10x below the
@@ -66,4 +74,4 @@ exp-smoke:
 alloc-guard:
 	$(GO) test ./internal/core/ -run TestArenaForwardAllocBudget -count=1 -v
 
-check: vet race lint smoke profile-smoke exp-smoke alloc-guard
+check: vet race lint smoke profile-smoke exp-smoke ddp-smoke alloc-guard

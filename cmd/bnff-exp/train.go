@@ -16,9 +16,11 @@ import (
 // first repeat is the scenario's recorded digest.
 func (r *runner) runTrain(sp scenario.Spec) (experiments.BenchScenario, error) {
 	var (
-		digests []string
-		losses  []float64
-		times   []float64
+		digests     []string
+		losses      []float64
+		times       []float64
+		stepRates   []float64
+		reduceBytes []float64
 	)
 	for rep := 0; rep < sp.Repeats; rep++ {
 		tr, err := sp.NewTrainer()
@@ -30,8 +32,15 @@ func (r *runner) runTrain(sp scenario.Spec) (experiments.BenchScenario, error) {
 		if err != nil {
 			return experiments.BenchScenario{}, err
 		}
-		times = append(times, float64(r.clock()-t0))
+		elapsed := float64(r.clock() - t0)
+		times = append(times, elapsed)
+		if elapsed > 0 {
+			stepRates = append(stepRates, float64(sp.Steps)/(elapsed/1e9))
+		}
 		losses = append(losses, res.Loss)
+		if g := tr.Group(); g != nil && sp.Replicas > 1 {
+			reduceBytes = append(reduceBytes, float64(g.ReduceBytes()))
+		}
 		var buf bytes.Buffer
 		if err := tr.Exec.Save(&buf); err != nil {
 			return experiments.BenchScenario{}, err
@@ -53,15 +62,23 @@ func (r *runner) runTrain(sp scenario.Spec) (experiments.BenchScenario, error) {
 		}
 	}
 
+	metrics := []experiments.BenchMetric{
+		{Name: "final_loss", Unit: "loss", Agg: obs.Aggregate(losses)},
+		{Name: "train_time", Unit: "ns", Timing: true, Agg: obs.Aggregate(times)},
+		{Name: "steps_per_sec", Unit: "steps/s", Timing: true, Agg: obs.Aggregate(stepRates)},
+	}
+	if len(reduceBytes) > 0 {
+		// All-reduce traffic is a pure function of the graph and step count —
+		// deterministic, so it lives in the canonical (non-timing) metrics.
+		metrics = append(metrics,
+			experiments.BenchMetric{Name: "ddp_reduce_bytes", Unit: "bytes", Agg: obs.Aggregate(reduceBytes)})
+	}
 	return experiments.BenchScenario{
 		Name:    sp.Name,
 		Spec:    sp,
 		Repeats: sp.Repeats,
 		Digest:  digests[0],
 		Checks:  []experiments.BenchCheck{check},
-		Metrics: []experiments.BenchMetric{
-			{Name: "final_loss", Unit: "loss", Agg: obs.Aggregate(losses)},
-			{Name: "train_time", Unit: "ns", Timing: true, Agg: obs.Aggregate(times)},
-		},
+		Metrics: metrics,
 	}, nil
 }

@@ -44,6 +44,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace of the restructured run's spans to this path")
 	profile := flag.Bool("profile", false, "print the measured per-class layer breakdown after training")
 	arena := flag.Bool("arena", true, "serve activations from the liveness-driven arena (bit-identical; off = legacy per-step allocation)")
+	replicas := flag.Int("replicas", 1, "data-parallel replicas; each step shards the batch and tree-all-reduces gradients")
+	bnStrategy := flag.String("bn-strategy", "local", "replica BN statistics: local (per-shard ghost batches) or sync (one extra all-reduce, needs an MVF restructure)")
 	flag.Parse()
 
 	sp, err := resolveSpec(*scenName, func(sp *scenario.Spec) {
@@ -67,6 +69,10 @@ func main() {
 				sp.Schedule = *schedule
 			case "arena":
 				sp.NoArena = !*arena
+			case "replicas":
+				sp.Replicas = *replicas
+			case "bn-strategy":
+				sp.BNStrategy = *bnStrategy
 			}
 		})
 	}, scenario.Spec{
@@ -81,6 +87,8 @@ func main() {
 		Workers:     *workers,
 		Schedule:    *schedule,
 		NoArena:     !*arena,
+		Replicas:    *replicas,
+		BNStrategy:  *bnStrategy,
 	})
 	if err == nil {
 		err = run(sp, *compare, *every, *save, *load, *tracePath, *profile)
@@ -134,6 +142,10 @@ func run(sp scenario.Spec, compare bool, every int, save, load, tracePath string
 	}
 	fmt.Printf("model=%s scenario=%s batch=%d steps=%d lr=%g schedule=%s workers=%d\n",
 		sp.Model, sp.Restructure, sp.Batch, sp.Steps, sp.LR, sp.Schedule, tr.Exec.Workers())
+	if sp.Replicas > 1 {
+		fmt.Printf("data-parallel: replicas=%d bn-strategy=%s (shard batch %d)\n",
+			sp.Replicas, sp.BNStrategy, sp.Batch/sp.Replicas)
+	}
 
 	var base *train.Trainer
 	if compare && sp.Restructure != "baseline" {

@@ -65,6 +65,23 @@
 // modeled traces load side by side in chrome://tracing. Under an injected
 // step clock the traces are byte-identical run to run.
 //
+// # Data-parallel training
+//
+// internal/ddp scales the mini-batch across N replica executors without
+// giving up replayability: each step shards the batch into contiguous
+// zero-copy views, runs forward/backward per replica on the parallel pool,
+// and averages gradients through a fixed-order binary-tree all-reduce
+// (det.TreePlan — combine order is a pure function of replica index, never
+// of goroutine scheduling). BN statistics follow one of two strategies
+// (train.WithReplicas / train.WithBNStrategy, scenario fields Replicas /
+// BNStrategy, flags -replicas / -bn-strategy): local, where each replica
+// normalizes over its own shard (ghost-batch BN), and sync, where replicas
+// exchange single-sweep (Σx, Σx², count) moments so every shard normalizes
+// with whole-batch statistics — exactly one extra all-reduce per BN layer,
+// the paper's MVF form paying off a second time. Sync forward statistics are
+// bit-identical to a single executor running the undivided batch; a
+// one-replica group is byte-identical to the plain trainer.
+//
 // # Static analysis
 //
 // The determinism contracts are enforced structurally by an in-tree,
@@ -72,8 +89,9 @@
 // cmd/bnff-lint; `make lint`, folded into `make check` and CI). Six
 // analyzers cover the regression classes that would invalidate the paper's
 // comparisons: poolonly (no goroutines, sync.WaitGroup, or channels outside
-// the allowlisted concurrency domains internal/parallel, internal/serve, and
-// internal/obs — all compute fan-out dispatches through the executor's pool),
+// the allowlisted concurrency domains internal/parallel, internal/serve,
+// internal/obs, and internal/ddp — all compute fan-out dispatches through
+// the executor's pool),
 // maporder (no float accumulation, appends, or work-spawning inside a range
 // over a map; iterate det.SortedKeys instead), noglobals (no package-level
 // mutable state in the hot-path packages), detreduce (every cross-partition

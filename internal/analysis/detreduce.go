@@ -7,10 +7,13 @@ import (
 )
 
 // detReduceScope lists the packages whose reductions must follow the
-// ordered-combine discipline.
+// ordered-combine discipline. internal/ddp joined when its replica-order
+// statistic and running-average folds became the cross-replica half of the
+// same contract.
 var detReduceScope = []string{
 	"bnff/internal/kernels",
 	"bnff/internal/layers",
+	"bnff/internal/ddp",
 }
 
 // detReduceMarker is the comment tag that documents an ordered reduction.

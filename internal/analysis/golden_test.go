@@ -169,6 +169,16 @@ func TestPoolOnlyExemptInObsPackage(t *testing.T) {
 	}
 }
 
+func TestPoolOnlyExemptInDdpPackage(t *testing.T) {
+	// internal/ddp is allowlisted: its sync-BN exchanger rendezvouses replicas
+	// on a channel-published round. The same fixture under the ddp path is
+	// silent.
+	pkg := loadFixture(t, "poolonly", "bnff/internal/ddp")
+	if diags := analyzerDiags(RunAnalyzers(pkg, []*Analyzer{PoolOnly}), PoolOnly.Name); len(diags) != 0 {
+		t.Fatalf("poolonly must not fire inside internal/ddp, got %v", diags)
+	}
+}
+
 func TestMapOrderGolden(t *testing.T) {
 	runGolden(t, MapOrder, "maporder", "bnff/internal/graph")
 }
@@ -194,6 +204,20 @@ func TestNoGlobalsOutOfScope(t *testing.T) {
 
 func TestDetReduceGolden(t *testing.T) {
 	runGolden(t, DetReduce, "detreduce", "bnff/internal/layers")
+}
+
+func TestDetReduceInDdpScope(t *testing.T) {
+	// internal/ddp's replica-order folds joined the ordered-reduction scope:
+	// the same fixture under the ddp path produces the same findings.
+	runGolden(t, DetReduce, "detreduce", "bnff/internal/ddp")
+}
+
+func TestDetReduceOutOfScope(t *testing.T) {
+	// Outside the scoped packages the same accumulation loops are legal.
+	pkg := loadFixture(t, "detreduce", "bnff/internal/train")
+	if diags := analyzerDiags(RunAnalyzers(pkg, []*Analyzer{DetReduce}), DetReduce.Name); len(diags) != 0 {
+		t.Fatalf("detreduce must only fire in its scoped packages, got %v", diags)
+	}
 }
 
 func TestSeededRandGolden(t *testing.T) {

@@ -13,13 +13,18 @@ const poolPkg = "bnff/internal/parallel"
 // concurrencyPkgs are the packages allowed to spawn goroutines and own
 // synchronization primitives: the worker pool itself; the serving runtime in
 // internal/serve, whose request queue and replica workers are inherently
-// channel-shaped; and the observability runtime in internal/obs, whose
+// channel-shaped; the observability runtime in internal/obs, whose
 // tracer and metrics registry must be safe to update from replica goroutines
 // (mutex-guarded span buffer, atomic counters) without routing through a
-// compute pool. The serving runtime keeps the determinism contract a layer
-// up — each request's logits are bit-identical regardless of batching — and
-// obs keeps it by recording spans only from the dispatching goroutine.
-var concurrencyPkgs = [...]string{poolPkg, "bnff/internal/serve", "bnff/internal/obs"}
+// compute pool; and the data-parallel trainer in internal/ddp, whose
+// sync-BN exchanger rendezvouses replicas on a mutex-guarded round whose
+// close(done) channel publishes the folded result. The serving runtime keeps
+// the determinism contract a layer up — each request's logits are
+// bit-identical regardless of batching — obs keeps it by recording spans only
+// from the dispatching goroutine, and ddp keeps it by folding every exchange
+// in replica-index order under the round lock (replica execution still
+// dispatches through parallel.Pool).
+var concurrencyPkgs = [...]string{poolPkg, "bnff/internal/serve", "bnff/internal/obs", "bnff/internal/ddp"}
 
 // PoolOnly enforces the pool-dispatch contract: every concurrent fan-out in
 // the module flows through internal/parallel, where the worker pool

@@ -42,6 +42,11 @@ func WithArena() Option { return func(e *Executor) { e.alloc = tensor.NewArena()
 // Without WithArena the gauges stay at zero.
 func WithMetrics(r *obs.Registry) Option { return func(e *Executor) { e.metrics = r } }
 
+// Metrics returns the registry attached via WithMetrics, or nil. The ddp
+// group publishes its reduce counters into the primary executor's registry so
+// one scrape covers both arena and exchange traffic.
+func (e *Executor) Metrics() *obs.Registry { return e.metrics }
+
 // ArenaStats returns a snapshot of the executor's arena counters; the zero
 // snapshot when the executor was built without WithArena.
 func (e *Executor) ArenaStats() tensor.ArenaStats { return e.alloc.Stats() }

@@ -74,6 +74,37 @@ type Executor struct {
 	concatIns []*tensor.Tensor // reusable input-gather scratch for OpConcat
 
 	dropRNG *tensor.RNG
+
+	// Data-parallel BN hooks (see SetBNHooks). Both nil outside ddp sync-BN
+	// replicas, and every hook-bearing branch below keeps the nil path's
+	// arithmetic untouched — the hooks cost nothing when unset.
+	statsHook    StatsHook
+	bnReduceHook BNReduceHook
+}
+
+// StatsHook replaces mini-batch statistics production for one BN identity
+// during training. n is the producing node, attr the BN identity the
+// statistics belong to (n.BN for BN/SubBN1 nodes, n.StatsOut for conv-fused
+// epilogues), and src the activation tensor the statistics describe. The
+// returned statistics may be shared across executors; the executor treats
+// them as read-only and its arena ignores them on release (foreign tensors
+// fall through tensor.Arena.Put). ddp's sync-BN strategy installs one to
+// exchange per-sample moment partials across replicas before normalization.
+type StatsHook func(n *graph.Node, attr *graph.BNAttr, src *tensor.Tensor) (*layers.BNStats, error)
+
+// BNReduceHook intercepts the sub-BN2' reductions dγ = Σ dy·x̂ and dβ = Σ dy
+// on their way into the statistics-side backward (sub-BN1'). It receives the
+// locally reduced tensors and returns the tensors BackwardInput should use —
+// under ddp sync-BN, fresh globally summed copies. The hook must not mutate
+// its inputs: they remain the executor's parameter gradients, which the
+// data-parallel gradient all-reduce combines separately.
+type BNReduceHook func(n *graph.Node, dgamma, dbeta *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor, error)
+
+// SetBNHooks installs (or, with nils, removes) the data-parallel BN hooks.
+// Safe between passes; must not be called while Forward or Backward runs.
+func (e *Executor) SetBNHooks(sh StatsHook, rh BNReduceHook) {
+	e.statsHook = sh
+	e.bnReduceHook = rh
 }
 
 // Option configures an Executor at construction time.
@@ -235,6 +266,46 @@ func (e *Executor) CopyParamsFrom(o *Executor) error {
 	return nil
 }
 
+// CopyRunningFrom overwrites this executor's running statistics with o's
+// values — the running-state counterpart of CopyParamsFrom. Data-parallel
+// training broadcasts the primary's running means/variances to every replica
+// at the start of a step so their momentum updates start from the same state.
+func (e *Executor) CopyRunningFrom(o *Executor) error {
+	for name, r := range e.Running {
+		src, ok := o.Running[name]
+		if !ok {
+			return fmt.Errorf("core: source executor missing running tensor %q", name)
+		}
+		if !r.Shape().Equal(src.Shape()) {
+			return fmt.Errorf("core: running tensor %q shape %v vs %v", name, r.Shape(), src.Shape())
+		}
+		copy(r.Data, src.Data)
+	}
+	return nil
+}
+
+// Sibling builds a new executor over g configured like e: same seed, same
+// worker-pool width, and the same precision/running-stats/arena choices.
+// Data-parallel training uses it to stamp out replica executors over the
+// rebatched shard graph; the shared seed means replicas start from the same
+// parameter draws as the primary without an explicit broadcast. The sibling
+// does not share the primary's tracer or metrics registry — per-replica spans
+// from pool goroutines would violate the tracer's single-goroutine contract,
+// so the ddp group records reduce spans itself from the dispatching side.
+func (e *Executor) Sibling(g *graph.Graph) (*Executor, error) {
+	opts := []Option{WithSeed(e.seed), WithWorkers(e.pool.Workers())}
+	if e.preciseStats {
+		opts = append(opts, WithPreciseStats())
+	}
+	if e.trackRunning {
+		opts = append(opts, WithRunningStats())
+	}
+	if e.alloc != nil {
+		opts = append(opts, WithArena())
+	}
+	return NewExecutor(g, opts...)
+}
+
 // The *Of helpers attach the executor's pool to a copy of the node's layer
 // descriptor; the graph's shared descriptors stay execution-state-free.
 func (e *Executor) bnOf(n *graph.Node) layers.BatchNorm {
@@ -258,6 +329,9 @@ func (e *Executor) gammaOf(a *graph.BNAttr) *tensor.Tensor { return e.Params[a.P
 // output — the sub-BN1 epilogue of the fused kernel, which always uses the
 // single-sweep MVF accumulation (float64 under PreciseStats).
 func (e *Executor) epilogueStats(n *graph.Node, y *tensor.Tensor) (*layers.BNStats, error) {
+	if e.statsHook != nil {
+		return e.statsHook(n, n.StatsOut, y)
+	}
 	if e.preciseStats {
 		return e.bnOfAttr(n.StatsOut).ComputeStatsMVF64(y)
 	}
@@ -270,6 +344,9 @@ func (e *Executor) epilogueStats(n *graph.Node, y *tensor.Tensor) (*layers.BNSta
 func (e *Executor) computeStats(n *graph.Node, x *tensor.Tensor) (*layers.BNStats, error) {
 	if e.inference {
 		return e.runningStats(n.BN)
+	}
+	if e.statsHook != nil {
+		return e.statsHook(n, n.BN, x)
 	}
 	bn := e.bnOf(n)
 	if n.BN.MVF {
@@ -355,7 +432,7 @@ func (e *Executor) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
 			switch {
 			case n.FoldedBias:
 				e.vals[n.ID], err = e.convOf(n).ForwardBias(e.in(n, 0), e.Params[n.Name+".w"], e.Params[n.Name+".b"])
-			case n.StatsOut != nil && !e.inference && !e.preciseStats:
+			case n.StatsOut != nil && !e.inference && !e.preciseStats && e.statsHook == nil:
 				var st *layers.BNStats
 				e.vals[n.ID], st, err = kernels.ConvForwardStats(e.convOf(n), e.in(n, 0), e.Params[n.Name+".w"])
 				e.stats[n.ID] = st
@@ -632,8 +709,21 @@ func (e *Executor) backwardNode(n *graph.Node, gmap map[int]*tensor.Tensor,
 		return e.accumGrad(gmap, n.Inputs[0], dx)
 
 	case graph.OpBN:
-		ctx := &layers.BNContext{XHat: e.xhats[n.ID], Stats: e.stats[n.ID]}
-		dx, dgamma, dbeta, err := e.bnOf(n).Backward(dy, ctx, e.gamma(n))
+		// The composite Backward is BackwardReduce ∘ BackwardInput; spell the
+		// composition out so the reduce hook can interpose globally summed
+		// dγ/dβ between the two (same arithmetic, same order, when unset).
+		bn := e.bnOf(n)
+		dgamma, dbeta, err := bn.BackwardReduce(dy, e.xhats[n.ID])
+		if err != nil {
+			return err
+		}
+		ing, inb := dgamma, dbeta
+		if e.bnReduceHook != nil {
+			if ing, inb, err = e.bnReduceHook(n, dgamma, dbeta); err != nil {
+				return err
+			}
+		}
+		dx, err := bn.BackwardInput(dy, e.xhats[n.ID], e.gamma(n), e.stats[n.ID], ing, inb)
 		if err != nil {
 			return err
 		}
@@ -662,7 +752,16 @@ func (e *Executor) backwardNode(n *graph.Node, gmap map[int]*tensor.Tensor,
 		}
 		grads[n.BN.ParamName+".gamma"] = dgamma
 		grads[n.BN.ParamName+".beta"] = dbeta
-		stash[n.StatsFrom.ID] = &bnStash{dv: dy, xhat: e.xhats[n.ID], dgamma: dgamma, dbeta: dbeta}
+		// The stash feeds sub-BN1' (BackwardInput); under ddp sync-BN the
+		// reduce hook swaps in globally summed dγ/dβ there while the grads
+		// map keeps the local sums for the gradient all-reduce.
+		sg, sb := dgamma, dbeta
+		if e.bnReduceHook != nil {
+			if sg, sb, err = e.bnReduceHook(n, dgamma, dbeta); err != nil {
+				return err
+			}
+		}
+		stash[n.StatsFrom.ID] = &bnStash{dv: dy, xhat: e.xhats[n.ID], dgamma: sg, dbeta: sb}
 		return nil
 
 	case graph.OpReLU:
@@ -695,7 +794,13 @@ func (e *Executor) backwardNode(n *graph.Node, gmap map[int]*tensor.Tensor,
 		grads[n.Name+".w"] = dw
 		grads[n.BN.ParamName+".gamma"] = dgamma
 		grads[n.BN.ParamName+".beta"] = dbeta
-		stash[n.StatsFrom.ID] = &bnStash{dv: dv, xhat: e.xhats[n.ID], dgamma: dgamma, dbeta: dbeta}
+		sg, sb := dgamma, dbeta
+		if e.bnReduceHook != nil {
+			if sg, sb, err = e.bnReduceHook(n, dgamma, dbeta); err != nil {
+				return err
+			}
+		}
+		stash[n.StatsFrom.ID] = &bnStash{dv: dv, xhat: e.xhats[n.ID], dgamma: sg, dbeta: sb}
 		return nil
 
 	case graph.OpPool:

@@ -1,0 +1,211 @@
+package ddp
+
+import (
+	"fmt"
+	"sync"
+
+	"bnff/internal/det"
+	"bnff/internal/layers"
+	"bnff/internal/tensor"
+)
+
+// exchanger is the replicas' rendezvous point: every replica deposits a
+// payload for the current exchange, the last arrival folds the deposits in
+// replica-index order, and everyone leaves with the folded result. Because
+// all replicas execute the same node schedule, at most one exchange is ever
+// in flight, and each replica passes through each exchange exactly once — the
+// barrier is full, so nobody can lap a straggler into a stale round.
+//
+// Completion is signalled by closing the round's done channel (close gives
+// the waiters a happens-before edge to the folded result, which they then
+// read lock-free). Errors are sticky: once a replica aborts, the current
+// round is poisoned and every later rendezvous fails fast instead of
+// deadlocking on a replica that will never arrive.
+type exchanger struct {
+	mu sync.Mutex
+	n  int
+
+	cur   *round
+	err   error // sticky; set by abort or a failed fold
+	bytes int64 // payload bytes moved since the last drain
+}
+
+// round is one exchange generation. slots is indexed by replica so the fold
+// order never depends on arrival order.
+type round struct {
+	done    chan struct{}
+	key     string
+	slots   []any
+	arrived int
+	out     any
+	err     error
+}
+
+func newExchanger(n int) *exchanger {
+	return &exchanger{n: n, cur: newRound(n)}
+}
+
+func newRound(n int) *round {
+	return &round{done: make(chan struct{}), slots: make([]any, n)}
+}
+
+// reset clears the sticky error, byte counter, and any poisoned round.
+// Called by the group between steps, never concurrently with replicas.
+func (x *exchanger) reset() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.err = nil
+	x.bytes = 0
+	x.cur = newRound(x.n)
+}
+
+// drainBytes returns and clears the bytes moved through the exchanger.
+func (x *exchanger) drainBytes() int64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	b := x.bytes
+	x.bytes = 0
+	return b
+}
+
+// abort poisons the exchanger: the sticky error is recorded, any replicas
+// blocked in the current round are released with it, and every later
+// rendezvous fails immediately. First error wins.
+func (x *exchanger) abort(err error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.err != nil {
+		return
+	}
+	x.err = err
+	if x.cur.arrived > 0 {
+		x.cur.err = err
+		close(x.cur.done)
+		x.cur = newRound(x.n)
+	}
+}
+
+// rendezvous deposits replica r's payload for the exchange identified by
+// key, blocks until all n replicas have deposited, and returns the folded
+// result. The fold runs once, on the last-arriving replica's goroutine,
+// under the exchanger lock, over the slots in replica-index order; its
+// byte count accumulates for the group's reduce metrics. All replicas must
+// present the same key — a mismatch means the replicas diverged in schedule,
+// which is a bug, and poisons the exchanger.
+func (x *exchanger) rendezvous(r int, key string, payload any, fold func(slots []any) (any, int64, error)) (any, error) {
+	x.mu.Lock()
+	if x.err != nil {
+		err := x.err
+		x.mu.Unlock()
+		return nil, err
+	}
+	rd := x.cur
+	if rd.key == "" {
+		rd.key = key
+	} else if rd.key != key {
+		err := fmt.Errorf("ddp: replica %d reached exchange %q while others are at %q", r, key, rd.key)
+		x.err = err
+		rd.err = err
+		close(rd.done)
+		x.cur = newRound(x.n)
+		x.mu.Unlock()
+		return nil, err
+	}
+	rd.slots[r] = payload
+	rd.arrived++
+	if rd.arrived == x.n {
+		out, bytes, err := fold(rd.slots)
+		rd.out, rd.err = out, err
+		x.bytes += bytes
+		if err != nil && x.err == nil {
+			x.err = err
+		}
+		x.cur = newRound(x.n)
+		close(rd.done)
+		x.mu.Unlock()
+		return rd.out, rd.err
+	}
+	x.mu.Unlock()
+	<-rd.done
+	return rd.out, rd.err
+}
+
+// statsPayload is one replica's contribution to a sync-BN statistics
+// exchange: the shard's per-(sample, channel) Σx and Σx² partials plus the
+// element counts the fold closes the moments over.
+type statsPayload struct {
+	samples int // shard batch size
+	m       int // shard element count per channel (samples · H · W)
+	psum    []float32
+	psumsq  []float32
+}
+
+// foldStats combines the replicas' per-sample partials into global-batch
+// statistics. The fold is replica-major, sample-minor with one float32
+// accumulator per channel — exactly the association of the serial full-batch
+// sweep (replica r's sample i IS global sample r·shard+i), which is what
+// makes synchronized statistics bit-identical to a single large-batch
+// executor. A fold of pre-reduced per-shard sums could not promise that.
+func foldStats(slots []any) (any, int64, error) {
+	first := slots[0].(statsPayload)
+	c := len(first.psum) / max(first.samples, 1)
+	sum := make([]float32, c)
+	sumsq := make([]float32, c)
+	m := 0
+	var bytes int64
+	for r, s := range slots {
+		p := s.(statsPayload)
+		if len(p.psum) != p.samples*c || len(p.psumsq) != p.samples*c {
+			return nil, 0, fmt.Errorf("ddp: replica %d partials length %d, want %d", r, len(p.psum), p.samples*c)
+		}
+		m += p.m
+		bytes += int64(len(p.psum)+len(p.psumsq)) * 4
+		// det-reduce: per channel, partials fold in ascending global sample
+		// order — the serial full-batch association, bit for bit.
+		for in := 0; in < p.samples; in++ {
+			for ic := 0; ic < c; ic++ {
+				sum[ic] += p.psum[in*c+ic]
+				sumsq[ic] += p.psumsq[in*c+ic]
+			}
+		}
+	}
+	st, err := layers.StatsFromMoments(sum, sumsq, m)
+	if err != nil {
+		return nil, 0, err
+	}
+	return st, bytes, nil
+}
+
+// gradPayload carries one replica's locally reduced per-channel dγ/dβ sums
+// into the exchange and the global sums back out.
+type gradPayload struct {
+	dgamma, dbeta *tensor.Tensor
+}
+
+// foldGrads tree-reduces the replicas' dγ/dβ contributions with the
+// det.TreePlan schedule over CLONES — the deposited tensors are the
+// replicas' own parameter gradients, which the step's gradient all-reduce
+// still needs unmodified. The folded pair is shared read-only by every
+// replica's sub-BN1' input-gradient term.
+func foldGrads(slots []any) (any, int64, error) {
+	gs := make([]*tensor.Tensor, len(slots))
+	bs := make([]*tensor.Tensor, len(slots))
+	for r, s := range slots {
+		p := s.(gradPayload)
+		gs[r] = p.dgamma.Clone()
+		bs[r] = p.dbeta.Clone()
+	}
+	var err error
+	combine := func(into, from *tensor.Tensor) {
+		if err == nil {
+			err = into.AddInPlace(from)
+		}
+	}
+	dg := det.TreeReduce(gs, combine)
+	db := det.TreeReduce(bs, combine)
+	if err != nil {
+		return nil, 0, err
+	}
+	bytes := int64(len(slots)*(gs[0].NumElems()+bs[0].NumElems())) * 4
+	return gradPayload{dgamma: dg, dbeta: db}, bytes, nil
+}

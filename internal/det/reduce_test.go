@@ -1,0 +1,145 @@
+package det
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTreePlanPure: the schedule is a pure function of the fan-in — two
+// calls with the same n yield identical plans, with no dependence on any
+// runtime state.
+func TestTreePlanPure(t *testing.T) {
+	for n := 0; n <= 33; n++ {
+		a, b := TreePlan(n), TreePlan(n)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("TreePlan(%d) not pure: %v vs %v", n, a, b)
+		}
+	}
+}
+
+// TestTreePlanStructure: every operand except 0 is consumed exactly once,
+// always into a smaller index, and a consumed operand is never used again —
+// so the fold is a proper reduction tree rooted at index 0.
+func TestTreePlanStructure(t *testing.T) {
+	for n := 1; n <= 33; n++ {
+		plan := TreePlan(n)
+		if len(plan) != n-1 {
+			t.Fatalf("TreePlan(%d): %d combines, want %d", n, len(plan), n-1)
+		}
+		consumed := make(map[int]bool)
+		for _, c := range plan {
+			if c.Into >= c.From {
+				t.Fatalf("TreePlan(%d): combine %+v must fold into the smaller index", n, c)
+			}
+			if c.From <= 0 || c.From >= n || c.Into < 0 {
+				t.Fatalf("TreePlan(%d): combine %+v out of range", n, c)
+			}
+			if consumed[c.From] || consumed[c.Into] {
+				t.Fatalf("TreePlan(%d): combine %+v reuses a consumed operand", n, c)
+			}
+			consumed[c.From] = true
+		}
+		if consumed[0] {
+			t.Fatalf("TreePlan(%d): root operand consumed", n)
+		}
+		if len(consumed) != n-1 {
+			t.Fatalf("TreePlan(%d): %d operands consumed, want %d", n, len(consumed), n-1)
+		}
+	}
+}
+
+// TestTreePlanHandComputed pins the exact schedule for small fan-ins, the
+// shape ddp's gradient all-reduce runs at.
+func TestTreePlanHandComputed(t *testing.T) {
+	cases := map[int][]Combine{
+		1: nil,
+		2: {{0, 1}},
+		3: {{0, 1}, {0, 2}},
+		4: {{0, 1}, {2, 3}, {0, 2}},
+		5: {{0, 1}, {2, 3}, {0, 2}, {0, 4}},
+		8: {{0, 1}, {2, 3}, {4, 5}, {6, 7}, {0, 2}, {4, 6}, {0, 4}},
+	}
+	for n, want := range cases {
+		if got := TreePlan(n); !reflect.DeepEqual(got, want) {
+			t.Errorf("TreePlan(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+// lcg is a tiny deterministic pseudo-random stream for the completion-order
+// property test (the seeded-randomness contract keeps math/rand out of
+// library code, tests included).
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r)
+}
+
+// TestTreeReduceCompletionOrderIndependent: combines within one stride have
+// pairwise-distinct operands, so executing a stride's combines in ANY order
+// (simulating arbitrary goroutine completion order) yields a bit-identical
+// float32 result to the sequential plan.
+func TestTreeReduceCompletionOrderIndependent(t *testing.T) {
+	rng := lcg(0xbadc0ffee)
+	for n := 1; n <= 17; n++ {
+		vals := make([]float32, n)
+		for i := range vals {
+			// Uneven magnitudes so float32 association actually matters.
+			vals[i] = float32(rng.next()%1000) / float32(1+rng.next()%7)
+		}
+		// Sequential reference.
+		seq := make([]float32, n)
+		copy(seq, vals)
+		for _, c := range TreePlan(n) {
+			seq[c.Into] += seq[c.From]
+		}
+
+		// Shuffle each stride level's combines and re-execute.
+		for trial := 0; trial < 8; trial++ {
+			shuffled := make([]float32, n)
+			copy(shuffled, vals)
+			plan := TreePlan(n)
+			for lo := 0; lo < len(plan); {
+				// A stride level is the maximal run with strictly increasing
+				// Into: stride boundaries restart at Into == 0.
+				hi := lo + 1
+				for hi < len(plan) && plan[hi].Into > plan[hi-1].Into {
+					hi++
+				}
+				level := append([]Combine(nil), plan[lo:hi]...)
+				for i := len(level) - 1; i > 0; i-- {
+					j := int(rng.next() % uint64(i+1))
+					level[i], level[j] = level[j], level[i]
+				}
+				for _, c := range level {
+					shuffled[c.Into] += shuffled[c.From]
+				}
+				lo = hi
+			}
+			if shuffled[0] != seq[0] {
+				t.Fatalf("n=%d trial=%d: shuffled-level fold %v != sequential %v",
+					n, trial, shuffled[0], seq[0])
+			}
+		}
+	}
+}
+
+// TestTreeReduceGeneric exercises the generic entry point with a mutating
+// combine and checks both the result and that single-operand input is
+// returned untouched (the replicas=1 degenerate path).
+func TestTreeReduceGeneric(t *testing.T) {
+	xs := []*[]int{{1}, {2}, {3}, {4}}
+	got := TreeReduce(xs, func(into, from *[]int) { *into = append(*into, *from...) })
+	// Plan for 4: (0,1), (2,3), (0,2) -> [1 2 3 4] at index 0.
+	if want := []int{1, 2, 3, 4}; !reflect.DeepEqual(*got, want) {
+		t.Fatalf("TreeReduce = %v, want %v", *got, want)
+	}
+
+	calls := 0
+	one := []*[]int{{7}}
+	res := TreeReduce(one, func(into, from *[]int) { calls++ })
+	if calls != 0 || res != one[0] {
+		t.Fatalf("TreeReduce over one operand must be the identity (calls=%d)", calls)
+	}
+}

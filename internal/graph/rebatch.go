@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"fmt"
+
+	"bnff/internal/tensor"
+)
+
+// Rebatch returns a structurally identical copy of the graph with the
+// leading (batch) dimension of every node's output shape replaced by batch.
+// Every node in this module's graphs — inputs, conv/pool/FC outputs,
+// flattened features, SubBN1's inherited producer shape — carries the batch
+// as dimension 0, so swapping that one dimension re-specializes the whole
+// (possibly restructured) graph to a new mini-batch size without re-running
+// the builder and restructuring passes. Data-parallel training uses it to
+// derive the per-replica shard graph from the primary's full-batch graph,
+// which guarantees the replicas execute the exact node schedule (IDs, kinds,
+// fusion decisions, parameter names) the primary would.
+//
+// Layer descriptors and BN attributes are copied, not shared: the originals
+// are execution-state-free, but a later in-place rewrite of one graph (the
+// restructuring passes and FoldBN mutate nodes) must never alias the other.
+// Dead nodes are preserved so node IDs — the executor's map keys — stay
+// aligned with the source graph.
+func (g *Graph) Rebatch(batch int) (*Graph, error) {
+	if batch < 1 {
+		return nil, fmt.Errorf("graph: rebatch to %d", batch)
+	}
+	ng := &Graph{Name: g.Name, Nodes: make([]*Node, len(g.Nodes))}
+	for i, n := range g.Nodes {
+		if n.ID != i {
+			return nil, fmt.Errorf("graph: node %q has ID %d at index %d", n.Name, n.ID, i)
+		}
+		c := *n
+		c.Inputs = nil
+		c.StatsFrom = nil
+		if len(n.OutShape) > 0 {
+			c.OutShape = n.OutShape.Clone()
+			c.OutShape[0] = batch
+		} else {
+			c.OutShape = tensor.Shape(nil)
+		}
+		if n.Conv != nil {
+			d := *n.Conv
+			c.Conv = &d
+		}
+		if n.Pool != nil {
+			d := *n.Pool
+			c.Pool = &d
+		}
+		if n.FC != nil {
+			d := *n.FC
+			c.FC = &d
+		}
+		if n.BN != nil {
+			d := *n.BN
+			c.BN = &d
+		}
+		if n.Dropout != nil {
+			d := *n.Dropout
+			c.Dropout = &d
+		}
+		if n.StatsOut != nil {
+			d := *n.StatsOut
+			c.StatsOut = &d
+		}
+		ng.Nodes[i] = &c
+	}
+	for i, n := range g.Nodes {
+		c := ng.Nodes[i]
+		if len(n.Inputs) > 0 {
+			c.Inputs = make([]*Node, len(n.Inputs))
+			for j, in := range n.Inputs {
+				c.Inputs[j] = ng.Nodes[in.ID]
+			}
+		}
+		if n.StatsFrom != nil {
+			c.StatsFrom = ng.Nodes[n.StatsFrom.ID]
+		}
+	}
+	if g.Output != nil {
+		ng.Output = ng.Nodes[g.Output.ID]
+	}
+	if err := ng.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: rebatch to %d: %w", batch, err)
+	}
+	return ng, nil
+}

@@ -1,0 +1,110 @@
+package graph_test
+
+import (
+	"bytes"
+	"testing"
+
+	"bnff/internal/core"
+	"bnff/internal/graph"
+	"bnff/internal/models"
+)
+
+// TestRebatchMatchesNativeBuild: rebatching a restructured graph must yield
+// byte-for-byte the graph that building and restructuring at the target batch
+// produces. Serialization is value-based (shapes, descriptors, wiring, BN
+// flags), so equal bytes mean the replica shard graph ddp derives via Rebatch
+// is indistinguishable from one built natively at the shard size.
+func TestRebatchMatchesNativeBuild(t *testing.T) {
+	const from, to = 8, 2
+	for _, model := range []string{"tiny-cnn", "tiny-densenet", "tiny-resnet", "tiny-mobilenet", "tiny-inception"} {
+		for _, sc := range core.Scenarios() {
+			big, err := models.Build(model, from)
+			if err != nil {
+				t.Fatalf("%s: build(%d): %v", model, from, err)
+			}
+			if err := core.Restructure(big, sc.Options()); err != nil {
+				t.Fatalf("%s/%v: restructure: %v", model, sc, err)
+			}
+			shard, err := big.Rebatch(to)
+			if err != nil {
+				t.Fatalf("%s/%v: rebatch: %v", model, sc, err)
+			}
+
+			native, err := models.Build(model, to)
+			if err != nil {
+				t.Fatalf("%s: build(%d): %v", model, to, err)
+			}
+			if err := core.Restructure(native, sc.Options()); err != nil {
+				t.Fatalf("%s/%v: restructure native: %v", model, sc, err)
+			}
+
+			var got, want bytes.Buffer
+			if err := shard.Serialize(&got); err != nil {
+				t.Fatalf("%s/%v: serialize rebatched: %v", model, sc, err)
+			}
+			if err := native.Serialize(&want); err != nil {
+				t.Fatalf("%s/%v: serialize native: %v", model, sc, err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Errorf("%s/%v: Rebatch(%d→%d) differs from native build:\n--- rebatched ---\n%s--- native ---\n%s",
+					model, sc, from, to, got.String(), want.String())
+			}
+		}
+	}
+}
+
+// TestRebatchIndependence: mutating the rebatched copy must not leak into the
+// source — descriptors and BN attributes are copies, not aliases.
+func TestRebatchIndependence(t *testing.T) {
+	src, err := models.Build("tiny-densenet", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Restructure(src, core.BNFF.Options()); err != nil {
+		t.Fatal(err)
+	}
+	var before bytes.Buffer
+	if err := src.Serialize(&before); err != nil {
+		t.Fatal(err)
+	}
+
+	cp, err := src.Rebatch(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range cp.Nodes {
+		n.OutShape[0] = 99
+		if n.BN != nil {
+			n.BN.MVF = !n.BN.MVF
+		}
+		if n.StatsOut != nil {
+			n.StatsOut.ICF = !n.StatsOut.ICF
+		}
+		if n.Conv != nil {
+			n.Conv.Stride++
+		}
+	}
+	var after bytes.Buffer
+	if err := src.Serialize(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("mutating the rebatched graph changed the source graph")
+	}
+}
+
+func TestRebatchRejectsBadBatch(t *testing.T) {
+	g, err := models.Build("tiny-cnn", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Rebatch(0); err == nil {
+		t.Fatal("Rebatch(0) must fail")
+	}
+	if _, err := g.Rebatch(-3); err == nil {
+		t.Fatal("Rebatch(-3) must fail")
+	}
+}
+
+// Compile-time guard that the package under test is the one imported.
+var _ = graph.New

@@ -231,6 +231,57 @@ func bnPartialSums(xd, psum, psumsq []float32, c, hw, lo, hi int) {
 	}
 }
 
+// SamplePartials fills the per-(sample, channel) Σx and Σx² partials of the
+// single-sweep MVF statistics into caller-provided slices of length N·C —
+// the same partials ComputeStatsMVF (and the fused CONV epilogue) reduces in
+// sample order. Data-parallel sync-BN exchanges statistics at exactly this
+// granularity: folding every replica's per-sample partials in full-batch
+// sample order reproduces the serial association bit for bit, which a fold
+// of pre-reduced per-shard sums could not. The sweep is serial; shards are
+// small and the replicas already run concurrently.
+func (b BatchNorm) SamplePartials(x *tensor.Tensor, psum, psumsq []float32) error {
+	if err := b.check(x); err != nil {
+		return err
+	}
+	n, c, h, w := x.Dims4()
+	if len(psum) != n*c || len(psumsq) != n*c {
+		return fmt.Errorf("batchnorm: partials length %d/%d, want %d", len(psum), len(psumsq), n*c)
+	}
+	bnPartialSums(x.Data, psum, psumsq, c, h*w, 0, n)
+	return nil
+}
+
+// StatsFromMoments closes already-reduced per-channel Σx and Σx² over m
+// elements per channel into mini-batch statistics, with exactly
+// ComputeStatsMVF's epilogue arithmetic (float32 division, MVF identity,
+// cancellation clamp). Sync-BN calls it on globally reduced moments so the
+// synchronized statistics are bit-identical to what one executor over the
+// full batch would compute. The tensors are plain heap allocations: the
+// result is shared across replica executors and must not belong to any one
+// replica's arena.
+func StatsFromMoments(sum, sumsq []float32, m int) (*BNStats, error) {
+	if len(sum) != len(sumsq) {
+		return nil, fmt.Errorf("batchnorm: moments length %d vs %d", len(sum), len(sumsq))
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("batchnorm: moments over %d elements", m)
+	}
+	c := len(sum)
+	mf := float32(m)
+	mean := tensor.New(c)
+	variance := tensor.New(c)
+	for ic := 0; ic < c; ic++ {
+		mu := sum[ic] / mf
+		mean.Data[ic] = mu
+		v := sumsq[ic]/mf - mu*mu
+		if v < 0 { // guard fp cancellation for near-constant channels
+			v = 0
+		}
+		variance.Data[ic] = v
+	}
+	return &BNStats{Mean: mean, Var: variance, M: m}, nil
+}
+
 // ComputeStatsMVF64 is ComputeStatsMVF with float64 accumulators — the
 // higher-precision fallback the paper mentions for when E(X²) cancellation
 // would hurt accuracy. Used by the precision ablation.
@@ -430,7 +481,17 @@ func (b BatchNorm) BackwardInput(dy, xhat, gamma *tensor.Tensor, stats *BNStats,
 		return nil, err
 	}
 	n, c, h, w := dy.Dims4()
+	// The normalization count: how many elements each channel's mean and
+	// variance were computed over. For single-executor training that is this
+	// very mini-batch (stats.M == n·h·w, the historical behavior); under
+	// data-parallel sync-BN the statistics carry the global batch's count,
+	// which the gradient of a globally normalized activation needs. Stats
+	// without a count (M == 0, e.g. re-wrapped running statistics) fall back
+	// to the local dimensions.
 	m := float32(n * h * w)
+	if stats.M > 0 {
+		m = float32(stats.M)
+	}
 	inv := b.InvStdScratch(stats)
 	dx := b.alloc.Get(dy.Shape()...)
 	b.pool.Run(n, func(lo, hi int) {

@@ -13,19 +13,21 @@ import (
 // matching internal/memsim); the envelopes that wrap them render on tracks
 // above those so measured traces line up with modeled ones.
 const (
-	CatPass = "pass" // forward/backward pass envelope (core.Executor)
-	CatPool = "pool" // worker-pool dispatch/drain (internal/parallel)
-	CatStep = "step" // optimizer step / epoch envelope (internal/train)
+	CatPass   = "pass"   // forward/backward pass envelope (core.Executor)
+	CatPool   = "pool"   // worker-pool dispatch/drain (internal/parallel)
+	CatStep   = "step"   // optimizer step / epoch envelope (internal/train)
+	CatReduce = "reduce" // cross-replica all-reduce (internal/ddp)
 
-	TIDPass = 8
-	TIDPool = 9
-	TIDStep = 10
+	TIDPass   = 8
+	TIDPool   = 9
+	TIDStep   = 10
+	TIDReduce = 11
 )
 
 // IsStructural reports whether a category is an envelope rather than layer
 // work — the spans a layer breakdown must exclude to avoid double-counting.
 func IsStructural(cat string) bool {
-	return cat == CatPass || cat == CatPool || cat == CatStep
+	return cat == CatPass || cat == CatPool || cat == CatStep || cat == CatReduce
 }
 
 // LayerBreakdown aggregates only layer-work spans, dropping the structural

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"bnff/internal/core"
+	"bnff/internal/ddp"
 	"bnff/internal/graph"
 	"bnff/internal/models"
 	"bnff/internal/obs"
@@ -116,6 +117,13 @@ func (s Spec) NewTrainer(extra ...train.TrainerOption) (*train.Trainer, error) {
 		train.WithBatchSize(s.Batch),
 		train.WithOptimizer(train.NewSGD(s.LR, 0.9, 1e-4)),
 		train.WithSchedule(sched),
+	}
+	if s.Replicas > 1 {
+		st, err := ddp.ParseBNStrategy(s.BNStrategy)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		opts = append(opts, train.WithReplicas(s.Replicas), train.WithBNStrategy(st))
 	}
 	return train.NewTrainer(exec, data, append(opts, extra...)...)
 }

@@ -34,6 +34,7 @@ func DefaultGrid() *Grid {
 		Smoke: []string{
 			"train/tiny-densenet/baseline",
 			"train/tiny-densenet/bnff",
+			"train/tiny-densenet/bnff/ddp2",
 			"serve/tiny-densenet/overload",
 			"serve/tiny-cnn/replica-crash",
 			"serve/tiny-cnn/disk-full-checkpoint",

@@ -125,6 +125,45 @@ func Builtin() *Registry {
 		},
 	)
 
+	// Data-parallel scaling ladder on the primary model: replicas ∈ {2, 4}
+	// with synchronized BN (the paper's MVF-enabled one-all-reduce sync), plus
+	// a ghost-batch variant where each replica normalizes over its own shard.
+	specs = append(specs,
+		Spec{
+			Name:        "train/tiny-densenet/bnff/ddp2",
+			Kind:        KindTrain,
+			Model:       "tiny-densenet",
+			Restructure: "bnff",
+			Batch:       8,
+			Steps:       3,
+			Seed:        42,
+			Replicas:    2,
+			BNStrategy:  "sync",
+		},
+		Spec{
+			Name:        "train/tiny-densenet/bnff/ddp4",
+			Kind:        KindTrain,
+			Model:       "tiny-densenet",
+			Restructure: "bnff",
+			Batch:       8,
+			Steps:       3,
+			Seed:        42,
+			Replicas:    4,
+			BNStrategy:  "sync",
+		},
+		Spec{
+			Name:        "train/tiny-densenet/bnff/ddp2-local",
+			Kind:        KindTrain,
+			Model:       "tiny-densenet",
+			Restructure: "bnff",
+			Batch:       8,
+			Steps:       3,
+			Seed:        42,
+			Replicas:    2,
+			BNStrategy:  "local",
+		},
+	)
+
 	// Serving: steady-state shapes on the folded ResNet-style model, chaos
 	// drills on the fast plain CNN so the failure paths run in CI time.
 	specs = append(specs,

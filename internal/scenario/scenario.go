@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"bnff/internal/core"
+	"bnff/internal/ddp"
 	"bnff/internal/models"
 	"bnff/internal/parallel"
 )
@@ -48,9 +49,12 @@ func trafficShapes() []string {
 //
 //   - shared: Name, Kind (train|serve), Model (a models registry name),
 //     Restructure (a core.Scenario name, canonicalized lowercase), Workers,
-//     Seed, Repeats.
-//   - train only: Batch, Steps, LR, Schedule, NoArena.
-//   - serve only: Fold, Replicas, MaxBatch, MaxWaitMS, QueueDepth, Traffic,
+//     Seed, Repeats, Replicas (data-parallel training replicas, default 1;
+//     serving replica executors, default 2).
+//   - train only: Batch, Steps, LR, Schedule, NoArena, BNStrategy
+//     (local|sync, default local; sync requires replicas > 1 and an MVF
+//     restructuring).
+//   - serve only: Fold, MaxBatch, MaxWaitMS, QueueDepth, Traffic,
 //     Requests, Clients, Burst, ClientDelayMS.
 //
 // Setting a field of the other kind is a Normalize error, so a grid cannot
@@ -64,16 +68,20 @@ type Spec struct {
 	Seed        uint64 `json:"seed,omitempty"`
 	Repeats     int    `json:"repeats,omitempty"`
 
+	// Replicas is shared: data-parallel training replicas (default 1) or
+	// serving replica executors (default 2).
+	Replicas int `json:"replicas,omitempty"`
+
 	// Training fields.
-	Batch    int     `json:"batch,omitempty"`
-	Steps    int     `json:"steps,omitempty"`
-	LR       float64 `json:"lr,omitempty"`
-	Schedule string  `json:"schedule,omitempty"`
-	NoArena  bool    `json:"no_arena,omitempty"`
+	Batch      int     `json:"batch,omitempty"`
+	Steps      int     `json:"steps,omitempty"`
+	LR         float64 `json:"lr,omitempty"`
+	Schedule   string  `json:"schedule,omitempty"`
+	NoArena    bool    `json:"no_arena,omitempty"`
+	BNStrategy string  `json:"bn_strategy,omitempty"`
 
 	// Serving fields.
 	Fold          bool   `json:"fold,omitempty"`
-	Replicas      int    `json:"replicas,omitempty"`
 	MaxBatch      int    `json:"max_batch,omitempty"`
 	MaxWaitMS     int    `json:"max_wait_ms,omitempty"`
 	QueueDepth    int    `json:"queue_depth,omitempty"`
@@ -136,7 +144,7 @@ func (s *Spec) Normalize() error {
 }
 
 func (s *Spec) normalizeTrain() error {
-	if s.Fold || s.Replicas != 0 || s.MaxBatch != 0 || s.MaxWaitMS != 0 ||
+	if s.Fold || s.MaxBatch != 0 || s.MaxWaitMS != 0 ||
 		s.QueueDepth != 0 || s.Traffic != "" || s.Requests != 0 ||
 		s.Clients != 0 || s.Burst != 0 || s.ClientDelayMS != 0 {
 		return fmt.Errorf("scenario %q: serve fields set on a train scenario", s.Name)
@@ -146,6 +154,35 @@ func (s *Spec) normalizeTrain() error {
 	}
 	if s.Batch < 1 {
 		return fmt.Errorf("scenario %q: batch %d must be positive", s.Name, s.Batch)
+	}
+	if s.Replicas == 0 {
+		s.Replicas = 1
+	}
+	if s.Replicas < 1 {
+		return fmt.Errorf("scenario %q: replicas %d must be positive", s.Name, s.Replicas)
+	}
+	if s.Batch%s.Replicas != 0 {
+		return fmt.Errorf("scenario %q: batch %d does not shard into %d replicas", s.Name, s.Batch, s.Replicas)
+	}
+	if s.BNStrategy == "" {
+		s.BNStrategy = "local"
+	}
+	st, err := ddp.ParseBNStrategy(s.BNStrategy)
+	if err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	s.BNStrategy = st.String()
+	if st == ddp.BNSync {
+		if s.Replicas < 2 {
+			return fmt.Errorf("scenario %q: sync BN strategy needs replicas > 1", s.Name)
+		}
+		sc, err := core.ParseScenario(s.Restructure)
+		if err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		if !sc.Options().MVF {
+			return fmt.Errorf("scenario %q: sync BN strategy needs MVF statistics (restructure rcf+mvf, bnff, or bnff+icf; got %q)", s.Name, s.Restructure)
+		}
 	}
 	if s.Steps == 0 {
 		s.Steps = 5
@@ -171,7 +208,7 @@ func (s *Spec) normalizeTrain() error {
 }
 
 func (s *Spec) normalizeServe() error {
-	if s.Batch != 0 || s.Steps != 0 || s.LR != 0 || s.Schedule != "" || s.NoArena {
+	if s.Batch != 0 || s.Steps != 0 || s.LR != 0 || s.Schedule != "" || s.NoArena || s.BNStrategy != "" {
 		return fmt.Errorf("scenario %q: train fields set on a serve scenario", s.Name)
 	}
 	if s.Restructure != "baseline" {

@@ -21,8 +21,19 @@ func TestNormalizeDefaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	if s.Batch != 16 || s.Steps != 5 || s.LR != 0.01 || s.Schedule != "constant" ||
-		s.Workers != 1 || s.Repeats != 3 {
+		s.Workers != 1 || s.Repeats != 3 || s.Replicas != 1 || s.BNStrategy != "local" {
 		t.Errorf("train defaults wrong: %+v", s)
+	}
+
+	// Data-parallel spec: replicas stay as given, strategy canonicalizes.
+	d := validTrain()
+	d.Replicas = 2
+	d.BNStrategy = "SYNC"
+	if err := d.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Replicas != 2 || d.BNStrategy != "sync" {
+		t.Errorf("ddp normalize wrong: %+v", d)
 	}
 
 	v := validServe()
@@ -83,9 +94,13 @@ func TestNormalizeErrorPaths(t *testing.T) {
 		{"negative steps", func(s *Spec) { s.Steps = -1 }, "steps"},
 		{"negative lr", func(s *Spec) { s.LR = -0.5 }, "lr"},
 		{"unknown schedule", func(s *Spec) { s.Schedule = "cyclic" }, "unknown schedule"},
-		{"serve field on train", func(s *Spec) { s.Replicas = 2 }, "serve fields"},
 		{"fold on train", func(s *Spec) { s.Fold = true }, "serve fields"},
 		{"traffic on train", func(s *Spec) { s.Traffic = TrafficSteady }, "serve fields"},
+		{"negative replicas", func(s *Spec) { s.Replicas = -2 }, "replicas"},
+		{"indivisible shard", func(s *Spec) { s.Batch = 8; s.Replicas = 3 }, "shard"},
+		{"unknown bn strategy", func(s *Spec) { s.Replicas = 2; s.BNStrategy = "async" }, "BN strategy"},
+		{"sync on one replica", func(s *Spec) { s.BNStrategy = "sync" }, "replicas > 1"},
+		{"sync without mvf", func(s *Spec) { s.Restructure = "rcf"; s.Replicas = 2; s.BNStrategy = "sync" }, "MVF"},
 	}
 	for _, tc := range cases {
 		s := validTrain()
@@ -104,6 +119,7 @@ func TestNormalizeErrorPaths(t *testing.T) {
 		{"train field on serve", func(s *Spec) { s.Steps = 5 }, "train fields"},
 		{"batch on serve", func(s *Spec) { s.Batch = 8 }, "train fields"},
 		{"noarena on serve", func(s *Spec) { s.NoArena = true }, "train fields"},
+		{"bn strategy on serve", func(s *Spec) { s.BNStrategy = "sync" }, "train fields"},
 		{"restructured serve", func(s *Spec) { s.Restructure = "bnff" }, "restructure=baseline"},
 		{"negative replicas", func(s *Spec) { s.Replicas = -1 }, "replicas"},
 		{"negative max batch", func(s *Spec) { s.MaxBatch = -1 }, "max_batch"},

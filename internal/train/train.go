@@ -11,6 +11,7 @@ import (
 	"strconv"
 
 	"bnff/internal/core"
+	"bnff/internal/ddp"
 	"bnff/internal/det"
 	"bnff/internal/layers"
 	"bnff/internal/obs"
@@ -101,6 +102,10 @@ type Trainer struct {
 
 	schedule Schedule
 	clipNorm float64
+
+	replicas   int // 0: no data parallelism requested
+	bnStrategy ddp.BNStrategy
+	group      *ddp.Group
 }
 
 // TrainerOption configures a Trainer at construction time.
@@ -124,6 +129,19 @@ func WithClipNorm(max float64) TrainerOption { return func(t *Trainer) { t.clipN
 // to core.Executor.SetWorkers so callers configuring a training run in one
 // place need not touch the executor separately.
 func WithWorkers(n int) TrainerOption { return func(t *Trainer) { t.Exec.SetWorkers(n) } }
+
+// WithReplicas trains data-parallel over n replica executors (see
+// internal/ddp): each step shards the mini-batch n ways, runs the replicas
+// concurrently, and averages their gradients through a fixed-order tree
+// all-reduce before the optimizer step. WithReplicas(1) builds the
+// degenerate one-replica group, which trains byte-identically to a trainer
+// without the option. The trainer's batch size must equal the executor
+// graph's batch dimension and divide evenly by n.
+func WithReplicas(n int) TrainerOption { return func(t *Trainer) { t.replicas = n } }
+
+// WithBNStrategy selects how replicas compute BN statistics (default
+// ddp.BNLocal, per-shard ghost batches). Only meaningful with WithReplicas.
+func WithBNStrategy(s ddp.BNStrategy) TrainerOption { return func(t *Trainer) { t.bnStrategy = s } }
 
 // WithTracer attaches a span tracer to the underlying executor (forwarding to
 // core.Executor.SetTracer) and additionally records one obs.CatStep envelope
@@ -159,8 +177,26 @@ func NewTrainer(exec *core.Executor, data *workload.Dataset, opts ...TrainerOpti
 		return nil, fmt.Errorf("train: nil optimizer")
 	}
 	exec.TrackRunningStats(true)
+	if t.replicas > 0 {
+		// Build the group after running-statistics tracking is on, so the
+		// replica siblings inherit it.
+		g, err := ddp.NewGroup(exec, t.replicas, t.bnStrategy)
+		if err != nil {
+			return nil, err
+		}
+		if g.Batch() != t.BatchSize {
+			return nil, fmt.Errorf("train: batch size %d, but the graph is built for batch %d", t.BatchSize, g.Batch())
+		}
+		t.group = g
+	} else if t.bnStrategy != ddp.BNLocal {
+		return nil, fmt.Errorf("train: WithBNStrategy(%v) requires WithReplicas", t.bnStrategy)
+	}
 	return t, nil
 }
+
+// Group returns the trainer's data-parallel group, or nil when the trainer
+// runs single-executor.
+func (t *Trainer) Group() *ddp.Group { return t.group }
 
 // Step runs one forward/backward/update cycle and records the metrics.
 func (t *Trainer) Step() (StepResult, error) {
@@ -186,21 +222,34 @@ func (t *Trainer) StepOn(x *tensor.Tensor, labels []int) (StepResult, error) {
 				map[string]float64{"step": float64(step), "batch": float64(len(labels))})
 		}
 	}()
-	logits, err := t.Exec.Forward(x)
-	if err != nil {
-		return StepResult{}, err
-	}
-	loss, dlogits, err := layers.SoftmaxCrossEntropy(logits, labels)
-	if err != nil {
-		return StepResult{}, err
-	}
-	acc, err := layers.Accuracy(logits, labels)
-	if err != nil {
-		return StepResult{}, err
-	}
-	grads, err := t.Exec.Backward(dlogits)
-	if err != nil {
-		return StepResult{}, err
+	var (
+		loss, acc float64
+		grads     map[string]*tensor.Tensor
+		err       error
+	)
+	if t.group != nil {
+		loss, acc, grads, err = t.group.ForwardBackward(x, labels)
+		if err != nil {
+			return StepResult{}, err
+		}
+	} else {
+		logits, err := t.Exec.Forward(x)
+		if err != nil {
+			return StepResult{}, err
+		}
+		var dlogits *tensor.Tensor
+		loss, dlogits, err = layers.SoftmaxCrossEntropy(logits, labels)
+		if err != nil {
+			return StepResult{}, err
+		}
+		acc, err = layers.Accuracy(logits, labels)
+		if err != nil {
+			return StepResult{}, err
+		}
+		grads, err = t.Exec.Backward(dlogits)
+		if err != nil {
+			return StepResult{}, err
+		}
 	}
 	if t.clipNorm > 0 {
 		if _, err := ClipGradients(grads, t.clipNorm); err != nil {
