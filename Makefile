@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint bench smoke profile-smoke exp-smoke ddp-smoke alloc-guard check
+.PHONY: build test vet race lint bench smoke fleet-smoke profile-smoke exp-smoke ddp-smoke alloc-guard check
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,14 @@ bench:
 smoke:
 	./scripts/serve-smoke.sh
 
+# End-to-end check of the serving fleet: bnff-proxy over two bnff-serve
+# backends on the real wire — rolling checkpoint reload under load (zero
+# non-200, answers bit-match a fresh single-process folded reference),
+# SIGKILL one backend mid-traffic (zero accepted-request loss, control-plane
+# ejection), clean SIGTERM shutdown.
+fleet-smoke:
+	./scripts/fleet-smoke.sh
+
 # End-to-end check of cmd/bnff-profile: traced training step per scenario
 # under the deterministic step clock, JSON-valid Chrome traces, byte-identical
 # across runs.
@@ -74,4 +82,4 @@ ddp-smoke:
 alloc-guard:
 	$(GO) test ./internal/core/ -run TestArenaForwardAllocBudget -count=1 -v
 
-check: vet race lint smoke profile-smoke exp-smoke ddp-smoke alloc-guard
+check: vet race lint smoke fleet-smoke profile-smoke exp-smoke ddp-smoke alloc-guard

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+
+	"bnff/internal/det"
+	"bnff/internal/fleet"
+	"bnff/internal/scenario"
+	"bnff/internal/serve"
+)
+
+// serveFleetOnce runs one repeat of a fleet scenario: sp.Backends identical
+// engines loaded from the same checkpoint sit behind an in-process front
+// proxy (EngineConn transport), and every request routes through the proxy
+// under the spec's policy with the image index as the affinity key. Steady
+// traffic records the requests-per-second scaling ladder; the drill shapes
+// exercise the fleet's failure contracts.
+func (r *runner) serveFleetOnce(sp scenario.Spec, ckpt []byte, images, refs [][]float32) (*serveOutcome, error) {
+	out := &serveOutcome{failures: map[string]string{}}
+	proxy, engines, err := r.buildFleet(sp, ckpt)
+	if err != nil {
+		return nil, err
+	}
+	defer closeEngines(engines)
+
+	predict := func(image int, img []float32) ([]float32, error) {
+		return proxy.Predict(fmt.Sprintf("img-%d", image), img)
+	}
+
+	start := r.clock()
+	switch sp.Traffic {
+	case scenario.TrafficBackendCrash:
+		err = r.fleetCrashDrill(sp, engines, predict, images, refs, out)
+	case scenario.TrafficRollingReload:
+		err = r.fleetReloadDrill(sp, proxy, predict, images, refs, out)
+	default: // steady rps ladder, proxy-overload
+		err = r.runPlan(sp, predict, sp.Requests, images, matchRefs(refs), nil, out)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out.elapsedNs = r.clock() - start
+
+	if sp.Traffic == scenario.TrafficProxyOverload {
+		if out.shed == 0 {
+			out.fail("proxy-overload-sheds", "%d backends with queue depth %d absorbed all %d requests from %d clients",
+				sp.Backends, sp.QueueDepth, sp.Requests, sp.Clients)
+		}
+		if out.answered == 0 {
+			out.fail("proxy-overload-sheds", "no request was answered under fleet overload")
+		}
+	} else if out.shed > 0 {
+		out.fail("logits-match-reference", "%d requests shed under %s traffic", out.shed, sp.Traffic)
+	}
+	if out.errored > 0 {
+		out.fail("logits-match-reference", "%d requests failed with unexpected errors", out.errored)
+	}
+
+	// Latency percentiles: worst backend across the fleet.
+	for _, name := range det.SortedKeys(engines) {
+		st := engines[name].Stats()
+		if st.P50Nanos > out.p50 {
+			out.p50 = st.P50Nanos
+		}
+		if st.P99Nanos > out.p99 {
+			out.p99 = st.P99Nanos
+		}
+	}
+	return out, nil
+}
+
+// buildFleet stands up the scenario's backends behind a fresh proxy:
+// b0..bN-1, each an engine loaded from the same checkpoint, registered
+// through the in-process Conn.
+func (r *runner) buildFleet(sp scenario.Spec, ckpt []byte) (*fleet.Proxy, map[string]*serve.Engine, error) {
+	policy, err := fleet.PolicyByName(sp.Policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	proxy := fleet.NewProxy(fleet.Config{Policy: policy, Clock: r.clock})
+	engines := make(map[string]*serve.Engine, sp.Backends)
+	for i := 0; i < sp.Backends; i++ {
+		eng, err := serve.Load(sp.ServeBuilder(), bytes.NewReader(ckpt), sp.ServeConfig(r.clock, nil))
+		if err != nil {
+			closeEngines(engines)
+			return nil, nil, err
+		}
+		name := fmt.Sprintf("b%d", i)
+		engines[name] = eng
+		if err := proxy.ControlPlane().Register(name, fleet.NewEngineConn(eng)); err != nil {
+			closeEngines(engines)
+			return nil, nil, err
+		}
+	}
+	return proxy, engines, nil
+}
+
+func closeEngines(engines map[string]*serve.Engine) {
+	for _, name := range det.SortedKeys(engines) {
+		engines[name].Close()
+	}
+}
+
+// fleetCrashDrill kills one backend outright mid-traffic and requires the
+// proxy to fail every affected request over to the survivors: all accepted
+// requests are answered (zero loss) and every answer still bit-matches the
+// batch-1 reference. The dead backend's conn keeps failing, so the control
+// plane accrues predict-path evidence and ejects it.
+func (r *runner) fleetCrashDrill(sp scenario.Spec, engines map[string]*serve.Engine, predict predictFn, images, refs [][]float32, out *serveOutcome) error {
+	const check = "backend-failover-zero-loss"
+	half := sp.Requests / 2
+	if err := r.runPlan(sp, predict, half, images, matchRefs(refs), nil, out); err != nil {
+		return err
+	}
+	names := det.SortedKeys(engines)
+	victim := names[len(names)-1]
+	engines[victim].Close()
+	if err := r.runPlan(sp, predict, sp.Requests-half, images, matchRefs(refs), nil, out); err != nil {
+		return err
+	}
+	if out.answered != sp.Requests {
+		out.fail(check, "answered %d of %d requests around the %s crash (shed %d, errored %d)",
+			out.answered, sp.Requests, victim, out.shed, out.errored)
+	}
+	return nil
+}
+
+// matchEither accepts answers from either the outgoing or the incoming
+// generation — during a rolling reload each backend swaps at its own moment,
+// but no answer may blend the two or miss both.
+func matchEither(prev, next [][]float32, check string) matchFn {
+	return func(image int, logits []float32) (string, string) {
+		if equalF32(logits, prev[image]) || equalF32(logits, next[image]) {
+			return "", ""
+		}
+		return check, fmt.Sprintf("image %d logits match neither the old nor the new generation", image)
+	}
+}
+
+// fleetReloadDrill rolls a second checkpoint through the fleet while client
+// traffic keeps flowing (the roll rides one extra pool partition): during
+// the roll every answer must bit-match exactly one generation and nothing
+// errors; afterwards every backend must be active at generation >= 2 and a
+// full plan must bit-match only the fresh single-process folded reference.
+func (r *runner) fleetReloadDrill(sp scenario.Spec, proxy *fleet.Proxy, predict predictFn, images, refs [][]float32, out *serveOutcome) error {
+	const check = "rolling-reload-bit-identical"
+	spB := sp
+	spB.Seed = sp.Seed + 1
+	ckptB, err := r.checkpoint(spB)
+	if err != nil {
+		return err
+	}
+	refsB, err := r.refsFor(sp, ckptB, images)
+	if err != nil {
+		return err
+	}
+
+	var rollErr error
+	var gens map[string]uint64
+	roll := func() { gens, rollErr = proxy.RollingReload(ckptB) }
+	if err := r.runPlan(sp, predict, sp.Requests, images, matchEither(refs, refsB, check), roll, out); err != nil {
+		return err
+	}
+	if rollErr != nil {
+		out.fail(check, "rolling reload failed: %v", rollErr)
+		return nil
+	}
+	for _, name := range det.SortedKeys(gens) {
+		if gens[name] < 2 {
+			out.fail(check, "backend %s at generation %d after the roll, want >= 2", name, gens[name])
+		}
+	}
+	states := proxy.ControlPlane().States()
+	for _, name := range det.SortedKeys(states) {
+		if states[name] != fleet.StateActive {
+			out.fail(check, "backend %s left %s after the roll", name, states[name])
+		}
+	}
+	n := sp.Requests / 2
+	if n == 0 {
+		n = 1
+	}
+	return r.runPlan(sp, predict, n, images, matchRefs(refsB), nil, out)
+}

@@ -49,7 +49,7 @@ func (r *runner) runServe(sp scenario.Spec) (experiments.BenchScenario, error) {
 		}
 	}
 
-	var answered, shed, p50s, p99s []float64
+	var answered, shed, p50s, p99s, rps []float64
 	failures := map[string]string{} // check name → first failure detail
 	for rep := 0; rep < sp.Repeats; rep++ {
 		out, err := r.serveOnce(sp, ckpt, images, refs)
@@ -60,6 +60,13 @@ func (r *runner) runServe(sp scenario.Spec) (experiments.BenchScenario, error) {
 		shed = append(shed, float64(out.shed))
 		p50s = append(p50s, float64(out.p50))
 		p99s = append(p99s, float64(out.p99))
+		if sp.Backends > 0 {
+			rate := 0.0
+			if out.elapsedNs > 0 {
+				rate = float64(out.answered) / (float64(out.elapsedNs) / 1e9)
+			}
+			rps = append(rps, rate)
+		}
 		for name, detail := range out.failures {
 			if _, seen := failures[name]; !seen {
 				failures[name] = fmt.Sprintf("repeat %d: %s", rep, detail)
@@ -74,19 +81,26 @@ func (r *runner) runServe(sp scenario.Spec) (experiments.BenchScenario, error) {
 	}
 	// Under overload the split between answered and shed depends on goroutine
 	// scheduling; elsewhere every request is answered, deterministically.
-	countsVary := sp.Traffic == scenario.TrafficOverload
+	countsVary := sp.Traffic == scenario.TrafficOverload || sp.Traffic == scenario.TrafficProxyOverload
+	metrics := []experiments.BenchMetric{
+		{Name: "answered", Unit: "requests", Timing: countsVary, Agg: obs.Aggregate(answered)},
+		{Name: "shed", Unit: "requests", Timing: countsVary, Agg: obs.Aggregate(shed)},
+		{Name: "latency_p50", Unit: "ns", Timing: true, Agg: obs.Aggregate(p50s)},
+		{Name: "latency_p99", Unit: "ns", Timing: true, Agg: obs.Aggregate(p99s)},
+	}
+	if sp.Backends > 0 {
+		// The multi-process scaling evidence: answered requests per wall
+		// second through the proxy, at this spec's backend count.
+		metrics = append(metrics, experiments.BenchMetric{
+			Name: "requests_per_sec", Unit: "req/s", Timing: true, Agg: obs.Aggregate(rps)})
+	}
 	return experiments.BenchScenario{
 		Name:    sp.Name,
 		Spec:    sp,
 		Repeats: sp.Repeats,
 		Digest:  digestOf(refBytes.Bytes()),
 		Checks:  checks,
-		Metrics: []experiments.BenchMetric{
-			{Name: "answered", Unit: "requests", Timing: countsVary, Agg: obs.Aggregate(answered)},
-			{Name: "shed", Unit: "requests", Timing: countsVary, Agg: obs.Aggregate(shed)},
-			{Name: "latency_p50", Unit: "ns", Timing: true, Agg: obs.Aggregate(p50s)},
-			{Name: "latency_p99", Unit: "ns", Timing: true, Agg: obs.Aggregate(p99s)},
-		},
+		Metrics: metrics,
 	}, nil
 }
 
@@ -94,6 +108,7 @@ func (r *runner) runServe(sp scenario.Spec) (experiments.BenchScenario, error) {
 type serveOutcome struct {
 	answered, shed, errored int
 	p50, p99                int64
+	elapsedNs               int64
 	failures                map[string]string
 }
 
@@ -103,8 +118,13 @@ func (o *serveOutcome) fail(check, format string, args ...any) {
 	}
 }
 
-// serveOnce runs one repeat of the scenario's drill.
+// serveOnce runs one repeat of the scenario's drill. Fleet scenarios
+// (Backends > 0) route through an in-process front proxy instead of a
+// single engine.
 func (r *runner) serveOnce(sp scenario.Spec, ckpt []byte, images, refs [][]float32) (*serveOutcome, error) {
+	if sp.Backends > 0 {
+		return r.serveFleetOnce(sp, ckpt, images, refs)
+	}
 	out := &serveOutcome{failures: map[string]string{}}
 	eng, err := serve.Load(sp.ServeBuilder(), bytes.NewReader(ckpt), sp.ServeConfig(r.clock, nil))
 	if err != nil {
@@ -120,9 +140,9 @@ func (r *runner) serveOnce(sp scenario.Spec, ckpt []byte, images, refs [][]float
 			out.fail("checkpoint-survives-failed-save", "%v", derr)
 		}
 		// The drill must not have disturbed serving: replay the full plan.
-		err = r.runPlan(sp, eng, sp.Requests, images, refs, out)
+		err = r.runPlan(sp, enginePredict(eng), sp.Requests, images, matchRefs(refs), nil, out)
 	default:
-		err = r.runPlan(sp, eng, sp.Requests, images, refs, out)
+		err = r.runPlan(sp, enginePredict(eng), sp.Requests, images, matchRefs(refs), nil, out)
 	}
 	if err != nil {
 		return nil, err
@@ -148,10 +168,36 @@ func (r *runner) serveOnce(sp scenario.Spec, ckpt []byte, images, refs [][]float
 	return out, nil
 }
 
+// predictFn answers one request. The image index selects the request body
+// and, for fleet routing, the affinity key.
+type predictFn func(image int, img []float32) ([]float32, error)
+
+// enginePredict adapts a single engine to the plan runner.
+func enginePredict(eng *serve.Engine) predictFn {
+	return func(_ int, img []float32) ([]float32, error) { return eng.Predict(img) }
+}
+
+// matchFn validates one answered request's logits, returning the failing
+// check name and detail, or ("", "") when the answer is correct.
+type matchFn func(image int, logits []float32) (check, detail string)
+
+// matchRefs requires every answer to bit-match its batch-1 reference.
+func matchRefs(refs [][]float32) matchFn {
+	return func(image int, logits []float32) (string, string) {
+		if !equalF32(logits, refs[image]) {
+			return "logits-match-reference",
+				fmt.Sprintf("image %d logits differ from batch-1 reference", image)
+		}
+		return "", ""
+	}
+}
+
 // runPlan replays a traffic plan of n requests through one goroutine per
 // client (via the sanctioned pool fan-out; each client writes only its own
-// tally slot) and merges the tallies in client order.
-func (r *runner) runPlan(sp scenario.Spec, eng *serve.Engine, n int, images, refs [][]float32, out *serveOutcome) error {
+// tally slot) and merges the tallies in client order. A non-nil concurrent
+// func runs as one extra pool partition alongside the clients — the hook the
+// rolling-reload drill uses to swap checkpoints mid-traffic.
+func (r *runner) runPlan(sp scenario.Spec, predict predictFn, n int, images [][]float32, match matchFn, concurrent func(), out *serveOutcome) error {
 	burst, delayNs := pacing(sp)
 	plan, err := workload.PlanTraffic(workload.TrafficConfig{
 		Clients:  sp.Clients,
@@ -165,30 +211,39 @@ func (r *runner) runPlan(sp scenario.Spec, eng *serve.Engine, n int, images, ref
 	}
 	type tally struct {
 		answered, shed, errored int
-		mismatch                string
+		failCheck, failDetail   string
 	}
-	tallies := make([]tally, len(plan.PerClient))
-	pool := parallel.New(sp.Clients)
-	pool.Run(len(plan.PerClient), func(lo, hi int) {
+	clients := len(plan.PerClient)
+	slots := clients
+	if concurrent != nil {
+		slots++
+	}
+	tallies := make([]tally, clients)
+	pool := parallel.New(slots)
+	pool.Run(slots, func(lo, hi int) {
 		for c := lo; c < hi; c++ {
+			if c == clients {
+				concurrent()
+				continue
+			}
 			t := &tallies[c]
 			for _, op := range plan.PerClient[c] {
 				if op.DelayNs > 0 {
 					time.Sleep(time.Duration(op.DelayNs))
 				}
-				logits, err := eng.Predict(images[op.Image])
+				logits, err := predict(op.Image, images[op.Image])
 				switch {
 				case err == nil:
 					t.answered++
-					if !equalF32(logits, refs[op.Image]) && t.mismatch == "" {
-						t.mismatch = fmt.Sprintf("image %d logits differ from batch-1 reference", op.Image)
+					if check, detail := match(op.Image, logits); check != "" && t.failCheck == "" {
+						t.failCheck, t.failDetail = check, detail
 					}
 				case errors.Is(err, serve.ErrOverloaded):
 					t.shed++
 				default:
 					t.errored++
-					if t.mismatch == "" {
-						t.mismatch = err.Error()
+					if t.failCheck == "" {
+						t.failCheck, t.failDetail = "logits-match-reference", err.Error()
 					}
 				}
 			}
@@ -198,8 +253,8 @@ func (r *runner) runPlan(sp scenario.Spec, eng *serve.Engine, n int, images, ref
 		out.answered += t.answered
 		out.shed += t.shed
 		out.errored += t.errored
-		if t.mismatch != "" {
-			out.fail("logits-match-reference", "%s", t.mismatch)
+		if t.failCheck != "" {
+			out.fail(t.failCheck, "%s", t.failDetail)
 		}
 	}
 	return nil
@@ -212,14 +267,14 @@ func (r *runner) runPlan(sp scenario.Spec, eng *serve.Engine, n int, images, ref
 func (r *runner) crashDrill(sp scenario.Spec, eng *serve.Engine, ckpt []byte, images, refs [][]float32, out *serveOutcome) error {
 	const check = "replica-crash-recovery"
 	half := sp.Requests / 2
-	if err := r.runPlan(sp, eng, half, images, refs, out); err != nil {
+	if err := r.runPlan(sp, enginePredict(eng), half, images, matchRefs(refs), nil, out); err != nil {
 		return err
 	}
 	if err := eng.CrashReplica(0); err != nil {
 		return err
 	}
 	before := out.answered
-	if err := r.runPlan(sp, eng, sp.Requests-half, images, refs, out); err != nil {
+	if err := r.runPlan(sp, enginePredict(eng), sp.Requests-half, images, matchRefs(refs), nil, out); err != nil {
 		return err
 	}
 	if out.answered-before != sp.Requests-half {
@@ -389,6 +444,31 @@ func (r *runner) references(sp scenario.Spec, ckpt []byte) (images, refs [][]flo
 		refs = append(refs, append([]float32(nil), y.Data...))
 	}
 	return images, refs, nil
+}
+
+// refsFor recomputes the batch-1 reference logits for an existing image set
+// under a different checkpoint — the fresh single-process folded reference a
+// rolling reload must converge the fleet onto.
+func (r *runner) refsFor(sp scenario.Spec, ckpt []byte, images [][]float32) ([][]float32, error) {
+	ds, err := sp.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	exec, err := r.refExecutor(sp, ckpt)
+	if err != nil {
+		return nil, err
+	}
+	refs := make([][]float32, 0, len(images))
+	for _, img := range images {
+		x := tensor.New(1, ds.Channels, ds.Size, ds.Size)
+		copy(x.Data, img)
+		y, err := exec.Forward(x)
+		if err != nil {
+			return nil, err
+		}
+		refs = append(refs, append([]float32(nil), y.Data...))
+	}
+	return refs, nil
 }
 
 // capWriter fails like a full disk after its byte allowance is spent.

@@ -1,0 +1,83 @@
+// bnff-proxy fronts a fleet of bnff-serve backends: POST /predict requests
+// are routed across the registered backends by a deterministic policy
+// (consistent hashing on the request key by default), unhealthy backends are
+// ejected after consecutive failed readiness probes and readmitted on
+// recovery, and POST /fleet/reload rolls a new checkpoint through the fleet
+// one drained backend at a time — serving capacity never drops below N−1
+// and no accepted request is lost.
+//
+// Usage:
+//
+//	bnff-proxy -addr :9090 -backends http://127.0.0.1:9091,http://127.0.0.1:9092
+//	bnff-proxy -addr :9090 -policy least-loaded -probe-interval 500ms
+//
+// Endpoints: POST /predict (bnff-serve's body, optional X-Route-Key header),
+// GET /healthz, GET /readyz, GET /metrics, GET /fleet/status, and the
+// POST /fleet/{register,deregister,drain,undrain,reload} admin verbs. The
+// daemon exits cleanly on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bnff/internal/fleet"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9090", "listen address")
+	backends := flag.String("backends", "", "comma-separated backend base URLs (e.g. http://127.0.0.1:9091,http://127.0.0.1:9092); names default to b0,b1,...")
+	policy := flag.String("policy", "hash", "routing policy: hash, least-loaded, or round-robin")
+	probeInterval := flag.Duration("probe-interval", time.Second, "readiness probe sweep interval")
+	failAfter := flag.Int("fail-after", 3, "consecutive failed probes before a backend is ejected")
+	readmitAfter := flag.Int("readmit-after", 2, "consecutive successful probes before an ejected backend is readmitted")
+	backoff := flag.Duration("backoff", time.Second, "initial ejected re-probe backoff (doubles up to -backoff-max)")
+	backoffMax := flag.Duration("backoff-max", 30*time.Second, "ejected re-probe backoff cap")
+	flag.Parse()
+
+	if err := run(*addr, *backends, *policy, *probeInterval, *failAfter, *readmitAfter, *backoff, *backoffMax); err != nil {
+		fmt.Fprintln(os.Stderr, "bnff-proxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, backends, policyName string, probeInterval time.Duration,
+	failAfter, readmitAfter int, backoff, backoffMax time.Duration) error {
+
+	policy, err := fleet.PolicyByName(policyName)
+	if err != nil {
+		return err
+	}
+	// Monotonic nanoseconds for ejection backoff; the library never reads
+	// the wall clock itself (the seededrand contract).
+	base := time.Now()
+	proxy := fleet.NewProxy(fleet.Config{
+		Policy:       policy,
+		FailAfter:    failAfter,
+		ReadmitAfter: readmitAfter,
+		BackoffBase:  int64(backoff),
+		BackoffMax:   int64(backoffMax),
+		Clock:        func() int64 { return int64(time.Since(base)) },
+	})
+	cp := proxy.ControlPlane()
+	if backends != "" {
+		for i, url := range strings.Split(backends, ",") {
+			url = strings.TrimSpace(url)
+			if url == "" {
+				continue
+			}
+			name := fmt.Sprintf("b%d", i)
+			if err := cp.Register(name, fleet.NewHTTPConn(url)); err != nil {
+				return err
+			}
+			fmt.Printf("registered %s -> %s\n", name, url)
+		}
+	}
+	fmt.Printf("proxy listening on %s  (policy %s, %d backends, probe every %v)\n",
+		addr, policy.Name(), len(cp.Status().Backends), probeInterval)
+	return fleet.Daemon(context.Background(), addr, proxy, probeInterval)
+}

@@ -48,6 +48,19 @@
 // GET /healthz and GET /stats complete the ops surface; latency quantiles
 // come from a deterministic power-of-two histogram fed by an injected clock.
 //
+// internal/fleet and cmd/bnff-proxy scale that to a fleet: a front proxy
+// routes POST /predict across N bnff-serve backends under a deterministic
+// policy (rendezvous hashing with a mix64 finalizer by default, or
+// least-loaded / round-robin — all pure functions of key and membership), a
+// control plane registers, probes, drains, ejects, and readmits backends on
+// an injected clock, and POST /fleet/reload rolls a new checkpoint through
+// the fleet one drained backend at a time via serve's atomic-generation
+// Reload, keeping capacity at N-1 throughout. Bit-deterministic inference
+// makes zero-downtime testable: during a roll every answer must bit-match
+// exactly one checkpoint generation, and afterwards only the new one
+// (asserted end to end, over real processes and sockets, by
+// scripts/fleet-smoke.sh, and in-process by the serve/fleet/* scenarios).
+//
 // # Observability
 //
 // internal/obs instruments real runs the same way internal/memsim predicts
@@ -90,8 +103,8 @@
 // analyzers cover the regression classes that would invalidate the paper's
 // comparisons: poolonly (no goroutines, sync.WaitGroup, or channels outside
 // the allowlisted concurrency domains internal/parallel, internal/serve,
-// internal/obs, and internal/ddp — all compute fan-out dispatches through
-// the executor's pool),
+// internal/obs, internal/ddp, and internal/fleet — all compute fan-out
+// dispatches through the executor's pool),
 // maporder (no float accumulation, appends, or work-spawning inside a range
 // over a map; iterate det.SortedKeys instead), noglobals (no package-level
 // mutable state in the hot-path packages), detreduce (every cross-partition

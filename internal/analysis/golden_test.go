@@ -179,6 +179,37 @@ func TestPoolOnlyExemptInDdpPackage(t *testing.T) {
 	}
 }
 
+func TestPoolOnlyExemptInFleetPackage(t *testing.T) {
+	// internal/fleet is allowlisted: the proxy daemon and probe loop own
+	// their listener and ticker goroutines. The same fixture under the fleet
+	// path is silent.
+	pkg := loadFixture(t, "poolonly", "bnff/internal/fleet")
+	if diags := analyzerDiags(RunAnalyzers(pkg, []*Analyzer{PoolOnly}), PoolOnly.Name); len(diags) != 0 {
+		t.Fatalf("poolonly must not fire inside internal/fleet, got %v", diags)
+	}
+}
+
+// TestPoolOnlyScopePinned pins the concurrency allowlist exactly: adding a
+// package to the sanctioned set is an API decision that must show up in this
+// test, not slip in through a lint edit.
+func TestPoolOnlyScopePinned(t *testing.T) {
+	want := []string{
+		"bnff/internal/parallel",
+		"bnff/internal/serve",
+		"bnff/internal/obs",
+		"bnff/internal/ddp",
+		"bnff/internal/fleet",
+	}
+	if len(concurrencyPkgs) != len(want) {
+		t.Fatalf("concurrencyPkgs = %v, want exactly %v", concurrencyPkgs, want)
+	}
+	for i, pkg := range want {
+		if concurrencyPkgs[i] != pkg {
+			t.Fatalf("concurrencyPkgs[%d] = %q, want %q", i, concurrencyPkgs[i], pkg)
+		}
+	}
+}
+
 func TestMapOrderGolden(t *testing.T) {
 	runGolden(t, MapOrder, "maporder", "bnff/internal/graph")
 }
@@ -275,6 +306,13 @@ func TestSpanPairExemptInObsPackage(t *testing.T) {
 	if diags := analyzerDiags(RunAnalyzers(pkg, []*Analyzer{SpanPair}), SpanPair.Name); len(diags) != 0 {
 		t.Fatalf("spanpair must not fire inside internal/obs, got %v", diags)
 	}
+}
+
+func TestSpanPairInFleetScope(t *testing.T) {
+	// internal/fleet is inside the flow-sensitive span scope (bnff/internal,
+	// obs excepted): the same fixture under the fleet path produces the same
+	// positive findings, and its //lint:ignore-suppressed case stays silent.
+	runGolden(t, SpanPair, "spanpair", "bnff/internal/fleet")
 }
 
 func TestHotAllocGolden(t *testing.T) {

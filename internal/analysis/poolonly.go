@@ -16,15 +16,19 @@ const poolPkg = "bnff/internal/parallel"
 // channel-shaped; the observability runtime in internal/obs, whose
 // tracer and metrics registry must be safe to update from replica goroutines
 // (mutex-guarded span buffer, atomic counters) without routing through a
-// compute pool; and the data-parallel trainer in internal/ddp, whose
+// compute pool; the data-parallel trainer in internal/ddp, whose
 // sync-BN exchanger rendezvouses replicas on a mutex-guarded round whose
-// close(done) channel publishes the folded result. The serving runtime keeps
-// the determinism contract a layer up — each request's logits are
-// bit-identical regardless of batching — obs keeps it by recording spans only
-// from the dispatching goroutine, and ddp keeps it by folding every exchange
-// in replica-index order under the round lock (replica execution still
-// dispatches through parallel.Pool).
-var concurrencyPkgs = [...]string{poolPkg, "bnff/internal/serve", "bnff/internal/obs", "bnff/internal/ddp"}
+// close(done) channel publishes the folded result; and the serving control
+// plane in internal/fleet, whose proxy daemon and probe loop own the
+// listener and ticker goroutines so cmd/bnff-proxy stays a flag-parsing
+// shell. The serving runtime keeps the determinism contract a layer up —
+// each request's logits are bit-identical regardless of batching — obs keeps
+// it by recording spans only from the dispatching goroutine, ddp keeps it by
+// folding every exchange in replica-index order under the round lock
+// (replica execution still dispatches through parallel.Pool), and fleet
+// keeps it by making routing a pure function of (key, sorted views) with all
+// health transitions serialized under the control-plane mutex.
+var concurrencyPkgs = [...]string{poolPkg, "bnff/internal/serve", "bnff/internal/obs", "bnff/internal/ddp", "bnff/internal/fleet"}
 
 // PoolOnly enforces the pool-dispatch contract: every concurrent fan-out in
 // the module flows through internal/parallel, where the worker pool

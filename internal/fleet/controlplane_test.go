@@ -1,0 +1,281 @@
+package fleet
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+)
+
+// fakeConn is a scriptable backend for control-plane and routing tests.
+type fakeConn struct {
+	mu         sync.Mutex
+	readyErr   error
+	predictErr error
+	logits     []float32
+	depth      int
+	gen        uint64
+	reloadErr  error
+
+	predicts, drains, undrains, reloads int
+}
+
+func (f *fakeConn) set(fn func(*fakeConn)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fn(f)
+}
+
+func (f *fakeConn) Predict(_ []float32) ([]float32, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.predicts++
+	if f.predictErr != nil {
+		return nil, f.predictErr
+	}
+	return f.logits, nil
+}
+
+func (f *fakeConn) Healthz() error { return nil }
+
+func (f *fakeConn) Readyz() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.readyErr
+}
+
+func (f *fakeConn) QueueDepth() (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.depth, nil
+}
+
+func (f *fakeConn) Reload(io.Reader) (uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.reloads++
+	if f.reloadErr != nil {
+		return 0, f.reloadErr
+	}
+	f.gen++
+	return f.gen, nil
+}
+
+func (f *fakeConn) Drain() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.drains++
+	return nil
+}
+
+func (f *fakeConn) Undrain() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.undrains++
+	return nil
+}
+
+func (f *fakeConn) Close() error { return nil }
+
+func (f *fakeConn) count(which string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch which {
+	case "predicts":
+		return f.predicts
+	case "drains":
+		return f.drains
+	case "undrains":
+		return f.undrains
+	case "reloads":
+		return f.reloads
+	}
+	return -1
+}
+
+func TestRegisterDeregisterValidation(t *testing.T) {
+	cp := NewControlPlane(Config{})
+	if err := cp.Register("", &fakeConn{}); err == nil {
+		t.Fatal("accepted empty backend name")
+	}
+	if err := cp.Register("b1", &fakeConn{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Register("b1", &fakeConn{}); !errors.Is(err, ErrDuplicateBackend) {
+		t.Fatalf("duplicate register: err = %v, want ErrDuplicateBackend", err)
+	}
+	if err := cp.Deregister("nope"); !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("unknown deregister: err = %v, want ErrUnknownBackend", err)
+	}
+	if err := cp.Deregister("b1"); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(cp.routable()); n != 0 {
+		t.Fatalf("routable after deregister = %d backends", n)
+	}
+}
+
+func TestEjectionBackoffAndReadmission(t *testing.T) {
+	var now int64
+	conn := &fakeConn{}
+	cp := NewControlPlane(Config{
+		FailAfter:    3,
+		ReadmitAfter: 2,
+		BackoffBase:  100,
+		BackoffMax:   250,
+		Clock:        func() int64 { return now },
+	})
+	if err := cp.Register("b1", conn); err != nil {
+		t.Fatal(err)
+	}
+
+	down := errors.New("connection refused")
+	conn.set(func(f *fakeConn) { f.readyErr = down })
+	cp.ProbeOnce()
+	cp.ProbeOnce()
+	if cp.States()["b1"] != StateActive {
+		t.Fatal("ejected before FailAfter consecutive failures")
+	}
+	cp.ProbeOnce()
+	if cp.States()["b1"] != StateEjected {
+		t.Fatal("not ejected after FailAfter consecutive failures")
+	}
+	if got := cp.Metrics().Counter("bnff_fleet_ejections_total").Value(); got != 1 {
+		t.Fatalf("ejections counter = %d, want 1", got)
+	}
+	if got := cp.Metrics().Gauge("bnff_fleet_active").Value(); got != 0 {
+		t.Fatalf("active gauge = %d, want 0", got)
+	}
+
+	// Backoff gates re-probes: before BackoffBase elapses the ejected
+	// backend is not probed at all.
+	probes := cp.Metrics().Counter("bnff_fleet_probes_total").Value()
+	cp.ProbeOnce()
+	if got := cp.Metrics().Counter("bnff_fleet_probes_total").Value(); got != probes {
+		t.Fatalf("ejected backend probed before backoff elapsed (%d → %d)", probes, got)
+	}
+
+	// After the backoff elapses a failed probe doubles it, capped at
+	// BackoffMax: 100 → 200 → 250.
+	now = 100
+	cp.ProbeOnce() // fails; backoff 200, next probe at 300
+	now = 250
+	cp.ProbeOnce()
+	if got := cp.Metrics().Counter("bnff_fleet_probes_total").Value(); got != probes+1 {
+		t.Fatal("doubled backoff did not gate the re-probe")
+	}
+	now = 300
+	cp.ProbeOnce() // fails; backoff capped at 250
+
+	// Recovery: ReadmitAfter consecutive successes readmit.
+	conn.set(func(f *fakeConn) { f.readyErr = nil; f.depth = 7 })
+	now = 600
+	cp.ProbeOnce()
+	if cp.States()["b1"] != StateEjected {
+		t.Fatal("readmitted after a single success")
+	}
+	cp.ProbeOnce()
+	if cp.States()["b1"] != StateActive {
+		t.Fatal("not readmitted after ReadmitAfter consecutive successes")
+	}
+	if got := cp.Metrics().Counter("bnff_fleet_readmissions_total").Value(); got != 1 {
+		t.Fatalf("readmissions counter = %d, want 1", got)
+	}
+	vs := cp.routable()
+	if len(vs) != 1 || vs[0].QueueDepth != 7 {
+		t.Fatalf("routable after readmission = %+v, want depth 7", vs)
+	}
+}
+
+func TestProbeSuccessResetsFailuresAndScrapesDepth(t *testing.T) {
+	conn := &fakeConn{}
+	cp := NewControlPlane(Config{FailAfter: 3})
+	if err := cp.Register("b1", conn); err != nil {
+		t.Fatal(err)
+	}
+	down := errors.New("down")
+	conn.set(func(f *fakeConn) { f.readyErr = down })
+	cp.ProbeOnce()
+	cp.ProbeOnce()
+	conn.set(func(f *fakeConn) { f.readyErr = nil; f.depth = 3 })
+	cp.ProbeOnce() // success: failure streak resets
+	conn.set(func(f *fakeConn) { f.readyErr = down })
+	cp.ProbeOnce()
+	cp.ProbeOnce()
+	if cp.States()["b1"] != StateActive {
+		t.Fatal("failure streak survived an intervening success")
+	}
+	if st := cp.Status(); st.Backends[0].QueueDepth != 3 {
+		t.Fatalf("queue depth not scraped: %+v", st.Backends[0])
+	}
+}
+
+func TestDrainingBackendSkipsProbesAndRouting(t *testing.T) {
+	conn := &fakeConn{}
+	cp := NewControlPlane(Config{})
+	if err := cp.Register("b1", conn); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Drain("b1"); err != nil {
+		t.Fatal(err)
+	}
+	if conn.count("drains") != 1 {
+		t.Fatal("Drain did not reach the backend")
+	}
+	// A draining backend's readiness failures are deliberate, not evidence.
+	conn.set(func(f *fakeConn) { f.readyErr = errors.New("draining") })
+	for i := 0; i < 5; i++ {
+		cp.ProbeOnce()
+	}
+	if got := cp.Metrics().Counter("bnff_fleet_probes_total").Value(); got != 0 {
+		t.Fatalf("draining backend was probed %d times", got)
+	}
+	if cp.States()["b1"] != StateDraining {
+		t.Fatal("draining backend changed state under probes")
+	}
+	if len(cp.routable()) != 0 {
+		t.Fatal("draining backend still routable")
+	}
+	conn.set(func(f *fakeConn) { f.readyErr = nil })
+	if err := cp.Undrain("b1"); err != nil {
+		t.Fatal(err)
+	}
+	if conn.count("undrains") != 1 {
+		t.Fatal("Undrain did not reach the backend")
+	}
+	if cp.States()["b1"] != StateActive || len(cp.routable()) != 1 {
+		t.Fatal("backend not routable after Undrain")
+	}
+	if err := cp.Drain("ghost"); !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("Drain(ghost) err = %v, want ErrUnknownBackend", err)
+	}
+	if err := cp.Undrain("ghost"); !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("Undrain(ghost) err = %v, want ErrUnknownBackend", err)
+	}
+}
+
+func TestStatusSortedAndComplete(t *testing.T) {
+	cp := NewControlPlane(Config{Policy: &LeastLoaded{}})
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if err := cp.Register(name, &fakeConn{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cp.Status()
+	if st.Policy != "least-loaded" {
+		t.Fatalf("status policy = %q", st.Policy)
+	}
+	var names []string
+	for _, b := range st.Backends {
+		names = append(names, b.Name)
+		if b.State != "active" {
+			t.Fatalf("backend %s state %q, want active", b.Name, b.State)
+		}
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("status order %v, want %v", names, want)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// shutdownGrace bounds how long Daemon waits for in-flight proxy requests
+// after a termination signal.
+const shutdownGrace = 10 * time.Second
+
+// Daemon serves the proxy's Handler on addr and runs the control plane's
+// probe loop every probeInterval until ctx is canceled or the process
+// receives SIGINT/SIGTERM, then shuts the listener down gracefully. Signal
+// handling and the goroutines live here rather than in cmd/bnff-proxy
+// because fleet is the sanctioned concurrency domain; the cmd stays a
+// flag-parsing shell. It returns nil on a clean signal-driven exit.
+func Daemon(ctx context.Context, addr string, p *Proxy, probeInterval time.Duration) error {
+	ctx, unhook := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer unhook()
+
+	go p.ControlPlane().ProbeLoop(ctx, probeInterval)
+
+	srv := &http.Server{Addr: addr, Handler: p.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		// Listener failed before any signal (e.g. port in use).
+		return err
+	case <-ctx.Done():
+	}
+	sdCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	err := srv.Shutdown(sdCtx)
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
+		err = serveErr
+	}
+	return err
+}

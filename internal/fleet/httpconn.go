@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"bnff/internal/serve"
+)
+
+// httpConnTimeout bounds every backend round trip so a wedged backend
+// resolves to ErrUnavailable instead of hanging the proxy's request path.
+const httpConnTimeout = 30 * time.Second
+
+// HTTPConn speaks the bnff-serve ops surface over the wire — the backend
+// flavor bnff-proxy uses. Status codes map back onto the Conn error
+// taxonomy: 429 → serve.ErrOverloaded, 400 → serve.ErrBadImage (wrapped),
+// 5xx and transport failures → ErrUnavailable (wrapped).
+type HTTPConn struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPConn builds a conn for a backend base URL such as
+// "http://127.0.0.1:9091" (a trailing slash is trimmed).
+func NewHTTPConn(base string) *HTTPConn {
+	return &HTTPConn{
+		base:   strings.TrimRight(base, "/"),
+		client: &http.Client{Timeout: httpConnTimeout},
+	}
+}
+
+// URL returns the backend base URL.
+func (c *HTTPConn) URL() string { return c.base }
+
+// Predict implements Conn.
+func (c *HTTPConn) Predict(img []float32) ([]float32, error) {
+	body, err := json.Marshal(serve.PredictRequest{Image: img})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Post(c.base+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	defer drainClose(resp.Body)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var out serve.PredictResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return nil, fmt.Errorf("%w: decoding predict reply: %v", ErrUnavailable, err)
+		}
+		return out.Logits, nil
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return nil, serve.ErrOverloaded
+	case resp.StatusCode == http.StatusBadRequest:
+		return nil, fmt.Errorf("%w: %s", serve.ErrBadImage, readError(resp.Body))
+	default:
+		return nil, fmt.Errorf("%w: predict: %s (%s)", ErrUnavailable, resp.Status, readError(resp.Body))
+	}
+}
+
+// Healthz implements Conn.
+func (c *HTTPConn) Healthz() error { return c.check("/healthz") }
+
+// Readyz implements Conn.
+func (c *HTTPConn) Readyz() error { return c.check("/readyz") }
+
+func (c *HTTPConn) check(path string) error {
+	resp, err := c.client.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%w: %s: %s (%s)", ErrUnavailable, path, resp.Status, readError(resp.Body))
+	}
+	return nil
+}
+
+// QueueDepth implements Conn by reading the backend's /stats snapshot.
+func (c *HTTPConn) QueueDepth() (int, error) {
+	resp, err := c.client.Get(c.base + "/stats")
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("%w: stats: %s", ErrUnavailable, resp.Status)
+	}
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, fmt.Errorf("%w: decoding stats: %v", ErrUnavailable, err)
+	}
+	return st.QueueDepth, nil
+}
+
+// Reload implements Conn.
+func (c *HTTPConn) Reload(ckpt io.Reader) (uint64, error) {
+	resp, err := c.client.Post(c.base+"/reload", "application/octet-stream", ckpt)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("fleet: reload: %s (%s)", resp.Status, readError(resp.Body))
+	}
+	var out serve.ReloadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, fmt.Errorf("fleet: decoding reload reply: %w", err)
+	}
+	return out.Generation, nil
+}
+
+// Drain implements Conn.
+func (c *HTTPConn) Drain() error { return c.post("/drain") }
+
+// Undrain implements Conn.
+func (c *HTTPConn) Undrain() error { return c.post("/undrain") }
+
+func (c *HTTPConn) post(path string) error {
+	resp, err := c.client.Post(c.base+path, "text/plain", nil)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%w: %s: %s", ErrUnavailable, path, resp.Status)
+	}
+	return nil
+}
+
+// Close implements Conn: the backend process is not ours to stop, so only
+// idle keep-alive connections are released.
+func (c *HTTPConn) Close() error {
+	c.client.CloseIdleConnections()
+	return nil
+}
+
+// drainClose empties and closes a response body so the transport reuses the
+// connection.
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, body)
+	_ = body.Close()
+}
+
+// readError returns a trimmed single-line error body for diagnostics.
+func readError(body io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(body, 512))
+	return strings.TrimSpace(string(b))
+}

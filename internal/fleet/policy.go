@@ -1,0 +1,142 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync/atomic"
+)
+
+// BackendView is the routing-relevant snapshot of one routable backend
+// handed to a Policy: its name and the queue depth the control plane last
+// scraped from it.
+type BackendView struct {
+	Name       string
+	QueueDepth int
+}
+
+// Policy orders the routable backends for one request. The proxy tries them
+// in the returned order, failing over down the list. Views arrive sorted by
+// name and Order must be a pure function of (key, views) plus any internal
+// counter the policy documents — no clocks, no randomness — so a routing
+// history replays deterministically.
+type Policy interface {
+	// Name is the policy's flag value ("hash", "least-loaded", "round-robin").
+	Name() string
+	// Order returns the backend names in preference order.
+	Order(key string, views []BackendView) []string
+}
+
+// PolicyByName resolves a -policy flag value.
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "hash":
+		return &ConsistentHash{}, nil
+	case "least-loaded":
+		return &LeastLoaded{}, nil
+	case "round-robin":
+		return &RoundRobin{}, nil
+	}
+	return nil, fmt.Errorf("fleet: unknown policy %q (want hash, least-loaded, or round-robin)", name)
+}
+
+// ConsistentHash routes by rendezvous (highest-random-weight) hashing: each
+// backend scores FNV-1a(name, key) and the order is score-descending. A
+// given key always prefers the same backend while it stays routable, and
+// removing a backend only remaps the keys that preferred it — the
+// consistent-hashing property without maintaining a ring.
+type ConsistentHash struct{}
+
+// Name implements Policy.
+func (*ConsistentHash) Name() string { return "hash" }
+
+// Order implements Policy.
+func (*ConsistentHash) Order(key string, views []BackendView) []string {
+	type scored struct {
+		name  string
+		score uint64
+	}
+	ss := make([]scored, len(views))
+	for i, v := range views {
+		h := fnv.New64a()
+		h.Write([]byte(v.Name))
+		h.Write([]byte{0})
+		h.Write([]byte(key))
+		// FNV alone leaves (name, key) scores correlated for short names —
+		// the same backend would lead for almost every key. An avalanche
+		// finalizer (the 64-bit murmur3 mixer) decorrelates them.
+		ss[i] = scored{name: v.Name, score: mix64(h.Sum64())}
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].score != ss[j].score {
+			return ss[i].score > ss[j].score
+		}
+		return ss[i].name < ss[j].name
+	})
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.name
+	}
+	return out
+}
+
+// mix64 is the murmur3/splitmix finalizer: a bijective avalanche so every
+// input bit flips every output bit with probability ~1/2.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// LeastLoaded orders backends by ascending scraped queue depth, name
+// ascending on ties. The depth is the gauge from the control plane's last
+// probe sweep, not a live read — routing stays cheap and deterministic
+// between sweeps.
+type LeastLoaded struct{}
+
+// Name implements Policy.
+func (*LeastLoaded) Name() string { return "least-loaded" }
+
+// Order implements Policy.
+func (*LeastLoaded) Order(_ string, views []BackendView) []string {
+	vs := append([]BackendView(nil), views...)
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].QueueDepth != vs[j].QueueDepth {
+			return vs[i].QueueDepth < vs[j].QueueDepth
+		}
+		return vs[i].Name < vs[j].Name
+	})
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.Name
+	}
+	return out
+}
+
+// RoundRobin rotates the sorted backend list one position per request — the
+// fallback when keys carry no affinity and queue depths say nothing. The
+// rotation counter is the policy's only state; request i starts at backend
+// i mod N.
+type RoundRobin struct {
+	next atomic.Uint64
+}
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Order implements Policy.
+func (p *RoundRobin) Order(_ string, views []BackendView) []string {
+	n := len(views)
+	out := make([]string, n)
+	if n == 0 {
+		return out
+	}
+	start := int(p.next.Add(1)-1) % n
+	for i := 0; i < n; i++ {
+		out[i] = views[(start+i)%n].Name
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func views(names ...string) []BackendView {
+	vs := make([]BackendView, len(names))
+	for i, n := range names {
+		vs[i] = BackendView{Name: n}
+	}
+	return vs
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"hash", "least-loaded", "round-robin"} {
+		p, err := PolicyByName(name)
+		if err != nil {
+			t.Fatalf("PolicyByName(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("PolicyByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := PolicyByName("random"); err == nil {
+		t.Fatal("PolicyByName accepted an unknown policy")
+	}
+}
+
+func TestConsistentHashStableCompleteAndMinimal(t *testing.T) {
+	p := &ConsistentHash{}
+	vs := views("a", "b", "c", "d")
+	for _, key := range []string{"k1", "k2", "k3", "user-42"} {
+		o1 := p.Order(key, vs)
+		o2 := p.Order(key, vs)
+		if !reflect.DeepEqual(o1, o2) {
+			t.Fatalf("key %q: order not stable: %v vs %v", key, o1, o2)
+		}
+		seen := map[string]bool{}
+		for _, n := range o1 {
+			seen[n] = true
+		}
+		if len(o1) != 4 || len(seen) != 4 {
+			t.Fatalf("key %q: order %v is not a permutation", key, o1)
+		}
+	}
+
+	// Different keys spread across backends: over many keys every backend
+	// leads at least once.
+	lead := map[string]int{}
+	for i := 0; i < 64; i++ {
+		lead[p.Order(fmt.Sprintf("key-%d", i), vs)[0]]++
+	}
+	for _, v := range vs {
+		if lead[v.Name] == 0 {
+			t.Fatalf("backend %s never preferred across 64 keys: %v", v.Name, lead)
+		}
+	}
+
+	// The consistency property: removing one backend only remaps keys that
+	// preferred it — everyone else keeps their first choice.
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		full := p.Order(key, vs)
+		if full[0] == "d" {
+			continue
+		}
+		reduced := p.Order(key, views("a", "b", "c"))
+		if reduced[0] != full[0] {
+			t.Fatalf("key %q: first choice moved %s → %s when d left", key, full[0], reduced[0])
+		}
+	}
+}
+
+func TestLeastLoadedOrdersByDepthThenName(t *testing.T) {
+	p := &LeastLoaded{}
+	vs := []BackendView{
+		{Name: "a", QueueDepth: 5},
+		{Name: "b", QueueDepth: 0},
+		{Name: "c", QueueDepth: 5},
+		{Name: "d", QueueDepth: 2},
+	}
+	got := p.Order("ignored", vs)
+	want := []string{"b", "d", "a", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Order = %v, want %v", got, want)
+	}
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	p := &RoundRobin{}
+	vs := views("a", "b", "c")
+	var leads []string
+	for i := 0; i < 6; i++ {
+		leads = append(leads, p.Order("", vs)[0])
+	}
+	want := []string{"a", "b", "c", "a", "b", "c"}
+	if !reflect.DeepEqual(leads, want) {
+		t.Fatalf("round-robin leads = %v, want %v", leads, want)
+	}
+	if got := p.Order("", nil); len(got) != 0 {
+		t.Fatalf("empty views gave order %v", got)
+	}
+}

@@ -1,0 +1,331 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+
+	"bnff/internal/obs"
+	"bnff/internal/serve"
+)
+
+// Proxy is the fleet's request path: it orders the routable backends with
+// the control plane's policy, tries them in turn, and classifies each
+// failure — overload fails over and only surfaces as 429 when every backend
+// sheds, unavailability fails over and counts toward ejection, malformed
+// input is terminal.
+type Proxy struct {
+	cp *ControlPlane
+
+	mRequests  *obs.Counter
+	mFailovers *obs.Counter
+	mShed      *obs.Counter
+	mErrors    *obs.Counter
+	mReloads   *obs.Counter
+}
+
+// NewProxy builds a proxy over a fresh control plane.
+func NewProxy(cfg Config) *Proxy {
+	cp := NewControlPlane(cfg)
+	return &Proxy{
+		cp:         cp,
+		mRequests:  cp.cfg.Metrics.Counter("bnff_fleet_requests_total"),
+		mFailovers: cp.cfg.Metrics.Counter("bnff_fleet_failovers_total"),
+		mShed:      cp.cfg.Metrics.Counter("bnff_fleet_shed_total"),
+		mErrors:    cp.cfg.Metrics.Counter("bnff_fleet_errors_total"),
+		mReloads:   cp.cfg.Metrics.Counter("bnff_fleet_reloads_total"),
+	}
+}
+
+// ControlPlane exposes the proxy's control plane for registration, probing,
+// and status.
+func (p *Proxy) ControlPlane() *ControlPlane { return p.cp }
+
+// Predict routes one image: the policy orders the routable backends for the
+// key and the proxy walks the order until a backend answers. Overloaded
+// backends are skipped (serve.ErrOverloaded surfaces only when every
+// routable backend shed); unavailable backends are skipped with the failure
+// noted toward ejection; a bad-image error returns immediately — no backend
+// can answer it. With nothing routable it returns ErrNoBackends.
+func (p *Proxy) Predict(key string, img []float32) ([]float32, error) {
+	p.mRequests.Inc()
+	views := p.cp.routable()
+	if len(views) == 0 {
+		p.mErrors.Inc()
+		return nil, ErrNoBackends
+	}
+	order := p.cp.cfg.Policy.Order(key, views)
+	sawOverload := false
+	for i, name := range order {
+		conn, ok := p.cp.get(name)
+		if !ok { // deregistered between snapshot and dispatch
+			continue
+		}
+		logits, err := conn.Predict(img)
+		switch {
+		case err == nil:
+			if i > 0 {
+				p.mFailovers.Inc()
+			}
+			return logits, nil
+		case errors.Is(err, serve.ErrOverloaded):
+			sawOverload = true
+			continue
+		case errors.Is(err, serve.ErrBadImage):
+			return nil, err
+		default:
+			// Closed, draining, connection refused, 5xx: unavailable.
+			p.cp.NoteFailure(name)
+			continue
+		}
+	}
+	if sawOverload {
+		p.mShed.Inc()
+		return nil, serve.ErrOverloaded
+	}
+	p.mErrors.Inc()
+	return nil, ErrNoBackends
+}
+
+// maxIdlePolls bounds how many queue-depth polls RollingReload spends
+// waiting for a drained backend to go idle before proceeding anyway (the
+// hot-swap itself is safe under traffic; the wait just keeps the cutover
+// tidy).
+const maxIdlePolls = 200
+
+// RollingReload rolls a checkpoint through every registered backend one at
+// a time, in sorted-name order: drain (new work shifts to the other
+// backends), wait for the queue to empty, hot-swap, undrain, move on. At
+// most one backend is out of rotation at any moment, so fleet capacity
+// never drops below N−1. A backend that rejects the checkpoint aborts the
+// roll with the error after restoring that backend to service — earlier
+// backends keep the new generation, later ones keep the old, and the caller
+// decides whether to retry or roll back.
+func (p *Proxy) RollingReload(ckpt []byte) (map[string]uint64, error) {
+	start := p.cp.cfg.Tracer.Begin()
+	defer p.cp.cfg.Tracer.End("rolling-reload", "fleet", "", 0, start)
+
+	views := p.cp.routable()
+	if len(views) == 0 {
+		return nil, ErrNoBackends
+	}
+	gens := make(map[string]uint64, len(views))
+	for _, v := range views {
+		name := v.Name
+		conn, ok := p.cp.get(name)
+		if !ok {
+			continue
+		}
+		if err := p.cp.Drain(name); err != nil {
+			return gens, fmt.Errorf("fleet: draining %s: %w", name, err)
+		}
+		waitIdle(conn)
+		gen, err := conn.Reload(bytes.NewReader(ckpt))
+		if uerr := p.cp.Undrain(name); uerr != nil && err == nil {
+			err = uerr
+		}
+		if err != nil {
+			return gens, fmt.Errorf("fleet: reloading %s: %w", name, err)
+		}
+		gens[name] = gen
+		p.cp.setGeneration(name, gen)
+		p.mReloads.Inc()
+	}
+	return gens, nil
+}
+
+// waitIdle polls a drained backend's queue depth until it reaches zero or
+// the poll budget runs out. Iteration-capped rather than clock-based so the
+// wait is deterministic under test and bounded in production.
+func waitIdle(conn Conn) {
+	for i := 0; i < maxIdlePolls; i++ {
+		depth, err := conn.QueueDepth()
+		if err != nil || depth == 0 {
+			return
+		}
+	}
+}
+
+// Handler returns the proxy's HTTP surface:
+//
+//	POST /predict           route one image across the fleet (serve's body)
+//	GET  /healthz           proxy liveness
+//	GET  /readyz            200 while at least one backend is routable
+//	GET  /metrics           the fleet registry in Prometheus text format
+//	GET  /fleet/status      membership, states, generations as JSON
+//	POST /fleet/register    ?name=N&url=U — add an HTTP backend
+//	POST /fleet/deregister  ?name=N
+//	POST /fleet/drain       ?name=N — stop assignments, finish in-flight
+//	POST /fleet/undrain     ?name=N
+//	POST /fleet/reload      rolling hot-swap; body is the checkpoint image
+//
+// Predict routing honors an X-Route-Key header as the policy key; without
+// one the key is an FNV-1a digest of the image bytes, so identical images
+// keep backend affinity under the hash policy.
+func (p *Proxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /predict", p.handlePredict)
+	mux.HandleFunc("GET /healthz", p.handleHealthz)
+	mux.HandleFunc("GET /readyz", p.handleReadyz)
+	mux.HandleFunc("GET /metrics", p.handleMetrics)
+	mux.HandleFunc("GET /fleet/status", p.handleStatus)
+	mux.HandleFunc("POST /fleet/register", p.handleRegister)
+	mux.HandleFunc("POST /fleet/deregister", p.handleDeregister)
+	mux.HandleFunc("POST /fleet/drain", p.handleDrain)
+	mux.HandleFunc("POST /fleet/undrain", p.handleUndrain)
+	mux.HandleFunc("POST /fleet/reload", p.handleReload)
+	return mux
+}
+
+func (p *Proxy) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var in serve.PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	key := r.Header.Get("X-Route-Key")
+	if key == "" {
+		key = imageKey(in.Image)
+	}
+	logits, err := p.Predict(key, in.Image)
+	switch {
+	case errors.Is(err, serve.ErrOverloaded):
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, serve.ErrBadImage):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	case errors.Is(err, ErrNoBackends):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	resp := serve.PredictResponse{Logits: logits}
+	for i, v := range logits {
+		if v > logits[resp.Class] {
+			resp.Class = i
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// imageKey derives a routing key from the image bytes: FNV-1a over the
+// float bits, hex-encoded.
+func imageKey(img []float32) string {
+	h := fnv.New64a()
+	var b [4]byte
+	for _, v := range img {
+		bits := math.Float32bits(v)
+		b[0] = byte(bits)
+		b[1] = byte(bits >> 8)
+		b[2] = byte(bits >> 16)
+		b[3] = byte(bits >> 24)
+		h.Write(b[:])
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+func (p *Proxy) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (p *Proxy) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if len(p.cp.routable()) == 0 {
+		http.Error(w, ErrNoBackends.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
+}
+
+func (p *Proxy) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = p.cp.cfg.Metrics.WriteText(w)
+}
+
+func (p *Proxy) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, p.cp.Status())
+}
+
+func (p *Proxy) handleRegister(w http.ResponseWriter, r *http.Request) {
+	name, url := r.FormValue("name"), r.FormValue("url")
+	if name == "" || url == "" {
+		http.Error(w, "need name= and url=", http.StatusBadRequest)
+		return
+	}
+	if err := p.cp.Register(name, NewHTTPConn(url)); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "registered")
+}
+
+func (p *Proxy) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	if err := p.cp.Deregister(r.FormValue("name")); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "deregistered")
+}
+
+func (p *Proxy) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if err := p.cp.Drain(r.FormValue("name")); err != nil {
+		status := http.StatusBadGateway
+		if errors.Is(err, ErrUnknownBackend) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "draining")
+}
+
+func (p *Proxy) handleUndrain(w http.ResponseWriter, r *http.Request) {
+	if err := p.cp.Undrain(r.FormValue("name")); err != nil {
+		status := http.StatusBadGateway
+		if errors.Is(err, ErrUnknownBackend) {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (p *Proxy) handleReload(w http.ResponseWriter, r *http.Request) {
+	ckpt, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	gens, err := p.RollingReload(ckpt)
+	if err != nil {
+		status := http.StatusBadGateway
+		if errors.Is(err, ErrNoBackends) {
+			status = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, gens)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,196 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"bnff/internal/serve"
+)
+
+// keyPreferring finds a routing key whose hash order leads with the wanted
+// backend, so failover tests control which backend is tried first.
+func keyPreferring(t *testing.T, p Policy, vs []BackendView, want string) string {
+	t.Helper()
+	for i := 0; i < 256; i++ {
+		key := fmt.Sprintf("probe-%d", i)
+		if p.Order(key, vs)[0] == want {
+			return key
+		}
+	}
+	t.Fatalf("no key prefers backend %s", want)
+	return ""
+}
+
+func TestPredictNoBackends(t *testing.T) {
+	p := NewProxy(Config{})
+	if _, err := p.Predict("k", nil); !errors.Is(err, ErrNoBackends) {
+		t.Fatalf("err = %v, want ErrNoBackends", err)
+	}
+}
+
+func TestPredictFailoverPastUnavailableAndEjects(t *testing.T) {
+	down := &fakeConn{predictErr: fmt.Errorf("%w: connection refused", ErrUnavailable)}
+	up := &fakeConn{logits: []float32{1, 2, 3}}
+	p := NewProxy(Config{FailAfter: 3})
+	cp := p.ControlPlane()
+	if err := cp.Register("down", down); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Register("up", up); err != nil {
+		t.Fatal(err)
+	}
+	key := keyPreferring(t, cp.Policy(), cp.routable(), "down")
+
+	for i := 0; i < 3; i++ {
+		logits, err := p.Predict(key, nil)
+		if err != nil {
+			t.Fatalf("predict %d: %v", i, err)
+		}
+		if len(logits) != 3 || logits[0] != 1 {
+			t.Fatalf("predict %d: wrong logits %v", i, logits)
+		}
+	}
+	// Three failovers noted three failures: the dead backend is ejected and
+	// no longer even tried.
+	if cp.States()["down"] != StateEjected {
+		t.Fatal("dead backend not ejected after FailAfter predict-path failures")
+	}
+	before := down.count("predicts")
+	if _, err := p.Predict(key, nil); err != nil {
+		t.Fatal(err)
+	}
+	if down.count("predicts") != before {
+		t.Fatal("ejected backend still receives traffic")
+	}
+	if got := p.cp.Metrics().Counter("bnff_fleet_failovers_total").Value(); got != 3 {
+		t.Fatalf("failovers counter = %d, want 3", got)
+	}
+}
+
+func TestPredictOverloadSemantics(t *testing.T) {
+	shed := &fakeConn{predictErr: serve.ErrOverloaded}
+	up := &fakeConn{logits: []float32{9}}
+	p := NewProxy(Config{})
+	cp := p.ControlPlane()
+	if err := cp.Register("shed", shed); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Register("up", up); err != nil {
+		t.Fatal(err)
+	}
+	key := keyPreferring(t, cp.Policy(), cp.routable(), "shed")
+
+	// One backend shedding is invisible: the request lands on the other.
+	logits, err := p.Predict(key, nil)
+	if err != nil || logits[0] != 9 {
+		t.Fatalf("predict = %v, %v; want failover success", logits, err)
+	}
+	// Overload is not unavailability — no ejection evidence accrues.
+	if cp.Status().Backends[0].Failures != 0 {
+		t.Fatal("overload counted toward ejection")
+	}
+
+	// Every backend shedding surfaces as ErrOverloaded (429), not 503.
+	up.set(func(f *fakeConn) { f.predictErr = serve.ErrOverloaded })
+	if _, err := p.Predict(key, nil); !errors.Is(err, serve.ErrOverloaded) {
+		t.Fatalf("all-overloaded err = %v, want serve.ErrOverloaded", err)
+	}
+	if got := p.cp.Metrics().Counter("bnff_fleet_shed_total").Value(); got != 1 {
+		t.Fatalf("shed counter = %d, want 1", got)
+	}
+}
+
+func TestPredictBadImageIsTerminal(t *testing.T) {
+	bad := &fakeConn{predictErr: fmt.Errorf("%w: got 3 floats", serve.ErrBadImage)}
+	other := &fakeConn{logits: []float32{1}}
+	p := NewProxy(Config{})
+	cp := p.ControlPlane()
+	if err := cp.Register("bad", bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Register("other", other); err != nil {
+		t.Fatal(err)
+	}
+	key := keyPreferring(t, cp.Policy(), cp.routable(), "bad")
+	if _, err := p.Predict(key, nil); !errors.Is(err, serve.ErrBadImage) {
+		t.Fatalf("err = %v, want serve.ErrBadImage", err)
+	}
+	if other.count("predicts") != 0 {
+		t.Fatal("bad image was retried on another backend")
+	}
+}
+
+func TestRollingReloadDrainsOneAtATime(t *testing.T) {
+	a, b, c := &fakeConn{}, &fakeConn{}, &fakeConn{}
+	p := NewProxy(Config{})
+	cp := p.ControlPlane()
+	if err := cp.Register("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Register("b", b); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Register("c", c); err != nil {
+		t.Fatal(err)
+	}
+	gens, err := p.RollingReload([]byte("ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		if gens[name] != 1 {
+			t.Fatalf("generation map %v, want 1 for %s", gens, name)
+		}
+	}
+	for i, conn := range []*fakeConn{a, b, c} {
+		if conn.count("drains") != 1 || conn.count("undrains") != 1 || conn.count("reloads") != 1 {
+			t.Fatalf("backend %d: drains/undrains/reloads = %d/%d/%d, want 1/1/1",
+				i, conn.count("drains"), conn.count("undrains"), conn.count("reloads"))
+		}
+	}
+	if cp.States()["a"] != StateActive || cp.States()["b"] != StateActive || cp.States()["c"] != StateActive {
+		t.Fatal("backends not restored to active after the roll")
+	}
+	st := cp.Status()
+	for _, bs := range st.Backends {
+		if bs.Generation != 1 {
+			t.Fatalf("status generation %+v, want 1", bs)
+		}
+	}
+}
+
+func TestRollingReloadAbortsOnRejectionAndRestoresService(t *testing.T) {
+	a := &fakeConn{}
+	b := &fakeConn{reloadErr: errors.New("checkpoint rejected")}
+	c := &fakeConn{}
+	p := NewProxy(Config{})
+	cp := p.ControlPlane()
+	if err := cp.Register("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Register("b", b); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Register("c", c); err != nil {
+		t.Fatal(err)
+	}
+	gens, err := p.RollingReload([]byte("ckpt"))
+	if err == nil {
+		t.Fatal("rolling reload swallowed a backend rejection")
+	}
+	if gens["a"] != 1 {
+		t.Fatalf("first backend should have reloaded before the abort: %v", gens)
+	}
+	if _, ok := gens["c"]; ok {
+		t.Fatalf("roll continued past the rejecting backend: %v", gens)
+	}
+	if c.count("reloads") != 0 {
+		t.Fatal("later backend was reloaded after the abort")
+	}
+	// The rejecting backend is back in rotation — a failed roll must not
+	// shrink capacity.
+	if cp.States()["b"] != StateActive {
+		t.Fatal("rejecting backend left out of rotation")
+	}
+}

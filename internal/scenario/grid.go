@@ -24,7 +24,8 @@ type Grid struct {
 }
 
 // DefaultGrid renders the builtin registry as a grid, with the smoke subset
-// covering one restructured training run and every chaos serve drill.
+// covering one restructured training run, every chaos serve drill, and the
+// fleet failover and rolling-reload drills.
 func DefaultGrid() *Grid {
 	reg := Builtin()
 	g := &Grid{
@@ -38,6 +39,8 @@ func DefaultGrid() *Grid {
 			"serve/tiny-densenet/overload",
 			"serve/tiny-cnn/replica-crash",
 			"serve/tiny-cnn/disk-full-checkpoint",
+			"serve/fleet/tiny-cnn/backend-crash",
+			"serve/fleet/tiny-cnn/rolling-reload",
 		},
 	}
 	return g

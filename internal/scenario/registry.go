@@ -227,6 +227,63 @@ func Builtin() *Registry {
 		},
 	)
 
+	// Fleet serving: identical folded plain-CNN engines behind the front
+	// proxy. The steady ladder at 1/2/4 backends records the multi-process
+	// requests-per-second scaling; the drills exercise the fleet's failure
+	// contracts — a backend crash loses zero accepted requests, a rolling
+	// checkpoint reload stays bit-identical to one generation per answer,
+	// and a fully saturated fleet sheds instead of queueing without bound.
+	for _, n := range []int{1, 2, 4} {
+		specs = append(specs, Spec{
+			Name:     fmt.Sprintf("serve/fleet/tiny-cnn/rps%d", n),
+			Kind:     KindServe,
+			Model:    "tiny-cnn",
+			Seed:     42,
+			Fold:     true,
+			Traffic:  TrafficSteady,
+			Backends: n,
+		})
+	}
+	specs = append(specs,
+		Spec{
+			Name:     "serve/fleet/tiny-cnn/backend-crash",
+			Kind:     KindServe,
+			Model:    "tiny-cnn",
+			Seed:     42,
+			Fold:     true,
+			Traffic:  TrafficBackendCrash,
+			Backends: 2,
+			Requests: 48,
+		},
+		Spec{
+			Name:     "serve/fleet/tiny-cnn/rolling-reload",
+			Kind:     KindServe,
+			Model:    "tiny-cnn",
+			Seed:     42,
+			Fold:     true,
+			Traffic:  TrafficRollingReload,
+			Backends: 2,
+			Requests: 48,
+		},
+		// The fleet overload twin of serve/tiny-densenet/overload: the same
+		// slow composite-layer model and 2-deep queues, but 12 clients press
+		// against two single-replica backends through the proxy — requests
+		// shed only once every backend's queue is full.
+		Spec{
+			Name:       "serve/fleet/tiny-densenet/proxy-overload",
+			Kind:       KindServe,
+			Model:      "tiny-densenet",
+			Seed:       42,
+			Traffic:    TrafficProxyOverload,
+			Backends:   2,
+			Requests:   48,
+			Clients:    12,
+			QueueDepth: 2,
+			MaxBatch:   4,
+			Replicas:   1,
+		},
+	)
+
 	r, err := NewRegistry(specs...)
 	if err != nil {
 		panic("scenario: builtin registry invalid: " + err.Error())

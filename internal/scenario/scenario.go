@@ -16,6 +16,7 @@ import (
 
 	"bnff/internal/core"
 	"bnff/internal/ddp"
+	"bnff/internal/fleet"
 	"bnff/internal/models"
 	"bnff/internal/parallel"
 )
@@ -27,20 +28,36 @@ const (
 )
 
 // Serve traffic shapes. The first three are steady-state load patterns; the
-// last three are chaos drills with embedded assertions (see Checks).
+// next three are single-engine chaos drills; the last three are fleet drills
+// that route every request through a front proxy over Backends engines. All
+// drills carry embedded assertions (see Checks).
 const (
-	TrafficSteady     = "steady"
-	TrafficBursty     = "bursty"
-	TrafficSlowClient = "slow-client"
-	TrafficOverload   = "overload"
-	TrafficCrash      = "replica-crash"
-	TrafficDiskFull   = "disk-full-checkpoint"
+	TrafficSteady        = "steady"
+	TrafficBursty        = "bursty"
+	TrafficSlowClient    = "slow-client"
+	TrafficOverload      = "overload"
+	TrafficCrash         = "replica-crash"
+	TrafficDiskFull      = "disk-full-checkpoint"
+	TrafficBackendCrash  = "backend-crash-failover"
+	TrafficRollingReload = "rolling-reload"
+	TrafficProxyOverload = "proxy-overload"
 )
 
 // trafficShapes lists every traffic shape in presentation order.
 func trafficShapes() []string {
 	return []string{TrafficSteady, TrafficBursty, TrafficSlowClient,
-		TrafficOverload, TrafficCrash, TrafficDiskFull}
+		TrafficOverload, TrafficCrash, TrafficDiskFull,
+		TrafficBackendCrash, TrafficRollingReload, TrafficProxyOverload}
+}
+
+// fleetTraffic reports whether the shape is one of the fleet drills, which
+// run behind a front proxy and require at least two backends.
+func fleetTraffic(shape string) bool {
+	switch shape {
+	case TrafficBackendCrash, TrafficRollingReload, TrafficProxyOverload:
+		return true
+	}
+	return false
 }
 
 // Spec declares one experiment scenario. The zero value is not runnable;
@@ -55,7 +72,7 @@ func trafficShapes() []string {
 //     (local|sync, default local; sync requires replicas > 1 and an MVF
 //     restructuring).
 //   - serve only: Fold, MaxBatch, MaxWaitMS, QueueDepth, Traffic,
-//     Requests, Clients, Burst, ClientDelayMS.
+//     Requests, Clients, Burst, ClientDelayMS, Backends, Policy.
 //
 // Setting a field of the other kind is a Normalize error, so a grid cannot
 // silently carry dead configuration.
@@ -90,6 +107,14 @@ type Spec struct {
 	Clients       int    `json:"clients,omitempty"`
 	Burst         int    `json:"burst,omitempty"`
 	ClientDelayMS int    `json:"client_delay_ms,omitempty"`
+
+	// Fleet fields (serve only). Backends > 0 routes every request through a
+	// front proxy over that many identical engines instead of one engine
+	// directly; Policy names the routing policy (hash, least-loaded,
+	// round-robin; default hash). The fleet drill shapes require Backends >= 2
+	// so capacity stays at N-1 while one backend is down or draining.
+	Backends int    `json:"backends,omitempty"`
+	Policy   string `json:"policy,omitempty"`
 }
 
 // Normalize fills defaults in place and validates the result. It is
@@ -146,7 +171,8 @@ func (s *Spec) Normalize() error {
 func (s *Spec) normalizeTrain() error {
 	if s.Fold || s.MaxBatch != 0 || s.MaxWaitMS != 0 ||
 		s.QueueDepth != 0 || s.Traffic != "" || s.Requests != 0 ||
-		s.Clients != 0 || s.Burst != 0 || s.ClientDelayMS != 0 {
+		s.Clients != 0 || s.Burst != 0 || s.ClientDelayMS != 0 ||
+		s.Backends != 0 || s.Policy != "" {
 		return fmt.Errorf("scenario %q: serve fields set on a train scenario", s.Name)
 	}
 	if s.Batch == 0 {
@@ -289,6 +315,31 @@ func (s *Spec) normalizeServe() error {
 	if s.Traffic == TrafficCrash && s.Replicas < 2 {
 		return fmt.Errorf("scenario %q: %s needs at least 2 replicas to keep serving", s.Name, TrafficCrash)
 	}
+	if fleetTraffic(s.Traffic) && s.Backends == 0 {
+		s.Backends = 2
+	}
+	if s.Backends != 0 {
+		switch {
+		case s.Traffic == TrafficSteady, fleetTraffic(s.Traffic):
+		default:
+			return fmt.Errorf("scenario %q: backends apply only to %s traffic and the fleet drills, not %s",
+				s.Name, TrafficSteady, s.Traffic)
+		}
+		if s.Backends < 1 {
+			return fmt.Errorf("scenario %q: backends %d must be positive", s.Name, s.Backends)
+		}
+		if fleetTraffic(s.Traffic) && s.Backends < 2 {
+			return fmt.Errorf("scenario %q: %s needs at least 2 backends to keep capacity at N-1", s.Name, s.Traffic)
+		}
+		if s.Policy == "" {
+			s.Policy = "hash"
+		}
+		if _, err := fleet.PolicyByName(s.Policy); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	} else if s.Policy != "" {
+		return fmt.Errorf("scenario %q: policy applies only to fleet scenarios (backends > 0)", s.Name)
+	}
 	return nil
 }
 
@@ -325,6 +376,12 @@ func (s Spec) Checks() []string {
 		checks = append(checks, "replica-crash-recovery")
 	case TrafficDiskFull:
 		checks = append(checks, "checkpoint-survives-failed-save")
+	case TrafficBackendCrash:
+		checks = append(checks, "backend-failover-zero-loss")
+	case TrafficRollingReload:
+		checks = append(checks, "rolling-reload-bit-identical")
+	case TrafficProxyOverload:
+		checks = append(checks, "proxy-overload-sheds")
 	}
 	return checks
 }

@@ -45,6 +45,19 @@ func TestNormalizeDefaults(t *testing.T) {
 		v.Workers != 1 || v.Repeats != 3 {
 		t.Errorf("serve defaults wrong: %+v", v)
 	}
+	if v.Backends != 0 || v.Policy != "" {
+		t.Errorf("non-fleet serve spec grew fleet defaults: %+v", v)
+	}
+
+	// Fleet drill: backends default to 2 and the policy to hash.
+	f := validServe()
+	f.Traffic = TrafficRollingReload
+	if err := f.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Backends != 2 || f.Policy != "hash" {
+		t.Errorf("fleet defaults wrong: backends %d policy %q", f.Backends, f.Policy)
+	}
 }
 
 func TestNormalizeCanonicalizesAliases(t *testing.T) {
@@ -96,6 +109,7 @@ func TestNormalizeErrorPaths(t *testing.T) {
 		{"unknown schedule", func(s *Spec) { s.Schedule = "cyclic" }, "unknown schedule"},
 		{"fold on train", func(s *Spec) { s.Fold = true }, "serve fields"},
 		{"traffic on train", func(s *Spec) { s.Traffic = TrafficSteady }, "serve fields"},
+		{"backends on train", func(s *Spec) { s.Backends = 2 }, "serve fields"},
 		{"negative replicas", func(s *Spec) { s.Replicas = -2 }, "replicas"},
 		{"indivisible shard", func(s *Spec) { s.Batch = 8; s.Replicas = 3 }, "shard"},
 		{"unknown bn strategy", func(s *Spec) { s.Replicas = 2; s.BNStrategy = "async" }, "BN strategy"},
@@ -131,6 +145,10 @@ func TestNormalizeErrorPaths(t *testing.T) {
 		{"burst on steady", func(s *Spec) { s.Burst = 4 }, "burst only applies"},
 		{"delay on steady", func(s *Spec) { s.ClientDelayMS = 5 }, "client_delay_ms only applies"},
 		{"crash with one replica", func(s *Spec) { s.Traffic = TrafficCrash; s.Replicas = 1 }, "2 replicas"},
+		{"backends on bursty", func(s *Spec) { s.Traffic = TrafficBursty; s.Backends = 2 }, "backends apply only"},
+		{"one-backend fleet drill", func(s *Spec) { s.Traffic = TrafficBackendCrash; s.Backends = 1 }, "2 backends"},
+		{"policy without backends", func(s *Spec) { s.Policy = "hash" }, "backends > 0"},
+		{"unknown policy", func(s *Spec) { s.Traffic = TrafficProxyOverload; s.Policy = "sticky" }, "unknown policy"},
 	}
 	for _, tc := range serveCases {
 		s := validServe()
@@ -174,12 +192,15 @@ func TestChecksPerShape(t *testing.T) {
 		t.Errorf("train checks = %v", got)
 	}
 	wantExtra := map[string]string{
-		TrafficSteady:     "",
-		TrafficBursty:     "",
-		TrafficSlowClient: "",
-		TrafficOverload:   "overload-sheds",
-		TrafficCrash:      "replica-crash-recovery",
-		TrafficDiskFull:   "checkpoint-survives-failed-save",
+		TrafficSteady:        "",
+		TrafficBursty:        "",
+		TrafficSlowClient:    "",
+		TrafficOverload:      "overload-sheds",
+		TrafficCrash:         "replica-crash-recovery",
+		TrafficDiskFull:      "checkpoint-survives-failed-save",
+		TrafficBackendCrash:  "backend-failover-zero-loss",
+		TrafficRollingReload: "rolling-reload-bit-identical",
+		TrafficProxyOverload: "proxy-overload-sheds",
 	}
 	for traffic, extra := range wantExtra {
 		s := validServe()

@@ -56,6 +56,11 @@ type Config struct {
 	// elsewhere. With a nil Metrics the engine creates a private registry, so
 	// GET /metrics always has something to expose.
 	Metrics *obs.Registry
+
+	// Tracer, when non-nil, records engine lifecycle spans (currently the
+	// "reload" span around each checkpoint hot-swap). A nil tracer is the
+	// disabled state, free on every path.
+	Tracer *obs.Tracer
 }
 
 // withDefaults returns the config with unset fields defaulted.

@@ -30,24 +30,35 @@ type result struct {
 	err    error
 }
 
+// model is one immutable checkpoint generation. Reload swaps the engine's
+// current *model atomically; replicas notice the generation change between
+// micro-batches, drop their old executors, and rebuild lazily from the new
+// blob — so a reload never stalls the request path.
+type model struct {
+	blob []byte
+	gen  uint64
+}
+
 // Engine is the micro-batching inference server: a bounded request queue
 // drained by Replicas worker goroutines, each coalescing up to MaxBatch
 // queued images into one executor forward pass.
 type Engine struct {
 	cfg     Config
 	builder Builder
-	ckpt    []byte // checkpoint image every replica executor loads from
+	model   atomic.Pointer[model] // current checkpoint generation
 
 	imgShape tensor.Shape // per-image dims (input shape minus batch)
 	imgLen   int
 	classes  int
 
-	queue    chan *request
-	stop     chan struct{} // closed by Close: replicas finish and exit
-	done     chan struct{} // closed by Close after replicas exit and the queue drains
-	closed   atomic.Bool
-	wg       sync.WaitGroup
-	rejected atomic.Uint64
+	queue     chan *request
+	stop      chan struct{} // closed by Close: replicas finish and exit
+	done      chan struct{} // closed by Close after replicas exit and the queue drains
+	closed    atomic.Bool
+	draining  atomic.Bool // Drain: refuse new requests, finish queued ones
+	reloading atomic.Bool // Reload in flight: /readyz reports 503
+	wg        sync.WaitGroup
+	rejected  atomic.Uint64
 
 	// Metrics registry and its pre-resolved handles (atomic counters; the
 	// request path never takes the registry lock).
@@ -58,6 +69,9 @@ type Engine struct {
 	mQueueDepth *obs.Gauge
 	mOccupancy  *obs.Gauge
 	mLatency    *obs.Histogram
+	mReloads    *obs.Counter
+	mGeneration *obs.Gauge
+	mDraining   *obs.Gauge
 
 	replicas []*replica
 }
@@ -89,12 +103,12 @@ func newEngine(builder Builder, ckpt io.Reader, cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:     cfg,
 		builder: builder,
-		ckpt:    blob,
 		queue:   make(chan *request, cfg.QueueDepth),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 		metrics: cfg.Metrics,
 	}
+	e.model.Store(&model{blob: blob, gen: 1})
 	if e.metrics == nil {
 		e.metrics = obs.NewRegistry()
 	}
@@ -104,6 +118,10 @@ func newEngine(builder Builder, ckpt io.Reader, cfg Config) (*Engine, error) {
 	e.mQueueDepth = e.metrics.Gauge("bnff_serve_queue_depth")
 	e.mOccupancy = e.metrics.Gauge("bnff_serve_batch_occupancy")
 	e.mLatency = e.metrics.Histogram("bnff_serve_latency_ns")
+	e.mReloads = e.metrics.Counter("bnff_serve_reloads_total")
+	e.mGeneration = e.metrics.Gauge("bnff_serve_generation")
+	e.mDraining = e.metrics.Gauge("bnff_serve_draining")
+	e.mGeneration.Set(1)
 
 	// Probe at batch size 1: resolves the input/output shapes and fails fast
 	// on a checkpoint/model mismatch before any request is accepted.
@@ -134,6 +152,7 @@ func newEngine(builder Builder, ckpt io.Reader, cfg Config) (*Engine, error) {
 		e.replicas[i] = &replica{
 			e:     e,
 			index: i,
+			gen:   1,
 			execs: map[int]*core.Executor{},
 			stats: replicaStats{batchHist: make([]uint64, cfg.MaxBatch)},
 			die:   make(chan struct{}),
@@ -145,8 +164,15 @@ func newEngine(builder Builder, ckpt io.Reader, cfg Config) (*Engine, error) {
 }
 
 // buildExecutor constructs and checkpoint-loads an inference executor at the
-// given batch size, folded when the config asks for it.
+// given batch size from the engine's current model generation.
 func (e *Engine) buildExecutor(batch int) (*core.Executor, error) {
+	return e.buildExecutorFrom(e.model.Load().blob, batch)
+}
+
+// buildExecutorFrom constructs and loads an inference executor at the given
+// batch size from an explicit checkpoint image, folded when the config asks
+// for it.
+func (e *Engine) buildExecutorFrom(blob []byte, batch int) (*core.Executor, error) {
 	g, err := e.builder(batch)
 	if err != nil {
 		return nil, fmt.Errorf("serve: building batch-%d graph: %w", batch, err)
@@ -163,7 +189,7 @@ func (e *Engine) buildExecutor(batch int) (*core.Executor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: batch-%d executor: %w", batch, err)
 	}
-	if err := exec.Load(bytes.NewReader(e.ckpt)); err != nil {
+	if err := exec.Load(bytes.NewReader(blob)); err != nil {
 		return nil, fmt.Errorf("serve: loading checkpoint into batch-%d executor: %w", batch, err)
 	}
 	return exec, nil
@@ -209,6 +235,9 @@ func (e *Engine) Predict(img []float32) ([]float32, error) {
 	if e.closed.Load() {
 		return nil, ErrClosed
 	}
+	if e.draining.Load() {
+		return nil, ErrDraining
+	}
 	if len(img) != e.imgLen {
 		return nil, fmt.Errorf("%w: got %d floats, model takes %d", ErrBadImage, len(img), e.imgLen)
 	}
@@ -240,6 +269,8 @@ func (e *Engine) Stats() Stats {
 	st := Stats{
 		Rejected:   e.rejected.Load(),
 		QueueDepth: len(e.queue),
+		Generation: e.model.Load().gen,
+		Draining:   e.draining.Load(),
 		BatchHist:  make([]uint64, e.cfg.MaxBatch),
 	}
 	var lat [latBuckets]uint64
@@ -267,6 +298,84 @@ func (e *Engine) Metrics() *obs.Registry { return e.metrics }
 
 // Closed reports whether Close has begun.
 func (e *Engine) Closed() bool { return e.closed.Load() }
+
+// Drain puts the engine into its drain state: Predict refuses new requests
+// with ErrDraining while everything already queued finishes normally. A
+// fleet proxy drains a backend before reloading or retiring it so capacity
+// shifts without dropping accepted work; Undrain reverses it.
+func (e *Engine) Drain() {
+	e.draining.Store(true)
+	e.mDraining.Set(1)
+}
+
+// Undrain returns a drained engine to service.
+func (e *Engine) Undrain() {
+	e.draining.Store(false)
+	e.mDraining.Set(0)
+}
+
+// Draining reports whether the engine is in its drain state.
+func (e *Engine) Draining() bool { return e.draining.Load() }
+
+// Ready reports readiness — whether the engine should receive new
+// assignments — and, when not ready, the reason ("closed", "draining",
+// "reloading"). Liveness (Closed) and readiness differ exactly while
+// draining or mid-reload: the process is healthy but must not be routed to.
+func (e *Engine) Ready() (bool, string) {
+	switch {
+	case e.closed.Load():
+		return false, "closed"
+	case e.draining.Load():
+		return false, "draining"
+	case e.reloading.Load():
+		return false, "reloading"
+	}
+	return true, ""
+}
+
+// Generation returns the current model generation: 1 at Load, +1 per
+// successful Reload.
+func (e *Engine) Generation() uint64 { return e.model.Load().gen }
+
+// QueueDepth returns the instantaneous number of queued requests — the load
+// signal a least-loaded router balances on.
+func (e *Engine) QueueDepth() int { return len(e.queue) }
+
+// Reload hot-swaps the served checkpoint with zero downtime: the new image
+// is read and validated (built and loaded into a probe executor, through the
+// BN-fold compile when the engine folds), then published atomically as the
+// next model generation. Replicas notice the generation change between
+// micro-batches, finish the batch in hand on the old executors, drop them —
+// releasing the old parameter and workspace memory — and rebuild lazily from
+// the new image. Requests keep flowing throughout; a failed validation
+// leaves the old generation serving untouched. One reload at a time:
+// concurrent calls get ErrReloadBusy.
+func (e *Engine) Reload(ckpt io.Reader) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if !e.reloading.CompareAndSwap(false, true) {
+		return ErrReloadBusy
+	}
+	defer e.reloading.Store(false)
+	start := e.cfg.Tracer.Begin()
+	defer e.cfg.Tracer.End("reload", "serve", "", 0, start)
+	blob, err := io.ReadAll(ckpt)
+	if err != nil {
+		return fmt.Errorf("serve: reading reload checkpoint: %w", err)
+	}
+	// Validate beside the old generation: the probe executor must build and
+	// load (and fold) before anything is published.
+	if _, err := e.buildExecutorFrom(blob, 1); err != nil {
+		return fmt.Errorf("serve: reload rejected: %w", err)
+	}
+	old := e.model.Load()
+	next := &model{blob: blob, gen: old.gen + 1}
+	e.model.Store(next)
+	e.mReloads.Inc()
+	e.mGeneration.Set(int64(next.gen))
+	return nil
+}
 
 // Replicas returns the engine's replica count.
 func (e *Engine) Replicas() int { return len(e.replicas) }

@@ -15,6 +15,7 @@ import (
 type replica struct {
 	e     *Engine
 	index int
+	gen   uint64                 // model generation the cached executors serve
 	execs map[int]*core.Executor // keyed by batch size, loop-goroutine-local after start
 	stats replicaStats
 	buf   []*request // reusable collect buffer
@@ -82,7 +83,16 @@ func (r *replica) collect(first *request) []*request {
 func (r *replica) run(batch []*request) {
 	r.buf = batch[:0] // reclaim the backing array for the next collect
 	k := len(batch)
-	exec, err := r.exec(k)
+	// The atomic reload flip: a new model generation published since the last
+	// batch retires this replica's executors wholesale — the old parameters
+	// and workspaces go back to the collector — and the new generation builds
+	// lazily per batch size. Each batch runs entirely on one generation.
+	m := r.e.model.Load()
+	if m.gen != r.gen {
+		r.execs = make(map[int]*core.Executor)
+		r.gen = m.gen
+	}
+	exec, err := r.exec(k, m)
 	if err != nil {
 		r.fail(batch, err)
 		return
@@ -116,12 +126,12 @@ func (r *replica) run(batch []*request) {
 }
 
 // exec returns the replica's executor for batch size k, building and
-// checkpoint-loading it on first use.
-func (r *replica) exec(k int) (*core.Executor, error) {
+// checkpoint-loading it from the given model generation on first use.
+func (r *replica) exec(k int, m *model) (*core.Executor, error) {
 	if ex, ok := r.execs[k]; ok {
 		return ex, nil
 	}
-	ex, err := r.e.buildExecutor(k)
+	ex, err := r.e.buildExecutorFrom(m.blob, k)
 	if err != nil {
 		return nil, err
 	}

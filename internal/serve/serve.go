@@ -49,3 +49,12 @@ var ErrOverloaded = errors.New("serve: request queue full")
 
 // ErrClosed is returned by Predict once the engine has shut down.
 var ErrClosed = errors.New("serve: engine closed")
+
+// ErrDraining is returned by Predict while the engine is in its drain state:
+// new requests are refused (a fleet proxy retries them on another backend)
+// while requests already queued finish normally. HTTP maps it to 503.
+var ErrDraining = errors.New("serve: engine draining")
+
+// ErrReloadBusy is returned by Reload when another reload is still in
+// flight; retry once the first one has swapped or failed (HTTP 409).
+var ErrReloadBusy = errors.New("serve: reload already in progress")

@@ -27,18 +27,29 @@ type PredictResponse struct {
 // Handler returns the engine's HTTP ops surface:
 //
 //	POST /predict  one image in, logits + argmax class out
-//	GET  /healthz  200 while serving, 503 once closed
+//	GET  /healthz  liveness: 200 until Close, 503 after
+//	GET  /readyz   readiness: 200 while routable, 503 draining/reloading/closed
 //	GET  /stats    Stats snapshot as JSON
 //	GET  /metrics  the engine's registry in Prometheus text format
+//	POST /reload   hot-swap the checkpoint (raw image as request body)
+//	POST /drain    enter the drain state (refuse new work, finish queued)
+//	POST /undrain  leave the drain state
 //
-// Load shedding maps to status codes: a full queue answers 429, a closed
-// engine 503, a malformed or wrong-sized image 400.
+// Load shedding maps to status codes: a full queue answers 429, a closed or
+// draining engine 503, a malformed or wrong-sized image 400, a concurrent
+// reload 409. Liveness and readiness split so a fleet proxy can stop
+// routing to a backend (readyz 503) without its supervisor killing the
+// process (healthz still 200).
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /predict", e.handlePredict)
 	mux.HandleFunc("GET /healthz", e.handleHealthz)
+	mux.HandleFunc("GET /readyz", e.handleReadyz)
 	mux.HandleFunc("GET /stats", e.handleStats)
 	mux.HandleFunc("GET /metrics", e.handleMetrics)
+	mux.HandleFunc("POST /reload", e.handleReload)
+	mux.HandleFunc("POST /drain", e.handleDrain)
+	mux.HandleFunc("POST /undrain", e.handleUndrain)
 	return mux
 }
 
@@ -53,7 +64,7 @@ func (e *Engine) handlePredict(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrOverloaded):
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
 		return
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrDraining):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	case errors.Is(err, ErrBadImage):
@@ -77,6 +88,50 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		http.Error(w, "closed", http.StatusServiceUnavailable)
 		return
 	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (e *Engine) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if ok, reason := e.Ready(); !ok {
+		http.Error(w, reason, http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
+}
+
+// ReloadResponse is the POST /reload reply.
+type ReloadResponse struct {
+	Generation uint64 `json:"generation"`
+}
+
+func (e *Engine) handleReload(w http.ResponseWriter, r *http.Request) {
+	err := e.Reload(r.Body)
+	switch {
+	case errors.Is(err, ErrReloadBusy):
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	case errors.Is(err, ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		// The probe rejected the image: a client-side checkpoint problem, and
+		// the old generation is still serving.
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, ReloadResponse{Generation: e.Generation()})
+}
+
+func (e *Engine) handleDrain(w http.ResponseWriter, _ *http.Request) {
+	e.Drain()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "draining")
+}
+
+func (e *Engine) handleUndrain(w http.ResponseWriter, _ *http.Request) {
+	e.Undrain()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
@@ -127,6 +182,10 @@ func Daemon(ctx context.Context, addr string, e *Engine) error {
 		return err
 	case <-ctx.Done():
 	}
+	// Drain first: a fleet proxy probing /readyz sees 503 and stops routing
+	// here, stragglers get ErrDraining (retried elsewhere), and the requests
+	// already accepted finish inside the HTTP grace window before Close.
+	e.Drain()
 	sdCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 	defer cancel()
 	err := srv.Shutdown(sdCtx)

@@ -52,6 +52,12 @@ type Stats struct {
 	Rejected uint64 `json:"rejected"`
 	// QueueDepth is the instantaneous number of queued requests.
 	QueueDepth int `json:"queue_depth"`
+	// Generation is the model generation being served: 1 at Load, +1 per
+	// successful Reload.
+	Generation uint64 `json:"generation"`
+	// Draining reports the explicit drain state (new requests refused while
+	// queued ones finish).
+	Draining bool `json:"draining"`
 	// BatchHist[i] is the number of dispatched batches of size i+1, up to
 	// MaxBatch.
 	BatchHist []uint64 `json:"batch_hist"`
