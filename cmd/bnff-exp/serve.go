@@ -214,6 +214,17 @@ func (r *runner) runPlan(sp scenario.Spec, predict predictFn, n int, images [][]
 		failCheck, failDetail   string
 	}
 	clients := len(plan.PerClient)
+	// Overload drills gate every client's first send on a shared barrier so
+	// the queue-full shed contract holds structurally — all clients provably
+	// hold a request in flight together, exceeding queue + max-batch capacity
+	// — rather than depending on a forward pass slow enough for
+	// unsynchronized clients to pile up behind. The blocked compute core made
+	// forwards fast enough to drain a 2-deep queue between staggered client
+	// starts, which is exactly the race this removes.
+	var gate *parallel.Barrier
+	if sp.Traffic == scenario.TrafficOverload || sp.Traffic == scenario.TrafficProxyOverload {
+		gate = parallel.NewBarrier(clients)
+	}
 	slots := clients
 	if concurrent != nil {
 		slots++
@@ -227,7 +238,10 @@ func (r *runner) runPlan(sp scenario.Spec, predict predictFn, n int, images [][]
 				continue
 			}
 			t := &tallies[c]
-			for _, op := range plan.PerClient[c] {
+			for i, op := range plan.PerClient[c] {
+				if i == 0 {
+					gate.Arrive() // nil gate is open: non-overload traffic never waits
+				}
 				if op.DelayNs > 0 {
 					time.Sleep(time.Duration(op.DelayNs))
 				}

@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -272,13 +273,32 @@ func summarize(w *os.File, results []scenarioResult) error {
 		return measured, 1 - convShare
 	}
 
+	// shareGap is the total-variation distance between the measured and
+	// modeled per-class share distributions (Σ|measured−modeled|/2): 0 means
+	// the measured breakdown matches the roofline model exactly, 1 means
+	// disjoint. The blocked-kernel work tracks this converging toward 0.
+	shareGap := func(r scenarioResult) float64 {
+		var gap float64
+		seen := make(map[string]bool, len(r.measured.Rows))
+		for _, row := range r.measured.Rows {
+			gap += math.Abs(row.Share - r.modeled[row.Cat])
+			seen[row.Cat] = true
+		}
+		for _, row := range obs.CompareShares(nil, r.modeled) {
+			if !seen[row.Cat] {
+				gap += row.Modeled
+			}
+		}
+		return gap / 2
+	}
+
 	fmt.Fprintf(w, "== non-CONV share by scenario (measured vs modeled) ==\n")
-	fmt.Fprintf(w, "%-10s %12s %12s %12s\n", "scenario", "total ms", "non-CONV", "modeled")
+	fmt.Fprintf(w, "%-10s %12s %12s %12s %12s\n", "scenario", "total ms", "non-CONV", "modeled", "share gap")
 	sort.SliceStable(results, func(i, j int) bool { return results[i].scenario < results[j].scenario })
 	for _, r := range results {
 		m, p := nonConv(r)
-		fmt.Fprintf(w, "%-10v %12.3f %11.1f%% %11.1f%%\n",
-			r.scenario, float64(r.measured.TotalNs)/1e6, 100*m, 100*p)
+		fmt.Fprintf(w, "%-10v %12.3f %11.1f%% %11.1f%% %11.1f%%\n",
+			r.scenario, float64(r.measured.TotalNs)/1e6, 100*m, 100*p, 100*shareGap(r))
 	}
 	if len(results) > 1 {
 		base, _ := nonConv(results[0])

@@ -1,0 +1,45 @@
+package tiles
+
+import "testing"
+
+func TestTileSizesDefaultGeometry(t *testing.T) {
+	b := TileSizes(DefaultGeometry())
+	if b.MR != 4 || b.NR != 4 {
+		t.Fatalf("micro-kernel %dx%d, want 4x4", b.MR, b.NR)
+	}
+	// Occupancy rule: each resident panel fits in half its cache level.
+	if got, lim := 4*b.KC*b.NR, DefaultGeometry().L1Bytes/2; got > lim {
+		t.Errorf("KC×NR B strip %d B exceeds half L1 (%d B)", got, lim)
+	}
+	if got, lim := 4*b.MC*b.KC, DefaultGeometry().L2Bytes/2; got > lim {
+		t.Errorf("MC×KC A panel %d B exceeds half L2 (%d B)", got, lim)
+	}
+	if got, lim := 4*b.KC*b.NC, DefaultGeometry().L3Bytes/2; got > lim {
+		t.Errorf("KC×NC B panel %d B exceeds half L3 (%d B)", got, lim)
+	}
+	if b.KC%b.NR != 0 || b.MC%b.MR != 0 || b.NC%b.NR != 0 {
+		t.Errorf("blocks not tile-aligned: %+v", b)
+	}
+	// Pin the derived values for the documented 64B/32K/1M/8M machine so an
+	// accidental formula change is visible in review.
+	if b.KC != 1024 || b.MC != 128 || b.NC != 1024 {
+		t.Errorf("blocking %+v, want KC=1024 MC=128 NC=1024", b)
+	}
+}
+
+func TestTileSizesDegenerateGeometryClamps(t *testing.T) {
+	// A pathologically small (or zero-valued) geometry must still yield a
+	// valid blocking of at least one tile per block.
+	for _, g := range []Geometry{
+		{LineBytes: 8, L1Bytes: 16, L2Bytes: 32, L3Bytes: 64},
+		{},
+	} {
+		b := TileSizes(g)
+		if b.KC < b.NR || b.MC < b.MR || b.NC < b.NR {
+			t.Errorf("geometry %+v: blocking %+v below one tile", g, b)
+		}
+		if b.KC%b.NR != 0 || b.MC%b.MR != 0 || b.NC%b.NR != 0 {
+			t.Errorf("geometry %+v: blocking %+v not tile-aligned", g, b)
+		}
+	}
+}

@@ -44,9 +44,11 @@ func FusedConvBackwardReLUBNReduce(conv layers.Conv2D, bn layers.BatchNorm,
 			for ic := 0; ic < c; ic++ {
 				base := (in*c + ic) * h * wd
 				g, b := gamma.Data[ic], beta.Data[ic]
-				for i := 0; i < h*wd; i++ {
-					if v := g*xhat.Data[base+i] + b; v > 0 {
-						z.Data[base+i] = v
+				src := xhat.Data[base : base+h*wd]
+				dst := z.Data[base : base+h*wd]
+				for i, xv := range src {
+					if v := g*xv + b; v > 0 {
+						dst[i] = v
 					}
 				}
 			}
@@ -80,14 +82,17 @@ func FusedConvBackwardReLUBNReduce(conv layers.Conv2D, bn layers.BatchNorm,
 		for in := nLo; in < nHi; in++ {
 			for ic := 0; ic < c; ic++ {
 				base := (in*c + ic) * h * wd
+				zrow := z.Data[base : base+h*wd]
+				dvrow := dv.Data[base : base+h*wd]
+				xrow := xhat.Data[base : base+h*wd]
 				var sg, sb float64
-				for i := 0; i < h*wd; i++ {
-					if z.Data[base+i] <= 0 {
-						dv.Data[base+i] = 0
+				for i, zv := range zrow {
+					if zv <= 0 {
+						dvrow[i] = 0
 						continue
 					}
-					g := float64(dv.Data[base+i])
-					sg += g * float64(xhat.Data[base+i])
+					g := float64(dvrow[i])
+					sg += g * float64(xrow[i])
 					sb += g
 				}
 				psg[in*c+ic] = sg
@@ -144,8 +149,11 @@ func FusedBNInputConvBackward(conv layers.Conv2D, bn layers.BatchNorm,
 				base := (in*c + ic) * h * wd
 				coef := gamma.Data[ic] * inv[ic] / m
 				dg, db := dgamma.Data[ic], dbeta.Data[ic]
-				for i := 0; i < h*wd; i++ {
-					du.Data[base+i] = coef * (m*dv.Data[base+i] - db - xhat.Data[base+i]*dg)
+				dvrow := dv.Data[base : base+h*wd]
+				xrow := xhat.Data[base : base+h*wd]
+				durow := du.Data[base : base+h*wd]
+				for i, dvv := range dvrow {
+					durow[i] = coef * (m*dvv - db - xrow[i]*dg)
 				}
 			}
 		}

@@ -62,9 +62,26 @@ func ConvForwardStats(conv layers.Conv2D, x, w *tensor.Tensor) (*tensor.Tensor, 
 		for in := nLo; in < nHi; in++ {
 			for ic := 0; ic < c; ic++ {
 				base := (in*c + ic) * h * wd
+				row := y.Data[base : base+h*wd]
+				// 4-wide unroll: s and sq each stay a single accumulator
+				// chain adding elements in ascending order, so the sums are
+				// bit-identical to the rolled loop; the unroll only breaks
+				// the loop-carried add/mul dependency interleaving.
 				var s, sq float32
-				for i := 0; i < h*wd; i++ {
-					v := y.Data[base+i]
+				i := 0
+				for ; i+4 <= len(row); i += 4 {
+					v0, v1, v2, v3 := row[i], row[i+1], row[i+2], row[i+3]
+					s += v0
+					s += v1
+					s += v2
+					s += v3
+					sq += v0 * v0
+					sq += v1 * v1
+					sq += v2 * v2
+					sq += v3 * v3
+				}
+				for ; i < len(row); i++ {
+					v := row[i]
 					s += v
 					sq += v * v
 				}
@@ -110,49 +127,15 @@ func ReLUConvForward(conv layers.Conv2D, x, w *tensor.Tensor) (*tensor.Tensor, e
 	y := conv.Alloc().Get(conv.OutShape(x.Shape())...)
 	n, cin, h, wd := x.Dims4()
 	_, cout, oh, ow := y.Dims4()
-	kh, kw, s, p := conv.KernelH, conv.KernelW, conv.Stride, conv.Pad
-	grp := convGroups(conv)
-	cinG, coutG := cin/grp, cout/grp
+	geom := conv.SampleGeom(h, wd)
+	inLen, outLen := cin*h*wd, cout*oh*ow
 	xd, wdat, yd := x.Data, w.Data, y.Data
 	// Sample split on the conv's pool: per-sample outputs are disjoint, so
-	// pooled execution is bit-identical to serial.
+	// pooled execution is bit-identical to serial. The per-sample body is the
+	// blocked RCF kernel (inline ReLU on each ifmap read).
 	conv.Pool().Run(n, func(nLo, nHi int) {
 		for in := nLo; in < nHi; in++ {
-			for oc := 0; oc < cout; oc++ {
-				icLo := (oc / coutG) * cinG
-				wBase := oc * cinG * kh * kw
-				outBase := (in*cout + oc) * oh * ow
-				for oy := 0; oy < oh; oy++ {
-					iy0 := oy*s - p
-					for ox := 0; ox < ow; ox++ {
-						ix0 := ox*s - p
-						var acc float32
-						for ig := 0; ig < cinG; ig++ {
-							inBase := (in*cin + icLo + ig) * h * wd
-							wcBase := wBase + ig*kh*kw
-							for ky := 0; ky < kh; ky++ {
-								iy := iy0 + ky
-								if iy < 0 || iy >= h {
-									continue
-								}
-								row := inBase + iy*wd
-								wrow := wcBase + ky*kw
-								for kx := 0; kx < kw; kx++ {
-									ix := ix0 + kx
-									if ix < 0 || ix >= wd {
-										continue
-									}
-									v := xd[row+ix]
-									if v > 0 { // inline ReLU on the ifmap read
-										acc += v * wdat[wrow+kx]
-									}
-								}
-							}
-						}
-						yd[outBase+oy*ow+ox] = acc
-					}
-				}
-			}
+			geom.ForwardSampleReLU(xd[in*inLen:(in+1)*inLen], wdat, yd[in*outLen:(in+1)*outLen])
 		}
 	})
 	return y, nil
@@ -188,12 +171,7 @@ func FusedBNReLUConvForward(conv layers.Conv2D, bn layers.BatchNorm, x *tensor.T
 	xhat = a.Get(x.Shape()...)
 	y = a.Get(conv.OutShape(x.Shape())...)
 	_, cout, oh, ow := y.Dims4()
-	kh, kw, s, p := conv.KernelH, conv.KernelW, conv.Stride, conv.Pad
-	wdat, yd := w.Data, y.Data
-	g, b := gamma.Data, beta.Data
 
-	grp := convGroups(conv)
-	cinG, coutG := c/grp, cout/grp
 	// Samples split on the conv's pool; each chunk owns a private per-sample
 	// tile of rectified normalized activations (1/N of a batch tensor, the
 	// cache-resident working set), and all writes (x̂, y) are per-sample
@@ -208,20 +186,18 @@ func FusedBNReLUConvForward(conv layers.Conv2D, bn layers.BatchNorm, x *tensor.T
 	// into the dispatched closure.
 	if conv.Pool().Serial() {
 		sp := fusedFwdSpec{
-			xd: x.Data, xh: xhat.Data, yd: yd, wdat: wdat,
-			mean: stats.Mean.Data, inv: inv, g: g, b: b, slab: slab,
-			c: c, h: h, wd: wd, cout: cout, oh: oh, ow: ow,
-			kh: kh, kw: kw, s: s, p: p,
-			cinG: cinG, coutG: coutG, tileLen: tileLen,
+			xd: x.Data, xh: xhat.Data, yd: y.Data, wdat: w.Data,
+			mean: stats.Mean.Data, inv: inv, g: gamma.Data, b: beta.Data, slab: slab,
+			c: c, h: h, wd: wd, cout: cout, outLen: cout * oh * ow,
+			tileLen: tileLen, geom: conv.SampleGeom(h, wd),
 		}
 		sp.run(0, 0, n)
 	} else {
 		sp := fusedFwdSpec{
-			xd: x.Data, xh: xhat.Data, yd: yd, wdat: wdat,
-			mean: stats.Mean.Data, inv: inv, g: g, b: b, slab: slab,
-			c: c, h: h, wd: wd, cout: cout, oh: oh, ow: ow,
-			kh: kh, kw: kw, s: s, p: p,
-			cinG: cinG, coutG: coutG, tileLen: tileLen,
+			xd: x.Data, xh: xhat.Data, yd: y.Data, wdat: w.Data,
+			mean: stats.Mean.Data, inv: inv, g: gamma.Data, b: beta.Data, slab: slab,
+			c: c, h: h, wd: wd, cout: cout, outLen: cout * oh * ow,
+			tileLen: tileLen, geom: conv.SampleGeom(h, wd),
 		}
 		conv.Pool().RunChunked(n, func(chunk, nLo, nHi int) {
 			sp.run(chunk, nLo, nHi)
@@ -235,15 +211,17 @@ func FusedBNReLUConvForward(conv layers.Conv2D, bn layers.BatchNorm, x *tensor.T
 // fusedFwdSpec carries FusedBNReLUConvForward's loop state into its chunk
 // body, so the serial path can invoke it without allocating a closure.
 type fusedFwdSpec struct {
-	xd, xh, yd, wdat       []float32
-	mean, inv, g, b, slab  []float32
-	c, h, wd, cout, oh, ow int
-	kh, kw, s, p           int
-	cinG, coutG, tileLen   int
+	xd, xh, yd, wdat      []float32
+	mean, inv, g, b, slab []float32
+	c, h, wd, cout        int
+	outLen, tileLen       int
+	geom                  layers.ConvGeom
 }
 
 // run is the per-chunk body: normalize+rectify one sample into the chunk's
-// private tile, then convolve the sample from the tile.
+// private tile, then convolve the sample from the tile with the blocked
+// sample kernel (same tap order as the reference loop, so the conv half is
+// bit-identical to the layer's own forward over the tile).
 //
 // hot-path: the fused sub-BN2'-ReLU-CONV2 sweep; the tile is carved from the
 // dispatcher's slab, so the body allocates nothing.
@@ -254,51 +232,22 @@ func (sp *fusedFwdSpec) run(chunk, nLo, nHi int) {
 		// One pass: read x, write x̂ (O2'), fill the tile with ReLU(γx̂+β).
 		for ic := 0; ic < c; ic++ {
 			base := (in*c + ic) * h * wd
-			tbase := ic * h * wd
 			mu, is, gc, bc := sp.mean[ic], sp.inv[ic], sp.g[ic], sp.b[ic]
-			for i := 0; i < h*wd; i++ {
-				xh := (sp.xd[base+i] - mu) * is
-				sp.xh[base+i] = xh
+			src := sp.xd[base : base+h*wd]
+			dst := sp.xh[base : base+h*wd]
+			trow := tile[ic*h*wd : (ic+1)*h*wd]
+			for i, xv := range src {
+				xh := (xv - mu) * is
+				dst[i] = xh
 				if z := gc*xh + bc; z > 0 {
-					tile[tbase+i] = z
+					trow[i] = z
 				} else {
-					tile[tbase+i] = 0
+					trow[i] = 0
 				}
 			}
 		}
 		// Convolve this sample from the tile.
-		for oc := 0; oc < sp.cout; oc++ {
-			icLo := (oc / sp.coutG) * sp.cinG
-			wBase := oc * sp.cinG * sp.kh * sp.kw
-			outBase := (in*sp.cout + oc) * sp.oh * sp.ow
-			for oy := 0; oy < sp.oh; oy++ {
-				iy0 := oy*sp.s - sp.p
-				for ox := 0; ox < sp.ow; ox++ {
-					ix0 := ox*sp.s - sp.p
-					var acc float32
-					for ig := 0; ig < sp.cinG; ig++ {
-						tbase := (icLo + ig) * h * wd
-						wcBase := wBase + ig*sp.kh*sp.kw
-						for ky := 0; ky < sp.kh; ky++ {
-							iy := iy0 + ky
-							if iy < 0 || iy >= h {
-								continue
-							}
-							row := tbase + iy*wd
-							wrow := wcBase + ky*sp.kw
-							for kx := 0; kx < sp.kw; kx++ {
-								ix := ix0 + kx
-								if ix < 0 || ix >= wd {
-									continue
-								}
-								acc += tile[row+ix] * sp.wdat[wrow+kx]
-							}
-						}
-					}
-					sp.yd[outBase+oy*sp.ow+ox] = acc
-				}
-			}
-		}
+		sp.geom.ForwardSample(tile, sp.wdat, sp.yd[in*sp.outLen:(in+1)*sp.outLen], nil)
 	}
 }
 

@@ -178,53 +178,16 @@ func (c Conv2D) dispatchBackward(dy, x, w, dx, dw *tensor.Tensor) {
 // CONV+BN path — and a nil bias seeds zero, reproducing the plain
 // convolution bit for bit.
 //
-// hot-path: the module's dominant FLOP loop; everything lives in caller
-// buffers and loop-local scalars.
+// hot-path: the module's dominant FLOP loop; the per-sample body is
+// ConvGeom.ForwardSample's blocked kernel, everything in caller buffers.
 func (c Conv2D) forwardInto(x, w, y *tensor.Tensor, bias []float32) {
 	n, cin, h, wd := x.Dims4()
 	_, cout, oh, ow := y.Dims4()
-	kh, kw, s, p := c.KernelH, c.KernelW, c.Stride, c.Pad
-	g := c.groups()
-	cinG, coutG := cin/g, cout/g
-
-	xd, wdat, yd := x.Data, w.Data, y.Data
+	geom := c.SampleGeom(h, wd)
+	inLen, outLen := cin*h*wd, cout*oh*ow
 	for in := 0; in < n; in++ {
-		for oc := 0; oc < cout; oc++ {
-			icLo := (oc / coutG) * cinG
-			wBase := oc * cinG * kh * kw
-			outBase := (in*cout + oc) * oh * ow
-			var b0 float32
-			if bias != nil {
-				b0 = bias[oc]
-			}
-			for oy := 0; oy < oh; oy++ {
-				iy0 := oy*s - p
-				for ox := 0; ox < ow; ox++ {
-					ix0 := ox*s - p
-					acc := b0
-					for ig := 0; ig < cinG; ig++ {
-						inBase := (in*cin + icLo + ig) * h * wd
-						wcBase := wBase + ig*kh*kw
-						for ky := 0; ky < kh; ky++ {
-							iy := iy0 + ky
-							if iy < 0 || iy >= h {
-								continue
-							}
-							row := inBase + iy*wd
-							wrow := wcBase + ky*kw
-							for kx := 0; kx < kw; kx++ {
-								ix := ix0 + kx
-								if ix < 0 || ix >= wd {
-									continue
-								}
-								acc += xd[row+ix] * wdat[wrow+kx]
-							}
-						}
-					}
-					yd[outBase+oy*ow+ox] = acc
-				}
-			}
-		}
+		geom.ForwardSample(x.Data[in*inLen:(in+1)*inLen], w.Data,
+			y.Data[in*outLen:(in+1)*outLen], bias)
 	}
 }
 
@@ -277,15 +240,20 @@ func (c Conv2D) BackwardInto(dy, x, w, dx, dw *tensor.Tensor) error {
 	return nil
 }
 
-// backwardInto runs the combined dX/dW inner loops into caller buffers.
+// backwardInto runs the combined dX/dW inner loops into caller buffers. The
+// tap loops run over clamped (ky, kx) ranges instead of testing bounds per
+// iteration; the skipped iterations contributed nothing, so the accumulation
+// order over the surviving terms is unchanged — bit-identical to the
+// reference loop. The dy==0 skip stays: a zero upstream gradient contributes
+// ±0 to accumulators that already hold finite or non-finite values alike.
 //
 // hot-path: the backward twin of forwardInto; no per-call allocation.
 func (c Conv2D) backwardInto(dy, x, w, dx, dw *tensor.Tensor) {
 	n, cin, h, wd := x.Dims4()
 	_, cout, oh, ow := dy.Dims4()
+	geom := c.SampleGeom(h, wd)
 	kh, kw, s, p := c.KernelH, c.KernelW, c.Stride, c.Pad
-	grp := c.groups()
-	cinG, coutG := cin/grp, cout/grp
+	cinG, coutG := geom.CinG, geom.CoutG
 
 	xd, wdat, dyd, dxd, dwd := x.Data, w.Data, dy.Data, dx.Data, dw.Data
 	for in := 0; in < n; in++ {
@@ -295,29 +263,23 @@ func (c Conv2D) backwardInto(dy, x, w, dx, dw *tensor.Tensor) {
 			outBase := (in*cout + oc) * oh * ow
 			for oy := 0; oy < oh; oy++ {
 				iy0 := oy*s - p
+				kyLo, kyHi := clampRange(iy0, kh, h)
 				for ox := 0; ox < ow; ox++ {
 					ix0 := ox*s - p
 					g := dyd[outBase+oy*ow+ox]
 					if g == 0 {
 						continue
 					}
+					kxLo, kxHi := clampRange(ix0, kw, wd)
 					for ig := 0; ig < cinG; ig++ {
 						inBase := (in*cin + icLo + ig) * h * wd
 						wcBase := wBase + ig*kh*kw
-						for ky := 0; ky < kh; ky++ {
-							iy := iy0 + ky
-							if iy < 0 || iy >= h {
-								continue
-							}
-							row := inBase + iy*wd
+						for ky := kyLo; ky < kyHi; ky++ {
+							row := inBase + (iy0+ky)*wd + ix0
 							wrow := wcBase + ky*kw
-							for kx := 0; kx < kw; kx++ {
-								ix := ix0 + kx
-								if ix < 0 || ix >= wd {
-									continue
-								}
-								dxd[row+ix] += wdat[wrow+kx] * g
-								dwd[wrow+kx] += xd[row+ix] * g
+							for kx := kxLo; kx < kxHi; kx++ {
+								dxd[row+kx] += wdat[wrow+kx] * g
+								dwd[wrow+kx] += xd[row+kx] * g
 							}
 						}
 					}

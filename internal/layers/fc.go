@@ -58,26 +58,32 @@ func (f FC) check(x, w, b *tensor.Tensor) error {
 	return nil
 }
 
-// Forward computes y (N, Out).
+// Forward computes y (N, Out) through the blocked GEMM core: each output row
+// is seeded with the bias, then y += x·Wᵀ accumulates in ascending k order —
+// the same single chain per element as the reference dot-product loop, so
+// the result is bit-identical to it (and to serial execution: chunks own
+// disjoint rows). Panel scratch is carved per chunk from one arena slab the
+// dispatching goroutine allocates.
 func (f FC) Forward(x, w, b *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := f.check(x, w, b); err != nil {
 		return nil, err
 	}
 	n := x.Dim(0)
 	y := f.alloc.Get(n, f.Out)
-	f.pool.Run(n, func(lo, hi int) {
+	blk := gemmBlocking()
+	aLen, bLen := panelLens(n, f.Out, f.In, blk)
+	chunks := f.pool.NumChunks(n)
+	panels := f.alloc.Panel(chunks * (aLen + bLen))
+	f.pool.RunChunked(n, func(chunk, lo, hi int) {
+		packA := panels[chunk*(aLen+bLen) : chunk*(aLen+bLen)+aLen]
+		packB := panels[chunk*(aLen+bLen)+aLen : (chunk+1)*(aLen+bLen)]
 		for in := lo; in < hi; in++ {
-			xRow := x.Data[in*f.In : (in+1)*f.In]
-			for o := 0; o < f.Out; o++ {
-				wRow := w.Data[o*f.In : (o+1)*f.In]
-				acc := b.Data[o]
-				for i, xv := range xRow {
-					acc += xv * wRow[i]
-				}
-				y.Data[in*f.Out+o] = acc
-			}
+			copy(y.Data[in*f.Out:(in+1)*f.Out], b.Data)
 		}
+		gemmBlocked(y.Data[lo*f.Out:hi*f.Out], f.Out, x.Data[lo*f.In:hi*f.In], f.In,
+			w.Data, f.In, true, hi-lo, f.Out, f.In, blk, packA, packB)
 	})
+	f.alloc.PutFloats(panels)
 	return y, nil
 }
 

@@ -15,71 +15,51 @@ import (
 //
 // Shapes: columns is (Cin/g·KH·KW, OH·OW) per sample and group; the weight
 // matrix is (CoutG, Cin/g·KH·KW); their product is the (CoutG, OH·OW) output
-// block.
+// block, computed by the packed-panel gemmBlocked core. Every k term is
+// accumulated — there is no zero-skip fast path — so non-finite inputs
+// propagate exactly as in the direct kernels (0·Inf = NaN included, for the
+// padding zeros the column matrix materializes).
 func (c Conv2D) ForwardGEMM(x, w *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := c.checkForward(x, w); err != nil {
 		return nil, err
 	}
 	n, cin, h, wd := x.Dims4()
 	out := c.alloc.Get(c.OutShape(x.Shape())...)
-	_, cout, oh, ow := out.Dims4()
-	kh, kw, s, p := c.KernelH, c.KernelW, c.Stride, c.Pad
+	_, cout, _, _ := out.Dims4()
+	geom := c.SampleGeom(h, wd)
+	colRows := geom.CinG * geom.KH * geom.KW
+	ohow := geom.OH * geom.OW
 	g := c.groups()
-	cinG, coutG := cin/g, cout/g
+	coutG := geom.CoutG
+	blk := gemmBlocking()
+	aLen, bLen := panelLens(coutG, ohow, colRows, blk)
 
-	colRows := cinG * kh * kw
 	// Samples split across the pool; each chunk owns a private column matrix
-	// carved from one slab the dispatcher allocates (workers must not touch
-	// the arena), and output rows are per-sample disjoint, so pooled
-	// execution is bit-identical to serial.
-	colsLen := colRows * oh * ow
-	slab := c.alloc.Floats(c.pool.NumChunks(n) * colsLen)
+	// and packed-panel pair carved from slabs the dispatcher allocates
+	// (workers must not touch the arena), and output rows are per-sample
+	// disjoint, so pooled execution is bit-identical to serial.
+	colsLen := colRows * ohow
+	chunks := c.pool.NumChunks(n)
+	slab := c.alloc.Panel(chunks * colsLen)
+	panels := c.alloc.Panel(chunks * (aLen + bLen))
+	inLen := cin * h * wd
 	c.pool.RunChunked(n, func(chunk, nLo, nHi int) {
 		cols := slab[chunk*colsLen : (chunk+1)*colsLen]
+		packA := panels[chunk*(aLen+bLen) : chunk*(aLen+bLen)+aLen]
+		packB := panels[chunk*(aLen+bLen)+aLen : (chunk+1)*(aLen+bLen)]
 		for in := nLo; in < nHi; in++ {
+			xs := x.Data[in*inLen : (in+1)*inLen]
 			for grp := 0; grp < g; grp++ {
-				// im2col for this sample and group.
-				for ig := 0; ig < cinG; ig++ {
-					ic := grp*cinG + ig
-					inBase := (in*cin + ic) * h * wd
-					for ky := 0; ky < kh; ky++ {
-						for kx := 0; kx < kw; kx++ {
-							row := (ig*kh+ky)*kw + kx
-							dst := cols[row*oh*ow:]
-							di := 0
-							for oy := 0; oy < oh; oy++ {
-								iy := oy*s - p + ky
-								for ox := 0; ox < ow; ox++ {
-									ix := ox*s - p + kx
-									if iy < 0 || iy >= h || ix < 0 || ix >= wd {
-										dst[di] = 0
-									} else {
-										dst[di] = x.Data[inBase+iy*wd+ix]
-									}
-									di++
-								}
-							}
-						}
-					}
-				}
-				// GEMM: out[oc, :] = Σ_r w[oc, r] · cols[r, :].
-				for ocg := 0; ocg < coutG; ocg++ {
-					oc := grp*coutG + ocg
-					wRow := w.Data[oc*colRows : (oc+1)*colRows]
-					outRow := out.Data[(in*cout+oc)*oh*ow : (in*cout+oc+1)*oh*ow]
-					for r, wv := range wRow {
-						if wv == 0 {
-							continue
-						}
-						col := cols[r*oh*ow : (r+1)*oh*ow]
-						for i, cv := range col {
-							outRow[i] += wv * cv
-						}
-					}
-				}
+				im2colGroup(cols, xs, geom, grp)
+				// GEMM: out[oc, :] += Σ_r w[oc, r] · cols[r, :].
+				base := (in*cout + grp*coutG) * ohow
+				gemmBlocked(out.Data[base:base+coutG*ohow], ohow,
+					w.Data[grp*coutG*colRows:(grp+1)*coutG*colRows], colRows,
+					cols, ohow, false, coutG, ohow, colRows, blk, packA, packB)
 			}
 		}
 	})
+	c.alloc.PutFloats(panels)
 	c.alloc.PutFloats(slab)
 	return out, nil
 }
@@ -87,9 +67,15 @@ func (c Conv2D) ForwardGEMM(x, w *tensor.Tensor) (*tensor.Tensor, error) {
 // Im2colBytes returns the extra buffer traffic the GEMM path implies per
 // forward pass (the column matrix written and read once), used by the
 // documentation of why direct convolution is the reference cost model.
+// Degenerate shapes whose output extent rounds to zero or below (input
+// smaller than the kernel despite padding) imply no column traffic at all,
+// so the count clamps to zero instead of going negative.
 func (c Conv2D) Im2colBytes(batch, inH, inW int) int64 {
 	oh := (inH+2*c.Pad-c.KernelH)/c.Stride + 1
 	ow := (inW+2*c.Pad-c.KernelW)/c.Stride + 1
+	if batch <= 0 || oh <= 0 || ow <= 0 {
+		return 0
+	}
 	colRows := (c.InChannels / c.groups()) * c.KernelH * c.KernelW
 	return 2 * 4 * int64(batch) * int64(c.groups()) * int64(colRows) * int64(oh) * int64(ow)
 }
@@ -97,33 +83,31 @@ func (c Conv2D) Im2colBytes(batch, inH, inW int) int64 {
 // FC as GEMM sanity helper: multiply (N,In)×(In,Out) using the same inner
 // kernel, used by tests to cross-check the FC layer.
 func matMul(a, b *tensor.Tensor) (*tensor.Tensor, error) {
-	return matMulOn(nil, a, b)
+	return matMulOn(nil, nil, a, b)
 }
 
-// matMulOn is matMul with the output rows split across a worker pool.
-// Each output row is owned by exactly one goroutine and accumulated in the
-// serial k order, so the result is bit-identical to serial.
-func matMulOn(p *parallel.Pool, a, b *tensor.Tensor) (*tensor.Tensor, error) {
+// matMulOn is matMul with the output rows split across a worker pool and the
+// output and panel scratch drawn from the caller's arena (nil degrades to
+// plain allocation). Each output row is owned by exactly one chunk and
+// accumulated in the serial k order, so the result is bit-identical to
+// serial; no zero-skip, so NaN/Inf propagate.
+func matMulOn(p *parallel.Pool, alloc *tensor.Arena, a, b *tensor.Tensor) (*tensor.Tensor, error) {
 	if a.Rank() != 2 || b.Rank() != 2 || a.Dim(1) != b.Dim(0) {
 		return nil, fmt.Errorf("layers: matmul shapes %v × %v", a.Shape(), b.Shape())
 	}
 	n, k := a.Dims2()
 	_, m := b.Dims2()
-	out := tensor.New(n, m)
-	p.Run(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			for kk := 0; kk < k; kk++ {
-				av := a.Data[i*k+kk]
-				if av == 0 {
-					continue
-				}
-				bRow := b.Data[kk*m : (kk+1)*m]
-				oRow := out.Data[i*m : (i+1)*m]
-				for j, bv := range bRow {
-					oRow[j] += av * bv
-				}
-			}
-		}
+	out := alloc.Get(n, m)
+	blk := gemmBlocking()
+	aLen, bLen := panelLens(n, m, k, blk)
+	chunks := p.NumChunks(n)
+	panels := alloc.Panel(chunks * (aLen + bLen))
+	p.RunChunked(n, func(chunk, lo, hi int) {
+		packA := panels[chunk*(aLen+bLen) : chunk*(aLen+bLen)+aLen]
+		packB := panels[chunk*(aLen+bLen)+aLen : (chunk+1)*(aLen+bLen)]
+		gemmBlocked(out.Data[lo*m:hi*m], m, a.Data[lo*k:hi*k], k,
+			b.Data, m, false, hi-lo, m, k, blk, packA, packB)
 	})
+	alloc.PutFloats(panels)
 	return out, nil
 }

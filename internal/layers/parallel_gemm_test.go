@@ -165,7 +165,7 @@ func TestMatMulKnownValues(t *testing.T) {
 			t.Errorf("matmul[%d] = %v, want %v", i, got.Data[i], want[i])
 		}
 	}
-	pooled, err := matMulOn(parallel.New(2), a, b)
+	pooled, err := matMulOn(parallel.New(2), nil, a, b)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,28 @@
+package memsim
+
+// GEMMPanelBytes models the extra buffer traffic the packed-panel GEMM in
+// internal/layers adds on top of the operand streams, for an m×n×k problem
+// blocked with NC-wide column blocks (cachesim.Blocking.NC):
+//
+//   - the A panel (m×k) is packed once per column block — each element is
+//     written to the panel and read back by the micro-kernel ⌈n/NC⌉ times;
+//   - the B panel (k×n) is packed exactly once — written and read back once.
+//
+// Both transfers count write+read (factor 2) at 4 bytes per float32. The
+// panels themselves are cache-resident by construction (that is what the
+// tile-sizing rule guarantees), so this traffic prices the packing sweeps,
+// not extra DRAM round trips — it is the analog of Im2colBytes for the
+// blocked core and lets the roofline model see that packing is O(mk·n/NC +
+// kn), asymptotically free next to the 2mnk FLOP volume.
+func GEMMPanelBytes(m, n, k, nc int) int64 {
+	if m <= 0 || n <= 0 || k <= 0 {
+		return 0
+	}
+	if nc <= 0 {
+		nc = n
+	}
+	colBlocks := int64((n + nc - 1) / nc)
+	aBytes := 2 * 4 * int64(m) * int64(k) * colBlocks
+	bBytes := 2 * 4 * int64(k) * int64(n)
+	return aBytes + bBytes
+}

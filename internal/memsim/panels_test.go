@@ -1,0 +1,24 @@
+package memsim
+
+import "testing"
+
+func TestGEMMPanelBytes(t *testing.T) {
+	// One column block (n ≤ nc): A and B each packed once, write+read.
+	if got, want := GEMMPanelBytes(8, 16, 32, 1024), int64(2*4*(8*32+32*16)); got != want {
+		t.Errorf("single block: %d, want %d", got, want)
+	}
+	// Three column blocks: the A panel repacks per block.
+	if got, want := GEMMPanelBytes(8, 3000, 32, 1024), int64(2*4*(8*32*3+32*3000)); got != want {
+		t.Errorf("three blocks: %d, want %d", got, want)
+	}
+	// nc <= 0 falls back to one block over the full width.
+	if got, want := GEMMPanelBytes(8, 16, 32, 0), GEMMPanelBytes(8, 16, 32, 16); got != want {
+		t.Errorf("nc fallback: %d, want %d", got, want)
+	}
+	// Degenerate problems imply no panel traffic.
+	for _, dims := range [][3]int{{0, 16, 32}, {8, 0, 32}, {8, 16, -1}} {
+		if got := GEMMPanelBytes(dims[0], dims[1], dims[2], 1024); got != 0 {
+			t.Errorf("degenerate %v: %d, want 0", dims, got)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package parallel
+
+import "sync/atomic"
+
+// Barrier releases every caller of Arrive at once, after n of them have
+// arrived. It is single-use: arrivals after the n-th pass straight through.
+//
+// The serve overload drills gate each load-generating client's first request
+// on one so the pressure against the bounded queue is structural — all
+// clients provably hold a request in flight together — instead of a race the
+// drill only wins while a forward pass is slow enough for unsynchronized
+// clients to pile up behind it. Compute fan-out still belongs to Pool; a
+// Barrier synchronizes callers, it never partitions work.
+type Barrier struct {
+	pending atomic.Int64
+	release chan struct{}
+}
+
+// NewBarrier returns a barrier that opens on the n-th Arrive. n < 1 returns
+// an already-open barrier.
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{release: make(chan struct{})}
+	if n < 1 {
+		close(b.release)
+		return b
+	}
+	b.pending.Store(int64(n))
+	return b
+}
+
+// Arrive blocks until the barrier's n-th arrival, then returns. A nil
+// barrier is open: Arrive returns immediately, so callers can thread an
+// optional gate unconditionally.
+func (b *Barrier) Arrive() {
+	if b == nil {
+		return
+	}
+	if b.pending.Add(-1) == 0 {
+		close(b.release)
+	}
+	<-b.release
+}

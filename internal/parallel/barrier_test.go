@@ -1,0 +1,42 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Every goroutine increments arrived before calling Arrive, so if Arrive
+// really blocks until the n-th arrival, each release must observe the full
+// count.
+func TestBarrierReleasesAllTogether(t *testing.T) {
+	const n = 8
+	b := NewBarrier(n)
+	var arrived atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			arrived.Add(1)
+			b.Arrive()
+			if got := arrived.Load(); got != n {
+				t.Errorf("released with %d of %d arrivals", got, n)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestBarrierLateArrivalsPassThrough(t *testing.T) {
+	b := NewBarrier(1)
+	b.Arrive() // opens the barrier
+	b.Arrive() // must not block or panic
+}
+
+func TestBarrierDegenerateCounts(t *testing.T) {
+	NewBarrier(0).Arrive()
+	NewBarrier(-3).Arrive()
+	var nilBarrier *Barrier
+	nilBarrier.Arrive()
+}

@@ -143,6 +143,7 @@ func (s Spec) ServeConfig(clock func() int64, metrics *obs.Registry) serve.Confi
 		MaxWait:    time.Duration(s.MaxWaitMS) * time.Millisecond,
 		Replicas:   s.Replicas,
 		QueueDepth: s.QueueDepth,
+		MinService: time.Duration(s.ServiceFloorMS) * time.Millisecond,
 		Workers:    s.Workers,
 		FoldBN:     s.Fold,
 		Seed:       s.Seed,

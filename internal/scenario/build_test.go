@@ -67,6 +67,23 @@ func TestServeConfigMapping(t *testing.T) {
 		cfg.QueueDepth != 9 || cfg.MaxWait != 3*time.Millisecond || !cfg.FoldBN {
 		t.Errorf("serve config mapping wrong: %+v from %+v", cfg, s)
 	}
+	if cfg.MinService != 0 {
+		t.Errorf("steady traffic MinService = %v, want 0", cfg.MinService)
+	}
+
+	// Overload shapes default a 20 ms service floor and map it to MinService.
+	o := validServe()
+	o.Traffic = TrafficOverload
+	o.Replicas = 1
+	if err := o.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if o.ServiceFloorMS != 20 {
+		t.Errorf("overload service_floor_ms defaulted to %d, want 20", o.ServiceFloorMS)
+	}
+	if got := o.ServeConfig(nil, nil); got.MinService != 20*time.Millisecond {
+		t.Errorf("overload MinService = %v, want 20ms", got.MinService)
+	}
 	b := s.ServeBuilder()
 	g, err := b(2)
 	if err != nil {

@@ -193,20 +193,22 @@ func Builtin() *Registry {
 			ClientDelayMS: 2,
 		},
 		// Overload drives 12 blocking clients into a single replica with a
-		// 2-deep queue. The model is deliberately the slow composite-layer one:
-		// while its multi-ms forward pass holds the replica, the other clients
-		// pile onto the queue and the excess must shed, even on one CPU.
+		// 2-deep queue. The service floor holds the replica for 20 ms per
+		// batch, so while a batch is in service the other clients pile onto
+		// the queue and the excess must shed, even on one CPU — regardless of
+		// how fast the compute kernels make the actual forward pass.
 		Spec{
-			Name:       "serve/tiny-densenet/overload",
-			Kind:       KindServe,
-			Model:      "tiny-densenet",
-			Seed:       42,
-			Traffic:    TrafficOverload,
-			Requests:   48,
-			Clients:    12,
-			QueueDepth: 2,
-			MaxBatch:   4,
-			Replicas:   1,
+			Name:           "serve/tiny-densenet/overload",
+			Kind:           KindServe,
+			Model:          "tiny-densenet",
+			Seed:           42,
+			Traffic:        TrafficOverload,
+			Requests:       48,
+			Clients:        12,
+			QueueDepth:     2,
+			MaxBatch:       4,
+			ServiceFloorMS: 20,
+			Replicas:       1,
 		},
 		Spec{
 			Name:     "serve/tiny-cnn/replica-crash",
@@ -266,21 +268,22 @@ func Builtin() *Registry {
 			Requests: 48,
 		},
 		// The fleet overload twin of serve/tiny-densenet/overload: the same
-		// slow composite-layer model and 2-deep queues, but 12 clients press
+		// 20 ms service floor and 2-deep queues, but 12 clients press
 		// against two single-replica backends through the proxy — requests
 		// shed only once every backend's queue is full.
 		Spec{
-			Name:       "serve/fleet/tiny-densenet/proxy-overload",
-			Kind:       KindServe,
-			Model:      "tiny-densenet",
-			Seed:       42,
-			Traffic:    TrafficProxyOverload,
-			Backends:   2,
-			Requests:   48,
-			Clients:    12,
-			QueueDepth: 2,
-			MaxBatch:   4,
-			Replicas:   1,
+			Name:           "serve/fleet/tiny-densenet/proxy-overload",
+			Kind:           KindServe,
+			Model:          "tiny-densenet",
+			Seed:           42,
+			Traffic:        TrafficProxyOverload,
+			Backends:       2,
+			Requests:       48,
+			Clients:        12,
+			QueueDepth:     2,
+			MaxBatch:       4,
+			ServiceFloorMS: 20,
+			Replicas:       1,
 		},
 	)
 

@@ -72,7 +72,8 @@ func fleetTraffic(shape string) bool {
 //     (local|sync, default local; sync requires replicas > 1 and an MVF
 //     restructuring).
 //   - serve only: Fold, MaxBatch, MaxWaitMS, QueueDepth, Traffic,
-//     Requests, Clients, Burst, ClientDelayMS, Backends, Policy.
+//     Requests, Clients, Burst, ClientDelayMS, ServiceFloorMS, Backends,
+//     Policy.
 //
 // Setting a field of the other kind is a Normalize error, so a grid cannot
 // silently carry dead configuration.
@@ -107,6 +108,13 @@ type Spec struct {
 	Clients       int    `json:"clients,omitempty"`
 	Burst         int    `json:"burst,omitempty"`
 	ClientDelayMS int    `json:"client_delay_ms,omitempty"`
+
+	// ServiceFloorMS puts a floor on each batch's service time (serve.Config
+	// MinService), emulating a slower model or accelerator. Overload shapes
+	// only, default 20: the shed contract must hold because the queue is
+	// bounded while a batch is in service, not because the compute kernels
+	// are slow enough for clients to pile up behind an unfloored forward.
+	ServiceFloorMS int `json:"service_floor_ms,omitempty"`
 
 	// Fleet fields (serve only). Backends > 0 routes every request through a
 	// front proxy over that many identical engines instead of one engine
@@ -172,7 +180,7 @@ func (s *Spec) normalizeTrain() error {
 	if s.Fold || s.MaxBatch != 0 || s.MaxWaitMS != 0 ||
 		s.QueueDepth != 0 || s.Traffic != "" || s.Requests != 0 ||
 		s.Clients != 0 || s.Burst != 0 || s.ClientDelayMS != 0 ||
-		s.Backends != 0 || s.Policy != "" {
+		s.ServiceFloorMS != 0 || s.Backends != 0 || s.Policy != "" {
 		return fmt.Errorf("scenario %q: serve fields set on a train scenario", s.Name)
 	}
 	if s.Batch == 0 {
@@ -310,6 +318,20 @@ func (s *Spec) normalizeServe() error {
 	default:
 		if s.ClientDelayMS != 0 {
 			return fmt.Errorf("scenario %q: client_delay_ms only applies to %s traffic", s.Name, TrafficSlowClient)
+		}
+	}
+	switch s.Traffic {
+	case TrafficOverload, TrafficProxyOverload:
+		if s.ServiceFloorMS == 0 {
+			s.ServiceFloorMS = 20
+		}
+		if s.ServiceFloorMS < 1 {
+			return fmt.Errorf("scenario %q: service_floor_ms %d must be positive", s.Name, s.ServiceFloorMS)
+		}
+	default:
+		if s.ServiceFloorMS != 0 {
+			return fmt.Errorf("scenario %q: service_floor_ms only applies to the overload shapes (%s, %s)",
+				s.Name, TrafficOverload, TrafficProxyOverload)
 		}
 	}
 	if s.Traffic == TrafficCrash && s.Replicas < 2 {

@@ -144,6 +144,8 @@ func TestNormalizeErrorPaths(t *testing.T) {
 		{"negative clients", func(s *Spec) { s.Clients = -1 }, "clients"},
 		{"burst on steady", func(s *Spec) { s.Burst = 4 }, "burst only applies"},
 		{"delay on steady", func(s *Spec) { s.ClientDelayMS = 5 }, "client_delay_ms only applies"},
+		{"service floor on steady", func(s *Spec) { s.ServiceFloorMS = 20 }, "service_floor_ms only applies"},
+		{"negative service floor", func(s *Spec) { s.Traffic = TrafficOverload; s.ServiceFloorMS = -1 }, "service_floor_ms"},
 		{"crash with one replica", func(s *Spec) { s.Traffic = TrafficCrash; s.Replicas = 1 }, "2 replicas"},
 		{"backends on bursty", func(s *Spec) { s.Traffic = TrafficBursty; s.Backends = 2 }, "backends apply only"},
 		{"one-backend fleet drill", func(s *Spec) { s.Traffic = TrafficBackendCrash; s.Backends = 1 }, "2 backends"},

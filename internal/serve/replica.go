@@ -83,6 +83,13 @@ func (r *replica) collect(first *request) []*request {
 func (r *replica) run(batch []*request) {
 	r.buf = batch[:0] // reclaim the backing array for the next collect
 	k := len(batch)
+	// Service-time floor first, forward second: the sleep parks this
+	// goroutine, so on a single-P runtime the waiting clients get the
+	// processor and press against the bounded queue while this batch is
+	// nominally "in service" — exactly the window a load drill needs.
+	if d := r.e.cfg.MinService; d > 0 {
+		time.Sleep(d)
+	}
 	// The atomic reload flip: a new model generation published since the last
 	// batch retires this replica's executors wholesale — the old parameters
 	// and workspaces go back to the collector — and the new generation builds

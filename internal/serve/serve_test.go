@@ -313,6 +313,9 @@ func TestServeConfigValidate(t *testing.T) {
 	if _, err := Load(tinyCNN, bytes.NewReader(ckpt), Config{Replicas: -1}); err == nil {
 		t.Error("negative Replicas accepted")
 	}
+	if _, err := Load(tinyCNN, bytes.NewReader(ckpt), Config{MinService: -time.Millisecond}); err == nil {
+		t.Error("negative MinService accepted")
+	}
 }
 
 // The latency histogram and its quantiles are pure functions of the recorded

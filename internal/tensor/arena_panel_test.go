@@ -1,0 +1,41 @@
+package tensor
+
+import "testing"
+
+func TestArenaPanelRoundsToPowerOfTwo(t *testing.T) {
+	a := NewArena()
+	p := a.Panel(100)
+	if len(p) != 128 {
+		t.Fatalf("Panel(100) length %d, want 128", len(p))
+	}
+	a.PutFloats(p)
+	if a.Stats().BytesInUse != 0 {
+		t.Fatal("PutFloats did not recognize the rounded panel slice")
+	}
+	// A nearby size must recycle the same storage — that is the point of the
+	// rounding: one free-list entry serves every panel request in (64, 128].
+	q := a.Panel(120)
+	if len(q) != 128 {
+		t.Fatalf("Panel(120) length %d, want 128", len(q))
+	}
+	if a.Stats().Hits != 1 {
+		t.Errorf("Panel(120) hits = %d, want 1 (recycled Panel(100) storage)", a.Stats().Hits)
+	}
+	a.PutFloats(q)
+
+	if got := a.Panel(0); got != nil {
+		t.Errorf("Panel(0) = %v, want nil", got)
+	}
+	if p := a.Panel(1); len(p) != 1 {
+		t.Errorf("Panel(1) length %d, want 1", len(p))
+	}
+}
+
+func TestArenaPanelNilArena(t *testing.T) {
+	var a *Arena
+	p := a.Panel(10)
+	if len(p) != 16 {
+		t.Fatalf("nil arena Panel(10) length %d, want 16", len(p))
+	}
+	a.PutFloats(p) // must be a no-op, not a panic
+}
